@@ -1,0 +1,282 @@
+(* Bechamel micro/meso benchmarks — one Test.make per reproduced table, so
+   the wall-clock cost of regenerating each experiment's core computation is
+   tracked alongside the simulated-cost tables in bin/experiments.ml.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module Rng = Dpq_util.Rng
+module E = Dpq_util.Element
+module Ldb = Dpq_overlay.Ldb
+module Aggtree = Dpq_aggtree.Aggtree
+module Phase = Dpq_aggtree.Phase
+module Skeap = Dpq_skeap.Skeap
+module Seap = Dpq_seap.Seap
+module K = Dpq_kselect.Kselect
+module W = Dpq_workloads.Workload
+module R = Dpq_workloads.Runner
+
+(* T1: one Skeap batch (one op per node). *)
+let bench_t1_skeap_batch n =
+  Test.make ~name:(Printf.sprintf "t1/skeap-batch/n=%d" n)
+    (Staged.stage @@ fun () ->
+     let h = Skeap.create ~seed:1 ~n ~num_prios:4 () in
+     for v = 0 to n - 1 do
+       ignore (Skeap.insert h ~node:v ~prio:(1 + (v mod 4)))
+     done;
+     ignore (Skeap.process_batch h))
+
+(* T2/T3: batch encoding under high injection rate. *)
+let bench_t2_skeap_hot_batch =
+  Test.make ~name:"t2/skeap-batch/n=32,lambda=32"
+    (Staged.stage @@ fun () ->
+     let h = Skeap.create ~seed:1 ~n:32 ~num_prios:4 () in
+     for v = 0 to 31 do
+       for i = 1 to 32 do
+         if i mod 2 = 0 then ignore (Skeap.insert h ~node:v ~prio:(1 + (i mod 4)))
+         else Skeap.delete_min h ~node:v
+       done
+     done;
+     ignore (Skeap.process_batch h))
+
+let bench_t3_seap_round =
+  Test.make ~name:"t3/seap-round/n=32,lambda=8"
+    (Staged.stage @@ fun () ->
+     let h = Seap.create ~seed:1 ~n:32 () in
+     for v = 0 to 31 do
+       for i = 1 to 8 do
+         if i mod 2 = 0 then ignore (Seap.insert h ~node:v ~prio:(1 + (i * 97)))
+         else Seap.delete_min h ~node:v
+       done
+     done;
+     ignore (Seap.process_round h))
+
+(* T4: one KSelect run. *)
+let bench_t4_kselect n =
+  Test.make ~name:(Printf.sprintf "t4/kselect/n=%d,m=%d" n (8 * n))
+    (Staged.stage @@ fun () ->
+     let rng = Rng.create ~seed:7 in
+     let tree = Aggtree.of_ldb (Ldb.build ~n ~seed:1) in
+     let elements =
+       Array.init n (fun v -> List.init 8 (fun s -> E.make ~prio:(1 + Rng.int rng 100_000) ~origin:v ~seq:s ()))
+     in
+     ignore (K.select ~seed:3 ~tree ~elements ~k:(4 * n) ()))
+
+(* T5: the congestion-generating DHT storm. *)
+let bench_t5_dht_storm =
+  Test.make ~name:"t5/dht-batch/n=64,ops=256"
+    (Staged.stage @@ fun () ->
+     let ldb = Ldb.build ~n:64 ~seed:1 in
+     let dht = Dpq_dht.Dht.create ~ldb ~seed:2 in
+     let ops =
+       List.init 256 (fun k ->
+           Dpq_dht.Dht.Put
+             { origin = k mod 64; key = k; elt = E.make ~prio:k ~origin:0 ~seq:k (); confirm = false })
+     in
+     ignore (Dpq_dht.Dht.run_batch_sync dht ops))
+
+(* T6: the four-way protocol comparison at one size. *)
+let bench_t6_comparison name runner =
+  Test.make ~name:(Printf.sprintf "t6/%s/n=32" name)
+    (Staged.stage @@ fun () ->
+     let wl = W.generate ~rng:(Rng.create ~seed:3) ~n:32 ~rounds:2 ~lambda:2 ~prio:(W.Constant_set 4) () in
+     ignore (runner wl))
+
+(* T7: fairness measurement (storage scan). *)
+let bench_t7_fairness =
+  Test.make ~name:"t7/seap-insert-1600/n=32"
+    (Staged.stage @@ fun () ->
+     let h = Seap.create ~seed:1 ~n:32 () in
+     for i = 0 to 1599 do
+       ignore (Seap.insert h ~node:(i mod 32) ~prio:(1 + (i * 31 mod 100_000)))
+     done;
+     ignore (Seap.process_round h);
+     ignore (Seap.stored_per_node h))
+
+(* T8: a full semantics verification pass. *)
+let bench_t8_checker =
+  Test.make ~name:"t8/checker/600-op log"
+    (Staged.stage @@ fun () ->
+     let h = Skeap.create ~seed:5 ~n:8 ~num_prios:3 () in
+     let rng = Rng.create ~seed:9 in
+     for _ = 1 to 3 do
+       for _ = 1 to 200 do
+         let node = Rng.int rng 8 in
+         if Rng.bool rng then ignore (Skeap.insert h ~node ~prio:(1 + Rng.int rng 3))
+         else Skeap.delete_min h ~node
+       done;
+       ignore (Skeap.process_batch h)
+     done;
+     ignore (Dpq_semantics.Checker.check_all_skeap (Skeap.oplog h)))
+
+(* T9: distributed sorting end to end. *)
+let bench_t9_sort =
+  Test.make ~name:"t9/seap-sort/n=8,m=64"
+    (Staged.stage @@ fun () ->
+     let h = Seap.create ~seed:1 ~n:8 () in
+     let rng = Rng.create ~seed:4 in
+     for i = 0 to 63 do
+       ignore (Seap.insert h ~node:(i mod 8) ~prio:(1 + Rng.int rng 100_000))
+     done;
+     ignore (Seap.process_round h);
+     while Seap.heap_size h > 0 do
+       for node = 0 to min 8 (Seap.heap_size h) - 1 do
+         Seap.delete_min h ~node
+       done;
+       ignore (Seap.process_round h)
+     done)
+
+(* T10 + F1: overlay construction, join cost and tree height. *)
+let bench_t10_build_and_join n =
+  Test.make ~name:(Printf.sprintf "t10/ldb-build+join/n=%d" n)
+    (Staged.stage @@ fun () ->
+     let ldb = Ldb.build ~n ~seed:1 in
+     ignore (Ldb.join_cost_hops ldb);
+     ignore (Ldb.join ldb))
+
+let bench_f1_tree n =
+  Test.make ~name:(Printf.sprintf "f1/aggtree-build/n=%d" n)
+    (Staged.stage @@ fun () -> ignore (Aggtree.of_ldb (Ldb.build ~n ~seed:1)))
+
+(* F2/F3 share T4's kselect; routing and sequential baselines round out the
+   picture. *)
+let bench_routing n =
+  Test.make ~name:(Printf.sprintf "overlay/route/n=%d" n)
+    (Staged.stage
+    @@
+    let ldb = Ldb.build ~n ~seed:1 in
+    let rng = Rng.create ~seed:5 in
+    fun () ->
+      let src = Ldb.vnode ~owner:(Rng.int rng n) Ldb.Middle in
+      ignore (Ldb.route ldb ~src ~point:(Rng.float rng)))
+
+(* A1: KSelect's sampling-constant ablation. *)
+let bench_a1_kselect_c c =
+  Test.make ~name:(Printf.sprintf "a1/kselect-c=%.0f/n=64" c)
+    (Staged.stage @@ fun () ->
+     let rng = Rng.create ~seed:7 in
+     let tree = Aggtree.of_ldb (Ldb.build ~n:64 ~seed:1) in
+     let elements =
+       Array.init 64 (fun v -> List.init 8 (fun s -> E.make ~prio:(1 + Rng.int rng 100_000) ~origin:v ~seq:s ()))
+     in
+     ignore (K.select ~seed:3 ~rep_factor:c ~tree ~elements ~k:256 ()))
+
+(* A2 / lineage: the queue and stack variants. *)
+let bench_skueue =
+  Test.make ~name:"lineage/skueue 64 enq + 64 deq / n=16"
+    (Staged.stage @@ fun () ->
+     let q = Dpq_skueue.Skueue.create ~seed:1 ~n:16 () in
+     for i = 0 to 63 do
+       ignore (Dpq_skueue.Skueue.enqueue q ~node:(i mod 16) ())
+     done;
+     ignore (Dpq_skueue.Skueue.process_batch q);
+     for i = 0 to 63 do
+       Dpq_skueue.Skueue.dequeue q ~node:(i mod 16)
+     done;
+     ignore (Dpq_skueue.Skueue.process_batch q))
+
+let bench_sstack =
+  Test.make ~name:"lineage/sstack 64 push + 64 pop / n=16"
+    (Staged.stage @@ fun () ->
+     let s = Dpq_skueue.Sstack.create ~seed:1 ~n:16 () in
+     for i = 0 to 63 do
+       ignore (Dpq_skueue.Sstack.push s ~node:(i mod 16) ())
+     done;
+     ignore (Dpq_skueue.Sstack.process_batch s);
+     for i = 0 to 63 do
+       Dpq_skueue.Sstack.pop s ~node:(i mod 16)
+     done;
+     ignore (Dpq_skueue.Sstack.process_batch s))
+
+(* T11: churn with data handoff. *)
+let bench_t11_churn =
+  Test.make ~name:"t11/join+leave/n=32,m=320"
+    (Staged.stage @@ fun () ->
+     let h = Seap.create ~seed:1 ~n:32 () in
+     for i = 0 to 319 do
+       ignore (Seap.insert h ~node:(i mod 32) ~prio:(1 + (i * 31 mod 100_000)))
+     done;
+     ignore (Seap.process_round h);
+     ignore (Seap.add_node h);
+     ignore (Seap.remove_last_node h))
+
+let bench_seq_binheap =
+  Test.make ~name:"baseline/binheap 1k push+pop"
+    (Staged.stage @@ fun () ->
+     let h = Dpq_util.Binheap.create ~cmp:Int.compare in
+     for i = 0 to 999 do
+       Dpq_util.Binheap.push h ((i * 7919) mod 1000)
+     done;
+     while not (Dpq_util.Binheap.is_empty h) do
+       ignore (Dpq_util.Binheap.pop h)
+     done)
+
+let bench_seq_pairing =
+  Test.make ~name:"baseline/pairing-heap 1k push+pop"
+    (Staged.stage @@ fun () ->
+     let module P = Dpq_baselines.Pairing_heap in
+     let h = ref (P.empty ~cmp:Int.compare) in
+     for i = 0 to 999 do
+       h := P.insert !h ((i * 7919) mod 1000)
+     done;
+     while not (P.is_empty !h) do
+       match P.delete_min !h with Some (_, rest) -> h := rest | None -> ()
+     done)
+
+let tests =
+  Test.make_grouped ~name:"dpq"
+    [
+      bench_t1_skeap_batch 16;
+      bench_t1_skeap_batch 64;
+      bench_t1_skeap_batch 256;
+      bench_t2_skeap_hot_batch;
+      bench_t3_seap_round;
+      bench_t4_kselect 16;
+      bench_t4_kselect 64;
+      bench_t5_dht_storm;
+      bench_t6_comparison "skeap" (fun wl -> R.run_skeap ~n:32 ~num_prios:4 wl);
+      bench_t6_comparison "centralized" (fun wl -> R.run_centralized ~n:32 wl);
+      bench_t6_comparison "unbatched" (fun wl -> R.run_unbatched ~n:32 ~num_prios:4 wl);
+      bench_t7_fairness;
+      bench_t8_checker;
+      bench_t9_sort;
+      bench_t10_build_and_join 256;
+      bench_t10_build_and_join 4096;
+      bench_f1_tree 1024;
+      bench_a1_kselect_c 2.0;
+      bench_a1_kselect_c 8.0;
+      bench_skueue;
+      bench_sstack;
+      bench_t11_churn;
+      bench_routing 256;
+      bench_routing 4096;
+      bench_seq_binheap;
+      bench_seq_pairing;
+    ]
+
+let () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-42s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 60 '-');
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+            else Printf.sprintf "%8.0f ns" est
+          in
+          Printf.printf "%-42s %16s\n" name pretty
+      | _ -> Printf.printf "%-42s %16s\n" name "n/a")
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows)

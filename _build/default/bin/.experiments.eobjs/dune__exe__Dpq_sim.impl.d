@@ -1,0 +1,1 @@
+bin/dpq_sim.ml: Arg Cmd Cmdliner Dpq_util Dpq_workloads Printf Term

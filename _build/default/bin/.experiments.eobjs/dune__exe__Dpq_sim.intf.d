@@ -1,0 +1,1 @@
+bin/dpq_sim.mli:

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Array Cmd Cmdliner Dpq_aggtree Dpq_kselect Dpq_overlay Dpq_seap Dpq_semantics Dpq_simrt Dpq_skeap Dpq_util Dpq_workloads List Printf String Term Unix

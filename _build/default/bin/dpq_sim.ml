@@ -1,0 +1,85 @@
+(* dpq_sim: run a configurable workload against any of the heap
+   implementations and print a one-screen summary.
+
+     dune exec bin/dpq_sim.exe -- --protocol skeap --nodes 64 --rounds 4 \
+         --lambda 4 --prios 8 --seed 7
+     dune exec bin/dpq_sim.exe -- --protocol seap --dist zipf
+     dune exec bin/dpq_sim.exe -- --protocol centralized --nodes 16
+
+   Protocols: skeap | seap | centralized | unbatched.
+   Distributions: const (uniform over {1..prios}) | uniform (1..10^6) |
+   zipf (s = 1.2 over 1..1000). *)
+
+module W = Dpq_workloads.Workload
+module R = Dpq_workloads.Runner
+module Rng = Dpq_util.Rng
+
+let run protocol nodes rounds lambda prios dist insert_ratio seed =
+  let prio_dist =
+    match dist with
+    | "const" -> W.Constant_set prios
+    | "uniform" -> W.Uniform (1, 1_000_000)
+    | "zipf" -> W.Zipf { s = 1.2; n = 1000 }
+    | other ->
+        Printf.eprintf "unknown distribution %S (const|uniform|zipf)\n" other;
+        exit 1
+  in
+  (match (protocol, dist) with
+  | ("skeap" | "unbatched"), ("uniform" | "zipf") ->
+      Printf.eprintf
+        "%s needs a constant priority universe; use --dist const (or seap for arbitrary priorities)\n"
+        protocol;
+      exit 1
+  | _ -> ());
+  let wl =
+    W.generate ~rng:(Rng.create ~seed) ~n:nodes ~rounds ~lambda ~insert_ratio ~prio:prio_dist ()
+  in
+  let summary =
+    match protocol with
+    | "skeap" -> R.run_skeap ~seed ~n:nodes ~num_prios:prios wl
+    | "seap" -> R.run_seap ~seed ~n:nodes wl
+    | "centralized" -> R.run_centralized ~seed ~n:nodes wl
+    | "unbatched" -> R.run_unbatched ~seed ~n:nodes ~num_prios:prios wl
+    | other ->
+        Printf.eprintf "unknown protocol %S (skeap|seap|centralized|unbatched)\n" other;
+        exit 1
+  in
+  Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)\n"
+    nodes rounds lambda (W.total_ops wl) (W.inserts wl) (W.deletes wl) dist;
+  Printf.printf "protocol : %s\n\n" summary.R.protocol;
+  Printf.printf "  simulated rounds        %d\n" summary.R.rounds;
+  Printf.printf "  messages                %d  (%d bits total)\n" summary.R.messages
+    summary.R.total_bits;
+  Printf.printf "  largest message         %d bits\n" summary.R.max_message_bits;
+  Printf.printf "  max congestion          %d msgs/node/round\n" summary.R.max_congestion;
+  Printf.printf "  busiest node handled    %d msgs\n" summary.R.hotspot_load;
+  Printf.printf "  throughput              %.2f ops/round (%.2f bandwidth-honest)\n"
+    (R.throughput summary)
+    (R.effective_throughput summary);
+  Printf.printf "  outcomes                %d inserted, %d matched deletes, %d ⊥\n"
+    summary.R.inserted summary.R.got summary.R.empty;
+  Printf.printf "  semantics verified      %b\n" summary.R.semantics_ok;
+  if not summary.R.semantics_ok then exit 2
+
+open Cmdliner
+
+let protocol =
+  Arg.(value & opt string "skeap" & info [ "protocol"; "p" ] ~doc:"skeap | seap | centralized | unbatched")
+
+let nodes = Arg.(value & opt int 32 & info [ "nodes"; "n" ] ~doc:"Number of nodes.")
+let rounds = Arg.(value & opt int 3 & info [ "rounds"; "r" ] ~doc:"Injection rounds.")
+let lambda = Arg.(value & opt int 2 & info [ "lambda" ] ~doc:"Operations per node per round.")
+let prios = Arg.(value & opt int 4 & info [ "prios" ] ~doc:"Priority universe size for const.")
+let dist = Arg.(value & opt string "const" & info [ "dist" ] ~doc:"const | uniform | zipf.")
+
+let insert_ratio =
+  Arg.(value & opt float 0.5 & info [ "insert-ratio" ] ~doc:"Fraction of inserts (0..1).")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let cmd =
+  let doc = "Simulate a distributed priority queue under a configurable workload" in
+  Cmd.v (Cmd.info "dpq_sim" ~doc)
+    Term.(const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed)
+
+let () = exit (Cmd.eval cmd)

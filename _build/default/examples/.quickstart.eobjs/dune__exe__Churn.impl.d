@@ -1,0 +1,1 @@
+examples/churn.ml: Dpq_seap Dpq_semantics Dpq_util Printf

@@ -1,0 +1,1 @@
+examples/distributed_sort.ml: Array Dpq_aggtree Dpq_seap Dpq_semantics Dpq_util List Printf String

@@ -1,0 +1,1 @@
+examples/figure1_walkthrough.ml: Array Dpq_skeap Dpq_util List Printf String

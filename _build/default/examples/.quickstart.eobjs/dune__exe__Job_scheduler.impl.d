@@ -1,0 +1,1 @@
+examples/job_scheduler.ml: Array Dpq_aggtree Dpq_semantics Dpq_skeap Dpq_util List Printf

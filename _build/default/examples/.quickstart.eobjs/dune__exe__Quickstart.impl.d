@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dpq Dpq_util List Printf

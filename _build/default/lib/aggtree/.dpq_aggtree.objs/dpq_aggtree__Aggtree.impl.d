@@ -1,0 +1,1 @@
+lib/aggtree/aggtree.ml: Array Dpq_overlay Float List Printf Queue

@@ -1,0 +1,1 @@
+lib/aggtree/aggtree.mli: Dpq_overlay

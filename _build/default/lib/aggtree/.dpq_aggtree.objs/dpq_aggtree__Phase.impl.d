@@ -1,0 +1,1 @@
+lib/aggtree/phase.ml: Aggtree Array Dpq_overlay Dpq_simrt Dpq_util Format List

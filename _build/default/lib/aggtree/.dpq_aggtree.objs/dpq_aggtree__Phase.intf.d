@@ -1,0 +1,1 @@
+lib/aggtree/phase.mli: Aggtree Dpq_overlay Format

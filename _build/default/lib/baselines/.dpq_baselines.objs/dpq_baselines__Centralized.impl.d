@@ -1,0 +1,1 @@
+lib/baselines/centralized.ml: Array Dpq_aggtree Dpq_overlay Dpq_semantics Dpq_simrt Dpq_util Int List Pairing_heap Queue

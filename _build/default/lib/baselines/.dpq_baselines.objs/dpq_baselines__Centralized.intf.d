@@ -1,0 +1,1 @@
+lib/baselines/centralized.mli: Dpq_aggtree Dpq_semantics Dpq_util

@@ -1,0 +1,1 @@
+lib/baselines/pairing_heap.ml: List

@@ -1,0 +1,1 @@
+lib/baselines/unbatched.ml: Array Dpq_aggtree Dpq_dht Dpq_overlay Dpq_semantics Dpq_simrt Dpq_skeap Dpq_util Hashtbl Int List Queue

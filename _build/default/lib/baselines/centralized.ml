@@ -1,0 +1,172 @@
+module Element = Dpq_util.Element
+module Ldb = Dpq_overlay.Ldb
+module Sync = Dpq_simrt.Sync_engine
+module Metrics = Dpq_simrt.Metrics
+module Phase = Dpq_aggtree.Phase
+module Oplog = Dpq_semantics.Oplog
+
+type pending = { local_seq : int; kind : [ `Ins of Element.t | `Del ] }
+
+type t = {
+  n : int;
+  ldb : Ldb.t;
+  buffers : pending Queue.t array;
+  seq_counters : int array;
+  elt_counters : int array;
+  mutable heap : Element.t Pairing_heap.t;
+  mutable witness : int;
+  mutable log : Oplog.record list;
+}
+
+let create ?(seed = 1) ~n () =
+  if n < 1 then invalid_arg "Centralized.create: need n >= 1";
+  {
+    n;
+    ldb = Ldb.build ~n ~seed;
+    buffers = Array.init n (fun _ -> Queue.create ());
+    seq_counters = Array.make n 0;
+    elt_counters = Array.make n 0;
+    heap = Pairing_heap.empty ~cmp:Element.compare;
+    witness = 0;
+    log = [];
+  }
+
+let n t = t.n
+let heap_size t = Pairing_heap.size t.heap
+
+let check_node t node =
+  if node < 0 || node >= t.n then invalid_arg "Centralized: node out of range"
+
+let insert t ~node ~prio =
+  check_node t node;
+  let seq = t.elt_counters.(node) in
+  t.elt_counters.(node) <- seq + 1;
+  let elt = Element.make ~prio ~origin:node ~seq () in
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; kind = `Ins elt } t.buffers.(node);
+  elt
+
+let delete_min t ~node =
+  check_node t node;
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; kind = `Del } t.buffers.(node)
+
+let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type result = {
+  completions : completion list;
+  report : Phase.report;
+  coordinator_load : int;
+}
+
+type payload =
+  | Request of { origin : int; local_seq : int; kind : [ `Ins of Element.t | `Del ] }
+  | Reply of { origin : int; local_seq : int; outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ] }
+
+type msg = { path : Ldb.vnode list; payload : payload }
+
+let payload_bits = function
+  | Request { kind = `Ins e; _ } -> 64 + Element.encoded_bits e
+  | Request _ -> 64
+  | Reply { outcome = `Got e; _ } | Reply { outcome = `Inserted e; _ } ->
+      64 + Element.encoded_bits e
+  | Reply _ -> 64
+
+let process t =
+  let coordinator = 0 in
+  let coord_point = Ldb.label t.ldb (Ldb.vnode ~owner:coordinator Ldb.Middle) in
+  let completions = ref [] in
+  let send_along eng path payload =
+    match path with
+    | [] -> assert false
+    | [ only ] ->
+        Sync.send eng ~src:(Ldb.owner only) ~dst:(Ldb.owner only) { path = [ only ]; payload }
+    | first :: (next :: _ as rest) ->
+        Sync.send eng ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; payload }
+  in
+  let route eng ~from ~point payload =
+    send_along eng
+      (fst (Ldb.route t.ldb ~src:(Ldb.vnode ~owner:from Ldb.Middle) ~point))
+      payload
+  in
+  let handle eng final payload =
+    match payload with
+    | Request { origin; local_seq; kind } ->
+        assert (Ldb.owner final = coordinator || true);
+        (* The coordinator executes the operation immediately on its local
+           sequential heap: the whole data structure lives here. *)
+        let outcome, result, okind =
+          match kind with
+          | `Ins elt ->
+              t.heap <- Pairing_heap.insert t.heap elt;
+              (`Inserted elt, None, Oplog.Insert elt)
+          | `Del -> (
+              match Pairing_heap.delete_min t.heap with
+              | Some (e, rest) ->
+                  t.heap <- rest;
+                  (`Got e, Some e, Oplog.Delete_min)
+              | None -> (`Empty, None, Oplog.Delete_min))
+        in
+        let w = t.witness in
+        t.witness <- w + 1;
+        t.log <- Oplog.{ node = origin; local_seq; witness = w; kind = okind; result } :: t.log;
+        route eng ~from:(Ldb.owner final)
+          ~point:(Ldb.label t.ldb (Ldb.vnode ~owner:origin Ldb.Middle))
+          (Reply { origin; local_seq; outcome })
+    | Reply { origin; local_seq; outcome } ->
+        completions := { node = origin; local_seq; outcome } :: !completions
+  in
+  let handler eng ~dst:_ ~src:_ msg =
+    match msg.path with
+    | [] -> assert false
+    | [ final ] -> handle eng final msg.payload
+    | cur :: (next :: _ as rest) ->
+        Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
+          { path = rest; payload = msg.payload }
+  in
+  let eng =
+    Sync.create ~n:t.n
+      ~size_bits:(fun m -> 64 + payload_bits m.payload)
+      ~handler ()
+  in
+  for node = 0 to t.n - 1 do
+    Queue.iter
+      (fun (p : pending) ->
+        route eng ~from:node ~point:coord_point
+          (Request { origin = node; local_seq = p.local_seq; kind = p.kind }))
+      t.buffers.(node);
+    Queue.clear t.buffers.(node)
+  done;
+  let rounds = Sync.run_to_quiescence eng in
+  let m = Sync.metrics eng in
+  let load = (Metrics.node_load m).(coordinator) in
+  let report =
+    Phase.
+      {
+        rounds;
+        messages = Metrics.total_messages m;
+        max_congestion = Metrics.max_congestion m;
+        max_message_bits = Metrics.max_message_bits m;
+        total_bits = Metrics.total_bits m;
+        local_deliveries = Metrics.local_deliveries m;
+        busiest_node_load = Array.fold_left max 0 (Metrics.node_load m);
+      }
+  in
+  let completions =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.node b.node in
+        if c <> 0 then c else Int.compare a.local_seq b.local_seq)
+      !completions
+  in
+  { completions; report; coordinator_load = load }
+
+let oplog t = Oplog.of_list t.log

@@ -1,0 +1,41 @@
+(** Centralized-coordinator distributed heap — the natural baseline the
+    paper's batching is measured against.
+
+    Every node routes each of its buffered operations through the overlay to
+    a fixed coordinator (node 0), which executes them one by one on a local
+    sequential heap and routes the answers back.  Semantically this is
+    perfectly fine (it is sequentially consistent under synchronous
+    delivery); the problem is scalability: the coordinator receives {e all}
+    traffic, so its congestion grows linearly with the global injection rate
+    n·Λ, where Skeap/Seap stay polylogarithmic per node (experiment T6). *)
+
+module Element = Dpq_util.Element
+
+type t
+
+val create : ?seed:int -> n:int -> unit -> t
+
+val n : t -> int
+val insert : t -> node:int -> prio:int -> Element.t
+val delete_min : t -> node:int -> unit
+val pending_ops : t -> int
+val heap_size : t -> int
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type result = {
+  completions : completion list;  (** sorted by (node, local_seq) *)
+  report : Dpq_aggtree.Phase.report;
+  coordinator_load : int;  (** messages the coordinator handled *)
+}
+
+val process : t -> result
+(** Execute everything buffered: requests in, sequential processing,
+    replies out — all at message level on the synchronous engine. *)
+
+val oplog : t -> Dpq_semantics.Oplog.t
+(** The baseline is honest: its log passes the same checkers. *)

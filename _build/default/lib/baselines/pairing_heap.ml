@@ -1,0 +1,48 @@
+type 'a tree = Node of 'a * 'a tree list
+
+type 'a t = { cmp : 'a -> 'a -> int; root : 'a tree option; size : int }
+
+let empty ~cmp = { cmp; root = None; size = 0 }
+let is_empty t = t.root = None
+let size t = t.size
+
+let meld cmp a b =
+  match (a, b) with
+  | Node (x, xs), Node (y, ys) ->
+      if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let insert t x =
+  let single = Node (x, []) in
+  let root = match t.root with None -> single | Some r -> meld t.cmp r single in
+  { t with root = Some root; size = t.size + 1 }
+
+let find_min t = match t.root with None -> None | Some (Node (x, _)) -> Some x
+
+let rec merge_pairs cmp = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld cmp a b in
+      match merge_pairs cmp rest with None -> Some ab | Some r -> Some (meld cmp ab r))
+
+let delete_min t =
+  match t.root with
+  | None -> None
+  | Some (Node (x, children)) ->
+      Some (x, { t with root = merge_pairs t.cmp children; size = t.size - 1 })
+
+let of_list ~cmp l = List.fold_left insert (empty ~cmp) l
+
+let to_sorted_list t =
+  let rec drain t acc =
+    match delete_min t with None -> List.rev acc | Some (x, t') -> drain t' (x :: acc)
+  in
+  drain t []
+
+let merge a b =
+  if a.cmp != b.cmp then invalid_arg "Pairing_heap.merge: different comparators";
+  match (a.root, b.root) with
+  | None, _ -> b
+  | _, None -> a
+  | Some ra, Some rb ->
+      { cmp = a.cmp; root = Some (meld a.cmp ra rb); size = a.size + b.size }

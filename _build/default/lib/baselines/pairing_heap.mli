@@ -1,0 +1,20 @@
+(** Purely functional pairing heap — a second sequential priority-queue
+    implementation, used to cross-check the binary heap oracle and as the
+    coordinator's local structure in the centralized baseline. *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val insert : 'a t -> 'a -> 'a t
+val find_min : 'a t -> 'a option
+
+val delete_min : 'a t -> ('a * 'a t) option
+(** [None] on the empty heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list
+val merge : 'a t -> 'a t -> 'a t
+(** Raises [Invalid_argument] if the two heaps disagree on [cmp]
+    (detected only physically — pass heaps built with the same [cmp]). *)

@@ -1,0 +1,241 @@
+module Element = Dpq_util.Element
+module Interval = Dpq_util.Interval
+module Ldb = Dpq_overlay.Ldb
+module Aggtree = Dpq_aggtree.Aggtree
+module Phase = Dpq_aggtree.Phase
+module Sync = Dpq_simrt.Sync_engine
+module Metrics = Dpq_simrt.Metrics
+module Dht = Dpq_dht.Dht
+module Anchor = Dpq_skeap.Anchor
+module Batch = Dpq_skeap.Batch
+module Oplog = Dpq_semantics.Oplog
+
+type pending = { local_seq : int; kind : [ `Ins of Element.t | `Del ] }
+
+type t = {
+  n : int;
+  num_prios : int;
+  ldb : Ldb.t;
+  tree : Aggtree.t;
+  dht : Dht.t;
+  key_hash : Dpq_util.Hashing.t;
+  buffers : pending Queue.t array;
+  seq_counters : int array;
+  elt_counters : int array;
+  anchor : Anchor.t;
+  mutable witness : int;
+  mutable log : Oplog.record list;
+}
+
+let create ?(seed = 1) ~n ~num_prios () =
+  if n < 1 then invalid_arg "Unbatched.create: need n >= 1";
+  let ldb = Ldb.build ~n ~seed in
+  {
+    n;
+    num_prios;
+    ldb;
+    tree = Aggtree.of_ldb ldb;
+    dht = Dht.create ~ldb ~seed:(seed + 7919);
+    key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
+    buffers = Array.init n (fun _ -> Queue.create ());
+    seq_counters = Array.make n 0;
+    elt_counters = Array.make n 0;
+    anchor = Anchor.create ~num_prios;
+    witness = 0;
+    log = [];
+  }
+
+let n t = t.n
+let heap_size t = Anchor.total_occupied t.anchor
+
+let check_node t node =
+  if node < 0 || node >= t.n then invalid_arg "Unbatched: node out of range"
+
+let insert t ~node ~prio =
+  check_node t node;
+  if prio < 1 || prio > t.num_prios then invalid_arg "Unbatched.insert: bad priority";
+  let seq = t.elt_counters.(node) in
+  t.elt_counters.(node) <- seq + 1;
+  let elt = Element.make ~prio ~origin:node ~seq () in
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; kind = `Ins elt } t.buffers.(node);
+  elt
+
+let delete_min t ~node =
+  check_node t node;
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; kind = `Del } t.buffers.(node)
+
+let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type result = {
+  completions : completion list;
+  report : Phase.report;
+  anchor_load : int;
+}
+
+(* Tree-climbing request / routed assignment reply. *)
+type payload =
+  | Climb of { origin : int; local_seq : int; kind : [ `Ins of Element.t | `Del ]; at : Ldb.vnode }
+  | Assign of {
+      origin : int;
+      local_seq : int;
+      kind : [ `Ins of Element.t | `Del ];
+      slot : (int * int) option; (* (priority, position); None = ⊥ *)
+    }
+
+type msg = { path : Ldb.vnode list; payload : payload }
+
+let payload_bits = function
+  | Climb { kind = `Ins e; _ } -> 64 + Element.encoded_bits e
+  | Climb _ -> 64
+  | Assign { kind = `Ins e; _ } -> 80 + Element.encoded_bits e
+  | Assign _ -> 80
+
+let dht_key t prio pos = Dpq_util.Hashing.pair t.key_hash prio pos
+
+let process t =
+  let root = Aggtree.root t.tree in
+  let dht_ops = ref [] in
+  let get_index = Hashtbl.create 64 in
+  let completions = ref [] in
+  let send_along eng path payload =
+    match path with
+    | [] -> assert false
+    | [ only ] ->
+        Sync.send eng ~src:(Ldb.owner only) ~dst:(Ldb.owner only) { path = [ only ]; payload }
+    | first :: (next :: _ as rest) ->
+        Sync.send eng ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; payload }
+  in
+  let at_anchor eng origin local_seq kind =
+    (* One-operation batch through the real anchor logic. *)
+    let ops = match kind with `Ins e -> [ Batch.Ins (Element.prio e) ] | `Del -> [ Batch.Del ] in
+    let assignment = Anchor.assign t.anchor (Batch.of_ops ~num_prios:t.num_prios ops) in
+    let ea = List.hd assignment in
+    let slot, result, okind =
+      match kind with
+      | `Ins e ->
+          let prio = Element.prio e in
+          let iv = ea.Anchor.ins.(prio - 1) in
+          (Some (prio, Interval.lo iv), None, Oplog.Insert e)
+      | `Del -> (
+          match ea.Anchor.dels with
+          | (prio, iv) :: _ -> (Some (prio, Interval.lo iv), None, Oplog.Delete_min)
+          | [] -> (None, None, Oplog.Delete_min))
+    in
+    let w = t.witness in
+    t.witness <- w + 1;
+    (* matched delete results are filled in after the DHT round; record the
+       insert/⊥ cases now *)
+    (match (kind, slot) with
+    | `Ins e, _ ->
+        t.log <- Oplog.{ node = origin; local_seq; witness = w; kind = okind; result } :: t.log;
+        ignore e
+    | `Del, None ->
+        t.log <- Oplog.{ node = origin; local_seq; witness = w; kind = okind; result = None } :: t.log
+    | `Del, Some _ -> ());
+    let reply = Assign { origin; local_seq; kind; slot } in
+    send_along eng
+      (fst
+         (Ldb.route t.ldb ~src:root
+            ~point:(Ldb.label t.ldb (Ldb.vnode ~owner:origin Ldb.Middle))))
+      reply;
+    w
+  in
+  let del_witness = Hashtbl.create 64 in
+  let handle eng final payload =
+    match payload with
+    | Climb { origin; local_seq; kind; at } -> (
+        match Aggtree.parent t.tree at with
+        | None ->
+            let w = at_anchor eng origin local_seq kind in
+            if kind = `Del then Hashtbl.replace del_witness (origin, local_seq) w
+        | Some p ->
+            ignore final;
+            Sync.send eng ~src:(Ldb.owner at) ~dst:(Ldb.owner p)
+              { path = [ p ]; payload = Climb { origin; local_seq; kind; at = p } })
+    | Assign { origin; local_seq; kind; slot } -> (
+        match (kind, slot) with
+        | `Ins elt, Some (prio, pos) ->
+            dht_ops :=
+              Dht.Put { origin; key = dht_key t prio pos; elt; confirm = false } :: !dht_ops;
+            completions := { node = origin; local_seq; outcome = `Inserted elt } :: !completions
+        | `Ins _, None -> assert false
+        | `Del, Some (prio, pos) ->
+            let key = dht_key t prio pos in
+            Hashtbl.replace get_index (origin, key) local_seq;
+            dht_ops := Dht.Get { origin; key } :: !dht_ops
+        | `Del, None ->
+            completions := { node = origin; local_seq; outcome = `Empty } :: !completions)
+  in
+  let handler eng ~dst:_ ~src:_ msg =
+    match msg.path with
+    | [] -> assert false
+    | [ final ] -> handle eng final msg.payload
+    | cur :: (next :: _ as rest) ->
+        Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
+          { path = rest; payload = msg.payload }
+  in
+  let eng = Sync.create ~n:t.n ~size_bits:(fun m -> 64 + payload_bits m.payload) ~handler () in
+  for node = 0 to t.n - 1 do
+    Queue.iter
+      (fun (p : pending) ->
+        let at = Ldb.vnode ~owner:node Ldb.Middle in
+        Sync.send eng ~src:node ~dst:node
+          { path = [ at ]; payload = Climb { origin = node; local_seq = p.local_seq; kind = p.kind; at } })
+      t.buffers.(node);
+    Queue.clear t.buffers.(node)
+  done;
+  let rounds = Sync.run_to_quiescence eng in
+  let m = Sync.metrics eng in
+  let anchor_load = (Metrics.node_load m).(Ldb.owner root) in
+  (* Phase 4: the DHT rendezvous. *)
+  let dht_cs, dht_report = Dht.run_batch_sync t.dht (List.rev !dht_ops) in
+  List.iter
+    (fun c ->
+      match c with
+      | Dht.Got { origin; key; elt } -> (
+          match Hashtbl.find_opt get_index (origin, key) with
+          | None -> failwith "Unbatched: unexpected DHT result"
+          | Some local_seq ->
+              Hashtbl.remove get_index (origin, key);
+              completions := { node = origin; local_seq; outcome = `Got elt } :: !completions;
+              let w = Hashtbl.find del_witness (origin, local_seq) in
+              t.log <-
+                Oplog.
+                  { node = origin; local_seq; witness = w; kind = Oplog.Delete_min; result = Some elt }
+                :: t.log)
+      | Dht.Put_confirmed _ -> ())
+    dht_cs;
+  if Hashtbl.length get_index > 0 then failwith "Unbatched: unmatched DeleteMin";
+  let report =
+    Phase.add_report dht_report
+      Phase.
+        {
+          rounds;
+          messages = Metrics.total_messages m;
+          max_congestion = Metrics.max_congestion m;
+          max_message_bits = Metrics.max_message_bits m;
+          total_bits = Metrics.total_bits m;
+          local_deliveries = Metrics.local_deliveries m;
+          busiest_node_load = Array.fold_left max 0 (Metrics.node_load m);
+        }
+  in
+  let completions =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.node b.node in
+        if c <> 0 then c else Int.compare a.local_seq b.local_seq)
+      !completions
+  in
+  { completions; report; anchor_load }
+
+let oplog t = Oplog.of_list t.log

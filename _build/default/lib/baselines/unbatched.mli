@@ -1,0 +1,36 @@
+(** Unbatched Skeap — the ablation of the paper's key mechanism.
+
+    Identical architecture to Skeap (aggregation tree, anchor assigns
+    [(priority, position)] pairs, DHT rendezvous), except that operations
+    climb the tree {e individually} instead of being combined into batches.
+    The anchor still serializes correctly, but every single operation is a
+    separate message through the root's neighborhood: the root congestion
+    grows linearly with the number of operations in flight, which is exactly
+    what batch combining avoids (experiment T6). *)
+
+module Element = Dpq_util.Element
+
+type t
+
+val create : ?seed:int -> n:int -> num_prios:int -> unit -> t
+
+val n : t -> int
+val insert : t -> node:int -> prio:int -> Element.t
+val delete_min : t -> node:int -> unit
+val pending_ops : t -> int
+val heap_size : t -> int
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type result = {
+  completions : completion list;
+  report : Dpq_aggtree.Phase.report;
+  anchor_load : int;  (** messages the anchor's owner handled *)
+}
+
+val process : t -> result
+val oplog : t -> Dpq_semantics.Oplog.t

@@ -1,0 +1,1 @@
+lib/core/dpq_heap.ml: Dpq_aggtree Dpq_seap Dpq_semantics Dpq_skeap Dpq_util List

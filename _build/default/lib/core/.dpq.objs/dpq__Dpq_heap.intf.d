@@ -1,0 +1,1 @@
+lib/core/dpq_heap.mli: Dpq_semantics Dpq_util Stdlib

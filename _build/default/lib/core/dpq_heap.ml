@@ -1,0 +1,91 @@
+module Element = Dpq_util.Element
+module Phase = Dpq_aggtree.Phase
+module Skeap_impl = Dpq_skeap.Skeap
+module Seap_impl = Dpq_seap.Seap
+
+type backend = Skeap of { num_prios : int } | Seap
+
+type impl = I_skeap of Skeap_impl.t | I_seap of Seap_impl.t
+
+type t = { backend : backend; impl : impl }
+
+let create ?(seed = 1) ~n backend =
+  let impl =
+    match backend with
+    | Skeap { num_prios } -> I_skeap (Skeap_impl.create ~seed ~n ~num_prios ())
+    | Seap -> I_seap (Seap_impl.create ~seed ~n ())
+  in
+  { backend; impl }
+
+let backend t = t.backend
+let n t = match t.impl with I_skeap h -> Skeap_impl.n h | I_seap h -> Seap_impl.n h
+
+let insert t ~node ~prio =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.insert h ~node ~prio
+  | I_seap h -> Seap_impl.insert h ~node ~prio
+
+let delete_min t ~node =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.delete_min h ~node
+  | I_seap h -> Seap_impl.delete_min h ~node
+
+let pending_ops t =
+  match t.impl with I_skeap h -> Skeap_impl.pending_ops h | I_seap h -> Seap_impl.pending_ops h
+
+let heap_size t =
+  match t.impl with I_skeap h -> Skeap_impl.heap_size h | I_seap h -> Seap_impl.heap_size h
+
+type outcome = [ `Inserted of Element.t | `Got of Element.t | `Empty ]
+type completion = { node : int; local_seq : int; outcome : outcome }
+
+type result = {
+  completions : completion list;
+  rounds : int;
+  messages : int;
+  max_congestion : int;
+  max_message_bits : int;
+}
+
+let of_report (report : Phase.report) completions =
+  {
+    completions;
+    rounds = report.Phase.rounds;
+    messages = report.Phase.messages;
+    max_congestion = report.Phase.max_congestion;
+    max_message_bits = report.Phase.max_message_bits;
+  }
+
+let process t =
+  match t.impl with
+  | I_skeap h ->
+      let r = Skeap_impl.process_batch h in
+      of_report r.Skeap_impl.report
+        (List.map
+           (fun (c : Skeap_impl.completion) ->
+             { node = c.Skeap_impl.node; local_seq = c.Skeap_impl.local_seq; outcome = c.Skeap_impl.outcome })
+           r.Skeap_impl.completions)
+  | I_seap h ->
+      let r = Seap_impl.process_round h in
+      of_report r.Seap_impl.report
+        (List.map
+           (fun (c : Seap_impl.completion) ->
+             { node = c.Seap_impl.node; local_seq = c.Seap_impl.local_seq; outcome = c.Seap_impl.outcome })
+           r.Seap_impl.completions)
+
+let drain t =
+  let rec go acc = if pending_ops t = 0 then List.rev acc else go (process t :: acc) in
+  go []
+
+let oplog t =
+  match t.impl with I_skeap h -> Skeap_impl.oplog h | I_seap h -> Seap_impl.oplog h
+
+let verify t =
+  match t.impl with
+  | I_skeap h -> Dpq_semantics.Checker.check_all_skeap (Skeap_impl.oplog h)
+  | I_seap h -> Dpq_semantics.Checker.check_all_seap (Seap_impl.oplog h)
+
+let stored_per_node t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.stored_per_node h
+  | I_seap h -> Seap_impl.stored_per_node h

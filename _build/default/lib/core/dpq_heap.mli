@@ -1,0 +1,61 @@
+(** Unified front door to the distributed priority queues.
+
+    Pick a backend, buffer operations at nodes, call {!process} to run one
+    protocol iteration, and (optionally) {!verify} the accumulated run
+    against the paper's semantics.  For anything protocol-specific (phase
+    reports, KSelect diagnostics, async delivery modes) drop down to
+    {!Dpq_skeap.Skeap} / {!Dpq_seap.Seap} directly.
+
+    {[
+      let h = Dpq.Dpq_heap.create ~n:16 (Skeap { num_prios = 4 }) in
+      ignore (Dpq.Dpq_heap.insert h ~node:3 ~prio:2);
+      Dpq.Dpq_heap.delete_min h ~node:7;
+      let r = Dpq.Dpq_heap.process h in
+      ...
+    ]} *)
+
+module Element = Dpq_util.Element
+
+(** Which protocol realizes the heap.
+
+    - [Skeap]: constant priority universe [{1..num_prios}], sequential
+      consistency (paper §3);
+    - [Seap]: arbitrary positive priorities, serializability, O(log n)-bit
+      messages (paper §5). *)
+type backend = Skeap of { num_prios : int } | Seap
+
+type t
+
+val create : ?seed:int -> n:int -> backend -> t
+val backend : t -> backend
+val n : t -> int
+
+val insert : t -> node:int -> prio:int -> Element.t
+val delete_min : t -> node:int -> unit
+val pending_ops : t -> int
+val heap_size : t -> int
+
+type outcome = [ `Inserted of Element.t | `Got of Element.t | `Empty ]
+
+type completion = { node : int; local_seq : int; outcome : outcome }
+
+type result = {
+  completions : completion list;
+  rounds : int;
+  messages : int;
+  max_congestion : int;
+  max_message_bits : int;
+}
+
+val process : t -> result
+(** One protocol iteration over everything buffered. *)
+
+val drain : t -> result list
+
+val verify : t -> (unit, string) Stdlib.result
+(** Check the whole run so far against the backend's guarantee: sequential
+    consistency + heap consistency for Skeap, serializability + heap
+    consistency for Seap. *)
+
+val oplog : t -> Dpq_semantics.Oplog.t
+val stored_per_node : t -> int array

@@ -1,0 +1,1 @@
+lib/dht/dht.ml: Array Dpq_aggtree Dpq_overlay Dpq_simrt Dpq_util Hashtbl Lazy List Queue

@@ -1,0 +1,1 @@
+lib/dht/dht.mli: Dpq_aggtree Dpq_overlay Dpq_simrt Dpq_util

@@ -1,0 +1,243 @@
+module Ldb = Dpq_overlay.Ldb
+module Sync = Dpq_simrt.Sync_engine
+module Async = Dpq_simrt.Async_engine
+module Phase = Dpq_aggtree.Phase
+module Element = Dpq_util.Element
+module Bitsize = Dpq_util.Bitsize
+
+type t = {
+  mutable ldb : Ldb.t;
+  hash : Dpq_util.Hashing.t;
+  store : (int, Element.t Queue.t) Hashtbl.t; (* key -> stored elements *)
+  parked : (int, int Queue.t) Hashtbl.t; (* key -> waiting requesters *)
+}
+
+let create ~ldb ~seed =
+  { ldb; hash = Dpq_util.Hashing.create ~seed; store = Hashtbl.create 64; parked = Hashtbl.create 16 }
+
+let ldb t = t.ldb
+let key_point t k = Dpq_util.Hashing.to_unit_interval t.hash k
+let manager_of_key t k = Ldb.manager_of_point t.ldb (key_point t k)
+
+type op =
+  | Put of { origin : int; key : int; elt : Element.t; confirm : bool }
+  | Get of { origin : int; key : int }
+
+type completion =
+  | Put_confirmed of { origin : int; key : int }
+  | Got of { origin : int; key : int; elt : Element.t }
+
+(* In-flight wire format: the remaining virtual-node path plus the payload.
+   The path is the routing state; its wire cost is the O(log n)-bit target
+   point + hop counter of de Bruijn routing, not the explicit list, so we
+   charge a fixed routing header. *)
+type payload =
+  | P_put of { origin : int; key : int; elt : Element.t; confirm : bool }
+  | P_get of { origin : int; key : int }
+  | P_reply of { origin : int; key : int; elt : Element.t }
+  | P_confirm of { origin : int; key : int }
+
+type msg = { path : Ldb.vnode list; payload : payload }
+
+let routing_header_bits t =
+  (* target point (≈ 2 log n bits at the needed resolution) + hop counter *)
+  let n = max 2 (Ldb.n t.ldb) in
+  (2 * Bitsize.log2_ceil n) + Bitsize.log2_ceil n
+
+let payload_bits t = function
+  | P_put p -> Bitsize.bits_of_int p.origin + Bitsize.bits_of_int p.key + Element.encoded_bits p.elt + 1
+  | P_get g -> Bitsize.bits_of_int g.origin + Bitsize.bits_of_int g.key
+  | P_reply r -> Bitsize.bits_of_int r.origin + Bitsize.bits_of_int r.key + Element.encoded_bits r.elt
+  | P_confirm c -> Bitsize.bits_of_int c.origin + Bitsize.bits_of_int c.key
+  [@@warning "-27"]
+
+let size_bits t m = routing_header_bits t + payload_bits t m.payload
+
+let store_push t key elt =
+  let q =
+    match Hashtbl.find_opt t.store key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.store key q;
+        q
+  in
+  Queue.push elt q
+
+let store_pop t key =
+  match Hashtbl.find_opt t.store key with
+  | None -> None
+  | Some q ->
+      if Queue.is_empty q then None
+      else
+        let e = Queue.pop q in
+        if Queue.is_empty q then Hashtbl.remove t.store key;
+        Some e
+
+let park t key requester =
+  let q =
+    match Hashtbl.find_opt t.parked key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.parked key q;
+        q
+  in
+  Queue.push requester q
+
+let unpark t key =
+  match Hashtbl.find_opt t.parked key with
+  | None -> None
+  | Some q ->
+      if Queue.is_empty q then None
+      else
+        let r = Queue.pop q in
+        if Queue.is_empty q then Hashtbl.remove t.parked key;
+        Some r
+
+(* Route a payload from [src_vnode] to the manager of [point].  [send_fn]
+   abstracts over the engine. *)
+let route_via t ~send ~src_vnode ~point payload =
+  let path, _hops = Ldb.route t.ldb ~src:src_vnode ~point in
+  match path with
+  | [] | [ _ ] ->
+      (* Already at the manager: local handling via a self-send. *)
+      send ~src:(Ldb.owner src_vnode) ~dst:(Ldb.owner src_vnode)
+        { path = [ src_vnode ]; payload }
+  | first :: (next :: _ as rest) ->
+      send ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; payload }
+
+let reply_point t origin = Ldb.label t.ldb (Ldb.vnode ~owner:origin Ldb.Middle)
+
+(* Engine-agnostic message handler.  [send] enqueues a message; [complete]
+   records a finished operation. *)
+let handle t ~send ~complete msg =
+  match msg.path with
+  | [] -> failwith "Dht: empty routing path"
+  | cur :: (next :: _ as rest) ->
+      (* Still in transit: forward one hop. *)
+      ignore cur;
+      send ~src:(Ldb.owner cur) ~dst:(Ldb.owner next) { path = rest; payload = msg.payload }
+  | [ final ] -> (
+      match msg.payload with
+      | P_put { origin; key; elt; confirm } -> (
+          (match unpark t key with
+          | Some requester ->
+              (* A Get was already waiting: rendezvous complete. *)
+              route_via t ~send ~src_vnode:final ~point:(reply_point t requester)
+                (P_reply { origin = requester; key; elt })
+          | None -> store_push t key elt);
+          if confirm then
+            route_via t ~send ~src_vnode:final ~point:(reply_point t origin)
+              (P_confirm { origin; key }))
+      | P_get { origin; key } -> (
+          match store_pop t key with
+          | Some elt ->
+              route_via t ~send ~src_vnode:final ~point:(reply_point t origin)
+                (P_reply { origin; key; elt })
+          | None -> park t key origin)
+      | P_reply { origin; key; elt } -> complete (Got { origin; key; elt })
+      | P_confirm { origin; key } -> complete (Put_confirmed { origin; key }))
+
+let launch t ~send op =
+  match op with
+  | Put { origin; key; elt; confirm } ->
+      route_via t ~send ~src_vnode:(Ldb.vnode ~owner:origin Ldb.Middle)
+        ~point:(key_point t key)
+        (P_put { origin; key; elt; confirm })
+  | Get { origin; key } ->
+      route_via t ~send ~src_vnode:(Ldb.vnode ~owner:origin Ldb.Middle)
+        ~point:(key_point t key)
+        (P_get { origin; key })
+
+let run_batch_sync t ops =
+  let completions = ref [] in
+  let complete c = completions := c :: !completions in
+  let rec handler eng ~dst:_ ~src:_ msg =
+    handle t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) ~complete msg
+  and eng =
+    lazy (Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t) ~handler:(fun e ~dst ~src m -> handler e ~dst ~src m) ())
+  in
+  let eng = Lazy.force eng in
+  List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) op) ops;
+  let rounds = Sync.run_to_quiescence eng in
+  let m = Sync.metrics eng in
+  let report =
+    Phase.
+      {
+        rounds;
+        messages = Dpq_simrt.Metrics.total_messages m;
+        max_congestion = Dpq_simrt.Metrics.max_congestion m;
+        max_message_bits = Dpq_simrt.Metrics.max_message_bits m;
+        total_bits = Dpq_simrt.Metrics.total_bits m;
+        local_deliveries = Dpq_simrt.Metrics.local_deliveries m;
+        busiest_node_load = Array.fold_left max 0 (Dpq_simrt.Metrics.node_load m);
+      }
+  in
+  (List.rev !completions, report)
+
+let run_batch_async t ~seed ?(policy = Dpq_simrt.Async_engine.Uniform (1.0, 10.0)) ops =
+  let completions = ref [] in
+  let complete c = completions := c :: !completions in
+  let handler eng ~dst:_ ~src:_ msg =
+    handle t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) ~complete msg
+  in
+  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ~size_bits:(size_bits t) ~handler () in
+  List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) op) ops;
+  ignore (Async.run_to_quiescence eng);
+  List.rev !completions
+
+let set_topology t ldb' =
+  (* Count the elements (and parked requests) whose manager moved to a
+     different real node: the data that a join/leave hands off. *)
+  let moved = ref 0 in
+  let owner_of ldb key = Ldb.owner (Ldb.manager_of_point ldb (key_point t key)) in
+  Hashtbl.iter
+    (fun key q -> if owner_of t.ldb key <> owner_of ldb' key then moved := !moved + Queue.length q)
+    t.store;
+  Hashtbl.iter
+    (fun key q -> if owner_of t.ldb key <> owner_of ldb' key then moved := !moved + Queue.length q)
+    t.parked;
+  t.ldb <- ldb';
+  !moved
+
+let stored_counts t =
+  let counts = Array.make (Ldb.n t.ldb) 0 in
+  Hashtbl.iter
+    (fun key q ->
+      let owner = Ldb.owner (manager_of_key t key) in
+      counts.(owner) <- counts.(owner) + Queue.length q)
+    t.store;
+  counts
+
+let size t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.store 0
+let pending_gets t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.parked 0
+
+let stored_elements t =
+  Hashtbl.fold (fun _ q acc -> List.rev_append (List.of_seq (Queue.to_seq q)) acc) t.store []
+
+let elements_at t ~node =
+  Hashtbl.fold
+    (fun key q acc ->
+      if Ldb.owner (manager_of_key t key) = node then
+        List.rev_append (List.of_seq (Queue.to_seq q)) acc
+      else acc)
+    t.store []
+
+let take_matching t ~node ~f =
+  let taken = ref [] in
+  let updates = ref [] in
+  Hashtbl.iter
+    (fun key q ->
+      if Ldb.owner (manager_of_key t key) = node then begin
+        let keep = Queue.create () in
+        Queue.iter (fun e -> if f e then taken := e :: !taken else Queue.push e keep) q;
+        updates := (key, keep) :: !updates
+      end)
+    t.store;
+  List.iter
+    (fun (key, keep) ->
+      if Queue.is_empty keep then Hashtbl.remove t.store key
+      else Hashtbl.replace t.store key keep)
+    !updates;
+  !taken

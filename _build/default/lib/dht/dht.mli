@@ -1,0 +1,84 @@
+(** Distributed hash table embedded in the LDB (paper Lemma 2.2 (ii)–(iv)).
+
+    Keys are integers; a seeded hash maps each key to a point of [\[0,1)]
+    whose cycle predecessor — the {e manager} — stores the associated
+    elements.  [Put] routes an element to the manager; [Get] routes a request
+    there, removes one element and routes it back to the requester's middle
+    virtual node.  Because both sides hash the same key, a matching Put/Get
+    pair is guaranteed to meet at the same virtual node (Skeap Phase 4,
+    §3.2.4).  A Get that arrives before its Put parks at the manager until
+    the Put shows up — the paper's asynchronous rendezvous rule.
+
+    Batches of operations can be executed on the synchronous engine (for
+    round/congestion measurements) or on the asynchronous engine (for
+    semantics tests under arbitrary message reordering).  Storage persists
+    across batches; the engines only carry the in-flight traffic. *)
+
+module Element = Dpq_util.Element
+
+type t
+
+val create : ldb:Dpq_overlay.Ldb.t -> seed:int -> t
+(** [seed] keys the key-to-point hash (independent from the label hash). *)
+
+val ldb : t -> Dpq_overlay.Ldb.t
+
+val key_point : t -> int -> float
+(** Where a key lives in [\[0,1)]. *)
+
+val manager_of_key : t -> int -> Dpq_overlay.Ldb.vnode
+
+type op =
+  | Put of { origin : int; key : int; elt : Element.t; confirm : bool }
+      (** Store [elt] under [key]; if [confirm], a confirmation is routed
+          back to [origin] (used by Seap's Insert phase, §5.1). *)
+  | Get of { origin : int; key : int }
+      (** Remove one element stored under [key] and deliver it to
+          [origin]. *)
+
+type completion =
+  | Put_confirmed of { origin : int; key : int }
+  | Got of { origin : int; key : int; elt : Element.t }
+
+val run_batch_sync : t -> op list -> completion list * Dpq_aggtree.Phase.report
+(** Execute all operations concurrently on a synchronous engine, to
+    quiescence.  Gets without a matching Put stay parked (see
+    {!pending_gets}) and produce no completion. *)
+
+val run_batch_async :
+  t ->
+  seed:int ->
+  ?policy:Dpq_simrt.Async_engine.delay_policy ->
+  op list ->
+  completion list
+(** Same, on the asynchronous engine: messages are delayed and reordered
+    arbitrarily; used to check that the rendezvous semantics do not depend
+    on delivery order. *)
+
+val set_topology : t -> Dpq_overlay.Ldb.t -> int
+(** Switch to a new overlay after a join/leave; returns how many stored
+    elements (and parked requests) changed manager — the volume of the
+    data handoff the membership change causes. *)
+
+val stored_counts : t -> int array
+(** Elements currently stored per real node — the fairness measure of
+    Lemma 2.2(iv). *)
+
+val size : t -> int
+(** Total stored elements. *)
+
+val pending_gets : t -> int
+(** Gets parked waiting for their Put. *)
+
+val stored_elements : t -> Element.t list
+(** All stored elements, unordered (testing/diagnostics). *)
+
+val elements_at : t -> node:int -> Element.t list
+(** Elements a given real node currently stores (its virtual nodes'
+    key-space share) — the per-node candidate sets KSelect works on. *)
+
+val take_matching : t -> node:int -> f:(Element.t -> bool) -> Element.t list
+(** Remove and return all elements stored at [node] that satisfy [f]:
+    Seap's DeleteMin phase uses this to pull the k smallest elements out of
+    their random-key homes before re-storing them under position keys
+    (§5.2).  Purely local to [node]. *)

@@ -1,0 +1,1 @@
+lib/kselect/kselect.ml: Array Dpq_aggtree Dpq_overlay Dpq_simrt Dpq_util Hashtbl List Option Printf

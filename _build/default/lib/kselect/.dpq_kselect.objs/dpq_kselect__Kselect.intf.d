@@ -1,0 +1,1 @@
+lib/kselect/kselect.mli: Dpq_aggtree Dpq_util

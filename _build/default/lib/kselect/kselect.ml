@@ -1,0 +1,628 @@
+module Element = Dpq_util.Element
+module Interval = Dpq_util.Interval
+module Bitsize = Dpq_util.Bitsize
+module Hashing = Dpq_util.Hashing
+module Rng = Dpq_util.Rng
+module Ldb = Dpq_overlay.Ldb
+module Aggtree = Dpq_aggtree.Aggtree
+module Phase = Dpq_aggtree.Phase
+module Sync = Dpq_simrt.Sync_engine
+module Metrics = Dpq_simrt.Metrics
+
+type diagnostics = {
+  initial_candidates : int;
+  phase1_iterations : int;
+  phase1_candidates : int list;
+  phase2_candidates : int list;
+  phase2_rep_counts : int list;
+  mean_trees_per_node : float;
+  phase3_candidates : int;
+}
+
+type result = {
+  element : Element.t;
+  report : Phase.report;
+  diagnostics : diagnostics;
+}
+
+let select_seq elements ~k =
+  let sorted = List.sort Element.compare elements in
+  if k < 1 || k > List.length sorted then
+    invalid_arg (Printf.sprintf "Kselect.select_seq: k=%d outside [1,%d]" k (List.length sorted));
+  List.nth sorted (k - 1)
+
+let kth_statistics elements ~k =
+  let e = select_seq elements ~k in
+  let below = List.length (List.filter (fun x -> Element.compare x e < 0) elements) in
+  let above = List.length (List.filter (fun x -> Element.compare x e > 0) elements) in
+  (e, below, above)
+
+(* ------------------------------------------------------------------------ *)
+(* The distributed sorting stage (Algorithm 3, Phase 2b).                    *)
+(* ------------------------------------------------------------------------ *)
+
+type spayload =
+  | Disseminate of {
+      i : int;  (** which representative / copy tree *)
+      a : int;
+      b : int;  (** interval of copy indices this subtree is responsible for *)
+      x : int;  (** emulated de Bruijn bitstring (-1: derive at the root) *)
+      point : float;  (** the point this tree node is addressed by *)
+      parent_point : float;  (** -1.0 for the root *)
+      parent_mid : int;
+      elt : Element.t;
+    }
+  | Rendezvous of { i : int; j : int; elt : Element.t; return_point : float }
+  | Vote of { i : int; j : int; smaller : int; larger : int }
+  | Child_sum of { i : int; parent_mid : int; smaller : int; larger : int }
+
+type smsg = { path : Ldb.vnode list; payload : spayload }
+
+type tnode = {
+  t_i : int;
+  t_mid : int;
+  t_elt : Element.t;
+  t_vnode : Ldb.vnode;
+  t_point : float;
+  t_parent_point : float;
+  t_parent_mid : int;
+  t_expected_children : int;
+  mutable t_smaller : int;
+  mutable t_larger : int;
+  mutable t_has_own_vote : bool;
+  mutable t_child_sums : int;
+  mutable t_done : bool;
+}
+
+let spayload_bits ldb p =
+  let n = max 2 (Ldb.n ldb) in
+  let point_bits = 2 * Bitsize.log2_ceil n in
+  match p with
+  | Disseminate d ->
+      Bitsize.bits_of_int d.i + Bitsize.bits_of_int d.a + Bitsize.bits_of_int d.b
+      + Bitsize.bits_of_int (abs d.x) + (2 * point_bits) + Bitsize.bits_of_int (abs d.parent_mid)
+      + Element.encoded_bits d.elt
+  | Rendezvous r ->
+      Bitsize.bits_of_int r.i + Bitsize.bits_of_int r.j + Element.encoded_bits r.elt + point_bits
+  | Vote v -> Bitsize.bits_of_int v.i + Bitsize.bits_of_int v.j + v.smaller + v.larger + 2
+  | Child_sum c ->
+      Bitsize.bits_of_int c.i + Bitsize.bits_of_int c.parent_mid + Bitsize.bits_of_int c.smaller
+      + Bitsize.bits_of_int c.larger
+
+(* [reps]: for each real node, the (position, element) pairs it contributed.
+   Returns the element of each order (index 1..n') plus the number of
+   (node, tree) participations, and adds the engine costs to [reports]. *)
+let sorting_stage ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list array) ~n'
+    ~(add_report : Phase.report -> unit) =
+  let n = Ldb.n ldb in
+  let d' = max 1 (Bitsize.log2_ceil (max 2 n')) in
+  let point_of_bits x = float_of_int x /. float_of_int (1 lsl d') in
+  let pos_point i = Hashing.to_unit_interval hash_pos i in
+  let pair_point i j = Hashing.pair_to_unit_interval hash_pair (min i j) (max i j) in
+  let tnodes : (int * int, tnode) Hashtbl.t = Hashtbl.create (4 * n') in
+  let rendez : (int * int, int * Element.t * float) Hashtbl.t = Hashtbl.create (n' * n' / 2) in
+  let orders : (int, int) Hashtbl.t = Hashtbl.create n' in
+  let participations : (int * int, unit) Hashtbl.t = Hashtbl.create (4 * n') in
+  let elt_of_pos = Hashtbl.create n' in
+  Array.iter (List.iter (fun (pos, elt) -> Hashtbl.replace elt_of_pos pos elt)) reps;
+  let routing_header =
+    let nn = max 2 n in
+    (2 * Bitsize.log2_ceil nn) + Bitsize.log2_ceil nn
+  in
+  let size_bits m = routing_header + spayload_bits ldb m.payload in
+  let send_along eng path payload =
+    match path with
+    | [] -> assert false
+    | [ only ] ->
+        Sync.send eng ~src:(Ldb.owner only) ~dst:(Ldb.owner only) { path = [ only ]; payload }
+    | first :: (next :: _ as rest) ->
+        Sync.send eng ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; payload }
+  in
+  let route_from eng ~src_vnode ~point payload =
+    send_along eng (fst (Ldb.route ldb ~src:src_vnode ~point)) payload
+  in
+  (* A single de Bruijn edge (copy-tree dissemination / vote aggregation):
+     O(1) expected messages instead of a full O(log n) route. *)
+  let hop_from eng ~src_vnode ~from_point ~bit ~point payload =
+    send_along eng (fst (Ldb.debruijn_hop ldb ~src:src_vnode ~from_point ~bit ~point)) payload
+  in
+  let hop_back_from eng ~src_vnode ~from_point ~point payload =
+    send_along eng (fst (Ldb.debruijn_hop_back ldb ~src:src_vnode ~from_point ~point)) payload
+  in
+  let try_complete eng tn =
+    if
+      (not tn.t_done) && tn.t_has_own_vote
+      && tn.t_child_sums = tn.t_expected_children
+    then begin
+      tn.t_done <- true;
+      if tn.t_parent_point < 0.0 then
+        (* Root of T(v_i): the combined vote vector yields the order. *)
+        Hashtbl.replace orders tn.t_i (tn.t_smaller + 1)
+      else
+        hop_back_from eng ~src_vnode:tn.t_vnode ~from_point:tn.t_point ~point:tn.t_parent_point
+          (Child_sum
+             {
+               i = tn.t_i;
+               parent_mid = tn.t_parent_mid;
+               smaller = tn.t_smaller;
+               larger = tn.t_larger;
+             })
+    end
+  in
+  let rec handle_payload eng final payload =
+    match payload with
+    | Disseminate d ->
+        let x =
+          if d.x >= 0 then d.x
+          else
+            min ((1 lsl d') - 1) (int_of_float (Ldb.label ldb final *. float_of_int (1 lsl d')))
+        in
+        let mid = (d.a + d.b) / 2 in
+        let left = d.a <= mid - 1 and right = mid + 1 <= d.b in
+        let tn =
+          {
+            t_i = d.i;
+            t_mid = mid;
+            t_elt = d.elt;
+            t_vnode = final;
+            t_point = d.point;
+            t_parent_point = d.parent_point;
+            t_parent_mid = d.parent_mid;
+            t_expected_children = (if left then 1 else 0) + (if right then 1 else 0);
+            t_smaller = 0;
+            t_larger = 0;
+            t_has_own_vote = false;
+            t_child_sums = 0;
+            t_done = false;
+          }
+        in
+        Hashtbl.replace tnodes (d.i, mid) tn;
+        Hashtbl.replace participations (Ldb.owner final, d.i) ();
+        (* Spread the copies: prepend 0 / 1 to the bitstring (Phase 2b). *)
+        let shifted = x lsr 1 in
+        let hi = 1 lsl (d' - 1) in
+        if left then begin
+          let xl = shifted in
+          hop_from eng ~src_vnode:final ~from_point:d.point ~bit:0 ~point:(point_of_bits xl)
+            (Disseminate
+               {
+                 i = d.i;
+                 a = d.a;
+                 b = mid - 1;
+                 x = xl;
+                 point = point_of_bits xl;
+                 parent_point = d.point;
+                 parent_mid = mid;
+                 elt = d.elt;
+               })
+        end;
+        if right then begin
+          let xr = shifted lor hi in
+          hop_from eng ~src_vnode:final ~from_point:d.point ~bit:1 ~point:(point_of_bits xr)
+            (Disseminate
+               {
+                 i = d.i;
+                 a = mid + 1;
+                 b = d.b;
+                 x = xr;
+                 point = point_of_bits xr;
+                 parent_point = d.point;
+                 parent_mid = mid;
+                 elt = d.elt;
+               })
+        end;
+        (* This node holds copy c_{i,mid}: rendezvous with c_{mid,i}. *)
+        route_from eng ~src_vnode:final ~point:(pair_point d.i mid)
+          (Rendezvous { i = d.i; j = mid; elt = d.elt; return_point = d.point })
+    | Rendezvous r ->
+        if r.i = r.j then
+          (* A copy paired with itself contributes nothing to the order. *)
+          route_from eng ~src_vnode:final ~point:r.return_point
+            (Vote { i = r.i; j = r.j; smaller = 0; larger = 0 })
+        else begin
+          let key = (min r.i r.j, max r.i r.j) in
+          match Hashtbl.find_opt rendez key with
+          | None -> Hashtbl.replace rendez key (r.i, r.elt, r.return_point)
+          | Some (i0, elt0, rp0) ->
+              Hashtbl.remove rendez key;
+              (* c_{i0,j0} and c_{r.i,r.j} meet here; compare priorities
+                 (total order) and report who saw a smaller element. *)
+              let first_smaller = Element.compare elt0 r.elt < 0 in
+              let vote_to_first = if first_smaller then (0, 1) else (1, 0) in
+              let vote_to_second = if first_smaller then (1, 0) else (0, 1) in
+              let s0, l0 = vote_to_first and s1, l1 = vote_to_second in
+              route_from eng ~src_vnode:final ~point:rp0
+                (Vote { i = i0; j = r.i; smaller = s0; larger = l0 });
+              route_from eng ~src_vnode:final ~point:r.return_point
+                (Vote { i = r.i; j = i0; smaller = s1; larger = l1 })
+        end
+    | Vote v -> (
+        match Hashtbl.find_opt tnodes (v.i, v.j) with
+        | None -> failwith "Kselect.sorting_stage: vote for unknown tree node"
+        | Some tn ->
+            tn.t_smaller <- tn.t_smaller + v.smaller;
+            tn.t_larger <- tn.t_larger + v.larger;
+            tn.t_has_own_vote <- true;
+            try_complete eng tn)
+    | Child_sum c -> (
+        match Hashtbl.find_opt tnodes (c.i, c.parent_mid) with
+        | None -> failwith "Kselect.sorting_stage: child sum for unknown tree node"
+        | Some tn ->
+            tn.t_smaller <- tn.t_smaller + c.smaller;
+            tn.t_larger <- tn.t_larger + c.larger;
+            tn.t_child_sums <- tn.t_child_sums + 1;
+            try_complete eng tn)
+  and handler eng ~dst:_ ~src:_ msg =
+    match msg.path with
+    | [] -> failwith "Kselect.sorting_stage: empty path"
+    | [ final ] -> handle_payload eng final msg.payload
+    | cur :: (next :: _ as rest) ->
+        ignore cur;
+        Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
+          { path = rest; payload = msg.payload }
+  in
+  let eng = Sync.create ~n ~size_bits ~handler () in
+  (* Kick off: every chosen representative is routed to the node responsible
+     for its position; that node becomes the root v_i of copy tree T(v_i). *)
+  Array.iteri
+    (fun node pairs ->
+      List.iter
+        (fun (pos, elt) ->
+          let src_vnode = Ldb.vnode ~owner:node Ldb.Middle in
+          route_from eng ~src_vnode ~point:(pos_point pos)
+            (Disseminate
+               {
+                 i = pos;
+                 a = 1;
+                 b = n';
+                 x = -1;
+                 point = pos_point pos;
+                 parent_point = -1.0;
+                 parent_mid = -1;
+                 elt;
+               }))
+        pairs)
+    reps;
+  let rounds = Sync.run_to_quiescence ~max_rounds:200_000 eng in
+  let m = Sync.metrics eng in
+  add_report
+    Phase.
+      {
+        rounds;
+        messages = Metrics.total_messages m;
+        max_congestion = Metrics.max_congestion m;
+        max_message_bits = Metrics.max_message_bits m;
+        total_bits = Metrics.total_bits m;
+        local_deliveries = Metrics.local_deliveries m;
+        busiest_node_load = Array.fold_left max 0 (Metrics.node_load m);
+      };
+  if Hashtbl.length orders <> n' then
+    failwith
+      (Printf.sprintf "Kselect.sorting_stage: got %d orders for %d representatives"
+         (Hashtbl.length orders) n');
+  let by_order = Array.make (n' + 1) None in
+  Hashtbl.iter
+    (fun i order ->
+      if order < 1 || order > n' then failwith "Kselect.sorting_stage: order out of range";
+      (match by_order.(order) with
+      | Some _ -> failwith "Kselect.sorting_stage: duplicate order"
+      | None -> ());
+      by_order.(order) <- Some (Hashtbl.find elt_of_pos i))
+    orders;
+  let by_order = Array.map Option.get (Array.sub by_order 1 n') in
+  (by_order, Hashtbl.length participations)
+
+(* ------------------------------------------------------------------------ *)
+(* The full protocol.                                                        *)
+(* ------------------------------------------------------------------------ *)
+
+type state = {
+  tree : Aggtree.t;
+  ldb : Ldb.t;
+  cands : Element.t list array; (* v.C per real node *)
+  mutable n_remaining : int; (* v0.N *)
+  mutable k : int; (* v0.k *)
+  mutable report : Phase.report;
+  rng : Rng.t;
+  hash_pos : Hashing.t;
+  hash_pair : Hashing.t;
+}
+
+let add_report st r = st.report <- Phase.add_report st.report r
+
+let int_bits = Bitsize.bits_of_int
+
+(* Aggregation-phase helpers, all charged to the report. *)
+let bcast st payload_bits =
+  add_report st (Phase.broadcast ~tree:st.tree ~payload:() ~size_bits:(fun () -> payload_bits))
+
+let up st ~local ~combine ~size_bits =
+  let v, memo, r = Phase.up ~tree:st.tree ~local ~combine ~size_bits in
+  add_report st r;
+  (v, memo)
+
+(* -------------------------------------------------------------- Phase 1 *)
+
+(* A bound aggregated over the tree.  [Neutral] is the combine identity
+   (virtual nodes and, where safe, candidate-poor real nodes); [Unbounded]
+   poisons the bound (no pruning on that side this iteration); [B p] is an
+   actual priority. *)
+type bound = Neutral | Unbounded | B of int
+
+let combine_bound pick a b =
+  match (a, b) with
+  | Unbounded, _ | _, Unbounded -> Unbounded
+  | Neutral, x | x, Neutral -> x
+  | B x, B y -> B (pick x y)
+
+let phase1_iteration st =
+  let n = Ldb.n st.ldb in
+  let k = st.k in
+  bcast st (2 * int_bits (max n st.n_remaining));
+  (* Local P_min / P_max: the ⌊k/n⌋-th and ⌈k/n⌉-th smallest local
+     candidates.  A node with fewer than ⌊k/n⌋ candidates may safely stay
+     Neutral for P_min (it holds at most ⌊k/n⌋−1 elements below anything, so
+     the counting argument of Lemma 4.3 still applies), but a node with
+     fewer than ⌈k/n⌉ candidates must poison P_max — without its report the
+     other nodes' ⌈k/n⌉-th elements no longer account for k elements. *)
+  let k_lo = k / n and k_hi = (k + n - 1) / n in
+  let local_minmax node =
+    let sorted = List.sort Element.compare st.cands.(node) in
+    let len = List.length sorted in
+    let pmin =
+      if k_lo < 1 then Unbounded
+      else if len >= k_lo then B (Element.prio (List.nth sorted (k_lo - 1)))
+      else Neutral
+    in
+    let pmax =
+      if len >= k_hi && k_hi >= 1 then B (Element.prio (List.nth sorted (k_hi - 1)))
+      else Unbounded
+    in
+    (pmin, pmax)
+  in
+  let combine (min1, max1) (min2, max2) =
+    (combine_bound min min1 min2, combine_bound max max1 max2)
+  in
+  let (pmin, pmax), _ =
+    up st
+      ~local:(fun v ->
+        match Ldb.kind v with
+        | Ldb.Middle -> local_minmax (Ldb.owner v)
+        | _ -> (Neutral, Neutral))
+      ~combine
+      ~size_bits:(fun _ -> 2 * int_bits st.n_remaining)
+  in
+  bcast st (2 * int_bits st.n_remaining);
+  (* Prune strictly outside [P_min, P_max]; count per side. *)
+  let removed_below = ref 0 and removed_above = ref 0 in
+  Array.iteri
+    (fun node cs ->
+      let keep =
+        List.filter
+          (fun e ->
+            let p = Element.prio e in
+            let below = match pmin with B b -> p < b | _ -> false in
+            let above = match pmax with B b -> p > b | _ -> false in
+            if below then incr removed_below;
+            if above then incr removed_above;
+            (not below) && not above)
+          cs
+      in
+      st.cands.(node) <- keep)
+    st.cands;
+  (* Charge the (k', k'') count aggregation. *)
+  let _, _ =
+    up st
+      ~local:(fun _ -> (0, 0))
+      ~combine:(fun (a, b) (c, d) -> (a + c, b + d))
+      ~size_bits:(fun _ -> 2 * int_bits (max 1 st.n_remaining))
+  in
+  st.k <- st.k - !removed_below;
+  st.n_remaining <- st.n_remaining - !removed_below - !removed_above
+
+(* -------------------------------------------------------------- Phase 2 *)
+
+(* Draw representatives, assign positions 1..n' via interval decomposition,
+   and return them per node. *)
+let draw_representatives st ~prob =
+  let chosen = Array.map (fun cs -> List.filter (fun _ -> Rng.bernoulli st.rng ~p:prob) cs) st.cands in
+  let counts v =
+    match Ldb.kind v with Ldb.Middle -> List.length chosen.(Ldb.owner v) | _ -> 0
+  in
+  let (n' : int), memo =
+    up st ~local:counts ~combine:( + ) ~size_bits:(fun _ -> int_bits (max 1 st.n_remaining))
+  in
+  if n' = 0 then (0, [||])
+  else begin
+    let retained, down_r =
+      Phase.down ~tree:st.tree ~memo ~root_payload:(Interval.make 1 n')
+        ~split:(fun ~parts iv -> Interval.split_sizes iv parts)
+        ~size_bits:(fun iv ->
+          if Interval.is_empty iv then 2
+          else Bitsize.interval_bits ~lo:(Interval.lo iv) ~hi:(Interval.hi iv))
+    in
+    add_report st down_r;
+    let reps =
+      Array.init (Ldb.n st.ldb) (fun node ->
+          let mv = Ldb.vnode ~owner:node Ldb.Middle in
+          match retained.(mv) with
+          | None -> []
+          | Some iv -> List.combine (Interval.positions iv) chosen.(node) |> List.map (fun (p, e) -> (p, e)))
+    in
+    (n', reps)
+  end
+
+(* Exact ranks of [c_l] and [c_r] among all candidates via one aggregation:
+   per node, the counts of candidates strictly below each. *)
+let exact_ranks st c_l c_r =
+  bcast st (2 * Element.encoded_bits c_l);
+  let local node =
+    let below_l = List.length (List.filter (fun e -> Element.compare e c_l < 0) st.cands.(node)) in
+    let below_r = List.length (List.filter (fun e -> Element.compare e c_r < 0) st.cands.(node)) in
+    (below_l, below_r)
+  in
+  let (bl, br), _ =
+    up st
+      ~local:(fun v -> match Ldb.kind v with Ldb.Middle -> local (Ldb.owner v) | _ -> (0, 0))
+      ~combine:(fun (a, b) (c, d) -> (a + c, b + d))
+      ~size_bits:(fun _ -> 2 * int_bits (max 1 st.n_remaining))
+  in
+  (bl + 1, br + 1)
+
+let prune_between st ~c_l ~c_r ~prune_below ~prune_above =
+  bcast st (2 * Element.encoded_bits c_r);
+  let removed_below = ref 0 and removed_above = ref 0 in
+  Array.iteri
+    (fun node cs ->
+      let keep =
+        List.filter
+          (fun e ->
+            let below = prune_below && Element.compare e c_l <= 0 in
+            let above = prune_above && Element.compare e c_r > 0 in
+            if below then incr removed_below;
+            if above && not below then incr removed_above;
+            (not below) && not above)
+          cs
+      in
+      st.cands.(node) <- keep)
+    st.cands;
+  let _ =
+    up st
+      ~local:(fun _ -> 0)
+      ~combine:( + )
+      ~size_bits:(fun _ -> int_bits (max 1 st.n_remaining))
+  in
+  st.k <- st.k - !removed_below;
+  st.n_remaining <- st.n_remaining - !removed_below - !removed_above
+
+(* -------------------------------------------------------------- select  *)
+
+let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements ~k () =
+  let ldb = Aggtree.ldb tree in
+  let n = Ldb.n ldb in
+  if Array.length elements <> n then
+    invalid_arg "Kselect.select: elements array length differs from node count";
+  let m = Array.fold_left (fun acc l -> acc + List.length l) 0 elements in
+  if k < 1 || k > m then
+    invalid_arg (Printf.sprintf "Kselect.select: k=%d outside [1,%d]" k m);
+  let st =
+    {
+      tree;
+      ldb;
+      cands = Array.map (fun l -> l) elements;
+      n_remaining = m;
+      k;
+      report = Phase.empty_report;
+      rng = Rng.create ~seed;
+      hash_pos = Hashing.create ~seed:(seed + 31337);
+      hash_pair = Hashing.create ~seed:(seed + 65537);
+    }
+  in
+  let diag_p1 = ref [] and diag_p2 = ref [] and diag_reps = ref [] in
+  let participations = ref 0 and stages = ref 0 in
+  (* ---------------- Phase 1: log(q)+1 sampling iterations -------------- *)
+  let q =
+    if n < 2 then 1
+    else max 1 (int_of_float (ceil (log (float_of_int (max 2 m)) /. log (float_of_int n))))
+  in
+  let iters1 = Bitsize.log2_ceil (max 1 q) + 1 in
+  for _ = 1 to iters1 do
+    phase1_iteration st;
+    diag_p1 := st.n_remaining :: !diag_p1
+  done;
+  (* ---------------- Phase 2: shrink to ~sqrt(n) candidates ------------- *)
+  (* Stop shrinking once everything fits into one exact sorting stage of
+     the size Phase 2 would sample anyway (n' ≈ 4√n). *)
+  let threshold = max (int_of_float (rep_factor *. sqrt (float_of_int n))) 32 in
+  (* δ = Θ(√(log n) · n^{1/4}) (Lemma 4.6).  The constant is 1 rather than
+     the proof's larger c: the exact-rank guards below make pruning safe
+     unconditionally, so a tighter δ only trades a little failure
+     probability for much faster shrinkage at moderate n. *)
+  let delta =
+    max 1
+      (int_of_float
+         (delta_factor *. sqrt (log (float_of_int (max 2 n))) *. (float_of_int (max 2 n) ** 0.25)))
+  in
+  let no_progress = ref 0 in
+  let iter2 = ref 0 in
+  while st.n_remaining > threshold && !no_progress < 3 && !iter2 < 30 do
+    incr iter2;
+    let before = st.n_remaining in
+    bcast st (2 * int_bits (max n st.n_remaining));
+    (* n' = Θ(√n) representatives; the constant 4 keeps n' comfortably above
+       δ at practical n (the paper's asymptotics assume n' ≫ δ, which for
+       √n vs n^{1/4}·√log n only holds at very large n). *)
+    let prob = rep_factor *. sqrt (float_of_int n) /. float_of_int st.n_remaining in
+    let prob = min 1.0 prob in
+    let n', reps = draw_representatives st ~prob in
+    if n' >= 2 then begin
+      diag_reps := n' :: !diag_reps;
+      let by_order, parts =
+        sorting_stage ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
+          ~add_report:(add_report st)
+      in
+      participations := !participations + parts;
+      incr stages;
+      let ideal = float_of_int st.k *. float_of_int n' /. float_of_int st.n_remaining in
+      let l = max 1 (min n' (int_of_float (floor (ideal -. float_of_int delta)))) in
+      let r = max 1 (min n' (int_of_float (ceil (ideal +. float_of_int delta)))) in
+      let c_l = by_order.(l - 1) and c_r = by_order.(max l r - 1) in
+      (* One aggregation for the exact ranks, then prune with the safety
+         guards: below only if rank(c_l) < k, above only if rank(c_r) >= k. *)
+      let rank_l, rank_r = exact_ranks st c_l c_r in
+      let prune_below = rank_l < st.k in
+      let prune_above = rank_r >= st.k in
+      if prune_below || prune_above then
+        prune_between st ~c_l ~c_r ~prune_below ~prune_above
+    end;
+    diag_p2 := st.n_remaining :: !diag_p2;
+    if st.n_remaining >= before then incr no_progress else no_progress := 0
+  done;
+  (* ---------------- Phase 3: exact computation ------------------------- *)
+  let phase3_n = st.n_remaining in
+  let element =
+    if phase3_n = 1 then (
+      (* route the single survivor to the anchor *)
+      let survivor = ref None in
+      Array.iter (fun cs -> match cs with [] -> () | e :: _ -> survivor := Some e) st.cands;
+      let (_ : int), _ =
+        up st
+          ~local:(fun _ -> 0)
+          ~combine:( + )
+          ~size_bits:(fun _ -> Element.encoded_bits (Option.get !survivor))
+      in
+      Option.get !survivor)
+    else begin
+      let n', reps = draw_representatives st ~prob:1.0 in
+      assert (n' = phase3_n);
+      let by_order, parts =
+        sorting_stage ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
+          ~add_report:(add_report st)
+      in
+      participations := !participations + parts;
+      incr stages;
+      (* the k-th smallest survivor is the answer; ship it to the anchor *)
+      let answer = by_order.(st.k - 1) in
+      let (_ : int), _ =
+        up st
+          ~local:(fun _ -> 0)
+          ~combine:( + )
+          ~size_bits:(fun _ -> Element.encoded_bits answer)
+      in
+      answer
+    end
+  in
+  let diagnostics =
+    {
+      initial_candidates = m;
+      phase1_iterations = iters1;
+      phase1_candidates = List.rev !diag_p1;
+      phase2_candidates = List.rev !diag_p2;
+      phase2_rep_counts = List.rev !diag_reps;
+      mean_trees_per_node =
+        (if !stages = 0 then 0.0
+         else float_of_int !participations /. float_of_int (n * !stages));
+      phase3_candidates = phase3_n;
+    }
+  in
+  { element; report = st.report; diagnostics }

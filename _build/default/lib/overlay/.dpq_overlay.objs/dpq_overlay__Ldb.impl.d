@@ -1,0 +1,1 @@
+lib/overlay/ldb.ml: Array Dpq_util Float List Printf

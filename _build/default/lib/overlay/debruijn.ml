@@ -1,0 +1,50 @@
+type t = { d : int }
+
+let create ~d =
+  if d < 1 || d > 30 then invalid_arg "Debruijn.create: need 1 <= d <= 30";
+  { d }
+
+let d t = t.d
+let size t = 1 lsl t.d
+
+let check t x name =
+  if x < 0 || x >= size t then
+    invalid_arg (Printf.sprintf "Debruijn.%s: label %d out of range" name x)
+
+let neighbors t x =
+  check t x "neighbors";
+  let shifted = x lsr 1 in
+  [ shifted; (1 lsl (t.d - 1)) lor shifted ]
+
+let in_neighbors t x =
+  check t x "in_neighbors";
+  let mask = (1 lsl t.d) - 1 in
+  let shifted = (x lsl 1) land mask in
+  [ shifted; shifted lor 1 ]
+
+let is_edge t x y =
+  check t x "is_edge";
+  check t y "is_edge";
+  List.mem y (neighbors t x)
+
+let route t ~src ~dst =
+  check t src "route";
+  check t dst "route";
+  (* Hop i prepends bit t_{d-i+1} of dst (least significant first), so after
+     d hops the label equals dst. *)
+  let rec go cur i acc =
+    if i > t.d then List.rev acc
+    else
+      let bit = (dst lsr (i - 1)) land 1 in
+      let next = (bit lsl (t.d - 1)) lor (cur lsr 1) in
+      go next (i + 1) (next :: acc)
+  in
+  src :: go src 1 []
+
+let bits t x =
+  check t x "bits";
+  List.init t.d (fun i -> (x lsr (t.d - 1 - i)) land 1 = 1)
+
+let of_bits t bs =
+  if List.length bs <> t.d then invalid_arg "Debruijn.of_bits: wrong length";
+  List.fold_left (fun acc b -> (acc lsl 1) lor if b then 1 else 0) 0 bs

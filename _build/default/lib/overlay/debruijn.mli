@@ -1,0 +1,36 @@
+(** Classical d-dimensional de Bruijn graph (paper Definition 2.1).
+
+    Nodes are bitstrings [(x_1, ..., x_d)] represented as integers in
+    [\[0, 2^d)] with [x_1] the most significant bit.  There is an edge
+    [(x_1, ..., x_d) -> (j, x_1, ..., x_{d-1})] for [j = 0, 1]: prepend a
+    bit, drop the last.  Routing from [s] to [t] adjusts exactly [d] bits
+    (§2.1), so the diameter is [d]. *)
+
+type t
+
+val create : d:int -> t
+(** Raises [Invalid_argument] unless [1 <= d <= 30]. *)
+
+val d : t -> int
+
+val size : t -> int
+(** Number of nodes, [2^d]. *)
+
+val neighbors : t -> int -> int list
+(** The two out-neighbors [(0, x_1..x_{d-1})] and [(1, x_1..x_{d-1})]. *)
+
+val in_neighbors : t -> int -> int list
+(** The two in-neighbors [(x_2..x_d, 0)] and [(x_2..x_d, 1)]. *)
+
+val is_edge : t -> int -> int -> bool
+
+val route : t -> src:int -> dst:int -> int list
+(** The canonical bitshift route from [src] to [dst], inclusive of both
+    endpoints: exactly [d] hops (§2.1's example).  Raises
+    [Invalid_argument] on out-of-range labels. *)
+
+val bits : t -> int -> bool list
+(** The label as bits, most significant first. *)
+
+val of_bits : t -> bool list -> int
+(** Inverse of {!bits}.  Raises [Invalid_argument] on wrong length. *)

@@ -1,0 +1,282 @@
+type vkind = Left | Middle | Right
+type vnode = int
+
+type t = {
+  n : int;
+  seed : int;
+  labels : float array; (* indexed by vnode id = owner*3 + kind *)
+  cycle : vnode array; (* all vnodes sorted by label *)
+  cycle_pos : int array; (* inverse of [cycle] *)
+  d : int; (* emulated de Bruijn dimension *)
+}
+
+let kind_code = function Left -> 0 | Middle -> 1 | Right -> 2
+let vnode ~owner k = (owner * 3) + kind_code k
+let owner v = v / 3
+
+let kind v =
+  match v mod 3 with
+  | 0 -> Left
+  | 1 -> Middle
+  | _ -> Right
+
+let kind_to_string = function
+  | Left -> "L"
+  | Middle -> "M"
+  | Right -> "R"
+
+let n t = t.n
+let seed t = t.seed
+let label t v = t.labels.(v)
+
+let build_from_middles ~seed middles =
+  let n = Array.length middles in
+  let labels = Array.make (3 * n) 0.0 in
+  Array.iteri
+    (fun i m ->
+      labels.((i * 3) + 0) <- m /. 2.0;
+      labels.((i * 3) + 1) <- m;
+      labels.((i * 3) + 2) <- (m +. 1.0) /. 2.0)
+    middles;
+  let cycle = Array.init (3 * n) (fun v -> v) in
+  Array.sort (fun a b -> Float.compare labels.(a) labels.(b)) cycle;
+  let cycle_pos = Array.make (3 * n) 0 in
+  Array.iteri (fun pos v -> cycle_pos.(v) <- pos) cycle;
+  let d = Dpq_util.Bitsize.log2_ceil (max 2 n) + 2 in
+  { n; seed; labels; cycle; cycle_pos; d }
+
+let middle_label ~seed id =
+  let h = Dpq_util.Hashing.create ~seed in
+  Dpq_util.Hashing.to_unit_interval h id
+
+let build ~n ~seed =
+  if n < 1 then invalid_arg "Ldb.build: need n >= 1";
+  build_from_middles ~seed (Array.init n (fun id -> middle_label ~seed id))
+
+let vnodes_in_cycle_order t = Array.copy t.cycle
+
+let succ t v =
+  let pos = t.cycle_pos.(v) in
+  t.cycle.((pos + 1) mod Array.length t.cycle)
+
+let pred t v =
+  let len = Array.length t.cycle in
+  let pos = t.cycle_pos.(v) in
+  t.cycle.((pos + len - 1) mod len)
+
+let manager_of_point t p =
+  (* Greatest label <= p; wraps to the maximum label if p is below all
+     labels.  Binary search over the sorted cycle. *)
+  let len = Array.length t.cycle in
+  let lo = ref 0 and hi = ref (len - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.labels.(t.cycle.(mid)) <= p then begin
+      res := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  if !res = -1 then t.cycle.(len - 1) else t.cycle.(!res)
+
+let min_vnode t = t.cycle.(0)
+
+type hop = Linear of vnode * vnode | Virtual of vnode * vnode
+
+(* Walk linear edges from [v] to the manager of [p], taking the shorter
+   direction around the cycle. *)
+let linear_walk t v p =
+  let target = manager_of_point t p in
+  let len = Array.length t.cycle in
+  let pv = t.cycle_pos.(v) and pt = t.cycle_pos.(target) in
+  let fwd = (pt - pv + len) mod len in
+  let bwd = (pv - pt + len) mod len in
+  let steps, dir = if fwd <= bwd then (fwd, 1) else (bwd, -1) in
+  let rec go cur i acc =
+    if i = steps then List.rev acc
+    else
+      let nxt = t.cycle.((t.cycle_pos.(cur) + dir + len) mod len) in
+      go nxt (i + 1) (Linear (cur, nxt) :: acc)
+  in
+  go v 0 []
+
+(* Walk linear edges from [v] to the middle virtual node whose label is
+   closest to the real number [p] (no wrap-around: real distance, not
+   circular).  The de Bruijn map x -> (x+c)/2 is discontinuous at the 0/1
+   boundary, so hopping from a middle on the far side of the wrap would land
+   the message half a circle away; the real-nearest middle is always within
+   the maximum label gap of [p]. *)
+let seek_kind_near t v p k =
+  let scan step =
+    let rec go cur acc n =
+      if n > Array.length t.cycle then None
+      else if kind cur = k then Some (cur, List.rev acc)
+      else
+        let nxt = step cur in
+        go nxt (Linear (cur, nxt) :: acc) (n + 1)
+    in
+    go v [] 0
+  in
+  let fwd = scan (succ t) and bwd = scan (pred t) in
+  let dist = function
+    | None -> infinity
+    | Some (m, _) -> abs_float (t.labels.(m) -. p)
+  in
+  let choice = if dist fwd <= dist bwd then fwd else bwd in
+  match choice with
+  | Some r -> r
+  | None -> failwith "Ldb.seek_kind_near: no virtual node of the requested kind"
+
+let seek_middle_near t v p = seek_kind_near t v p Middle
+
+let bit_of_point p i =
+  (* i-th bit of the binary expansion of p in [0,1), 1-based, MSB first. *)
+  let x = p *. Float.of_int (1 lsl i) in
+  int_of_float (floor x) land 1
+
+let route t ~src ~point =
+  if point < 0.0 || point >= 1.0 then invalid_arg "Ldb.route: point must be in [0,1)";
+  let hops = ref [] in
+  let visited = ref [ src ] in
+  let push h v =
+    hops := h :: !hops;
+    visited := v :: !visited
+  in
+  let cur = ref src in
+  (* The message tracks the *ideal* point of the emulated de Bruijn walk:
+     p_{j+1} = (p_j + c_j)/2 with c_j = bit b_{d-j+1} of the target (LSB of
+     the d-bit prefix first), so p_d is within 2^-d of [point].  Each hop is
+     realized with local edges only: a short linear walk to the real-nearest
+     middle node, its left/right virtual edge, and a short linear correction
+     walk to the manager of the new ideal point. *)
+  let p = ref (label t src) in
+  for j = 1 to t.d do
+    let c = bit_of_point point (t.d - j + 1) in
+    (* 1. linear-walk to the middle virtual node closest to the ideal point *)
+    let m, seek_hops = seek_middle_near t !cur !p in
+    List.iter (fun h -> match h with Linear (_, v) | Virtual (_, v) -> push h v) seek_hops;
+    cur := m;
+    (* 2. take the owner's left or right virtual edge according to the bit *)
+    let dst_kind = if c = 0 then Left else Right in
+    let dst = vnode ~owner:(owner m) dst_kind in
+    push (Virtual (m, dst)) dst;
+    cur := dst;
+    (* 3. advance the ideal point and correct locally *)
+    p := (!p +. Float.of_int c) /. 2.0;
+    let corr = linear_walk t !cur !p in
+    List.iter (fun h -> match h with Linear (_, v) | Virtual (_, v) -> push h v) corr;
+    cur := manager_of_point t !p
+  done;
+  (* Final linear walk to the manager of the target point. *)
+  let final = linear_walk t !cur point in
+  List.iter (fun h -> match h with Linear (_, v) | Virtual (_, v) -> push h v) final;
+  (List.rev !visited, List.rev !hops)
+
+let collect_walk push hops =
+  List.iter (fun h -> match h with Linear (_, v) | Virtual (_, v) -> push h v) hops
+
+let debruijn_hop t ~src ~from_point ~bit ~point =
+  if bit <> 0 && bit <> 1 then invalid_arg "Ldb.debruijn_hop: bit must be 0 or 1";
+  let hops = ref [] in
+  let visited = ref [ src ] in
+  let push h v =
+    hops := h :: !hops;
+    visited := v :: !visited
+  in
+  (* [from_point] is the ideal point [src] stands for; it can differ from
+     label(src) by a wrap-around (the manager of a point near 0 sits at the
+     top of the cycle), and the de Bruijn arithmetic must use the ideal
+     value. *)
+  let m, seek = seek_middle_near t src from_point in
+  collect_walk push seek;
+  let dst = vnode ~owner:(owner m) (if bit = 0 then Left else Right) in
+  push (Virtual (m, dst)) dst;
+  collect_walk push (linear_walk t dst point);
+  (List.rev !visited, List.rev !hops)
+
+let debruijn_hop_back t ~src ~from_point ~point =
+  (* Reverse edge: from a node managing p to the manager of 2p (mod 1).
+     If p < 1/2 the nearby Left virtual node l(w) satisfies m(w) = 2 l(w);
+     otherwise the nearby Right virtual node r(w) has m(w) = 2 r(w) - 1.
+     One virtual edge to m(w) lands within twice the seek distance of the
+     target, then a short linear walk corrects. *)
+  let hops = ref [] in
+  let visited = ref [ src ] in
+  let push h v =
+    hops := h :: !hops;
+    visited := v :: !visited
+  in
+  let p = from_point in
+  let k = if p < 0.5 then Left else Right in
+  let gate, seek = seek_kind_near t src p k in
+  collect_walk push seek;
+  let dst = vnode ~owner:(owner gate) Middle in
+  push (Virtual (gate, dst)) dst;
+  collect_walk push (linear_walk t dst point);
+  (List.rev !visited, List.rev !hops)
+
+let route_message_hops t ~src ~point =
+  let _, hops = route t ~src ~point in
+  List.fold_left
+    (fun acc h ->
+      match h with
+      | Linear (a, b) -> if owner a = owner b then acc else acc + 1
+      | Virtual _ -> acc)
+    0 hops
+
+let middles t = Array.init t.n (fun id -> t.labels.((id * 3) + 1))
+
+let join t =
+  let ms = middles t in
+  let fresh = middle_label ~seed:t.seed t.n in
+  build_from_middles ~seed:t.seed (Array.append ms [| fresh |])
+
+let leave t ~id =
+  if t.n = 1 then invalid_arg "Ldb.leave: cannot empty the network";
+  if id < 0 || id >= t.n then invalid_arg "Ldb.leave: id out of range";
+  let ms = middles t in
+  let remaining = Array.of_list (List.filteri (fun i _ -> i <> id) (Array.to_list ms)) in
+  build_from_middles ~seed:t.seed remaining
+
+let join_cost_hops t =
+  (* The joining node contacts an arbitrary gateway (node 0's middle node),
+     routes to its own future label position, and relinks pred/succ for its
+     three virtual nodes: O(log n) + O(1) messages. *)
+  let gateway = vnode ~owner:0 Middle in
+  let fresh = middle_label ~seed:t.seed t.n in
+  let relink_cost = 6 in
+  route_message_hops t ~src:gateway ~point:fresh + relink_cost
+
+let check_invariants t =
+  let len = Array.length t.cycle in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_sorted i =
+    if i >= len - 1 then Ok ()
+    else if t.labels.(t.cycle.(i)) > t.labels.(t.cycle.(i + 1)) then
+      err "cycle not sorted at position %d" i
+    else check_sorted (i + 1)
+  in
+  let check_node id =
+    let m = t.labels.((id * 3) + 1) in
+    let l = t.labels.((id * 3) + 0) in
+    let r = t.labels.((id * 3) + 2) in
+    if abs_float (l -. (m /. 2.0)) > 1e-12 then err "l(v) <> m(v)/2 for node %d" id
+    else if abs_float (r -. ((m +. 1.0) /. 2.0)) > 1e-12 then
+      err "r(v) <> (m(v)+1)/2 for node %d" id
+    else Ok ()
+  in
+  let rec check_nodes id =
+    if id >= t.n then Ok ()
+    else match check_node id with Ok () -> check_nodes (id + 1) | e -> e
+  in
+  let rec check_cycle i =
+    if i >= len then Ok ()
+    else
+      let v = t.cycle.(i) in
+      if pred t (succ t v) <> v then err "pred(succ(v)) <> v for vnode %d" v
+      else check_cycle (i + 1)
+  in
+  match check_sorted 0 with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_nodes 0 with Error _ as e -> e | Ok () -> check_cycle 0)

@@ -1,0 +1,1 @@
+lib/seap/seap.ml: Array Dpq_aggtree Dpq_dht Dpq_kselect Dpq_overlay Dpq_semantics Dpq_simrt Dpq_util Hashtbl Int List Printf Queue

@@ -1,0 +1,1 @@
+lib/seap/seap.mli: Dpq_aggtree Dpq_kselect Dpq_semantics Dpq_simrt Dpq_util

@@ -1,0 +1,96 @@
+(** Seap: a serializable distributed heap for arbitrary (polynomial)
+    priority universes (paper §5, Theorem 5.1).
+
+    Unlike Skeap, Seap never ships per-priority counting vectors — all its
+    protocol messages are O(log n) bits regardless of the injection rate.
+    The price is local consistency: operations are processed in alternating
+    {e Insert phases} and {e DeleteMin phases}, and a node's buffered
+    inserts all serialize before its buffered deletes of the same round.
+
+    {b Insert phase} (§5.1): the number of pending inserts is aggregated to
+    the anchor (which updates its element count m); after the anchor's
+    go-ahead broadcast every element is stored in the DHT under a fresh
+    pseudorandom key and confirmed back to the inserter.
+
+    {b DeleteMin phase} (§5.2): the number k of pending deletes is
+    aggregated; {!Dpq_kselect.Kselect} finds the element of rank k; every
+    node pulls its stored elements ≤ e_k out of their random-key homes and
+    re-stores them under position keys h(1..k) assigned by interval
+    decomposition; the deleters receive position sub-intervals the same way
+    and fetch their elements.  Deletes beyond the current heap size get ⊥.
+
+    The run records an operation log whose witness order places each
+    phase's inserts (in element order) before its deletes (in rank order);
+    {!Dpq_semantics.Checker.check_all_seap} verifies serializability and
+    heap consistency on it. *)
+
+module Element = Dpq_util.Element
+module Phase = Dpq_aggtree.Phase
+
+type t
+
+(** How much ordering Seap guarantees.
+
+    - [Serializable] (the paper's Seap, default): each phase consumes every
+      buffered operation of its type — maximal throughput, no local
+      consistency.
+    - [Sequential]: the extension sketched in the paper's conclusion (§6):
+      each phase consumes only a node's maximal {e leading} run of
+      same-type operations, so every node's operations serialize in issue
+      order and the heap becomes sequentially consistent like Skeap — at
+      the cost of buffers that can grow under high injection rates, exactly
+      the trade-off the paper warns about. *)
+type consistency = Serializable | Sequential
+
+val create : ?seed:int -> ?consistency:consistency -> n:int -> unit -> t
+(** Raises [Invalid_argument] if [n < 1].  Priorities are arbitrary
+    positive integers. *)
+
+val consistency : t -> consistency
+
+val n : t -> int
+val tree : t -> Dpq_aggtree.Aggtree.t
+
+val insert : t -> node:int -> prio:int -> Element.t
+(** Buffer an [Insert]; priorities only need to be >= 1. *)
+
+val delete_min : t -> node:int -> unit
+
+val pending_ops : t -> int
+val heap_size : t -> int
+(** The anchor's element count m. *)
+
+type dht_mode =
+  | Dht_sync
+  | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type round_result = {
+  completions : completion list;  (** sorted by (node, local_seq) *)
+  report : Phase.report;  (** both phases, including KSelect *)
+  kselect : Dpq_kselect.Kselect.diagnostics option;
+      (** present when the DeleteMin phase actually ran a selection *)
+}
+
+val process_round : ?dht_mode:dht_mode -> t -> round_result
+(** One Insert phase followed by one DeleteMin phase over everything
+    currently buffered. *)
+
+val drain : ?dht_mode:dht_mode -> t -> round_result list
+(** Rounds until nothing is pending. *)
+
+val oplog : t -> Dpq_semantics.Oplog.t
+val stored_per_node : t -> int array
+
+(** {2 Membership changes (paper Contribution 4)} — same contract as
+    {!Dpq_skeap.Skeap.add_node} / [remove_last_node]. *)
+
+type churn_cost = { join_messages : int; moved_elements : int }
+
+val add_node : t -> churn_cost
+val remove_last_node : t -> churn_cost

@@ -1,0 +1,1 @@
+lib/semantics/checker.ml: Array Dpq_util Hashtbl Int List Oplog Printf

@@ -1,0 +1,1 @@
+lib/semantics/checker.mli: Oplog

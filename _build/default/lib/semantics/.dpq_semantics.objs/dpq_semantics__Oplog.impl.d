@@ -1,0 +1,1 @@
+lib/semantics/oplog.ml: Dpq_util Format Hashtbl Int List Printf

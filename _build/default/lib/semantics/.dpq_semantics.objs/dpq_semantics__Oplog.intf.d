@@ -1,0 +1,1 @@
+lib/semantics/oplog.mli: Dpq_util Format

@@ -1,0 +1,238 @@
+module Element = Dpq_util.Element
+module Binheap = Dpq_util.Binheap
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check_local_consistency log =
+  let last_seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> Ok ()
+    | (r : Oplog.record) :: rest -> (
+        match Hashtbl.find_opt last_seen r.Oplog.node with
+        | Some prev when prev >= r.Oplog.local_seq ->
+            err "node %d: local op %d appears in ≺ after local op %d" r.Oplog.node
+              r.Oplog.local_seq prev
+        | _ ->
+            Hashtbl.replace last_seen r.Oplog.node r.Oplog.local_seq;
+            go rest)
+  in
+  go (Oplog.to_list log)
+
+let check_serializability log =
+  (* Replay on a reference multiset-of-priorities heap.  Definition 1.2
+     constrains which {e priority} a delete may return (the minimum present)
+     but leaves equal-priority ties unconstrained — Skeap resolves them
+     FIFO-by-position, Seap by the element tiebreaker, and both are valid
+     sequential heap behaviours.  The oracle therefore accepts any returned
+     element that (a) is currently in the heap and (b) carries the current
+     minimum priority; ⊥ is accepted exactly on the empty heap. *)
+  let by_prio : (int, (int * int * int, Element.t) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let prios = Binheap.create ~cmp:Int.compare in
+  let ekey (e : Element.t) = (e.Element.prio, e.Element.origin, e.Element.seq) in
+  let bucket p =
+    match Hashtbl.find_opt by_prio p with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 8 in
+        Hashtbl.replace by_prio p b;
+        b
+  in
+  let rec min_prio () =
+    (* lazy deletion: prios may contain stale entries for drained buckets *)
+    match Binheap.peek prios with
+    | None -> None
+    | Some p ->
+        let b = bucket p in
+        if Hashtbl.length b = 0 then begin
+          ignore (Binheap.pop prios);
+          min_prio ()
+        end
+        else Some p
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (r : Oplog.record) :: rest -> (
+        match r.Oplog.kind with
+        | Oplog.Insert e ->
+            Hashtbl.replace (bucket (Element.prio e)) (ekey e) e;
+            Binheap.push prios (Element.prio e);
+            go rest
+        | Oplog.Delete_min -> (
+            match (min_prio (), r.Oplog.result) with
+            | None, None -> go rest
+            | None, Some got ->
+                err "delete at node %d (op %d) returned %s from an empty heap" r.Oplog.node
+                  r.Oplog.local_seq (Element.to_string got)
+            | Some p, None ->
+                err "delete at node %d (op %d) returned ⊥ but priority %d is present"
+                  r.Oplog.node r.Oplog.local_seq p
+            | Some p, Some got ->
+                if Element.prio got <> p then
+                  err "delete at node %d (op %d) returned priority %d but the minimum is %d"
+                    r.Oplog.node r.Oplog.local_seq (Element.prio got) p
+                else
+                  let b = bucket p in
+                  if not (Hashtbl.mem b (ekey got)) then
+                    err "delete at node %d (op %d) returned %s which is not in the heap"
+                      r.Oplog.node r.Oplog.local_seq (Element.to_string got)
+                  else begin
+                    Hashtbl.remove b (ekey got);
+                    go rest
+                  end))
+  in
+  go (Oplog.to_list log)
+
+let check_heap_consistency_clauses log =
+  let records = Oplog.to_list log in
+  let matching = Oplog.matching log in
+  (* Clause (1): Ins ≺ Del for every matched pair. *)
+  let* () =
+    List.fold_left
+      (fun acc ((ins : Oplog.record), (del : Oplog.record)) ->
+        let* () = acc in
+        if ins.Oplog.witness < del.Oplog.witness then Ok ()
+        else err "matched insert #%d does not precede its delete #%d" ins.Oplog.witness
+          del.Oplog.witness)
+      (Ok ()) matching
+  in
+  (* Clause (2): no unmatched delete strictly between a matched insert and
+     its delete. *)
+  let unmatched_del_witnesses =
+    List.filter_map
+      (fun (r : Oplog.record) ->
+        match (r.Oplog.kind, r.Oplog.result) with
+        | Oplog.Delete_min, None -> Some r.Oplog.witness
+        | _ -> None)
+      records
+    |> List.sort Int.compare |> Array.of_list
+  in
+  let exists_between lo hi =
+    (* any unmatched delete with lo < w < hi? *)
+    let n = Array.length unmatched_del_witnesses in
+    let rec bs l r =
+      if l >= r then l
+      else
+        let m = (l + r) / 2 in
+        if unmatched_del_witnesses.(m) <= lo then bs (m + 1) r else bs l m
+    in
+    let i = bs 0 n in
+    i < n && unmatched_del_witnesses.(i) < hi
+  in
+  let* () =
+    List.fold_left
+      (fun acc ((ins : Oplog.record), (del : Oplog.record)) ->
+        let* () = acc in
+        if exists_between ins.Oplog.witness del.Oplog.witness then
+          err "an unmatched ⊥-delete lies between matched insert #%d and delete #%d"
+            ins.Oplog.witness del.Oplog.witness
+        else Ok ())
+      (Ok ()) matching
+  in
+  (* Clause (3): for a matched (Ins_v, Del_w) there is no unmatched insert
+     with smaller priority preceding Del_w. *)
+  let unmatched_inserts =
+    let matched_ins = Hashtbl.create 64 in
+    List.iter
+      (fun ((ins : Oplog.record), _) -> Hashtbl.replace matched_ins ins.Oplog.witness ())
+      matching;
+    List.filter_map
+      (fun (r : Oplog.record) ->
+        match r.Oplog.kind with
+        | Oplog.Insert e when not (Hashtbl.mem matched_ins r.Oplog.witness) ->
+            Some (r.Oplog.witness, Element.prio e)
+        | _ -> None)
+      records
+  in
+  (* For each witness position, the minimum priority among unmatched inserts
+     up to that position (prefix minimum). *)
+  let sorted_unmatched = List.sort compare unmatched_inserts in
+  let check_pair ((ins : Oplog.record), (del : Oplog.record)) =
+    let prio_ins =
+      match ins.Oplog.kind with Oplog.Insert e -> Element.prio e | _ -> assert false
+    in
+    let rec scan best = function
+      | (w, p) :: rest when w < del.Oplog.witness -> scan (min best p) rest
+      | _ -> best
+    in
+    let best = scan max_int sorted_unmatched in
+    if best < prio_ins then
+      err
+        "matched delete #%d returned priority %d while an unmatched insert of priority %d \
+         precedes it"
+        del.Oplog.witness prio_ins best
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc pair ->
+      let* () = acc in
+      check_pair pair)
+    (Ok ()) matching
+
+(* Shared replay against a sequential container: [push]/[pop] define the
+   discipline (FIFO front or LIFO top). *)
+let check_container_replay ~what ~pop_expected log =
+  let store = ref [] (* newest first *) in
+  let rec go = function
+    | [] -> Ok ()
+    | (r : Oplog.record) :: rest -> (
+        match r.Oplog.kind with
+        | Oplog.Insert e ->
+            store := e :: !store;
+            go rest
+        | Oplog.Delete_min -> (
+            let expected, rest_store = pop_expected !store in
+            match (expected, r.Oplog.result) with
+            | None, None -> go rest
+            | Some e, Some got when Element.equal e got ->
+                store := rest_store;
+                go rest
+            | Some e, Some got ->
+                err "%s replay: delete at node %d (op %d) returned %s, expected %s" what
+                  r.Oplog.node r.Oplog.local_seq (Element.to_string got) (Element.to_string e)
+            | Some e, None ->
+                err "%s replay: delete returned ⊥ but %s is present" what (Element.to_string e)
+            | None, Some got ->
+                err "%s replay: delete returned %s from an empty structure" what
+                  (Element.to_string got)))
+  in
+  go (Oplog.to_list log)
+
+let check_fifo_queue log =
+  check_container_replay ~what:"FIFO"
+    ~pop_expected:(fun store ->
+      match List.rev store with
+      | [] -> (None, [])
+      | oldest :: _ ->
+          (Some oldest, List.rev (List.tl (List.rev store))))
+    log
+
+let check_lifo_stack log =
+  check_container_replay ~what:"LIFO"
+    ~pop_expected:(fun store ->
+      match store with [] -> (None, []) | top :: rest -> (Some top, rest))
+    log
+
+let check_sequential_consistency log =
+  let* () = check_serializability log in
+  check_local_consistency log
+
+let check_all_skeap log =
+  let* () = Oplog.check_well_formed log in
+  let* () = check_sequential_consistency log in
+  check_heap_consistency_clauses log
+
+let check_all_seap log =
+  let* () = Oplog.check_well_formed log in
+  let* () = check_serializability log in
+  check_heap_consistency_clauses log
+
+let check_all_skueue log =
+  let* () = Oplog.check_well_formed log in
+  let* () = check_local_consistency log in
+  check_fifo_queue log
+
+let check_all_sstack log =
+  let* () = Oplog.check_well_formed log in
+  let* () = check_local_consistency log in
+  check_lifo_stack log

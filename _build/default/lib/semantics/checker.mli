@@ -1,0 +1,61 @@
+(** Verifiers for the paper's semantics (Definitions 1.1 and 1.2).
+
+    A protocol hands over an {!Oplog.t} whose [witness] fields encode the
+    serialization order ≺ the protocol claims.  These checkers decide:
+
+    - {b serializability} ({!check_serializability}): replaying all
+      operations sequentially in witness order on a reference heap produces
+      exactly the results the distributed execution produced.  Replay
+      equality is the strongest possible certificate — it directly witnesses
+      "the distributed execution is equivalent to the serial execution
+      w.r.t. ≺" and implies heap consistency.
+    - {b local consistency} ({!check_local_consistency}): for every node,
+      witness order restricted to that node equals its issue order
+      (Definition 1.1's extra condition for sequential consistency).
+    - {b heap consistency, clause by clause}
+      ({!check_heap_consistency_clauses}): the three properties of
+      Definition 1.2 verified directly from the matching M — an independent
+      second opinion on the replay check.
+
+    Skeap must pass all three; Seap must pass serializability and heap
+    consistency but not necessarily local consistency. *)
+
+val check_local_consistency : Oplog.t -> (unit, string) result
+
+val check_serializability : Oplog.t -> (unit, string) result
+(** Replay in witness order: every [Delete_min] must return exactly what the
+    reference heap's minimum is at that point (⊥ iff empty); implies the
+    matching is heap-consistent. *)
+
+val check_heap_consistency_clauses : Oplog.t -> (unit, string) result
+(** Definition 1.2 verified clause by clause:
+    (1) matched inserts precede their deletes;
+    (2) no unmatched delete lies between a matched insert and its delete;
+    (3) no unmatched insert with smaller priority precedes a matched
+    delete. *)
+
+val check_sequential_consistency : Oplog.t -> (unit, string) result
+(** Serializability + local consistency (Definition 1.1). *)
+
+val check_all_skeap : Oplog.t -> (unit, string) result
+(** Well-formedness + sequential consistency + heap-consistency clauses:
+    everything Theorem 3.2 claims. *)
+
+val check_all_seap : Oplog.t -> (unit, string) result
+(** Well-formedness + serializability + heap-consistency clauses:
+    everything Theorem 5.1 claims. *)
+
+val check_fifo_queue : Oplog.t -> (unit, string) result
+(** Replay against a sequential FIFO queue: every delete must return the
+    {e oldest} present element (Skueue semantics — a heap with one constant
+    priority degenerates to exactly this). *)
+
+val check_lifo_stack : Oplog.t -> (unit, string) result
+(** Replay against a sequential LIFO stack: every delete must return the
+    {e newest} present element (Sstack semantics). *)
+
+val check_all_skueue : Oplog.t -> (unit, string) result
+(** Well-formedness + local consistency + FIFO replay. *)
+
+val check_all_sstack : Oplog.t -> (unit, string) result
+(** Well-formedness + local consistency + LIFO replay. *)

@@ -1,0 +1,1 @@
+lib/simrt/async_engine.mli:

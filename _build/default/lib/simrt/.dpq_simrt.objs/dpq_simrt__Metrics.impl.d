@@ -1,0 +1,1 @@
+lib/simrt/metrics.ml: Array

@@ -1,0 +1,1 @@
+lib/simrt/sync_engine.mli: Metrics

@@ -1,0 +1,85 @@
+type 'msg event = { time : float; seq : int; src : int; dst : int; msg : 'msg }
+
+type delay_policy =
+  | Uniform of float * float
+  | Exponential of float
+  | Adversarial_lifo
+
+type 'msg t = {
+  n : int;
+  size_bits : 'msg -> int;
+  handler : 'msg t -> dst:int -> src:int -> 'msg -> unit;
+  policy : delay_policy;
+  rng : Dpq_util.Rng.t;
+  queue : 'msg event Dpq_util.Binheap.t;
+  mutable now : float;
+  mutable seq : int;
+  mutable delivered : int;
+  mutable lifo_next : float; (* decreasing pseudo-times for adversarial mode *)
+}
+
+let cmp_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ~size_bits ~handler () =
+  {
+    n;
+    size_bits;
+    handler;
+    policy;
+    rng = Dpq_util.Rng.create ~seed;
+    queue = Dpq_util.Binheap.create ~cmp:cmp_event;
+    now = 0.0;
+    seq = 0;
+    delivered = 0;
+    lifo_next = 0.0;
+  }
+
+let n t = t.n
+let now t = t.now
+let delivered t = t.delivered
+
+let sample_delay t =
+  match t.policy with
+  | Uniform (lo, hi) -> lo +. (Dpq_util.Rng.float t.rng *. (hi -. lo))
+  | Exponential mean -> Dpq_util.Rng.exponential t.rng ~mean
+  | Adversarial_lifo -> assert false (* handled in [send] *)
+
+let check_id t id =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Async_engine: node id %d out of range" id)
+
+let send t ~src ~dst msg =
+  check_id t src;
+  check_id t dst;
+  ignore (t.size_bits msg);
+  if src = dst then t.handler t ~dst ~src msg
+  else begin
+    let time =
+      match t.policy with
+      | Adversarial_lifo ->
+          t.lifo_next <- t.lifo_next -. 1.0;
+          t.lifo_next
+      | _ -> t.now +. sample_delay t
+    in
+    t.seq <- t.seq + 1;
+    Dpq_util.Binheap.push t.queue { time; seq = t.seq; src; dst; msg }
+  end
+
+let run_to_quiescence ?(max_events = 10_000_000) t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Dpq_util.Binheap.pop t.queue with
+    | None -> continue := false
+    | Some ev ->
+        incr count;
+        if !count > max_events then
+          failwith "Async_engine.run_to_quiescence: exceeded max_events (livelock?)";
+        (* Adversarial pseudo-times can be negative and decreasing; virtual
+           time only moves forward for well-behaved policies. *)
+        if ev.time > t.now then t.now <- ev.time;
+        t.delivered <- t.delivered + 1;
+        t.handler t ~dst:ev.dst ~src:ev.src ev.msg
+  done;
+  !count

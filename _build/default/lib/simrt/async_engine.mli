@@ -1,0 +1,45 @@
+(** Asynchronous message-passing engine.
+
+    This is the paper's correctness model (§1.1): no bound on message
+    propagation delay, non-FIFO delivery, fair receipt (every message is
+    eventually delivered).  Used to test that Skeap's sequential consistency
+    and Seap's serializability hold regardless of message reordering.
+
+    Each send is assigned a delivery time [now + delay] where [delay] is
+    drawn by a pluggable policy; events are processed in delivery-time order,
+    so messages can freely outrun one another. *)
+
+type 'msg t
+
+type delay_policy =
+  | Uniform of float * float  (** delay uniform in [lo, hi] *)
+  | Exponential of float  (** exponential with the given mean *)
+  | Adversarial_lifo
+      (** each send is delivered before all currently pending sends — a
+          worst-case reordering stress *)
+
+val create :
+  n:int ->
+  seed:int ->
+  ?policy:delay_policy ->
+  size_bits:('msg -> int) ->
+  handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
+  unit ->
+  'msg t
+(** Default policy is [Uniform (1., 10.)]. *)
+
+val n : 'msg t -> int
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Self-sends are delivered immediately (virtual edges), like in
+    {!Sync_engine}. *)
+
+val run_to_quiescence : ?max_events:int -> 'msg t -> int
+(** Deliver events until none remain; returns the number of events
+    delivered. Raises [Failure] beyond [max_events] (default 10_000_000). *)
+
+val now : 'msg t -> float
+(** Current virtual time. *)
+
+val delivered : 'msg t -> int
+(** Total events delivered so far. *)

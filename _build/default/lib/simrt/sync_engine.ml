@@ -1,0 +1,74 @@
+type 'msg envelope = { src : int; dst : int; msg : 'msg }
+
+type 'msg t = {
+  n : int;
+  size_bits : 'msg -> int;
+  handler : 'msg t -> dst:int -> src:int -> 'msg -> unit;
+  activate : ('msg t -> int -> unit) option;
+  mutable inflight : 'msg envelope list; (* reversed send order *)
+  mutable round : int;
+  metrics : Metrics.t;
+}
+
+let create ~n ~size_bits ~handler ?activate () =
+  {
+    n;
+    size_bits;
+    handler;
+    activate;
+    inflight = [];
+    round = 0;
+    metrics = Metrics.create ~n;
+  }
+
+let n t = t.n
+let round t = t.round
+let metrics t = t.metrics
+let pending t = List.length t.inflight
+
+let check_id t id name =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Sync_engine.%s: node id %d out of range" name id)
+
+let send t ~src ~dst msg =
+  check_id t src "send";
+  check_id t dst "send";
+  if src = dst then begin
+    (* Virtual edge between co-located virtual nodes: free, immediate. *)
+    Metrics.record_local t.metrics;
+    t.handler t ~dst ~src msg
+  end
+  else t.inflight <- { src; dst; msg } :: t.inflight
+
+let step t =
+  (* Deliveries of this round are the messages sent in previous rounds;
+     anything sent during activation or during a delivery handler is
+     processed in round [t.round + 1]. *)
+  let batch = List.rev t.inflight in
+  t.inflight <- [];
+  (match t.activate with
+  | Some f ->
+      for i = 0 to t.n - 1 do
+        f t i
+      done
+  | None -> ());
+  let this_round = t.round in
+  List.iter
+    (fun { src; dst; msg } ->
+      Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits:(t.size_bits msg);
+      t.handler t ~dst ~src msg)
+    batch;
+  t.round <- t.round + 1
+
+let run_to_quiescence ?(max_rounds = 1_000_000) t =
+  let start = t.round in
+  while t.inflight <> [] do
+    if t.round - start > max_rounds then
+      failwith "Sync_engine.run_to_quiescence: exceeded max_rounds (livelock?)";
+    step t
+  done;
+  t.round - start
+
+let reset_clock t =
+  if t.inflight <> [] then invalid_arg "Sync_engine.reset_clock: messages in flight";
+  t.round <- 0;
+  Metrics.reset t.metrics

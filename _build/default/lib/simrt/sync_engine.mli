@@ -1,0 +1,53 @@
+(** Synchronous round-based message-passing engine.
+
+    This is the paper's performance-analysis model (§1.1): time proceeds in
+    rounds; every message sent in round [i] is processed in round [i+1]; every
+    node is activated once per round.  All round/congestion/message-size
+    measurements in the experiments come from this engine.
+
+    A message sent to the sender's own node id models a "virtual edge"
+    between co-located virtual nodes: it is delivered immediately within the
+    same activation, costs no round and no congestion, and is tallied
+    separately (see {!Metrics.local_deliveries}). *)
+
+type 'msg t
+
+val create :
+  n:int ->
+  size_bits:('msg -> int) ->
+  handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
+  ?activate:('msg t -> int -> unit) ->
+  unit ->
+  'msg t
+(** [create ~n ~size_bits ~handler ()] builds an engine for nodes
+    [0..n-1]. [handler] is invoked for every delivered message; [activate]
+    (optional) is invoked once per node at the start of every round, before
+    deliveries. *)
+
+val n : 'msg t -> int
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue a message for delivery next round ([dst <> src]) or deliver it
+    locally right now ([dst = src]). Raises [Invalid_argument] on an
+    out-of-range node id. *)
+
+val step : 'msg t -> unit
+(** Execute one round: activations, then all pending deliveries. *)
+
+val pending : 'msg t -> int
+(** Messages currently in flight. *)
+
+val run_to_quiescence : ?max_rounds:int -> 'msg t -> int
+(** Run rounds until no messages are in flight; returns the number of rounds
+    executed. Raises [Failure] if [max_rounds] (default 1_000_000) is
+    exceeded — a protocol bug guard. *)
+
+val round : 'msg t -> int
+(** Rounds executed so far. *)
+
+val metrics : 'msg t -> Metrics.t
+
+val reset_clock : 'msg t -> unit
+(** Zero the round counter and metrics (in-flight messages must be none);
+    used between protocol phases to measure them separately.
+    Raises [Invalid_argument] if messages are pending. *)

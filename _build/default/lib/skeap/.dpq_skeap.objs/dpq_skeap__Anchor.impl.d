@@ -1,0 +1,1 @@
+lib/skeap/anchor.ml: Array Batch Dpq_util Format List

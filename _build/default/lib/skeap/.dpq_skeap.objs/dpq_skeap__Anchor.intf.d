@@ -1,0 +1,1 @@
+lib/skeap/anchor.mli: Batch Dpq_util Format

@@ -1,0 +1,1 @@
+lib/skeap/batch.ml: Array Dpq_util Format List Printf String

@@ -1,0 +1,1 @@
+lib/skeap/batch.mli: Format

@@ -1,0 +1,1 @@
+lib/skeap/skeap.ml: Anchor Array Batch Dpq_aggtree Dpq_dht Dpq_overlay Dpq_semantics Dpq_simrt Dpq_util Hashtbl Int List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/skeap/skeap.mli: Anchor Batch Dpq_aggtree Dpq_semantics Dpq_simrt Dpq_util

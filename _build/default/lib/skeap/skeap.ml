@@ -1,0 +1,346 @@
+module Element = Dpq_util.Element
+module Interval = Dpq_util.Interval
+module Ldb = Dpq_overlay.Ldb
+module Aggtree = Dpq_aggtree.Aggtree
+module Phase = Dpq_aggtree.Phase
+module Dht = Dpq_dht.Dht
+module Oplog = Dpq_semantics.Oplog
+
+type pending = { local_seq : int; op : Batch.op; elt : Element.t option }
+
+type t = {
+  mutable n : int;
+  num_prios : int;
+  seed : int;
+  mutable ldb : Ldb.t;
+  mutable tree : Aggtree.t;
+  dht : Dht.t;
+  key_hash : Dpq_util.Hashing.t; (* (prio, pos) -> DHT key *)
+  mutable buffers : pending Queue.t array;
+  mutable seq_counters : int array; (* per-node local operation counter *)
+  mutable elt_counters : int array; (* per-node element tiebreaker counter *)
+  anchor : Anchor.t;
+  mutable preorder_rank : int array; (* per middle-vnode owner: traversal rank *)
+  (* counters of retired node slots, so a reused id resumes its sequence
+     numbers and oplog identities stay unique across churn *)
+  retired : (int, int * int) Hashtbl.t;
+  mutable witness_counter : int;
+  mutable batches_processed : int;
+  mutable log : Oplog.record list;
+}
+
+let compute_preorder_ranks tree n =
+  (* DFS pre-order: own first, then children in label order — the exact
+     order up-combine folds and down-split decomposes. *)
+  let rank = Array.make n (-1) in
+  let counter = ref 0 in
+  let rec dfs v =
+    let r = !counter in
+    incr counter;
+    (match Ldb.kind v with Ldb.Middle -> rank.(Ldb.owner v) <- r | _ -> ());
+    List.iter dfs (Aggtree.children tree v)
+  in
+  dfs (Aggtree.root tree);
+  Array.iteri (fun i r -> if r < 0 then failwith (Printf.sprintf "node %d missing preorder rank" i)) rank;
+  rank
+
+let create ?(seed = 1) ~n ~num_prios () =
+  if n < 1 then invalid_arg "Skeap.create: need n >= 1";
+  if num_prios < 1 then invalid_arg "Skeap.create: need num_prios >= 1";
+  let ldb = Ldb.build ~n ~seed in
+  let tree = Aggtree.of_ldb ldb in
+  {
+    n;
+    num_prios;
+    seed;
+    ldb;
+    tree;
+    dht = Dht.create ~ldb ~seed:(seed + 7919);
+    key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
+    buffers = Array.init n (fun _ -> Queue.create ());
+    seq_counters = Array.make n 0;
+    elt_counters = Array.make n 0;
+    anchor = Anchor.create ~num_prios;
+    preorder_rank = compute_preorder_ranks tree n;
+    retired = Hashtbl.create 4;
+    witness_counter = 0;
+    batches_processed = 0;
+    log = [];
+  }
+
+let n t = t.n
+let num_prios t = t.num_prios
+let tree t = t.tree
+
+let check_node t node =
+  if node < 0 || node >= t.n then invalid_arg (Printf.sprintf "Skeap: node %d out of range" node)
+
+let insert t ~node ~prio =
+  check_node t node;
+  if prio < 1 || prio > t.num_prios then
+    invalid_arg (Printf.sprintf "Skeap.insert: priority %d outside [1,%d]" prio t.num_prios);
+  let seq = t.elt_counters.(node) in
+  t.elt_counters.(node) <- seq + 1;
+  let elt = Element.make ~prio ~origin:node ~seq () in
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; op = Batch.Ins prio; elt = Some elt } t.buffers.(node);
+  elt
+
+let delete_min t ~node =
+  check_node t node;
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; op = Batch.Del; elt = None } t.buffers.(node)
+
+let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
+let heap_size t = Anchor.total_occupied t.anchor
+
+type dht_mode =
+  | Dht_sync
+  | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type batch_result = {
+  completions : completion list;
+  report : Phase.report;
+  batch : Batch.t;
+  assignment : Anchor.assignment;
+}
+
+let dht_key t prio pos = Dpq_util.Hashing.pair t.key_hash prio pos
+
+(* A witness sort key; ordered lexicographically.  Layout:
+   (entry_j, phase, a, b) with phase 0 = inserts (ordered by traversal rank
+   then local issue order), 1 = matched deletes (ordered by draw order:
+   ascending priority then position), 2 = ⊥ deletes (node, local order). *)
+type wkey = int * int * int * int
+
+let process_batch ?(dht_mode = Dht_sync) t =
+  (* ---- snapshot buffers ---------------------------------------------- *)
+  let node_ops =
+    Array.init t.n (fun v ->
+        let ops = List.of_seq (Queue.to_seq t.buffers.(v)) in
+        Queue.clear t.buffers.(v);
+        ops)
+  in
+  let node_batches =
+    Array.map (fun ops -> Batch.of_ops ~num_prios:t.num_prios (List.map (fun p -> p.op) ops)) node_ops
+  in
+  (* ---- Phase 1: aggregate batches to the anchor ----------------------- *)
+  let local v =
+    match Ldb.kind v with
+    | Ldb.Middle -> node_batches.(Ldb.owner v)
+    | _ -> Batch.empty ~num_prios:t.num_prios
+  in
+  let combined, memo, up_report =
+    Phase.up ~tree:t.tree ~local ~combine:Batch.combine ~size_bits:Batch.encoded_bits
+  in
+  (* ---- Phase 2: anchor assigns position intervals (local) ------------- *)
+  let assignment = Anchor.assign t.anchor combined in
+  (* ---- Phase 3: decompose intervals down the tree --------------------- *)
+  let retained, down_report =
+    Phase.down ~tree:t.tree ~memo ~root_payload:assignment
+      ~split:(fun ~parts a -> Anchor.split ~num_prios:t.num_prios a ~parts)
+      ~size_bits:Anchor.assignment_bits
+  in
+  (* Announce the phase switch (anchor-driven broadcast). *)
+  let announce_report = Phase.broadcast ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) in
+  (* ---- Phase 4: map positions to ops, run the DHT --------------------- *)
+  let dht_ops = ref [] in
+  (* (origin, key) -> (local_seq, wkey) for deletes in flight *)
+  let get_index : (int * int, int * wkey) Hashtbl.t = Hashtbl.create 64 in
+  let records : (wkey * Oplog.record) list ref = ref [] in
+  let completions = ref [] in
+  for node = 0 to t.n - 1 do
+    let mv = Ldb.vnode ~owner:node Ldb.Middle in
+    match retained.(mv) with
+    | None ->
+        if node_ops.(node) <> [] then failwith "Skeap: node with ops received no assignment"
+    | Some (entry_assigns : Anchor.assignment) ->
+        let groups = Batch.group_ops (List.map (fun p -> p.op) node_ops.(node)) in
+        let pendings = ref node_ops.(node) in
+        let next_pending () =
+          match !pendings with
+          | [] -> failwith "Skeap: assignment/ops length mismatch"
+          | p :: tl ->
+              pendings := tl;
+              p
+        in
+        List.iteri
+          (fun j group ->
+            let ea = List.nth entry_assigns j in
+            (* cursors over this entry's per-priority insert intervals *)
+            let ins_cursor = Array.map (fun iv -> ref (Interval.positions iv)) ea.Anchor.ins in
+            let del_cursor =
+              ref
+                (List.concat_map
+                   (fun (p, iv) -> List.map (fun pos -> (p, pos)) (Interval.positions iv))
+                   ea.Anchor.dels)
+            in
+            List.iter
+              (fun op ->
+                let pending = next_pending () in
+                match op with
+                | Batch.Ins prio ->
+                    let pos =
+                      match !(ins_cursor.(prio - 1)) with
+                      | [] -> failwith "Skeap: insert positions exhausted"
+                      | p :: tl ->
+                          ins_cursor.(prio - 1) := tl;
+                          p
+                    in
+                    let elt = Option.get pending.elt in
+                    let key = dht_key t prio pos in
+                    dht_ops := Dht.Put { origin = node; key; elt; confirm = false } :: !dht_ops;
+                    let wkey = (j, 0, t.preorder_rank.(node), pending.local_seq) in
+                    records :=
+                      ( wkey,
+                        Oplog.
+                          {
+                            node;
+                            local_seq = pending.local_seq;
+                            witness = 0;
+                            kind = Oplog.Insert elt;
+                            result = None;
+                          } )
+                      :: !records;
+                    completions :=
+                      { node; local_seq = pending.local_seq; outcome = `Inserted elt }
+                      :: !completions
+                | Batch.Del -> (
+                    match !del_cursor with
+                    | (prio, pos) :: tl ->
+                        del_cursor := tl;
+                        let key = dht_key t prio pos in
+                        dht_ops := Dht.Get { origin = node; key } :: !dht_ops;
+                        let wkey = (j, 1, prio, pos) in
+                        Hashtbl.replace get_index (node, key) (pending.local_seq, wkey)
+                    | [] ->
+                        (* ⊥: the heap ran dry for this entry. *)
+                        let wkey = (j, 2, node, pending.local_seq) in
+                        records :=
+                          ( wkey,
+                            Oplog.
+                              {
+                                node;
+                                local_seq = pending.local_seq;
+                                witness = 0;
+                                kind = Oplog.Delete_min;
+                                result = None;
+                              } )
+                          :: !records;
+                        completions :=
+                          { node; local_seq = pending.local_seq; outcome = `Empty }
+                          :: !completions))
+              group)
+          groups
+  done;
+  let dht_ops = List.rev !dht_ops in
+  let dht_completions, dht_report =
+    match dht_mode with
+    | Dht_sync -> Dht.run_batch_sync t.dht dht_ops
+    | Dht_async { seed; policy } ->
+        let cs = Dht.run_batch_async t.dht ~seed ~policy dht_ops in
+        (cs, Phase.empty_report)
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Dht.Got { origin; key; elt } -> (
+          match Hashtbl.find_opt get_index (origin, key) with
+          | None -> failwith "Skeap: DHT returned an element nobody asked for"
+          | Some (local_seq, wkey) ->
+              Hashtbl.remove get_index (origin, key);
+              records :=
+                ( wkey,
+                  Oplog.
+                    {
+                      node = origin;
+                      local_seq;
+                      witness = 0;
+                      kind = Oplog.Delete_min;
+                      result = Some elt;
+                    } )
+                :: !records;
+              completions := { node = origin; local_seq; outcome = `Got elt } :: !completions)
+      | Dht.Put_confirmed _ -> ())
+    dht_completions;
+  if Hashtbl.length get_index > 0 then
+    failwith "Skeap: some DeleteMin requests never met their element";
+  (* ---- assign witness positions in anchor processing order ------------ *)
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !records) in
+  List.iter
+    (fun (_, r) ->
+      let w = t.witness_counter in
+      t.witness_counter <- w + 1;
+      t.log <- { r with Oplog.witness = w } :: t.log)
+    sorted;
+  t.batches_processed <- t.batches_processed + 1;
+  let report =
+    List.fold_left Phase.add_report Phase.empty_report
+      [ up_report; down_report; announce_report; dht_report ]
+  in
+  let completions =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.node b.node in
+        if c <> 0 then c else Int.compare a.local_seq b.local_seq)
+      !completions
+  in
+  { completions; report; batch = combined; assignment }
+
+let drain ?(dht_mode = Dht_sync) t =
+  let rec go acc =
+    if pending_ops t = 0 then List.rev acc
+    else go (process_batch ~dht_mode t :: acc)
+  in
+  go []
+
+let oplog t = Oplog.of_list t.log
+let stored_per_node t = Dht.stored_counts t.dht
+
+(* ------------------------------------------------- membership changes *)
+
+type churn_cost = { join_messages : int; moved_elements : int }
+
+let retopology t ldb' =
+  let moved = Dht.set_topology t.dht ldb' in
+  t.ldb <- ldb';
+  t.tree <- Aggtree.of_ldb ldb';
+  t.preorder_rank <- compute_preorder_ranks t.tree (Ldb.n ldb');
+  moved
+
+let grow_array a len zero = Array.init len (fun i -> if i < Array.length a then a.(i) else zero)
+
+let add_node t =
+  let join_messages = Ldb.join_cost_hops t.ldb in
+  let ldb' = Ldb.join t.ldb in
+  let moved_elements = retopology t ldb' in
+  t.n <- t.n + 1;
+  t.buffers <- Array.init t.n (fun i -> if i < Array.length t.buffers then t.buffers.(i) else Queue.create ());
+  let seq0, elt0 =
+    match Hashtbl.find_opt t.retired (t.n - 1) with Some c -> c | None -> (0, 0)
+  in
+  t.seq_counters <- grow_array t.seq_counters t.n seq0;
+  t.elt_counters <- grow_array t.elt_counters t.n elt0;
+  { join_messages; moved_elements }
+
+let remove_last_node t =
+  if t.n <= 1 then invalid_arg "Skeap.remove_last_node: cannot empty the heap";
+  let leaving = t.n - 1 in
+  if not (Queue.is_empty t.buffers.(leaving)) then
+    invalid_arg "Skeap.remove_last_node: leaving node still has buffered operations";
+  Hashtbl.replace t.retired leaving (t.seq_counters.(leaving), t.elt_counters.(leaving));
+  let ldb' = Ldb.leave t.ldb ~id:leaving in
+  let moved_elements = retopology t ldb' in
+  t.n <- t.n - 1;
+  t.buffers <- Array.sub t.buffers 0 t.n;
+  t.seq_counters <- Array.sub t.seq_counters 0 t.n;
+  t.elt_counters <- Array.sub t.elt_counters 0 t.n;
+  { join_messages = Ldb.join_cost_hops ldb'; moved_elements }

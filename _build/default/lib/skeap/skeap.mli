@@ -1,0 +1,102 @@
+(** Skeap: a sequentially consistent distributed heap for a constant number
+    of priorities (paper §3, Theorem 3.2).
+
+    Nodes buffer their [Insert]/[DeleteMin] requests locally.  One call to
+    {!process_batch} executes the protocol's four phases at message level:
+
+    + {b Phase 1} — every node snapshots its buffer as a batch
+      (Definition 3.1) and the batches are aggregated to the anchor over the
+      aggregation tree, each node memorizing its children's sub-batches;
+    + {b Phase 2} — the anchor assigns position intervals per priority
+      (local computation, {!Anchor});
+    + {b Phase 3} — the intervals are decomposed down the tree against the
+      memorized sub-batches, giving every operation a unique
+      [(priority, position)] pair;
+    + {b Phase 4} — every insert issues [Put(h(p,pos), e)] and every delete
+      [Get(h(p,pos))] on the DHT; matching pairs rendezvous at the same
+      virtual node regardless of message delays.
+
+    The run records an operation log whose witness order is the anchor's
+    processing order; {!Dpq_semantics.Checker.check_all_skeap} verifies
+    sequential consistency and heap consistency on it. *)
+
+module Element = Dpq_util.Element
+module Phase = Dpq_aggtree.Phase
+
+type t
+
+val create : ?seed:int -> n:int -> num_prios:int -> unit -> t
+(** A Skeap instance over [n] nodes with priorities [{1..num_prios}].
+    Raises [Invalid_argument] if [n < 1] or [num_prios < 1]. *)
+
+val n : t -> int
+val num_prios : t -> int
+val tree : t -> Dpq_aggtree.Aggtree.t
+
+val insert : t -> node:int -> prio:int -> Element.t
+(** Buffer an [Insert] at [node]; returns the element that will be inserted
+    (priority tagged with origin/sequence tiebreaker).  Raises
+    [Invalid_argument] on a bad node or priority. *)
+
+val delete_min : t -> node:int -> unit
+(** Buffer a [DeleteMin] at [node]. *)
+
+val pending_ops : t -> int
+(** Buffered operations not yet processed. *)
+
+val heap_size : t -> int
+(** Elements logically in the heap (anchor's interval cardinalities). *)
+
+(** How Phase 4's DHT traffic is delivered. *)
+type dht_mode =
+  | Dht_sync  (** synchronous rounds; gives full cost measurements *)
+  | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
+      (** adversarially delayed/reordered delivery; used to demonstrate
+          order-independence of the rendezvous *)
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
+}
+
+type batch_result = {
+  completions : completion list;  (** sorted by (node, local_seq) *)
+  report : Phase.report;  (** summed over all four phases *)
+  batch : Batch.t;  (** the combined batch the anchor processed *)
+  assignment : Anchor.assignment;  (** what the anchor handed out *)
+}
+
+val process_batch : ?dht_mode:dht_mode -> t -> batch_result
+(** Run one full protocol iteration over everything currently buffered.
+    Processing an empty system is a no-op that still reports the (cheap)
+    aggregation of empty batches. *)
+
+val drain : ?dht_mode:dht_mode -> t -> batch_result list
+(** Process batches until no operations are pending. *)
+
+val oplog : t -> Dpq_semantics.Oplog.t
+(** Everything completed so far, in witness (serialization) order. *)
+
+val stored_per_node : t -> int array
+(** DHT elements per node — fairness measure. *)
+
+(** {2 Membership changes (paper Contribution 4)}
+
+    Joins and leaves happen between batches: the overlay is restructured in
+    O(log n) messages w.h.p. and the DHT key space redistributes — only the
+    elements whose manager changed move, ~m/n per single join/leave in
+    expectation.  No heap contents or semantics are lost; the operation log
+    keeps verifying across the change. *)
+
+type churn_cost = {
+  join_messages : int;  (** overlay messages to splice the node in/out *)
+  moved_elements : int;  (** stored elements whose manager changed *)
+}
+
+val add_node : t -> churn_cost
+(** The new node gets id [n] (the old node count). *)
+
+val remove_last_node : t -> churn_cost
+(** Removes node [n-1].  Raises [Invalid_argument] if it still has buffered
+    operations or it is the only node. *)

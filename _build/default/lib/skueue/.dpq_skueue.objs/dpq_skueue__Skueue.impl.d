@@ -1,0 +1,1 @@
+lib/skueue/skueue.ml: Dpq_aggtree Dpq_skeap Dpq_util List

@@ -1,0 +1,1 @@
+lib/skueue/skueue.mli: Dpq_aggtree Dpq_semantics Dpq_util

@@ -1,0 +1,1 @@
+lib/skueue/sstack.ml: Array Dpq_aggtree Dpq_dht Dpq_overlay Dpq_semantics Dpq_skeap Dpq_util Hashtbl Int List Option Queue

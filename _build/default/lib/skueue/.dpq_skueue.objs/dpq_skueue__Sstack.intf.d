@@ -1,0 +1,1 @@
+lib/skueue/sstack.mli: Dpq_aggtree Dpq_semantics Dpq_util

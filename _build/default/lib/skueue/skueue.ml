@@ -1,0 +1,42 @@
+module Element = Dpq_util.Element
+module Skeap = Dpq_skeap.Skeap
+module Phase = Dpq_aggtree.Phase
+
+type t = Skeap.t
+
+let create ?(seed = 1) ~n () = Skeap.create ~seed ~n ~num_prios:1 ()
+let n = Skeap.n
+
+let enqueue t ~node ?payload:_ () = Skeap.insert t ~node ~prio:1
+let dequeue t ~node = Skeap.delete_min t ~node
+let pending_ops = Skeap.pending_ops
+let length = Skeap.heap_size
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Enqueued of Element.t | `Dequeued of Element.t | `Empty ];
+}
+
+type batch_result = { completions : completion list; report : Phase.report }
+
+let lift (c : Skeap.completion) =
+  {
+    node = c.Skeap.node;
+    local_seq = c.Skeap.local_seq;
+    outcome =
+      (match c.Skeap.outcome with
+      | `Inserted e -> `Enqueued e
+      | `Got e -> `Dequeued e
+      | `Empty -> `Empty);
+  }
+
+let process_batch t =
+  let r = Skeap.process_batch t in
+  { completions = List.map lift r.Skeap.completions; report = r.Skeap.report }
+
+let drain t =
+  let rec go acc = if pending_ops t = 0 then List.rev acc else go (process_batch t :: acc) in
+  go []
+
+let oplog = Skeap.oplog

@@ -1,0 +1,355 @@
+module Element = Dpq_util.Element
+module Interval = Dpq_util.Interval
+module Bitsize = Dpq_util.Bitsize
+module Ldb = Dpq_overlay.Ldb
+module Aggtree = Dpq_aggtree.Aggtree
+module Phase = Dpq_aggtree.Phase
+module Batch = Dpq_skeap.Batch
+module Dht = Dpq_dht.Dht
+module Oplog = Dpq_semantics.Oplog
+
+type pending = { local_seq : int; op : Batch.op; elt : Element.t option }
+
+(* The anchor's view of the stack: the occupied positions [1..top], covered
+   by a top-first list of (interval, epoch) push ranges. *)
+type anchor = { mutable top : int; mutable ranges : (Interval.t * int) list; mutable epoch : int }
+
+type t = {
+  n : int;
+  ldb : Ldb.t;
+  tree : Aggtree.t;
+  dht : Dht.t;
+  key_hash : Dpq_util.Hashing.t;
+  buffers : pending Queue.t array;
+  seq_counters : int array;
+  elt_counters : int array;
+  anchor : anchor;
+  preorder_rank : int array;
+  mutable witness_counter : int;
+  mutable log : Oplog.record list;
+}
+
+let compute_preorder_ranks tree n =
+  let rank = Array.make n (-1) in
+  let counter = ref 0 in
+  let rec dfs v =
+    let r = !counter in
+    incr counter;
+    (match Ldb.kind v with Ldb.Middle -> rank.(Ldb.owner v) <- r | _ -> ());
+    List.iter dfs (Aggtree.children tree v)
+  in
+  dfs (Aggtree.root tree);
+  rank
+
+let create ?(seed = 1) ~n () =
+  if n < 1 then invalid_arg "Sstack.create: need n >= 1";
+  let ldb = Ldb.build ~n ~seed in
+  let tree = Aggtree.of_ldb ldb in
+  {
+    n;
+    ldb;
+    tree;
+    dht = Dht.create ~ldb ~seed:(seed + 7919);
+    key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
+    buffers = Array.init n (fun _ -> Queue.create ());
+    seq_counters = Array.make n 0;
+    elt_counters = Array.make n 0;
+    anchor = { top = 0; ranges = []; epoch = 0 };
+    preorder_rank = compute_preorder_ranks tree n;
+    witness_counter = 0;
+    log = [];
+  }
+
+let n t = t.n
+let size t = t.anchor.top
+
+let check_node t node =
+  if node < 0 || node >= t.n then invalid_arg "Sstack: node out of range"
+
+let push t ~node ?(payload = 0) () =
+  check_node t node;
+  let seq = t.elt_counters.(node) in
+  t.elt_counters.(node) <- seq + 1;
+  let elt = Element.make ~prio:1 ~origin:node ~seq ~payload () in
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; op = Batch.Ins 1; elt = Some elt } t.buffers.(node);
+  elt
+
+let pop t ~node =
+  check_node t node;
+  let local_seq = t.seq_counters.(node) in
+  t.seq_counters.(node) <- local_seq + 1;
+  Queue.push { local_seq; op = Batch.Del; elt = None } t.buffers.(node)
+
+let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
+
+type completion = {
+  node : int;
+  local_seq : int;
+  outcome : [ `Pushed of Element.t | `Popped of Element.t | `Empty ];
+}
+
+type batch_result = { completions : completion list; report : Phase.report }
+
+(* Per-entry assignment: pushes extend the top under a fresh epoch; pops
+   drain (interval, epoch) chunks from the top, highest positions first. *)
+type entry_assign = {
+  ins : Interval.t;
+  ins_epoch : int;
+  dels : (Interval.t * int) list; (* top-first; each consumed descending *)
+  bot : int;
+}
+
+let assign_entry a (e : Batch.entry) =
+  let i = e.Batch.ins.(0) in
+  let ins, ins_epoch =
+    if i = 0 then (Interval.empty, 0)
+    else begin
+      a.epoch <- a.epoch + 1;
+      let iv = Interval.of_first_card ~first:(a.top + 1) ~card:i in
+      a.top <- a.top + i;
+      a.ranges <- (iv, a.epoch) :: a.ranges;
+      (iv, a.epoch)
+    end
+  in
+  let need = ref e.Batch.del in
+  let dels = ref [] in
+  let continue = ref true in
+  while !need > 0 && !continue do
+    match a.ranges with
+    | [] -> continue := false
+    | (iv, epoch) :: rest ->
+        let back, remaining = Interval.take_back iv !need in
+        need := !need - Interval.cardinality back;
+        dels := (back, epoch) :: !dels;
+        a.top <- a.top - Interval.cardinality back;
+        a.ranges <- (if Interval.is_empty remaining then rest else (remaining, epoch) :: rest)
+  done;
+  { ins; ins_epoch; dels = List.rev !dels; bot = !need }
+
+(* Decompose an entry assignment among sub-batch parts (traversal order):
+   part k's pops take the next chunk from the top. *)
+let split_entry (ea : entry_assign) (parts : Batch.entry list) =
+  let ins_parts =
+    Interval.split_sizes ea.ins (List.map (fun (p : Batch.entry) -> p.Batch.ins.(0)) parts)
+  in
+  let rest = ref ea.dels in
+  let del_parts =
+    List.map
+      (fun (p : Batch.entry) ->
+        let need = ref p.Batch.del in
+        let mine = ref [] in
+        let continue = ref true in
+        while !need > 0 && !continue do
+          match !rest with
+          | [] -> continue := false
+          | (iv, epoch) :: tl ->
+              let back, remaining = Interval.take_back iv !need in
+              need := !need - Interval.cardinality back;
+              mine := (back, epoch) :: !mine;
+              rest := (if Interval.is_empty remaining then tl else (remaining, epoch) :: tl)
+        done;
+        (List.rev !mine, !need))
+      parts
+  in
+  List.map2
+    (fun ins (dels, bot) -> { ins; ins_epoch = ea.ins_epoch; dels; bot })
+    ins_parts del_parts
+
+let zero_entry : Batch.entry = { Batch.ins = [| 0 |]; del = 0 }
+
+let split assignment ~parts =
+  let part_entries = List.map Batch.entries parts in
+  let nparts = List.length parts in
+  let rec nth_or_zero lst j =
+    match lst with [] -> zero_entry | x :: tl -> if j = 0 then x else nth_or_zero tl (j - 1)
+  in
+  let per_entry =
+    List.mapi
+      (fun j ea -> split_entry ea (List.map (fun pl -> nth_or_zero pl j) part_entries))
+      assignment
+  in
+  List.init nparts (fun k -> List.map (fun entry_parts -> List.nth entry_parts k) per_entry)
+
+let assignment_bits assignment =
+  let iv_bits iv =
+    if Interval.is_empty iv then 2
+    else Bitsize.interval_bits ~lo:(Interval.lo iv) ~hi:(Interval.hi iv)
+  in
+  List.fold_left
+    (fun acc ea ->
+      acc + iv_bits ea.ins + Bitsize.bits_of_int ea.ins_epoch
+      + List.fold_left (fun a (iv, e) -> a + iv_bits iv + Bitsize.bits_of_int e) 0 ea.dels
+      + Bitsize.bits_of_int ea.bot)
+    0 assignment
+
+let dht_key t epoch pos = Dpq_util.Hashing.pair t.key_hash epoch pos
+
+type wkey = int * int * int * int
+
+let process_batch t =
+  let node_ops =
+    Array.init t.n (fun v ->
+        let ops = List.of_seq (Queue.to_seq t.buffers.(v)) in
+        Queue.clear t.buffers.(v);
+        ops)
+  in
+  let node_batches =
+    Array.map (fun ops -> Batch.of_ops ~num_prios:1 (List.map (fun p -> p.op) ops)) node_ops
+  in
+  let local v =
+    match Ldb.kind v with
+    | Ldb.Middle -> node_batches.(Ldb.owner v)
+    | _ -> Batch.empty ~num_prios:1
+  in
+  let combined, memo, up_report =
+    Phase.up ~tree:t.tree ~local ~combine:Batch.combine ~size_bits:Batch.encoded_bits
+  in
+  let assignment = List.map (assign_entry t.anchor) (Batch.entries combined) in
+  let retained, down_report =
+    Phase.down ~tree:t.tree ~memo ~root_payload:assignment
+      ~split:(fun ~parts a -> split a ~parts)
+      ~size_bits:assignment_bits
+  in
+  let announce = Phase.broadcast ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) in
+  let dht_ops = ref [] in
+  let get_index : (int * int, int * wkey) Hashtbl.t = Hashtbl.create 64 in
+  let records : (wkey * Oplog.record) list ref = ref [] in
+  let completions = ref [] in
+  for node = 0 to t.n - 1 do
+    let mv = Ldb.vnode ~owner:node Ldb.Middle in
+    match retained.(mv) with
+    | None -> if node_ops.(node) <> [] then failwith "Sstack: node with ops got no assignment"
+    | Some entry_assigns ->
+        let groups = Batch.group_ops (List.map (fun p -> p.op) node_ops.(node)) in
+        let pendings = ref node_ops.(node) in
+        let next_pending () =
+          match !pendings with
+          | [] -> failwith "Sstack: assignment/ops mismatch"
+          | p :: tl ->
+              pendings := tl;
+              p
+        in
+        List.iteri
+          (fun j group ->
+            let ea = List.nth entry_assigns j in
+            let ins_cursor = ref (Interval.positions ea.ins) in
+            (* pops drain top-down: descending positions within each chunk *)
+            let del_cursor =
+              ref
+                (List.concat_map
+                   (fun (iv, epoch) ->
+                     List.rev_map (fun pos -> (epoch, pos)) (Interval.positions iv))
+                   ea.dels)
+            in
+            List.iter
+              (fun op ->
+                let pending = next_pending () in
+                match op with
+                | Batch.Ins _ ->
+                    let pos =
+                      match !ins_cursor with
+                      | [] -> failwith "Sstack: push positions exhausted"
+                      | p :: tl ->
+                          ins_cursor := tl;
+                          p
+                    in
+                    let elt = Option.get pending.elt in
+                    dht_ops :=
+                      Dht.Put
+                        { origin = node; key = dht_key t ea.ins_epoch pos; elt; confirm = false }
+                      :: !dht_ops;
+                    let wkey = (j, 0, t.preorder_rank.(node), pending.local_seq) in
+                    records :=
+                      ( wkey,
+                        Oplog.
+                          {
+                            node;
+                            local_seq = pending.local_seq;
+                            witness = 0;
+                            kind = Oplog.Insert elt;
+                            result = None;
+                          } )
+                      :: !records;
+                    completions :=
+                      { node; local_seq = pending.local_seq; outcome = `Pushed elt }
+                      :: !completions
+                | Batch.Del -> (
+                    match !del_cursor with
+                    | (epoch, pos) :: tl ->
+                        del_cursor := tl;
+                        let key = dht_key t epoch pos in
+                        dht_ops := Dht.Get { origin = node; key } :: !dht_ops;
+                        (* draw order: newer epochs first, higher positions
+                           first — encode as a descending sort key *)
+                        let wkey = (j, 1, -epoch, -pos) in
+                        Hashtbl.replace get_index (node, key) (pending.local_seq, wkey)
+                    | [] ->
+                        let wkey = (j, 2, node, pending.local_seq) in
+                        records :=
+                          ( wkey,
+                            Oplog.
+                              {
+                                node;
+                                local_seq = pending.local_seq;
+                                witness = 0;
+                                kind = Oplog.Delete_min;
+                                result = None;
+                              } )
+                          :: !records;
+                        completions :=
+                          { node; local_seq = pending.local_seq; outcome = `Empty }
+                          :: !completions))
+              group)
+          groups
+  done;
+  let dht_completions, dht_report = Dht.run_batch_sync t.dht (List.rev !dht_ops) in
+  List.iter
+    (fun c ->
+      match c with
+      | Dht.Got { origin; key; elt } -> (
+          match Hashtbl.find_opt get_index (origin, key) with
+          | None -> failwith "Sstack: DHT returned an element nobody asked for"
+          | Some (local_seq, wkey) ->
+              Hashtbl.remove get_index (origin, key);
+              records :=
+                ( wkey,
+                  Oplog.
+                    {
+                      node = origin;
+                      local_seq;
+                      witness = 0;
+                      kind = Oplog.Delete_min;
+                      result = Some elt;
+                    } )
+                :: !records;
+              completions := { node = origin; local_seq; outcome = `Popped elt } :: !completions)
+      | Dht.Put_confirmed _ -> ())
+    dht_completions;
+  if Hashtbl.length get_index > 0 then failwith "Sstack: some pops never met their element";
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !records) in
+  List.iter
+    (fun (_, r) ->
+      let w = t.witness_counter in
+      t.witness_counter <- w + 1;
+      t.log <- { r with Oplog.witness = w } :: t.log)
+    sorted;
+  let report =
+    List.fold_left Phase.add_report Phase.empty_report
+      [ up_report; down_report; announce; dht_report ]
+  in
+  let completions =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.node b.node in
+        if c <> 0 then c else Int.compare a.local_seq b.local_seq)
+      !completions
+  in
+  { completions; report }
+
+let drain t =
+  let rec go acc = if pending_ops t = 0 then List.rev acc else go (process_batch t :: acc) in
+  go []
+
+let oplog t = Oplog.of_list t.log

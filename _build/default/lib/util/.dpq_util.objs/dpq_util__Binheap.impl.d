@@ -1,0 +1,1 @@
+lib/util/binheap.ml: Array List

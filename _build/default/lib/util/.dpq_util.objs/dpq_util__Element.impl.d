@@ -1,0 +1,1 @@
+lib/util/element.ml: Format Int List Printf

@@ -1,0 +1,1 @@
+lib/util/element.mli: Format

@@ -1,0 +1,22 @@
+let bits_of_int v =
+  let v = abs v in
+  let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let bits_of_nat_bound bound =
+  if bound < 0 then invalid_arg "Bitsize.bits_of_nat_bound: negative bound";
+  bits_of_int bound
+
+let log2_floor n =
+  if n <= 0 then invalid_arg "Bitsize.log2_floor: n must be positive";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_ceil n =
+  if n <= 0 then invalid_arg "Bitsize.log2_ceil: n must be positive";
+  let f = log2_floor n in
+  if is_power_of_two n then f else f + 1
+
+let interval_bits ~lo ~hi = bits_of_int lo + bits_of_int hi

@@ -1,0 +1,35 @@
+type prio = int
+type t = { prio : prio; origin : int; seq : int; payload : int }
+
+let make ~prio ~origin ~seq ?(payload = 0) () = { prio; origin; seq; payload }
+
+let compare a b =
+  let c = Int.compare a.prio b.prio in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.origin b.origin in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let equal a b = compare a b = 0
+let prio e = e.prio
+
+let to_string e =
+  Printf.sprintf "e(p=%d,%d.%d)" e.prio e.origin e.seq
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let rank_in e all =
+  let sorted = List.sort compare all in
+  let rec go i = function
+    | [] -> invalid_arg "Element.rank_in: element not present"
+    | x :: tl -> if equal x e then i else go (i + 1) tl
+  in
+  go 1 sorted
+
+let bits_of_int v =
+  let v = abs v in
+  let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let encoded_bits e =
+  bits_of_int e.prio + bits_of_int e.origin + bits_of_int e.seq + bits_of_int e.payload

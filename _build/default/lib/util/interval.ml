@@ -1,0 +1,110 @@
+type t = Empty | Range of { lo : int; hi : int }
+
+let empty = Empty
+let make lo hi = if hi < lo then Empty else Range { lo; hi }
+
+let of_first_card ~first ~card =
+  if card <= 0 then Empty else Range { lo = first; hi = first + card - 1 }
+
+let is_empty = function Empty -> true | Range _ -> false
+
+let lo = function
+  | Empty -> invalid_arg "Interval.lo: empty interval"
+  | Range r -> r.lo
+
+let hi = function
+  | Empty -> invalid_arg "Interval.hi: empty interval"
+  | Range r -> r.hi
+
+let cardinality = function Empty -> 0 | Range r -> r.hi - r.lo + 1
+let mem x = function Empty -> false | Range r -> r.lo <= x && x <= r.hi
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Range a, Range b -> a.lo = b.lo && a.hi = b.hi
+  | _ -> false
+
+let take iv k =
+  match iv with
+  | Empty -> (Empty, Empty)
+  | Range r ->
+      let k = max 0 k in
+      if k = 0 then (Empty, iv)
+      else if k >= r.hi - r.lo + 1 then (iv, Empty)
+      else (Range { lo = r.lo; hi = r.lo + k - 1 }, Range { lo = r.lo + k; hi = r.hi })
+
+let take_back iv k =
+  match iv with
+  | Empty -> (Empty, Empty)
+  | Range r ->
+      let k = max 0 k in
+      if k = 0 then (Empty, iv)
+      else if k >= r.hi - r.lo + 1 then (iv, Empty)
+      else (Range { lo = r.hi - k + 1; hi = r.hi }, Range { lo = r.lo; hi = r.hi - k })
+
+let split_sizes iv sizes =
+  let total = List.fold_left ( + ) 0 sizes in
+  List.iter (fun s -> if s < 0 then invalid_arg "Interval.split_sizes: negative size") sizes;
+  if total > cardinality iv then invalid_arg "Interval.split_sizes: sizes exceed cardinality";
+  let rest = ref iv in
+  List.map
+    (fun s ->
+      let front, r = take !rest s in
+      rest := r;
+      front)
+    sizes
+
+let positions = function
+  | Empty -> []
+  | Range r -> List.init (r.hi - r.lo + 1) (fun i -> r.lo + i)
+
+let to_string = function
+  | Empty -> "\xe2\x88\x85"
+  | Range r -> Printf.sprintf "[%d,%d]" r.lo r.hi
+
+let pp fmt iv = Format.pp_print_string fmt (to_string iv)
+
+module Set = struct
+  type interval = t
+  type nonrec t = interval list (* non-empty members, in order *)
+
+  let iv_card = cardinality
+  let iv_is_empty = is_empty
+  let empty = []
+  let of_list l = List.filter (fun iv -> not (iv_is_empty iv)) l
+  let to_list t = t
+  let cardinality t = List.fold_left (fun acc iv -> acc + iv_card iv) 0 t
+  let is_empty t = t = []
+  let append = ( @ )
+  let add t iv = if iv_is_empty iv then t else t @ [ iv ]
+
+  let split_sizes t sizes =
+    List.iter (fun s -> if s < 0 then invalid_arg "Interval.Set.split_sizes: negative size") sizes;
+    let total = List.fold_left ( + ) 0 sizes in
+    if total > cardinality t then
+      invalid_arg "Interval.Set.split_sizes: sizes exceed cardinality";
+    let rest = ref t in
+    List.map
+      (fun s ->
+        let need = ref s in
+        let acc = ref [] in
+        while !need > 0 do
+          match !rest with
+          | [] -> invalid_arg "Interval.Set.split_sizes: exhausted"
+          | iv :: tl ->
+              let front, back = take iv !need in
+              need := !need - iv_card front;
+              acc := front :: !acc;
+              rest := if iv_is_empty back then tl else back :: tl
+        done;
+        of_list (List.rev !acc))
+      sizes
+
+  let positions t = List.concat_map positions t
+
+  let to_string t =
+    "{" ^ String.concat ", " (List.map to_string t) ^ "}"
+
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+end

@@ -1,0 +1,80 @@
+(** Closed integer intervals [\[a, b\]] and ordered collections thereof.
+
+    Skeap's anchor assigns each batch entry an interval of positions
+    (§3.2.2), Phase 3 recursively decomposes such intervals over the
+    aggregation tree, and Seap assigns sub-intervals of [\[1, k\]] to deleting
+    nodes (§5.2).  The empty interval is represented explicitly so that
+    decomposition code can stay total. *)
+
+type t
+(** An interval; either empty or [\[lo, hi\]] with [lo <= hi]. *)
+
+val empty : t
+
+val make : int -> int -> t
+(** [make lo hi] is [\[lo, hi\]], or [empty] when [hi < lo]. *)
+
+val of_first_card : first:int -> card:int -> t
+(** [of_first_card ~first ~card] is the interval of [card] positions starting
+    at [first]. *)
+
+val is_empty : t -> bool
+
+val lo : t -> int
+(** Raises [Invalid_argument] on the empty interval. *)
+
+val hi : t -> int
+(** Raises [Invalid_argument] on the empty interval. *)
+
+val cardinality : t -> int
+
+val mem : int -> t -> bool
+
+val equal : t -> t -> bool
+
+val take : t -> int -> t * t
+(** [take iv k] splits off the first [min k (cardinality iv)] positions:
+    returns [(front, rest)]. *)
+
+val take_back : t -> int -> t * t
+(** [take_back iv k] splits off the {e last} [min k (cardinality iv)]
+    positions: returns [(back, rest)] — the LIFO draw used by the
+    distributed stack. *)
+
+val split_sizes : t -> int list -> t list
+(** [split_sizes iv sizes] decomposes [iv] into consecutive sub-intervals of
+    the given cardinalities, in order.  Raises [Invalid_argument] if
+    [sizes] sums to more than [cardinality iv] or contains negatives. *)
+
+val positions : t -> int list
+(** All positions, ascending; [\[\]] for empty.  Linear in cardinality. *)
+
+val to_string : t -> string
+(** ["[a,b]"] or ["∅"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Ordered collections of disjoint intervals, e.g. a DeleteMin entry that
+    spans several priorities' position ranges. *)
+module Set : sig
+  type interval := t
+  type t
+
+  val empty : t
+  val of_list : interval list -> t
+  (** Drops empty members, keeps order. *)
+
+  val to_list : t -> interval list
+  val cardinality : t -> int
+  val is_empty : t -> bool
+  val append : t -> t -> t
+  val add : t -> interval -> t
+
+  val split_sizes : t -> int list -> t list
+  (** Like {!val:split_sizes} but across the concatenation of the member
+      intervals: each returned collection covers the next [size] positions. *)
+
+  val positions : t -> int list
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end

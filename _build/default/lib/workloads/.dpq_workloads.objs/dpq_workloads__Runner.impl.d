@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Dpq_aggtree Dpq_baselines Dpq_seap Dpq_semantics Dpq_skeap Format List Workload

@@ -1,0 +1,185 @@
+module Phase = Dpq_aggtree.Phase
+module Checker = Dpq_semantics.Checker
+
+type summary = {
+  protocol : string;
+  n : int;
+  ops : int;
+  rounds : int;
+  messages : int;
+  max_congestion : int;
+  hotspot_load : int;
+  max_message_bits : int;
+  total_bits : int;
+  got : int;
+  empty : int;
+  inserted : int;
+  semantics_ok : bool;
+}
+
+let count_outcomes outcomes =
+  List.fold_left
+    (fun (g, e, i) o ->
+      match o with
+      | `Got _ -> (g + 1, e, i)
+      | `Empty -> (g, e + 1, i)
+      | `Inserted _ -> (g, e, i + 1))
+    (0, 0, 0) outcomes
+
+let run_skeap ?(seed = 1) ~n ~num_prios workload =
+  let h = Dpq_skeap.Skeap.create ~seed ~n ~num_prios () in
+  let report = ref Phase.empty_report in
+  let outcomes = ref [] in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : Workload.op) ->
+          match op.Workload.action with
+          | `Ins p -> ignore (Dpq_skeap.Skeap.insert h ~node:op.Workload.node ~prio:p)
+          | `Del -> Dpq_skeap.Skeap.delete_min h ~node:op.Workload.node)
+        round;
+      let r = Dpq_skeap.Skeap.process_batch h in
+      report := Phase.add_report !report r.Dpq_skeap.Skeap.report;
+      List.iter
+        (fun c -> outcomes := c.Dpq_skeap.Skeap.outcome :: !outcomes)
+        r.Dpq_skeap.Skeap.completions)
+    workload;
+  let got, empty, inserted = count_outcomes !outcomes in
+  let ok = Checker.check_all_skeap (Dpq_skeap.Skeap.oplog h) = Ok () in
+  {
+    protocol = "skeap";
+    n;
+    ops = Workload.total_ops workload;
+    rounds = !report.Phase.rounds;
+    messages = !report.Phase.messages;
+    max_congestion = !report.Phase.max_congestion;
+    hotspot_load = !report.Phase.busiest_node_load;
+    max_message_bits = !report.Phase.max_message_bits;
+    total_bits = !report.Phase.total_bits;
+    got;
+    empty;
+    inserted;
+    semantics_ok = ok;
+  }
+
+let run_seap ?(seed = 1) ~n workload =
+  let h = Dpq_seap.Seap.create ~seed ~n () in
+  let report = ref Phase.empty_report in
+  let outcomes = ref [] in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : Workload.op) ->
+          match op.Workload.action with
+          | `Ins p -> ignore (Dpq_seap.Seap.insert h ~node:op.Workload.node ~prio:p)
+          | `Del -> Dpq_seap.Seap.delete_min h ~node:op.Workload.node)
+        round;
+      let r = Dpq_seap.Seap.process_round h in
+      report := Phase.add_report !report r.Dpq_seap.Seap.report;
+      List.iter
+        (fun c -> outcomes := c.Dpq_seap.Seap.outcome :: !outcomes)
+        r.Dpq_seap.Seap.completions)
+    workload;
+  let got, empty, inserted = count_outcomes !outcomes in
+  let ok = Checker.check_all_seap (Dpq_seap.Seap.oplog h) = Ok () in
+  {
+    protocol = "seap";
+    n;
+    ops = Workload.total_ops workload;
+    rounds = !report.Phase.rounds;
+    messages = !report.Phase.messages;
+    max_congestion = !report.Phase.max_congestion;
+    hotspot_load = !report.Phase.busiest_node_load;
+    max_message_bits = !report.Phase.max_message_bits;
+    total_bits = !report.Phase.total_bits;
+    got;
+    empty;
+    inserted;
+    semantics_ok = ok;
+  }
+
+let run_centralized ?(seed = 1) ~n workload =
+  let module C = Dpq_baselines.Centralized in
+  let h = C.create ~seed ~n () in
+  let report = ref Phase.empty_report in
+  let outcomes = ref [] in
+  let load = ref 0 in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : Workload.op) ->
+          match op.Workload.action with
+          | `Ins p -> ignore (C.insert h ~node:op.Workload.node ~prio:p)
+          | `Del -> C.delete_min h ~node:op.Workload.node)
+        round;
+      let r = C.process h in
+      report := Phase.add_report !report r.C.report;
+      load := !load + r.C.coordinator_load;
+      List.iter (fun c -> outcomes := c.C.outcome :: !outcomes) r.C.completions)
+    workload;
+  let got, empty, inserted = count_outcomes !outcomes in
+  let ok = Checker.check_all_skeap (C.oplog h) = Ok () in
+  {
+    protocol = "centralized";
+    n;
+    ops = Workload.total_ops workload;
+    rounds = !report.Phase.rounds;
+    messages = !report.Phase.messages;
+    max_congestion = !report.Phase.max_congestion;
+    hotspot_load = max !load !report.Phase.busiest_node_load;
+    max_message_bits = !report.Phase.max_message_bits;
+    total_bits = !report.Phase.total_bits;
+    got;
+    empty;
+    inserted;
+    semantics_ok = ok;
+  }
+
+let run_unbatched ?(seed = 1) ~n ~num_prios workload =
+  let module U = Dpq_baselines.Unbatched in
+  let h = U.create ~seed ~n ~num_prios () in
+  let report = ref Phase.empty_report in
+  let outcomes = ref [] in
+  let load = ref 0 in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : Workload.op) ->
+          match op.Workload.action with
+          | `Ins p -> ignore (U.insert h ~node:op.Workload.node ~prio:p)
+          | `Del -> U.delete_min h ~node:op.Workload.node)
+        round;
+      let r = U.process h in
+      report := Phase.add_report !report r.U.report;
+      load := !load + r.U.anchor_load;
+      List.iter (fun c -> outcomes := c.U.outcome :: !outcomes) r.U.completions)
+    workload;
+  let got, empty, inserted = count_outcomes !outcomes in
+  let ok = Checker.check_all_skeap (U.oplog h) = Ok () in
+  {
+    protocol = "unbatched";
+    n;
+    ops = Workload.total_ops workload;
+    rounds = !report.Phase.rounds;
+    messages = !report.Phase.messages;
+    max_congestion = !report.Phase.max_congestion;
+    hotspot_load = max !load !report.Phase.busiest_node_load;
+    max_message_bits = !report.Phase.max_message_bits;
+    total_bits = !report.Phase.total_bits;
+    got;
+    empty;
+    inserted;
+    semantics_ok = ok;
+  }
+
+let throughput s = if s.rounds = 0 then 0.0 else float_of_int s.ops /. float_of_int s.rounds
+
+let effective_throughput s =
+  let denom = max s.rounds s.hotspot_load in
+  if denom = 0 then 0.0 else float_of_int s.ops /. float_of_int denom
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[%s: n=%d ops=%d rounds=%d msgs=%d cong=%d hotspot=%d bits<=%d got=%d empty=%d ok=%b@]"
+    s.protocol s.n s.ops s.rounds s.messages s.max_congestion s.hotspot_load s.max_message_bits
+    s.got s.empty s.semantics_ok

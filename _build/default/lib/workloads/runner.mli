@@ -1,0 +1,40 @@
+(** Drive a workload through any of the four heap implementations and
+    collect one comparable summary — the engine behind experiment T6 and
+    the example programs. *)
+
+type summary = {
+  protocol : string;
+  n : int;
+  ops : int;
+  rounds : int;  (** total synchronous rounds across all processing *)
+  messages : int;
+  max_congestion : int;
+  hotspot_load : int;
+      (** upper bound on the total messages any single node handled (summed
+          per-phase maxima); for the baselines at least the coordinator's /
+          anchor owner's total load *)
+  max_message_bits : int;
+  total_bits : int;
+  got : int;  (** deletes answered with an element *)
+  empty : int;  (** deletes answered ⊥ *)
+  inserted : int;
+  semantics_ok : bool;  (** the protocol-appropriate checker passed *)
+}
+
+val run_skeap : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
+(** Raises [Invalid_argument] if the workload contains priorities outside
+    [1..num_prios]. *)
+
+val run_seap : ?seed:int -> n:int -> Workload.t -> summary
+val run_centralized : ?seed:int -> n:int -> Workload.t -> summary
+val run_unbatched : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
+
+val throughput : summary -> float
+(** Completed operations per synchronous round. *)
+
+val effective_throughput : summary -> float
+(** Operations per round when each node can also only {e process} one
+    message per round: ops / max(rounds, hotspot_load).  This is the
+    bandwidth-honest number where hotspots actually hurt. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,75 @@
+module Rng = Dpq_util.Rng
+
+type op = { node : int; action : [ `Ins of int | `Del ] }
+type round = op list
+type t = round list
+
+type prio_dist =
+  | Uniform of int * int
+  | Zipf of { s : float; n : int }
+  | Constant_set of int
+  | Increasing
+
+let increasing_counter = ref 0
+
+let sample_prio rng = function
+  | Uniform (lo, hi) -> Rng.int_in rng lo hi
+  | Zipf { s; n } -> Rng.zipf rng ~s ~n
+  | Constant_set c -> Rng.int_in rng 1 c
+  | Increasing ->
+      incr increasing_counter;
+      !increasing_counter
+
+let generate ~rng ~n ~rounds ~lambda ?(insert_ratio = 0.5) ~prio () =
+  List.init rounds (fun _ ->
+      List.concat_map
+        (fun node ->
+          List.init lambda (fun _ ->
+              if Rng.bernoulli rng ~p:insert_ratio then
+                { node; action = `Ins (sample_prio rng prio) }
+              else { node; action = `Del }))
+        (List.init n (fun v -> v)))
+
+let sorting_workload ~rng ~n ~m ~prio =
+  let insert_round =
+    List.init m (fun i -> { node = i mod n; action = `Ins (sample_prio rng prio) })
+  in
+  let delete_rounds =
+    let full, rest = (m / n, m mod n) in
+    let mk count = List.init count (fun i -> { node = i mod n; action = `Del }) in
+    List.init full (fun _ -> mk n) @ if rest > 0 then [ mk rest ] else []
+  in
+  insert_round :: delete_rounds
+
+let producer_consumer ~rng ~n ~rounds ~rate ~prio =
+  let split = max 1 (n / 2) in
+  List.init rounds (fun _ ->
+      List.concat_map
+        (fun node ->
+          List.init rate (fun _ ->
+              if node < split then { node; action = `Ins (sample_prio rng prio) }
+              else { node; action = `Del }))
+        (List.init n (fun v -> v)))
+
+let burst ~rng ~n ~quiet_rounds ~burst_size ~prio =
+  let quiet =
+    List.init quiet_rounds (fun _ ->
+        [ { node = Rng.int rng n; action = `Ins (sample_prio rng prio) } ])
+  in
+  let boom =
+    List.init burst_size (fun i ->
+        if i mod 2 = 0 then { node = i mod n; action = `Ins (sample_prio rng prio) }
+        else { node = i mod n; action = `Del })
+  in
+  quiet @ [ boom ]
+
+let total_ops t = List.fold_left (fun acc r -> acc + List.length r) 0 t
+let num_rounds = List.length
+
+let inserts t =
+  List.fold_left
+    (fun acc r ->
+      acc + List.length (List.filter (fun o -> match o.action with `Ins _ -> true | _ -> false) r))
+    0 t
+
+let deletes t = total_ops t - inserts t

@@ -1,0 +1,49 @@
+(** Workload generation for the experiment harness.
+
+    A workload is a sequence of {e rounds}; in each round every node injects
+    up to λ(v) operations (the paper's injection-rate model, §1.1), then the
+    protocol under test processes one batch/round.  Generators control the
+    per-node rate, the insert/delete mix and the priority distribution. *)
+
+type op = { node : int; action : [ `Ins of int | `Del ] }
+
+type round = op list
+type t = round list
+
+(** Priority distributions. *)
+type prio_dist =
+  | Uniform of int * int  (** inclusive range *)
+  | Zipf of { s : float; n : int }  (** skewed toward rank 1 *)
+  | Constant_set of int  (** uniform over [{1..c}] — Skeap's regime *)
+  | Increasing  (** monotonically increasing — pathological for pruning *)
+
+val sample_prio : Dpq_util.Rng.t -> prio_dist -> int
+
+val generate :
+  rng:Dpq_util.Rng.t ->
+  n:int ->
+  rounds:int ->
+  lambda:int ->
+  ?insert_ratio:float ->
+  prio:prio_dist ->
+  unit ->
+  t
+(** [generate ~rng ~n ~rounds ~lambda ~prio ()] draws [lambda] operations
+    per node per round, each an insert with probability [insert_ratio]
+    (default 0.5). *)
+
+val sorting_workload : rng:Dpq_util.Rng.t -> n:int -> m:int -> prio:prio_dist -> t
+(** Distributed sorting (§1's application): one round inserting [m] random
+    elements spread over the nodes, then rounds of n deletes each until all
+    [m] are drained — the outputs come back in sorted order. *)
+
+val producer_consumer : rng:Dpq_util.Rng.t -> n:int -> rounds:int -> rate:int -> prio:prio_dist -> t
+(** Half the nodes insert (producers), half delete (consumers). *)
+
+val burst : rng:Dpq_util.Rng.t -> n:int -> quiet_rounds:int -> burst_size:int -> prio:prio_dist -> t
+(** Mostly-idle rounds with one huge burst — exercises Λ spikes. *)
+
+val total_ops : t -> int
+val num_rounds : t -> int
+val inserts : t -> int
+val deletes : t -> int

@@ -1,0 +1,1 @@
+test/test_aggtree.ml: Aggtree Alcotest Array Dpq_aggtree Dpq_overlay Dpq_util Hashtbl List Option Phase String

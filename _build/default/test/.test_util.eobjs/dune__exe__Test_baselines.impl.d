@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Dpq_baselines Dpq_semantics Dpq_skeap Dpq_util Int List Option QCheck QCheck_alcotest

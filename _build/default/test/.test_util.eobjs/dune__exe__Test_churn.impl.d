@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Dpq_seap Dpq_semantics Dpq_skeap Dpq_util List

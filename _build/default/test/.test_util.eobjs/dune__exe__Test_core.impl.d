@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dpq Dpq_util List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Dht Dpq_aggtree Dpq_dht Dpq_overlay Dpq_simrt Dpq_util List

@@ -1,0 +1,1 @@
+test/test_kselect.ml: Alcotest Array Dpq_aggtree Dpq_kselect Dpq_overlay Dpq_util List Printf QCheck QCheck_alcotest

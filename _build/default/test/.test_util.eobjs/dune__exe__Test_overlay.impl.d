@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Debruijn Dpq_overlay Dpq_util Ldb List QCheck QCheck_alcotest

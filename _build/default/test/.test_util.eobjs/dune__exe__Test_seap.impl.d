@@ -1,0 +1,1 @@
+test/test_seap.ml: Alcotest Array Dpq_aggtree Dpq_kselect Dpq_seap Dpq_semantics Dpq_simrt Dpq_util List Option QCheck QCheck_alcotest

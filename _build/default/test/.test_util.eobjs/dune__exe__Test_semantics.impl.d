@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Dpq_semantics Dpq_util List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_simrt.ml: Alcotest Array Async_engine Dpq_simrt List Metrics String Sync_engine

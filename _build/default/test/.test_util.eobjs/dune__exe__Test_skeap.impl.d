@@ -1,0 +1,1 @@
+test/test_skeap.ml: Alcotest Anchor Array Batch Dpq_aggtree Dpq_semantics Dpq_simrt Dpq_skeap Dpq_util List Option QCheck QCheck_alcotest Skeap

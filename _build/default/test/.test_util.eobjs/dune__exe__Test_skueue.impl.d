@@ -1,0 +1,1 @@
+test/test_skueue.ml: Alcotest Dpq_aggtree Dpq_semantics Dpq_skueue Dpq_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Binheap Bitsize Dpq_util Element Gen Hashing Int Interval List Option QCheck QCheck_alcotest Rng Stats String Table

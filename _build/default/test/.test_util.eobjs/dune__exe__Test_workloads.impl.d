@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dpq_util Dpq_workloads List

@@ -1,0 +1,130 @@
+module H = Dpq.Dpq_heap
+module E = Dpq_util.Element
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let test_skeap_backend () =
+  let h = H.create ~n:4 (H.Skeap { num_prios = 3 }) in
+  checkb "backend" true (H.backend h = H.Skeap { num_prios = 3 });
+  checki "n" 4 (H.n h);
+  let e = H.insert h ~node:0 ~prio:2 in
+  H.delete_min h ~node:3;
+  checki "pending" 2 (H.pending_ops h);
+  let r = H.process h in
+  checki "completions" 2 (List.length r.H.completions);
+  let got =
+    List.find_map (fun c -> match c.H.outcome with `Got x -> Some x | _ -> None) r.H.completions
+  in
+  checkb "element roundtrip" true (E.equal e (Option.get got));
+  checkb "verify" true (H.verify h = Ok ())
+
+let test_seap_backend () =
+  let h = H.create ~n:4 H.Seap in
+  ignore (H.insert h ~node:0 ~prio:1_000_000);
+  ignore (H.insert h ~node:1 ~prio:3);
+  H.delete_min h ~node:2;
+  let r = H.process h in
+  let got =
+    List.filter_map
+      (fun c -> match c.H.outcome with `Got e -> Some (E.prio e) | _ -> None)
+      r.H.completions
+  in
+  Alcotest.(check (list int)) "min first" [ 3 ] got;
+  checkb "verify" true (H.verify h = Ok ())
+
+let test_heap_size_tracking () =
+  let h = H.create ~n:3 (H.Skeap { num_prios = 2 }) in
+  for i = 0 to 9 do
+    ignore (H.insert h ~node:(i mod 3) ~prio:(1 + (i mod 2)))
+  done;
+  ignore (H.process h);
+  checki "size 10" 10 (H.heap_size h);
+  for _ = 1 to 4 do
+    H.delete_min h ~node:0
+  done;
+  ignore (H.process h);
+  checki "size 6" 6 (H.heap_size h)
+
+let test_drain () =
+  let h = H.create ~n:4 H.Seap in
+  for i = 0 to 11 do
+    ignore (H.insert h ~node:(i mod 4) ~prio:(i + 1))
+  done;
+  let rs = H.drain h in
+  checkb "at least one iteration" true (rs <> []);
+  checki "nothing pending" 0 (H.pending_ops h)
+
+let test_result_metrics_populated () =
+  let h = H.create ~n:8 (H.Skeap { num_prios = 2 }) in
+  for v = 0 to 7 do
+    ignore (H.insert h ~node:v ~prio:1)
+  done;
+  let r = H.process h in
+  checkb "rounds" true (r.H.rounds > 0);
+  checkb "messages" true (r.H.messages > 0);
+  checkb "bits" true (r.H.max_message_bits > 0)
+
+let test_stored_per_node () =
+  let h = H.create ~n:8 H.Seap in
+  for i = 0 to 79 do
+    ignore (H.insert h ~node:(i mod 8) ~prio:(i + 1))
+  done;
+  ignore (H.process h);
+  let counts = H.stored_per_node h in
+  checki "total" 80 (Array.fold_left ( + ) 0 counts)
+
+let test_both_backends_agree_on_min () =
+  List.iter
+    (fun backend ->
+      let h = H.create ~seed:5 ~n:4 backend in
+      ignore (H.insert h ~node:0 ~prio:3);
+      ignore (H.insert h ~node:1 ~prio:1);
+      ignore (H.insert h ~node:2 ~prio:2);
+      ignore (H.process h);
+      H.delete_min h ~node:3;
+      let r = H.process h in
+      let got =
+        List.filter_map
+          (fun c -> match c.H.outcome with `Got e -> Some (E.prio e) | _ -> None)
+          r.H.completions
+      in
+      Alcotest.(check (list int)) "the minimum" [ 1 ] got)
+    [ H.Skeap { num_prios = 3 }; H.Seap ]
+
+let prop_facade_verifies_random_runs =
+  let gen =
+    QCheck.Gen.(
+      pair bool
+        (list_size (0 -- 25)
+           (pair (0 -- 3) (frequency [ (3, map (fun p -> Some (1 + (p mod 3))) small_nat); (2, return None) ]))))
+  in
+  QCheck.Test.make ~name:"facade verifies random runs on both backends" ~count:30
+    (QCheck.make gen)
+    (fun (use_seap, ops) ->
+      let backend = if use_seap then H.Seap else H.Skeap { num_prios = 3 } in
+      let h = H.create ~seed:9 ~n:4 backend in
+      List.iter
+        (fun (node, op) ->
+          match op with
+          | Some p -> ignore (H.insert h ~node ~prio:p)
+          | None -> H.delete_min h ~node)
+        ops;
+      ignore (H.drain h);
+      H.verify h = Ok ())
+
+let () =
+  Alcotest.run "dpq_core"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "skeap backend" `Quick test_skeap_backend;
+          Alcotest.test_case "seap backend" `Quick test_seap_backend;
+          Alcotest.test_case "heap size" `Quick test_heap_size_tracking;
+          Alcotest.test_case "drain" `Quick test_drain;
+          Alcotest.test_case "metrics populated" `Quick test_result_metrics_populated;
+          Alcotest.test_case "stored per node" `Quick test_stored_per_node;
+          Alcotest.test_case "backends agree" `Quick test_both_backends_agree_on_min;
+          QCheck_alcotest.to_alcotest prop_facade_verifies_random_runs;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+open Dpq_dht
+module Ldb = Dpq_overlay.Ldb
+module Element = Dpq_util.Element
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let mk_dht ~n ~seed = Dht.create ~ldb:(Ldb.build ~n ~seed) ~seed:(seed + 1000)
+let elt ?(prio = 1) ?(origin = 0) ?(seq = 0) () = Element.make ~prio ~origin ~seq ()
+
+let test_put_then_get () =
+  let dht = mk_dht ~n:10 ~seed:1 in
+  let e = elt ~prio:3 () in
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Put { origin = 2; key = 99; elt = e; confirm = false } ] in
+  checki "no completions for unconfirmed put" 0 (List.length cs);
+  checki "one stored" 1 (Dht.size dht);
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Get { origin = 5; key = 99 } ] in
+  (match cs with
+  | [ Dht.Got { origin = 5; key = 99; elt = e' } ] ->
+      checkb "same element" true (Element.equal e e')
+  | _ -> Alcotest.fail "expected exactly one Got for node 5");
+  checki "emptied" 0 (Dht.size dht)
+
+let test_put_confirm () =
+  let dht = mk_dht ~n:8 ~seed:2 in
+  let cs, _ =
+    Dht.run_batch_sync dht [ Dht.Put { origin = 3; key = 7; elt = elt (); confirm = true } ]
+  in
+  match cs with
+  | [ Dht.Put_confirmed { origin = 3; key = 7 } ] -> ()
+  | _ -> Alcotest.fail "expected a confirmation back at node 3"
+
+let test_get_before_put_parks_and_meets () =
+  (* Same batch: gets and puts race; every get must still be satisfied. *)
+  let dht = mk_dht ~n:12 ~seed:3 in
+  let ops =
+    List.concat_map
+      (fun k ->
+        [
+          Dht.Get { origin = k mod 12; key = k };
+          Dht.Put { origin = (k + 5) mod 12; key = k; elt = elt ~seq:k (); confirm = false };
+        ])
+      (List.init 30 (fun i -> i))
+  in
+  let cs, _ = Dht.run_batch_sync dht ops in
+  checki "all 30 gets satisfied" 30
+    (List.length (List.filter (function Dht.Got _ -> true | _ -> false) cs));
+  checki "nothing parked" 0 (Dht.pending_gets dht);
+  checki "store empty" 0 (Dht.size dht)
+
+let test_get_with_no_put_parks () =
+  let dht = mk_dht ~n:6 ~seed:4 in
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Get { origin = 1; key = 42 } ] in
+  checki "no completion" 0 (List.length cs);
+  checki "parked" 1 (Dht.pending_gets dht);
+  (* The put arrives in a later batch; the parked get must be satisfied. *)
+  let cs, _ =
+    Dht.run_batch_sync dht [ Dht.Put { origin = 0; key = 42; elt = elt (); confirm = false } ]
+  in
+  checki "late rendezvous" 1 (List.length cs);
+  checki "unparked" 0 (Dht.pending_gets dht)
+
+let test_same_key_multiple_elements_fifo () =
+  let dht = mk_dht ~n:5 ~seed:5 in
+  let e1 = elt ~seq:1 () and e2 = elt ~seq:2 () in
+  ignore (Dht.run_batch_sync dht [ Dht.Put { origin = 0; key = 1; elt = e1; confirm = false } ]);
+  ignore (Dht.run_batch_sync dht [ Dht.Put { origin = 0; key = 1; elt = e2; confirm = false } ]);
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Get { origin = 0; key = 1 } ] in
+  (match cs with
+  | [ Dht.Got { elt = e; _ } ] -> checkb "fifo order" true (Element.equal e e1)
+  | _ -> Alcotest.fail "expected one Got");
+  checki "one remains" 1 (Dht.size dht)
+
+let test_keys_route_to_manager () =
+  let dht = mk_dht ~n:20 ~seed:6 in
+  for k = 0 to 50 do
+    let p = Dht.key_point dht k in
+    checkb "point in range" true (p >= 0.0 && p < 1.0);
+    checki "manager consistent" (Ldb.manager_of_point (Dht.ldb dht) p) (Dht.manager_of_key dht k)
+  done
+
+let test_load_roughly_uniform () =
+  (* Lemma 2.2(iv): m elements over n nodes, each stores ~m/n on expectation. *)
+  let n = 32 in
+  let dht = mk_dht ~n ~seed:7 in
+  let m = 6400 in
+  let ops =
+    List.init m (fun k -> Dht.Put { origin = k mod n; key = k; elt = elt ~seq:k (); confirm = false })
+  in
+  ignore (Dht.run_batch_sync dht ops);
+  checki "all stored" m (Dht.size dht);
+  let counts = Dht.stored_counts dht in
+  let total = Array.fold_left ( + ) 0 counts in
+  checki "counts add up" m total;
+  let mean = float_of_int m /. float_of_int n in
+  let maxl = Array.fold_left max 0 counts in
+  checkb "max load within 4x mean" true (float_of_int maxl < 4.0 *. mean)
+
+let test_rounds_logarithmic () =
+  let run n =
+    let dht = mk_dht ~n ~seed:8 in
+    let ops = List.init 20 (fun k -> Dht.Put { origin = k mod n; key = k; elt = elt ~seq:k (); confirm = false }) in
+    let _, report = Dht.run_batch_sync dht ops in
+    float_of_int report.Dpq_aggtree.Phase.rounds
+  in
+  let r16 = run 16 and r1024 = run 1024 in
+  checkb "rounds grow slowly" true (r1024 < r16 *. 3.5)
+
+let test_async_rendezvous_all_policies () =
+  List.iter
+    (fun policy ->
+      let dht = mk_dht ~n:10 ~seed:9 in
+      let ops =
+        List.concat_map
+          (fun k ->
+            [
+              Dht.Get { origin = k mod 10; key = k };
+              Dht.Put { origin = (k + 3) mod 10; key = k; elt = elt ~seq:k (); confirm = false };
+            ])
+          (List.init 25 (fun i -> i))
+      in
+      let cs = Dht.run_batch_async dht ~seed:33 ~policy ops in
+      checki "all gets satisfied" 25
+        (List.length (List.filter (function Dht.Got _ -> true | _ -> false) cs));
+      checki "nothing parked" 0 (Dht.pending_gets dht))
+    [
+      Dpq_simrt.Async_engine.Uniform (1.0, 50.0);
+      Dpq_simrt.Async_engine.Exponential 10.0;
+      Dpq_simrt.Async_engine.Adversarial_lifo;
+    ]
+
+let test_async_matches_sync_results () =
+  (* The set of (key, element) matches must be delivery-order independent
+     when each key has exactly one put and one get. *)
+  let collect run =
+    List.filter_map (function Dht.Got { key; elt; _ } -> Some (key, elt) | _ -> None) run
+    |> List.sort compare
+  in
+  let ops n =
+    List.concat_map
+      (fun k ->
+        [
+          Dht.Put { origin = k mod n; key = k; elt = elt ~prio:(k mod 5) ~seq:k (); confirm = false };
+          Dht.Get { origin = (k * 7) mod n; key = k };
+        ])
+      (List.init 40 (fun i -> i))
+  in
+  let dht1 = mk_dht ~n:9 ~seed:10 in
+  let sync_res, _ = Dht.run_batch_sync dht1 (ops 9) in
+  let dht2 = mk_dht ~n:9 ~seed:10 in
+  let async_res = Dht.run_batch_async dht2 ~seed:77 (ops 9) in
+  Alcotest.(check int) "same matches" (List.length (collect sync_res)) (List.length (collect async_res));
+  checkb "identical matchings" true (collect sync_res = collect async_res)
+
+let test_set_topology_counts_moves () =
+  let n = 16 in
+  let ldb = Ldb.build ~n ~seed:21 in
+  let dht = Dht.create ~ldb ~seed:22 in
+  let m = 800 in
+  let ops = List.init m (fun k -> Dht.Put { origin = k mod n; key = k; elt = elt ~seq:k (); confirm = false }) in
+  ignore (Dht.run_batch_sync dht ops);
+  let moved = Dht.set_topology dht (Ldb.join ldb) in
+  checkb "some elements moved" true (moved > 0);
+  checkb "a minority moved" true (moved < m / 2);
+  checki "nothing lost" m (Dht.size dht);
+  (* retrieval still works against the new topology *)
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Get { origin = 0; key = 5 } ] in
+  checki "still retrievable" 1 (List.length cs)
+
+let test_single_node_dht () =
+  let dht = mk_dht ~n:1 ~seed:11 in
+  let cs, _ =
+    Dht.run_batch_sync dht
+      [
+        Dht.Put { origin = 0; key = 5; elt = elt (); confirm = true };
+        Dht.Get { origin = 0; key = 5 };
+      ]
+  in
+  checki "both completions" 2 (List.length cs)
+
+let () =
+  Alcotest.run "dpq_dht"
+    [
+      ( "dht",
+        [
+          Alcotest.test_case "put then get" `Quick test_put_then_get;
+          Alcotest.test_case "put confirm" `Quick test_put_confirm;
+          Alcotest.test_case "racing rendezvous" `Quick test_get_before_put_parks_and_meets;
+          Alcotest.test_case "get parks across batches" `Quick test_get_with_no_put_parks;
+          Alcotest.test_case "same key fifo" `Quick test_same_key_multiple_elements_fifo;
+          Alcotest.test_case "keys route to manager" `Quick test_keys_route_to_manager;
+          Alcotest.test_case "load uniform" `Quick test_load_roughly_uniform;
+          Alcotest.test_case "rounds logarithmic" `Quick test_rounds_logarithmic;
+          Alcotest.test_case "async rendezvous" `Quick test_async_rendezvous_all_policies;
+          Alcotest.test_case "async = sync matching" `Quick test_async_matches_sync_results;
+          Alcotest.test_case "set_topology" `Quick test_set_topology_counts_moves;
+          Alcotest.test_case "single node" `Quick test_single_node_dht;
+        ] );
+    ]

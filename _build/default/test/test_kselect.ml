@@ -1,0 +1,247 @@
+module K = Dpq_kselect.Kselect
+module E = Dpq_util.Element
+module Ldb = Dpq_overlay.Ldb
+module Aggtree = Dpq_aggtree.Aggtree
+module Phase = Dpq_aggtree.Phase
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let tree_of ~n ~seed = Aggtree.of_ldb (Ldb.build ~n ~seed)
+
+let uniform_elements ~rng ~n ~per_node ~prio_range =
+  Array.init n (fun v ->
+      List.init per_node (fun s ->
+          E.make ~prio:(1 + Dpq_util.Rng.int rng prio_range) ~origin:v ~seq:s ()))
+
+let run_and_check ?(seed = 3) ~tree ~elements k =
+  let all = Array.to_list elements |> List.concat in
+  let r = K.select ~seed ~tree ~elements ~k () in
+  let expect = K.select_seq all ~k in
+  checkb
+    (Printf.sprintf "k=%d selects the right element" k)
+    true
+    (E.equal r.K.element expect);
+  r
+
+(* ----------------------------------------------------------- select_seq *)
+
+let test_select_seq () =
+  let mk p = E.make ~prio:p ~origin:0 ~seq:p () in
+  let es = [ mk 5; mk 2; mk 9; mk 1 ] in
+  checkb "k=1" true (E.equal (K.select_seq es ~k:1) (mk 1));
+  checkb "k=4" true (E.equal (K.select_seq es ~k:4) (mk 9));
+  checkb "raises k=0" true
+    (try
+       ignore (K.select_seq es ~k:0);
+       false
+     with Invalid_argument _ -> true);
+  checkb "raises k=5" true
+    (try
+       ignore (K.select_seq es ~k:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_kth_statistics () =
+  let mk p = E.make ~prio:p ~origin:0 ~seq:p () in
+  let es = [ mk 5; mk 2; mk 9; mk 1 ] in
+  let e, below, above = K.kth_statistics es ~k:2 in
+  checkb "element" true (E.equal e (mk 2));
+  checki "below" 1 below;
+  checki "above" 2 above
+
+(* ------------------------------------------------------------- select  *)
+
+let test_small_network_all_k () =
+  let rng = Dpq_util.Rng.create ~seed:11 in
+  let n = 6 in
+  let tree = tree_of ~n ~seed:2 in
+  let elements = uniform_elements ~rng ~n ~per_node:5 ~prio_range:100 in
+  let m = 30 in
+  List.iter (fun k -> ignore (run_and_check ~tree ~elements k)) (List.init m (fun i -> i + 1))
+
+let test_medium_network_selected_k () =
+  let rng = Dpq_util.Rng.create ~seed:13 in
+  let n = 48 in
+  let tree = tree_of ~n ~seed:5 in
+  let elements = uniform_elements ~rng ~n ~per_node:20 ~prio_range:10_000 in
+  let m = 48 * 20 in
+  List.iter (fun k -> ignore (run_and_check ~tree ~elements k)) [ 1; 2; m / 4; m / 2; m - 1; m ]
+
+let test_duplicate_priorities () =
+  (* Many ties: the tiebreaker (origin, seq) must make the answer exact. *)
+  let n = 16 in
+  let tree = tree_of ~n ~seed:3 in
+  let elements =
+    Array.init n (fun v -> List.init 10 (fun s -> E.make ~prio:((s mod 3) + 1) ~origin:v ~seq:s ()))
+  in
+  List.iter (fun k -> ignore (run_and_check ~tree ~elements k)) [ 1; 53; 80; 107; 160 ]
+
+let test_all_same_priority () =
+  let n = 10 in
+  let tree = tree_of ~n ~seed:9 in
+  let elements = Array.init n (fun v -> List.init 8 (fun s -> E.make ~prio:7 ~origin:v ~seq:s ())) in
+  List.iter (fun k -> ignore (run_and_check ~tree ~elements k)) [ 1; 40; 80 ]
+
+let test_skewed_distribution () =
+  (* All elements on a handful of nodes: stresses the short-node sentinels
+     of Phase 1. *)
+  let n = 24 in
+  let tree = tree_of ~n ~seed:4 in
+  let rng = Dpq_util.Rng.create ~seed:21 in
+  let elements =
+    Array.init n (fun v ->
+        if v < 3 then List.init 60 (fun s -> E.make ~prio:(1 + Dpq_util.Rng.int rng 1000) ~origin:v ~seq:s ())
+        else [])
+  in
+  List.iter (fun k -> ignore (run_and_check ~tree ~elements k)) [ 1; 90; 180 ]
+
+let test_single_node () =
+  let tree = tree_of ~n:1 ~seed:6 in
+  let elements = [| List.init 9 (fun s -> E.make ~prio:(9 - s) ~origin:0 ~seq:s ()) |] in
+  List.iter (fun k -> ignore (run_and_check ~tree ~elements k)) [ 1; 5; 9 ]
+
+let test_one_element () =
+  let tree = tree_of ~n:4 ~seed:7 in
+  let elements = [| []; [ E.make ~prio:42 ~origin:1 ~seq:0 () ]; []; [] |] in
+  ignore (run_and_check ~tree ~elements 1)
+
+let test_invalid_args () =
+  let tree = tree_of ~n:4 ~seed:8 in
+  let elements = Array.make 4 [ E.make ~prio:1 ~origin:0 ~seq:0 () ] in
+  checkb "k=0 rejected" true
+    (try
+       ignore (K.select ~tree ~elements ~k:0 ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "k too big rejected" true
+    (try
+       ignore (K.select ~tree ~elements ~k:5 ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "wrong array length rejected" true
+    (try
+       ignore (K.select ~tree ~elements:(Array.make 3 []) ~k:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_deterministic_given_seed () =
+  let rng = Dpq_util.Rng.create ~seed:31 in
+  let n = 12 in
+  let tree = tree_of ~n ~seed:3 in
+  let elements = uniform_elements ~rng ~n ~per_node:10 ~prio_range:500 in
+  let r1 = K.select ~seed:99 ~tree ~elements ~k:60 () in
+  let r2 = K.select ~seed:99 ~tree ~elements ~k:60 () in
+  checkb "same element" true (E.equal r1.K.element r2.K.element);
+  checki "same rounds" r1.K.report.Phase.rounds r2.K.report.Phase.rounds
+
+(* -------------------------------------------------- theorem-shaped props *)
+
+let test_phase1_reduces_candidates () =
+  let rng = Dpq_util.Rng.create ~seed:17 in
+  let n = 128 in
+  let tree = tree_of ~n ~seed:2 in
+  let elements = uniform_elements ~rng ~n ~per_node:32 ~prio_range:1_000_000 in
+  let r = run_and_check ~tree ~elements 2048 in
+  let after_p1 = List.nth r.K.diagnostics.K.phase1_candidates
+      (List.length r.K.diagnostics.K.phase1_candidates - 1) in
+  checkb "phase 1 pruned" true (after_p1 < r.K.diagnostics.K.initial_candidates);
+  (* Lemma 4.4's bound with generous constants: O(n^{3/2} log n). *)
+  let bound = 4.0 *. (float_of_int n ** 1.5) *. log (float_of_int n) in
+  checkb "within O(n^1.5 log n)" true (float_of_int after_p1 < bound)
+
+let test_phase2_reaches_threshold () =
+  let rng = Dpq_util.Rng.create ~seed:19 in
+  let n = 64 in
+  let tree = tree_of ~n ~seed:2 in
+  let elements = uniform_elements ~rng ~n ~per_node:40 ~prio_range:1_000_000 in
+  let r = run_and_check ~tree ~elements 1280 in
+  (* Lemma 4.7 (with our n' = 4√n constant): the exact phase runs on at
+     most ~4√n + a few candidates. *)
+  checkb "phase 3 input small" true
+    (float_of_int r.K.diagnostics.K.phase3_candidates
+    <= (8.0 *. sqrt (float_of_int n)) +. 32.0)
+
+let test_trees_per_node_bounded () =
+  (* Lemma 4.5: expected participation in copy trees is Θ(1); with the
+     implementation's n' = 4√n constant that is ≈ 2·16 = O(1) in n. *)
+  let load n =
+    let rng = Dpq_util.Rng.create ~seed:23 in
+    let tree = tree_of ~n ~seed:2 in
+    let elements = uniform_elements ~rng ~n ~per_node:16 ~prio_range:100_000 in
+    let r = run_and_check ~tree ~elements (8 * n) in
+    r.K.diagnostics.K.mean_trees_per_node
+  in
+  let l64 = load 64 and l256 = load 256 in
+  checkb "stays bounded as n quadruples" true (l256 < 4.0 *. l64);
+  checkb "nontrivial" true (l64 > 0.0)
+
+let test_rounds_logarithmic () =
+  let rounds n =
+    let rng = Dpq_util.Rng.create ~seed:29 in
+    let tree = tree_of ~n ~seed:2 in
+    let elements = uniform_elements ~rng ~n ~per_node:8 ~prio_range:1_000_000 in
+    let r = run_and_check ~tree ~elements (4 * n) in
+    float_of_int r.K.report.Phase.rounds
+  in
+  let r64 = rounds 64 and r1024 = rounds 1024 in
+  (* 16x more nodes should cost well under 16x the rounds. *)
+  checkb "O(log n) shape" true (r1024 < 6.0 *. r64)
+
+let test_message_bits_logarithmic () =
+  let bits n =
+    let rng = Dpq_util.Rng.create ~seed:37 in
+    let tree = tree_of ~n ~seed:2 in
+    let elements = uniform_elements ~rng ~n ~per_node:8 ~prio_range:(n * 80) in
+    let r = run_and_check ~tree ~elements (2 * n) in
+    float_of_int r.K.report.Phase.max_message_bits
+  in
+  let b64 = bits 64 and b1024 = bits 1024 in
+  checkb "bits grow additively, not multiplicatively" true (b1024 < b64 +. 80.0)
+
+(* qcheck: KSelect = sort-then-index on random inputs. *)
+let prop_kselect_matches_oracle =
+  let gen =
+    QCheck.Gen.(
+      triple (2 -- 12) (1 -- 8) (0 -- 1000) >>= fun (n, per_node, prio_seed) ->
+      map (fun k -> (n, per_node, prio_seed, k)) (1 -- (n * per_node)))
+  in
+  QCheck.Test.make ~name:"kselect matches sequential oracle" ~count:40 (QCheck.make gen)
+    (fun (n, per_node, prio_seed, k) ->
+      let rng = Dpq_util.Rng.create ~seed:prio_seed in
+      let tree = tree_of ~n ~seed:2 in
+      let elements = uniform_elements ~rng ~n ~per_node ~prio_range:50 in
+      let all = Array.to_list elements |> List.concat in
+      let r = K.select ~seed:(prio_seed + 1) ~tree ~elements ~k () in
+      E.equal r.K.element (K.select_seq all ~k))
+
+let () =
+  Alcotest.run "dpq_kselect"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "select_seq" `Quick test_select_seq;
+          Alcotest.test_case "kth_statistics" `Quick test_kth_statistics;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "small network all k" `Quick test_small_network_all_k;
+          Alcotest.test_case "medium network" `Quick test_medium_network_selected_k;
+          Alcotest.test_case "duplicate priorities" `Quick test_duplicate_priorities;
+          Alcotest.test_case "all same priority" `Quick test_all_same_priority;
+          Alcotest.test_case "skewed distribution" `Quick test_skewed_distribution;
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "one element" `Quick test_one_element;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_given_seed;
+          QCheck_alcotest.to_alcotest prop_kselect_matches_oracle;
+        ] );
+      ( "theorems",
+        [
+          Alcotest.test_case "phase 1 reduces candidates" `Quick test_phase1_reduces_candidates;
+          Alcotest.test_case "phase 2 reaches threshold" `Quick test_phase2_reaches_threshold;
+          Alcotest.test_case "trees per node bounded" `Quick test_trees_per_node_bounded;
+          Alcotest.test_case "rounds logarithmic" `Slow test_rounds_logarithmic;
+          Alcotest.test_case "message bits logarithmic" `Quick test_message_bits_logarithmic;
+        ] );
+    ]

@@ -1,0 +1,299 @@
+open Dpq_overlay
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------ Debruijn *)
+
+let test_db_neighbors () =
+  let g = Debruijn.create ~d:3 in
+  (* node 011 (=3): neighbors (0,0,1)=1 and (1,0,1)=5 *)
+  Alcotest.(check (list int)) "neighbors of 3" [ 1; 5 ] (Debruijn.neighbors g 3);
+  Alcotest.(check (list int)) "in-neighbors of 3" [ 6; 7 ] (Debruijn.in_neighbors g 3)
+
+let test_db_edge_consistency () =
+  let g = Debruijn.create ~d:4 in
+  for x = 0 to Debruijn.size g - 1 do
+    List.iter
+      (fun y -> checkb "edge both ways consistent" true (List.mem x (Debruijn.in_neighbors g y)))
+      (Debruijn.neighbors g x)
+  done
+
+let test_db_route_paper_example () =
+  (* §2.1: route s=(s1,s2,s3) to t=(t1,t2,t3) via
+     (t3,s1,s2), (t2,t3,s1), (t1,t2,t3). For s=0b101, t=0b010:
+     (0,1,0)... compute: hop1 prepend t3=0: (0,1,0)=2; hop2 prepend t2=1:
+     (1,0,1)=5; hop3 prepend t1=0: (0,1,0)=2. *)
+  let g = Debruijn.create ~d:3 in
+  Alcotest.(check (list int)) "route" [ 5; 2; 5; 2 ] (Debruijn.route g ~src:5 ~dst:2)
+
+let test_db_route_reaches_and_valid () =
+  let g = Debruijn.create ~d:5 in
+  let r = Dpq_util.Rng.create ~seed:3 in
+  for _ = 1 to 200 do
+    let src = Dpq_util.Rng.int r (Debruijn.size g) in
+    let dst = Dpq_util.Rng.int r (Debruijn.size g) in
+    let path = Debruijn.route g ~src ~dst in
+    checki "path length d+1" (Debruijn.d g + 1) (List.length path);
+    checki "starts at src" src (List.hd path);
+    checki "ends at dst" dst (List.nth path (List.length path - 1));
+    let rec check_edges = function
+      | a :: (b :: _ as rest) ->
+          checkb "every hop is an edge" true (Debruijn.is_edge g a b);
+          check_edges rest
+      | _ -> ()
+    in
+    check_edges path
+  done
+
+let test_db_bits_roundtrip () =
+  let g = Debruijn.create ~d:6 in
+  for x = 0 to Debruijn.size g - 1 do
+    checki "roundtrip" x (Debruijn.of_bits g (Debruijn.bits g x))
+  done
+
+(* ----------------------------------------------------------------- LDB *)
+
+let test_ldb_invariants_many_sizes () =
+  List.iter
+    (fun n ->
+      let ldb = Ldb.build ~n ~seed:42 in
+      match Ldb.check_invariants ldb with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "n=%d: %s" n e)
+    [ 1; 2; 3; 5; 8; 16; 33; 100; 257 ]
+
+let test_ldb_vnode_encoding () =
+  let v = Ldb.vnode ~owner:7 Ldb.Right in
+  checki "owner" 7 (Ldb.owner v);
+  checkb "kind" true (Ldb.kind v = Ldb.Right);
+  checkb "left" true (Ldb.kind (Ldb.vnode ~owner:0 Ldb.Left) = Ldb.Left);
+  checkb "middle" true (Ldb.kind (Ldb.vnode ~owner:3 Ldb.Middle) = Ldb.Middle)
+
+let test_ldb_label_relations () =
+  let ldb = Ldb.build ~n:10 ~seed:1 in
+  for id = 0 to 9 do
+    let m = Ldb.label ldb (Ldb.vnode ~owner:id Ldb.Middle) in
+    let l = Ldb.label ldb (Ldb.vnode ~owner:id Ldb.Left) in
+    let r = Ldb.label ldb (Ldb.vnode ~owner:id Ldb.Right) in
+    Alcotest.check (Alcotest.float 1e-12) "l = m/2" (m /. 2.0) l;
+    Alcotest.check (Alcotest.float 1e-12) "r = (m+1)/2" ((m +. 1.0) /. 2.0) r
+  done
+
+let test_ldb_cycle_is_sorted_permutation () =
+  let ldb = Ldb.build ~n:20 ~seed:5 in
+  let cyc = Ldb.vnodes_in_cycle_order ldb in
+  checki "3n vnodes" 60 (Array.length cyc);
+  let sorted = Array.to_list cyc |> List.sort_uniq compare in
+  checki "all distinct" 60 (List.length sorted);
+  Array.iteri
+    (fun i v ->
+      if i > 0 then
+        checkb "labels ascending" true
+          (Ldb.label ldb cyc.(i - 1) <= Ldb.label ldb v))
+    cyc
+
+let test_ldb_pred_succ_inverse () =
+  let ldb = Ldb.build ~n:13 ~seed:9 in
+  Array.iter
+    (fun v ->
+      checki "succ(pred v) = v" v (Ldb.succ ldb (Ldb.pred ldb v));
+      checki "pred(succ v) = v" v (Ldb.pred ldb (Ldb.succ ldb v)))
+    (Ldb.vnodes_in_cycle_order ldb)
+
+(* manager_of_point agrees with a linear scan *)
+let prop_manager_matches_linear_scan =
+  QCheck.Test.make ~name:"manager_of_point = linear scan" ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 40))
+    (fun (praw, n) ->
+      let p = float_of_int praw /. 1_000_001.0 in
+      let ldb = Ldb.build ~n ~seed:77 in
+      let fast = Ldb.manager_of_point ldb p in
+      let cyc = Ldb.vnodes_in_cycle_order ldb in
+      let slow = ref cyc.(Array.length cyc - 1) in
+      Array.iter (fun v -> if Ldb.label ldb v <= p then slow := v) cyc;
+      fast = !slow)
+
+let test_ldb_min_vnode_is_left () =
+  (* The global minimum label is always some node's left vnode. *)
+  List.iter
+    (fun seed ->
+      let ldb = Ldb.build ~n:30 ~seed in
+      checkb "min is Left kind" true (Ldb.kind (Ldb.min_vnode ldb) = Ldb.Left))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_ldb_route_reaches_manager () =
+  let ldb = Ldb.build ~n:50 ~seed:11 in
+  let r = Dpq_util.Rng.create ~seed:4 in
+  for _ = 1 to 100 do
+    let point = Dpq_util.Rng.float r in
+    let src = Ldb.vnode ~owner:(Dpq_util.Rng.int r 50) Ldb.Middle in
+    let visited, _hops = Ldb.route ldb ~src ~point in
+    checki "ends at manager"
+      (Ldb.manager_of_point ldb point)
+      (List.nth visited (List.length visited - 1));
+    checki "starts at src" src (List.hd visited)
+  done
+
+let test_ldb_route_hops_logarithmic () =
+  (* Average message hops should grow like log n: going from n to n^2 should
+     roughly double it, not square it. *)
+  let avg_hops n =
+    let ldb = Ldb.build ~n ~seed:23 in
+    let r = Dpq_util.Rng.create ~seed:5 in
+    let total = ref 0 in
+    let trials = 60 in
+    for _ = 1 to trials do
+      let point = Dpq_util.Rng.float r in
+      let src = Ldb.vnode ~owner:(Dpq_util.Rng.int r n) Ldb.Middle in
+      total := !total + Ldb.route_message_hops ldb ~src ~point
+    done;
+    float_of_int !total /. float_of_int trials
+  in
+  let h32 = avg_hops 32 and h1024 = avg_hops 1024 in
+  checkb "hops grow slowly" true (h1024 < h32 *. 3.0);
+  checkb "hops nontrivial" true (h32 > 1.0)
+
+let test_ldb_route_uses_only_local_edges () =
+  (* Every hop is a cycle edge or a virtual (same-owner) edge. *)
+  let ldb = Ldb.build ~n:25 ~seed:3 in
+  let r = Dpq_util.Rng.create ~seed:6 in
+  for _ = 1 to 50 do
+    let point = Dpq_util.Rng.float r in
+    let src = Ldb.vnode ~owner:(Dpq_util.Rng.int r 25) Ldb.Middle in
+    let _, hops = Ldb.route ldb ~src ~point in
+    List.iter
+      (fun h ->
+        match h with
+        | Ldb.Linear (a, b) ->
+            checkb "linear hop is a cycle edge" true
+              (Ldb.succ ldb a = b || Ldb.pred ldb a = b)
+        | Ldb.Virtual (a, b) -> checki "virtual hop same owner" (Ldb.owner a) (Ldb.owner b))
+      hops
+  done
+
+let test_ldb_debruijn_hop () =
+  (* One emulated de Bruijn edge lands at the manager of (p + bit)/2 and
+     costs O(1)-ish messages. *)
+  let ldb = Ldb.build ~n:64 ~seed:15 in
+  let rng = Dpq_util.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    let p = Dpq_util.Rng.float rng in
+    let src = Ldb.manager_of_point ldb p in
+    let bit = Dpq_util.Rng.int rng 2 in
+    let target = (p +. float_of_int bit) /. 2.0 in
+    let visited, hops = Ldb.debruijn_hop ldb ~src ~from_point:p ~bit ~point:target in
+    checki "lands at target manager" (Ldb.manager_of_point ldb target)
+      (List.nth visited (List.length visited - 1));
+    let costed =
+      List.length
+        (List.filter
+           (function Ldb.Linear (a, b) -> Ldb.owner a <> Ldb.owner b | _ -> false)
+           hops)
+    in
+    checkb "cheap" true (costed <= 30)
+  done
+
+let test_ldb_debruijn_hop_back () =
+  (* Reverse edge: from manager of p to manager of 2p (mod 1). *)
+  let ldb = Ldb.build ~n:64 ~seed:15 in
+  let rng = Dpq_util.Rng.create ~seed:8 in
+  for _ = 1 to 100 do
+    let p = Dpq_util.Rng.float rng in
+    let src = Ldb.manager_of_point ldb p in
+    let target = if p < 0.5 then 2.0 *. p else (2.0 *. p) -. 1.0 in
+    let visited, _ = Ldb.debruijn_hop_back ldb ~src ~from_point:p ~point:target in
+    checki "lands at doubled point" (Ldb.manager_of_point ldb target)
+      (List.nth visited (List.length visited - 1))
+  done
+
+let test_ldb_hop_near_wrap () =
+  (* The 0/1 boundary is where naive implementations explode: a hop from a
+     point near 0 must stay cheap even though its manager's label is near 1. *)
+  let ldb = Ldb.build ~n:256 ~seed:3 in
+  let p = 1e-9 in
+  let src = Ldb.manager_of_point ldb p in
+  checkb "manager wraps to the top" true (Ldb.label ldb src > 0.5);
+  List.iter
+    (fun bit ->
+      let target = (p +. float_of_int bit) /. 2.0 in
+      let _, hops = Ldb.debruijn_hop ldb ~src ~from_point:p ~bit ~point:target in
+      let costed =
+        List.length
+          (List.filter
+             (function Ldb.Linear (a, b) -> Ldb.owner a <> Ldb.owner b | _ -> false)
+             hops)
+      in
+      checkb "no wrap blow-up" true (costed < 60))
+    [ 0; 1 ]
+
+let test_ldb_join_adds_node () =
+  let ldb = Ldb.build ~n:5 ~seed:1 in
+  let ldb' = Ldb.join ldb in
+  checki "n+1" 6 (Ldb.n ldb');
+  (match Ldb.check_invariants ldb' with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Existing labels unchanged. *)
+  for id = 0 to 4 do
+    Alcotest.check (Alcotest.float 1e-12) "label preserved"
+      (Ldb.label ldb (Ldb.vnode ~owner:id Ldb.Middle))
+      (Ldb.label ldb' (Ldb.vnode ~owner:id Ldb.Middle))
+  done
+
+let test_ldb_leave_removes_node () =
+  let ldb = Ldb.build ~n:5 ~seed:1 in
+  let ldb' = Ldb.leave ldb ~id:2 in
+  checki "n-1" 4 (Ldb.n ldb');
+  match Ldb.check_invariants ldb' with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_ldb_leave_last_node_rejected () =
+  let ldb = Ldb.build ~n:1 ~seed:1 in
+  Alcotest.check_raises "refuses" (Invalid_argument "Ldb.leave: cannot empty the network")
+    (fun () -> ignore (Ldb.leave ldb ~id:0))
+
+let test_ldb_join_cost_logarithmic () =
+  let c n = Ldb.join_cost_hops (Ldb.build ~n ~seed:9) in
+  checkb "cost grows slowly" true (c 1024 < c 16 * 6);
+  checkb "cost positive" true (c 16 > 0)
+
+let test_ldb_single_node () =
+  let ldb = Ldb.build ~n:1 ~seed:4 in
+  let m = Ldb.vnode ~owner:0 Ldb.Middle in
+  let visited, _ = Ldb.route ldb ~src:m ~point:0.3 in
+  checki "route still terminates" (Ldb.manager_of_point ldb 0.3)
+    (List.nth visited (List.length visited - 1))
+
+let () =
+  Alcotest.run "dpq_overlay"
+    [
+      ( "debruijn",
+        [
+          Alcotest.test_case "neighbors" `Quick test_db_neighbors;
+          Alcotest.test_case "edge consistency" `Quick test_db_edge_consistency;
+          Alcotest.test_case "paper routing example" `Quick test_db_route_paper_example;
+          Alcotest.test_case "route reaches dst" `Quick test_db_route_reaches_and_valid;
+          Alcotest.test_case "bits roundtrip" `Quick test_db_bits_roundtrip;
+        ] );
+      ( "ldb",
+        [
+          Alcotest.test_case "invariants many sizes" `Quick test_ldb_invariants_many_sizes;
+          Alcotest.test_case "vnode encoding" `Quick test_ldb_vnode_encoding;
+          Alcotest.test_case "label relations" `Quick test_ldb_label_relations;
+          Alcotest.test_case "cycle sorted" `Quick test_ldb_cycle_is_sorted_permutation;
+          Alcotest.test_case "pred/succ inverse" `Quick test_ldb_pred_succ_inverse;
+          QCheck_alcotest.to_alcotest prop_manager_matches_linear_scan;
+          Alcotest.test_case "min vnode kind" `Quick test_ldb_min_vnode_is_left;
+          Alcotest.test_case "route reaches manager" `Quick test_ldb_route_reaches_manager;
+          Alcotest.test_case "route hops logarithmic" `Quick test_ldb_route_hops_logarithmic;
+          Alcotest.test_case "route local edges only" `Quick test_ldb_route_uses_only_local_edges;
+          Alcotest.test_case "debruijn hop" `Quick test_ldb_debruijn_hop;
+          Alcotest.test_case "debruijn hop back" `Quick test_ldb_debruijn_hop_back;
+          Alcotest.test_case "hop near wrap" `Quick test_ldb_hop_near_wrap;
+          Alcotest.test_case "join" `Quick test_ldb_join_adds_node;
+          Alcotest.test_case "leave" `Quick test_ldb_leave_removes_node;
+          Alcotest.test_case "leave last rejected" `Quick test_ldb_leave_last_node_rejected;
+          Alcotest.test_case "join cost" `Quick test_ldb_join_cost_logarithmic;
+          Alcotest.test_case "single node" `Quick test_ldb_single_node;
+        ] );
+    ]

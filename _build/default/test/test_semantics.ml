@@ -1,0 +1,352 @@
+module O = Dpq_semantics.Oplog
+module C = Dpq_semantics.Checker
+module E = Dpq_util.Element
+
+let checkb = Alcotest.check Alcotest.bool
+let ok_or_fail = function Ok () -> () | Error e -> Alcotest.fail e
+let expect_err name = function
+  | Ok () -> Alcotest.failf "%s: expected the checker to reject this log" name
+  | Error _ -> ()
+
+let elt ?(prio = 1) ?(origin = 0) ?(seq = 0) () = E.make ~prio ~origin ~seq ()
+
+let ins ~w ~node ~seq e =
+  O.{ node; local_seq = seq; witness = w; kind = O.Insert e; result = None }
+
+let del ~w ~node ~seq result =
+  O.{ node; local_seq = seq; witness = w; kind = O.Delete_min; result }
+
+(* --------------------------------------------------------------- Oplog *)
+
+let test_oplog_ordering () =
+  let e = elt () in
+  let log = O.of_list [ del ~w:5 ~node:0 ~seq:1 None; ins ~w:2 ~node:0 ~seq:0 e ] in
+  match O.to_list log with
+  | [ a; b ] ->
+      checkb "sorted by witness" true (a.O.witness = 2 && b.O.witness = 5)
+  | _ -> Alcotest.fail "expected two records"
+
+let test_oplog_matching () =
+  let e1 = elt ~seq:0 () and e2 = elt ~seq:1 () in
+  let log =
+    O.of_list
+      [
+        ins ~w:0 ~node:0 ~seq:0 e1;
+        ins ~w:1 ~node:1 ~seq:0 e2;
+        del ~w:2 ~node:2 ~seq:0 (Some e2);
+        del ~w:3 ~node:2 ~seq:1 None;
+      ]
+  in
+  (match O.matching log with
+  | [ (i, d) ] ->
+      checkb "matched pair" true (i.O.witness = 1 && d.O.witness = 2)
+  | _ -> Alcotest.fail "expected exactly one matched pair");
+  checkb "matching of alien element raises" true
+    (try
+       ignore (O.matching (O.of_list [ del ~w:0 ~node:0 ~seq:0 (Some (elt ~seq:9 ())) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_well_formed_catches () =
+  let e = elt () in
+  expect_err "dup witness"
+    (O.check_well_formed (O.of_list [ ins ~w:1 ~node:0 ~seq:0 e; del ~w:1 ~node:0 ~seq:1 None ]));
+  expect_err "dup local seq"
+    (O.check_well_formed
+       (O.of_list [ ins ~w:1 ~node:0 ~seq:0 e; del ~w:2 ~node:0 ~seq:0 None ]));
+  expect_err "double insert"
+    (O.check_well_formed (O.of_list [ ins ~w:1 ~node:0 ~seq:0 e; ins ~w:2 ~node:0 ~seq:1 e ]));
+  expect_err "double return"
+    (O.check_well_formed
+       (O.of_list
+          [
+            ins ~w:0 ~node:0 ~seq:0 e;
+            del ~w:1 ~node:0 ~seq:1 (Some e);
+            del ~w:2 ~node:0 ~seq:2 (Some e);
+          ]));
+  ok_or_fail
+    (O.check_well_formed
+       (O.of_list [ ins ~w:0 ~node:0 ~seq:0 e; del ~w:1 ~node:1 ~seq:0 (Some e) ]))
+
+(* ------------------------------------------------------------- Checker *)
+
+let test_serializability_accepts_valid () =
+  let e1 = elt ~prio:1 ~seq:0 () and e2 = elt ~prio:2 ~seq:1 () in
+  ok_or_fail
+    (C.check_serializability
+       (O.of_list
+          [
+            ins ~w:0 ~node:0 ~seq:0 e2;
+            ins ~w:1 ~node:1 ~seq:0 e1;
+            del ~w:2 ~node:2 ~seq:0 (Some e1);
+            del ~w:3 ~node:2 ~seq:1 (Some e2);
+            del ~w:4 ~node:2 ~seq:2 None;
+          ]))
+
+let test_serializability_rejects_wrong_priority () =
+  let e1 = elt ~prio:1 ~seq:0 () and e2 = elt ~prio:2 ~seq:1 () in
+  expect_err "returned higher priority while lower present"
+    (C.check_serializability
+       (O.of_list
+          [
+            ins ~w:0 ~node:0 ~seq:0 e1;
+            ins ~w:1 ~node:0 ~seq:1 e2;
+            del ~w:2 ~node:1 ~seq:0 (Some e2);
+          ]))
+
+let test_serializability_rejects_bottom_on_nonempty () =
+  let e1 = elt ~prio:1 () in
+  expect_err "⊥ while heap nonempty"
+    (C.check_serializability
+       (O.of_list [ ins ~w:0 ~node:0 ~seq:0 e1; del ~w:1 ~node:1 ~seq:0 None ]))
+
+let test_serializability_rejects_return_from_empty () =
+  let e1 = elt ~prio:1 () in
+  expect_err "return from empty heap"
+    (C.check_serializability (O.of_list [ del ~w:0 ~node:0 ~seq:0 (Some e1) ]))
+
+let test_serializability_rejects_delete_before_insert () =
+  let e1 = elt ~prio:1 () in
+  expect_err "delete witnessed before its insert"
+    (C.check_serializability
+       (O.of_list [ del ~w:0 ~node:0 ~seq:0 (Some e1); ins ~w:1 ~node:1 ~seq:0 e1 ]))
+
+let test_serializability_accepts_any_tiebreak () =
+  (* Equal priorities: either element may come out first. *)
+  let a = elt ~prio:5 ~origin:0 ~seq:0 () and b = elt ~prio:5 ~origin:1 ~seq:0 () in
+  List.iter
+    (fun (first, second) ->
+      ok_or_fail
+        (C.check_serializability
+           (O.of_list
+              [
+                ins ~w:0 ~node:0 ~seq:0 a;
+                ins ~w:1 ~node:1 ~seq:0 b;
+                del ~w:2 ~node:2 ~seq:0 (Some first);
+                del ~w:3 ~node:2 ~seq:1 (Some second);
+              ])))
+    [ (a, b); (b, a) ]
+
+let test_local_consistency () =
+  let e1 = elt ~seq:0 () and e2 = elt ~prio:2 ~seq:1 () in
+  ok_or_fail
+    (C.check_local_consistency
+       (O.of_list [ ins ~w:0 ~node:0 ~seq:0 e1; ins ~w:1 ~node:0 ~seq:1 e2 ]));
+  expect_err "node's ops out of order"
+    (C.check_local_consistency
+       (O.of_list [ ins ~w:0 ~node:0 ~seq:1 e2; ins ~w:1 ~node:0 ~seq:0 e1 ]))
+
+let test_heap_consistency_clauses () =
+  let e1 = elt ~prio:1 ~seq:0 () and e2 = elt ~prio:2 ~seq:1 () in
+  (* valid: e1 matched, e2 left in the heap *)
+  ok_or_fail
+    (C.check_heap_consistency_clauses
+       (O.of_list
+          [
+            ins ~w:0 ~node:0 ~seq:0 e1;
+            ins ~w:1 ~node:0 ~seq:1 e2;
+            del ~w:2 ~node:1 ~seq:0 (Some e1);
+          ]));
+  (* clause 2 violation: a ⊥ delete sits between a matched insert/delete *)
+  expect_err "⊥ between matched pair"
+    (C.check_heap_consistency_clauses
+       (O.of_list
+          [
+            ins ~w:0 ~node:0 ~seq:0 e1;
+            del ~w:1 ~node:1 ~seq:0 None;
+            del ~w:2 ~node:1 ~seq:1 (Some e1);
+          ]));
+  (* clause 3 violation: unmatched smaller-priority insert precedes a
+     matched delete of a larger priority *)
+  expect_err "unmatched smaller priority skipped"
+    (C.check_heap_consistency_clauses
+       (O.of_list
+          [
+            ins ~w:0 ~node:0 ~seq:0 e1;
+            ins ~w:1 ~node:0 ~seq:1 e2;
+            del ~w:2 ~node:1 ~seq:0 (Some e2);
+          ]))
+
+let test_clause1_violation () =
+  let e1 = elt ~prio:1 () in
+  expect_err "matched delete precedes its insert"
+    (C.check_heap_consistency_clauses
+       (O.of_list [ del ~w:0 ~node:0 ~seq:0 (Some e1); ins ~w:1 ~node:1 ~seq:0 e1 ]))
+
+let test_check_all_composites () =
+  let e1 = elt ~prio:1 ~seq:0 () in
+  let good = O.of_list [ ins ~w:0 ~node:0 ~seq:0 e1; del ~w:1 ~node:0 ~seq:1 (Some e1) ] in
+  ok_or_fail (C.check_all_skeap good);
+  ok_or_fail (C.check_all_seap good);
+  (* seap tolerates local-order inversions, skeap does not *)
+  let e2 = elt ~prio:2 ~seq:1 () in
+  let inverted =
+    O.of_list
+      [
+        ins ~w:0 ~node:0 ~seq:1 e2;
+        ins ~w:1 ~node:0 ~seq:0 e1;
+        del ~w:2 ~node:1 ~seq:0 (Some e1);
+        del ~w:3 ~node:1 ~seq:1 (Some e2);
+      ]
+  in
+  expect_err "skeap rejects local inversion" (C.check_all_skeap inverted);
+  ok_or_fail (C.check_all_seap inverted)
+
+(* -------------------------------------------- failure injection / fuzz *)
+
+(* Build a known-good log from a real sequential heap run. *)
+let good_log ~seed ~len =
+  let rng = Dpq_util.Rng.create ~seed in
+  let heap = Dpq_util.Binheap.create ~cmp:E.compare in
+  let recs = ref [] in
+  for w = 0 to len - 1 do
+    if Dpq_util.Rng.bool rng then begin
+      let e = E.make ~prio:(1 + Dpq_util.Rng.int rng 5) ~origin:0 ~seq:w () in
+      Dpq_util.Binheap.push heap e;
+      recs := ins ~w ~node:0 ~seq:w e :: !recs
+    end
+    else recs := del ~w ~node:0 ~seq:w (Dpq_util.Binheap.pop heap) :: !recs
+  done;
+  O.of_list !recs
+
+let test_mutation_wrong_result_detected () =
+  (* Replace a matched delete's result with a different (still inserted,
+     never-returned) element of a different priority: must be caught. *)
+  let log = good_log ~seed:5 ~len:60 in
+  let records = O.to_list log in
+  let returned = List.filter_map (fun (r : O.record) -> r.O.result) records in
+  let unreturned =
+    List.filter_map
+      (fun (r : O.record) ->
+        match r.O.kind with
+        | O.Insert e when not (List.exists (E.equal e) returned) -> Some e
+        | _ -> None)
+      records
+  in
+  let victim = List.find_opt (fun (r : O.record) -> r.O.result <> None) records in
+  match victim with
+  | None -> Alcotest.fail "fuzz seed produced no matched delete"
+  | Some victim -> (
+      let vprio = E.prio (Option.get victim.O.result) in
+      match List.find_opt (fun e -> E.prio e <> vprio) unreturned with
+      | None -> () (* no substitute with a different priority under this seed *)
+      | Some substitute ->
+          let mutated =
+            List.map
+              (fun (r : O.record) ->
+                if r.O.witness = victim.O.witness then { r with O.result = Some substitute }
+                else r)
+              records
+          in
+          expect_err "substituted result" (C.check_all_skeap (O.of_list mutated)))
+
+let test_mutation_dropped_insert_detected () =
+  let log = good_log ~seed:7 ~len:60 in
+  let records = O.to_list log in
+  (* drop the insert of some matched pair: its delete now returns an element
+     never inserted -> matching/well-formedness must object *)
+  match O.matching log with
+  | [] -> ()
+  | (insr, _) :: _ ->
+      let mutated = List.filter (fun (r : O.record) -> r.O.witness <> insr.O.witness) records in
+      checkb "dropped insert detected" true
+        (C.check_all_skeap (O.of_list mutated) <> Ok ()
+        || (try
+              ignore (O.matching (O.of_list mutated));
+              false
+            with Invalid_argument _ -> true))
+
+let prop_reordering_matched_pair_detected =
+  (* Swapping the witness positions of a matched (insert, delete) pair makes
+     the delete precede its insert: always caught. *)
+  QCheck.Test.make ~name:"swapped matched pair always detected" ~count:50
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let log = good_log ~seed ~len:50 in
+      match O.matching log with
+      | [] -> true
+      | (i, d) :: _ ->
+          let mutated =
+            List.map
+              (fun (r : O.record) ->
+                if r.O.witness = i.O.witness then { r with O.witness = d.O.witness }
+                else if r.O.witness = d.O.witness then { r with O.witness = i.O.witness }
+                else r)
+              (O.to_list log)
+          in
+          C.check_all_skeap (O.of_list mutated) <> Ok ())
+
+let prop_bottom_injection_detected =
+  (* Turning a matched delete into ⊥ while its element is in the heap:
+     always caught by the replay. *)
+  QCheck.Test.make ~name:"forged ⊥ always detected" ~count:50 QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let log = good_log ~seed ~len:50 in
+      match
+        List.find_opt (fun (r : O.record) -> r.O.result <> None) (O.to_list log)
+      with
+      | None -> true
+      | Some victim ->
+          let mutated =
+            List.map
+              (fun (r : O.record) ->
+                if r.O.witness = victim.O.witness then { r with O.result = None } else r)
+              (O.to_list log)
+          in
+          C.check_serializability (O.of_list mutated) <> Ok ())
+
+(* qcheck: replaying a log generated BY a sequential heap always passes. *)
+let prop_sequential_heap_always_passes =
+  let gen = QCheck.Gen.(list_size (0 -- 60) (option (1 -- 20))) in
+  QCheck.Test.make ~name:"logs from a real sequential heap pass all checks" ~count:100
+    (QCheck.make gen)
+    (fun script ->
+      let heap = Dpq_util.Binheap.create ~cmp:E.compare in
+      let log = ref [] in
+      let w = ref 0 and seq = ref 0 in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some p ->
+              let e = E.make ~prio:p ~origin:0 ~seq:!seq () in
+              Dpq_util.Binheap.push heap e;
+              log := ins ~w:!w ~node:0 ~seq:!seq e :: !log
+          | None ->
+              let result = Dpq_util.Binheap.pop heap in
+              log := del ~w:!w ~node:0 ~seq:!seq result :: !log);
+          incr w;
+          incr seq)
+        script;
+      match C.check_all_skeap (O.of_list !log) with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "dpq_semantics"
+    [
+      ( "oplog",
+        [
+          Alcotest.test_case "ordering" `Quick test_oplog_ordering;
+          Alcotest.test_case "matching" `Quick test_oplog_matching;
+          Alcotest.test_case "well-formedness" `Quick test_well_formed_catches;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_serializability_accepts_valid;
+          Alcotest.test_case "rejects wrong priority" `Quick test_serializability_rejects_wrong_priority;
+          Alcotest.test_case "rejects ⊥ on nonempty" `Quick test_serializability_rejects_bottom_on_nonempty;
+          Alcotest.test_case "rejects return from empty" `Quick test_serializability_rejects_return_from_empty;
+          Alcotest.test_case "rejects delete before insert" `Quick test_serializability_rejects_delete_before_insert;
+          Alcotest.test_case "accepts any tiebreak" `Quick test_serializability_accepts_any_tiebreak;
+          Alcotest.test_case "local consistency" `Quick test_local_consistency;
+          Alcotest.test_case "heap consistency clauses" `Quick test_heap_consistency_clauses;
+          Alcotest.test_case "clause 1" `Quick test_clause1_violation;
+          Alcotest.test_case "composite checks" `Quick test_check_all_composites;
+          QCheck_alcotest.to_alcotest prop_sequential_heap_always_passes;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "wrong result detected" `Quick test_mutation_wrong_result_detected;
+          Alcotest.test_case "dropped insert detected" `Quick test_mutation_dropped_insert_detected;
+          QCheck_alcotest.to_alcotest prop_reordering_matched_pair_detected;
+          QCheck_alcotest.to_alcotest prop_bottom_injection_detected;
+        ] );
+    ]

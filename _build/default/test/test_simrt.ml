@@ -1,0 +1,279 @@
+open Dpq_simrt
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* -------------------------------------------------------- Sync engine *)
+
+(* A message sent in round i must be delivered in round i+1. *)
+let test_sync_round_semantics () =
+  let deliveries = ref [] in
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 8)
+      ~handler:(fun eng ~dst ~src:_ _msg ->
+        deliveries := (Sync_engine.round eng, dst) :: !deliveries)
+      ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "hello";
+  checki "one pending" 1 (Sync_engine.pending eng);
+  Sync_engine.step eng;
+  checki "delivered in round 0" 1 (List.length !deliveries);
+  let round, dst = List.hd !deliveries in
+  checki "round" 0 round;
+  checki "dst" 1 dst
+
+let test_sync_handler_sends_next_round () =
+  let trace = ref [] in
+  let eng =
+    Sync_engine.create ~n:3 ~size_bits:(fun _ -> 8)
+      ~handler:(fun eng ~dst ~src:_ msg ->
+        trace := (Sync_engine.round eng, dst) :: !trace;
+        if msg < 2 then Sync_engine.send eng ~src:dst ~dst:(dst + 1) (msg + 1))
+      ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 1;
+  let rounds = Sync_engine.run_to_quiescence eng in
+  checki "two rounds" 2 rounds;
+  (match List.rev !trace with
+  | [ (0, 1); (1, 2) ] -> ()
+  | _ -> Alcotest.fail "unexpected delivery trace");
+  checki "total messages" 2 (Metrics.total_messages (Sync_engine.metrics eng))
+
+let test_sync_local_send_is_free_and_immediate () =
+  let got = ref 0 in
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 8)
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> incr got)
+      ()
+  in
+  Sync_engine.send eng ~src:1 ~dst:1 "x";
+  checki "handled immediately" 1 !got;
+  checki "no pending" 0 (Sync_engine.pending eng);
+  checki "no remote messages" 0 (Metrics.total_messages (Sync_engine.metrics eng));
+  checki "one local delivery" 1 (Metrics.local_deliveries (Sync_engine.metrics eng))
+
+let test_sync_congestion_counts () =
+  let eng =
+    Sync_engine.create ~n:4 ~size_bits:(fun _ -> 8)
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> ())
+      ()
+  in
+  (* 3 messages into node 0 in the same round; 1 into node 1. *)
+  Sync_engine.send eng ~src:1 ~dst:0 "a";
+  Sync_engine.send eng ~src:2 ~dst:0 "b";
+  Sync_engine.send eng ~src:3 ~dst:0 "c";
+  Sync_engine.send eng ~src:0 ~dst:1 "d";
+  ignore (Sync_engine.run_to_quiescence eng);
+  checki "max congestion" 3 (Metrics.max_congestion (Sync_engine.metrics eng));
+  let load = Metrics.node_load (Sync_engine.metrics eng) in
+  checki "node0 load" 3 load.(0);
+  checki "node1 load" 1 load.(1)
+
+let test_sync_message_bits () =
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:String.length
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> ())
+      ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "12345";
+  Sync_engine.send eng ~src:0 ~dst:1 "123";
+  ignore (Sync_engine.run_to_quiescence eng);
+  checki "max bits" 5 (Metrics.max_message_bits (Sync_engine.metrics eng));
+  checki "total bits" 8 (Metrics.total_bits (Sync_engine.metrics eng))
+
+let test_sync_activate () =
+  let activations = ref 0 in
+  let eng =
+    Sync_engine.create ~n:5 ~size_bits:(fun _ -> 1)
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> ())
+      ~activate:(fun _ _ -> incr activations)
+      ()
+  in
+  Sync_engine.step eng;
+  Sync_engine.step eng;
+  checki "5 nodes x 2 rounds" 10 !activations
+
+let test_sync_out_of_range () =
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 1) ~handler:(fun _ ~dst:_ ~src:_ _ -> ()) ()
+  in
+  Alcotest.check_raises "bad dst" (Invalid_argument "Sync_engine.send: node id 5 out of range")
+    (fun () -> Sync_engine.send eng ~src:0 ~dst:5 "x")
+
+let test_sync_reset_clock () =
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 1) ~handler:(fun _ ~dst:_ ~src:_ _ -> ()) ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "x";
+  ignore (Sync_engine.run_to_quiescence eng);
+  Sync_engine.reset_clock eng;
+  checki "round reset" 0 (Sync_engine.round eng);
+  checki "metrics reset" 0 (Metrics.total_messages (Sync_engine.metrics eng))
+
+let test_sync_livelock_guard () =
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 1)
+      ~handler:(fun eng ~dst ~src _ ->
+        (* ping-pong forever *)
+        Sync_engine.send eng ~src:dst ~dst:src "again")
+      ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "go";
+  checkb "raises" true
+    (try
+       ignore (Sync_engine.run_to_quiescence ~max_rounds:50 eng);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------- Async engine *)
+
+let test_async_delivers_everything () =
+  let got = ref 0 in
+  let eng =
+    Async_engine.create ~n:4 ~seed:1 ~size_bits:(fun _ -> 1)
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> incr got)
+      ()
+  in
+  for i = 0 to 99 do
+    Async_engine.send eng ~src:(i mod 4) ~dst:((i + 1) mod 4) i
+  done;
+  let n = Async_engine.run_to_quiescence eng in
+  checki "all delivered" 100 n;
+  checki "handler saw all" 100 !got
+
+let test_async_non_fifo () =
+  (* With random delays, two messages on the same channel can be reordered. *)
+  let order = ref [] in
+  let eng =
+    Async_engine.create ~n:2 ~seed:7 ~size_bits:(fun _ -> 1)
+      ~handler:(fun _ ~dst:_ ~src:_ msg -> order := msg :: !order)
+      ()
+  in
+  for i = 0 to 49 do
+    Async_engine.send eng ~src:0 ~dst:1 i
+  done;
+  ignore (Async_engine.run_to_quiescence eng);
+  let received = List.rev !order in
+  checkb "some reordering happened" true (received <> List.init 50 (fun i -> i));
+  checki "all arrived" 50 (List.length received)
+
+let test_async_adversarial_lifo () =
+  (* Under the adversarial policy, later sends overtake earlier ones. *)
+  let order = ref [] in
+  let eng =
+    Async_engine.create ~n:2 ~seed:1 ~policy:Async_engine.Adversarial_lifo
+      ~size_bits:(fun _ -> 1)
+      ~handler:(fun _ ~dst:_ ~src:_ msg -> order := msg :: !order)
+      ()
+  in
+  Async_engine.send eng ~src:0 ~dst:1 "first";
+  Async_engine.send eng ~src:0 ~dst:1 "second";
+  Async_engine.send eng ~src:0 ~dst:1 "third";
+  ignore (Async_engine.run_to_quiescence eng);
+  (match List.rev !order with
+  | [ "third"; "second"; "first" ] -> ()
+  | _ -> Alcotest.fail "expected LIFO delivery")
+
+let test_async_self_send_immediate () =
+  let got = ref false in
+  let eng =
+    Async_engine.create ~n:2 ~seed:1 ~size_bits:(fun _ -> 1)
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> got := true)
+      ()
+  in
+  Async_engine.send eng ~src:0 ~dst:0 "local";
+  checkb "handled synchronously" true !got
+
+let test_async_handler_can_send () =
+  let count = ref 0 in
+  let eng =
+    Async_engine.create ~n:2 ~seed:3 ~size_bits:(fun _ -> 1)
+      ~handler:(fun eng ~dst ~src msg ->
+        incr count;
+        if msg > 0 then Async_engine.send eng ~src:dst ~dst:src (msg - 1))
+      ()
+  in
+  Async_engine.send eng ~src:0 ~dst:1 10;
+  ignore (Async_engine.run_to_quiescence eng);
+  checki "chain of 11" 11 !count
+
+let test_async_determinism () =
+  let run seed =
+    let order = ref [] in
+    let eng =
+      Async_engine.create ~n:3 ~seed ~size_bits:(fun _ -> 1)
+        ~handler:(fun _ ~dst:_ ~src:_ msg -> order := msg :: !order)
+        ()
+    in
+    for i = 0 to 20 do
+      Async_engine.send eng ~src:0 ~dst:(1 + (i mod 2)) i
+    done;
+    ignore (Async_engine.run_to_quiescence eng);
+    !order
+  in
+  checkb "same seed same schedule" true (run 42 = run 42);
+  checkb "diff seed diff schedule" true (run 42 <> run 43)
+
+(* ------------------------------------------------------------ Metrics *)
+
+let test_metrics_rounds_and_reset () =
+  let m = Metrics.create ~n:3 in
+  Metrics.record_delivery m ~round:0 ~dst:1 ~bits:10;
+  Metrics.record_delivery m ~round:4 ~dst:2 ~bits:20;
+  checki "rounds" 5 (Metrics.rounds m);
+  checki "total" 2 (Metrics.total_messages m);
+  checki "bits" 30 (Metrics.total_bits m);
+  checki "max bits" 20 (Metrics.max_message_bits m);
+  Metrics.reset m;
+  checki "reset rounds" 0 (Metrics.rounds m);
+  checki "reset msgs" 0 (Metrics.total_messages m)
+
+let test_metrics_congestion_per_round () =
+  let m = Metrics.create ~n:2 in
+  (* Two messages to node 0 in round 0, one in round 1: congestion 2. *)
+  Metrics.record_delivery m ~round:0 ~dst:0 ~bits:1;
+  Metrics.record_delivery m ~round:0 ~dst:0 ~bits:1;
+  Metrics.record_delivery m ~round:1 ~dst:0 ~bits:1;
+  checki "congestion" 2 (Metrics.max_congestion m)
+
+let test_metrics_merge () =
+  let a = Metrics.create ~n:2 and b = Metrics.create ~n:2 in
+  Metrics.record_delivery a ~round:0 ~dst:0 ~bits:5;
+  Metrics.record_delivery b ~round:0 ~dst:1 ~bits:9;
+  Metrics.record_delivery b ~round:1 ~dst:1 ~bits:9;
+  Metrics.merge_max a b;
+  checki "summed messages" 3 (Metrics.total_messages a);
+  checki "max bits" 9 (Metrics.max_message_bits a);
+  checki "summed rounds" 3 (Metrics.rounds a)
+
+let () =
+  Alcotest.run "dpq_simrt"
+    [
+      ( "sync",
+        [
+          Alcotest.test_case "round semantics" `Quick test_sync_round_semantics;
+          Alcotest.test_case "handler sends next round" `Quick test_sync_handler_sends_next_round;
+          Alcotest.test_case "local send free" `Quick test_sync_local_send_is_free_and_immediate;
+          Alcotest.test_case "congestion" `Quick test_sync_congestion_counts;
+          Alcotest.test_case "message bits" `Quick test_sync_message_bits;
+          Alcotest.test_case "activate" `Quick test_sync_activate;
+          Alcotest.test_case "out of range" `Quick test_sync_out_of_range;
+          Alcotest.test_case "reset clock" `Quick test_sync_reset_clock;
+          Alcotest.test_case "livelock guard" `Quick test_sync_livelock_guard;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "delivers everything" `Quick test_async_delivers_everything;
+          Alcotest.test_case "non fifo" `Quick test_async_non_fifo;
+          Alcotest.test_case "adversarial lifo" `Quick test_async_adversarial_lifo;
+          Alcotest.test_case "self send immediate" `Quick test_async_self_send_immediate;
+          Alcotest.test_case "handler can send" `Quick test_async_handler_can_send;
+          Alcotest.test_case "determinism" `Quick test_async_determinism;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "rounds and reset" `Quick test_metrics_rounds_and_reset;
+          Alcotest.test_case "congestion per round" `Quick test_metrics_congestion_per_round;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+        ] );
+    ]

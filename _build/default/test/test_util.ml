@@ -1,0 +1,441 @@
+open Dpq_util
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let eq = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr eq
+  done;
+  checkb "different seeds diverge" true (!eq < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in r (-3) 5 in
+    checkb "in [-3,5]" true (v >= -3 && v <= 5)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_float_mean () =
+  let r = Rng.create ~seed:9 in
+  let samples = List.init 10_000 (fun _ -> Rng.float r) in
+  let m = Stats.mean samples in
+  checkb "mean near 0.5" true (abs_float (m -. 0.5) < 0.02)
+
+let test_rng_split_independence () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  checkb "split differs from parent" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  checkb "copy resumes identically" true (Rng.int64 a = Rng.int64 b)
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create ~seed:1 in
+  checkb "p=0 never" false (Rng.bernoulli r ~p:0.0);
+  checkb "p=1 always" true (Rng.bernoulli r ~p:1.0)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let r = Rng.create ~seed:13 in
+  let s = Rng.sample_without_replacement r ~k:10 ~n:20 in
+  checki "k elements" 10 (List.length s);
+  checki "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> checkb "in range" true (v >= 0 && v < 20)) s
+
+let test_rng_sample_full () =
+  let r = Rng.create ~seed:13 in
+  let s = Rng.sample_without_replacement r ~k:5 ~n:5 in
+  Alcotest.(check (list int)) "all of them" [ 0; 1; 2; 3; 4 ] (List.sort compare s)
+
+let test_rng_zipf_range () =
+  let r = Rng.create ~seed:17 in
+  for _ = 1 to 500 do
+    let v = Rng.zipf r ~s:1.2 ~n:30 in
+    checkb "in [1,30]" true (v >= 1 && v <= 30)
+  done
+
+let test_rng_zipf_skew () =
+  let r = Rng.create ~seed:17 in
+  let ones = ref 0 and total = 5000 in
+  for _ = 1 to total do
+    if Rng.zipf r ~s:1.5 ~n:50 = 1 then incr ones
+  done;
+  checkb "rank 1 dominates" true (float_of_int !ones /. float_of_int total > 0.2)
+
+let test_rng_geometric () =
+  let r = Rng.create ~seed:23 in
+  let samples = List.init 5000 (fun _ -> float_of_int (Rng.geometric r ~p:0.5)) in
+  let m = Stats.mean samples in
+  (* mean of geometric(p) counting failures = (1-p)/p = 1 *)
+  checkb "mean near 1" true (abs_float (m -. 1.0) < 0.15)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:29 in
+  let samples = List.init 10_000 (fun _ -> Rng.exponential r ~mean:4.0) in
+  checkb "mean near 4" true (abs_float (Stats.mean samples -. 4.0) < 0.3)
+
+(* -------------------------------------------------------------- Hashing *)
+
+let test_hash_deterministic () =
+  let h1 = Hashing.create ~seed:1 and h2 = Hashing.create ~seed:1 in
+  checki "same" (Hashing.int h1 12345) (Hashing.int h2 12345)
+
+let test_hash_seed_dependent () =
+  let h1 = Hashing.create ~seed:1 and h2 = Hashing.create ~seed:2 in
+  checkb "differ" true (Hashing.int h1 12345 <> Hashing.int h2 12345)
+
+let test_hash_pair_sym () =
+  let h = Hashing.create ~seed:5 in
+  for i = 0 to 20 do
+    for j = 0 to 20 do
+      checki "symmetric" (Hashing.pair_sym h i j) (Hashing.pair_sym h j i)
+    done
+  done
+
+let test_hash_unit_interval () =
+  let h = Hashing.create ~seed:5 in
+  for x = 0 to 1000 do
+    let f = Hashing.to_unit_interval h x in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_hash_uniformity () =
+  let h = Hashing.create ~seed:5 in
+  let lo = ref 0 in
+  let total = 10_000 in
+  for x = 0 to total - 1 do
+    if Hashing.to_unit_interval h x < 0.5 then incr lo
+  done;
+  checkb "roughly balanced" true (abs (!lo - (total / 2)) < total / 20)
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_mean () = check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ])
+let test_stats_mean_empty () = check (Alcotest.float 1e-9) "mean []" 0.0 (Stats.mean [])
+
+let test_stats_variance () =
+  (* population variance of {1,3,5}: ((2^2)+(0^2)+(2^2))/3 = 8/3 *)
+  check (Alcotest.float 1e-9) "variance" (8.0 /. 3.0) (Stats.variance [ 1.; 3.; 5. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile xs ~p:50.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile xs ~p:100.0);
+  check (Alcotest.float 1e-9) "p1" 1.0 (Stats.percentile xs ~p:1.0)
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.; 1.; 4.; 1.; 5. ] in
+  check (Alcotest.float 1e-9) "min" 1.0 lo;
+  check (Alcotest.float 1e-9) "max" 5.0 hi
+
+let test_stats_linear_fit () =
+  let a, b = Stats.linear_fit [ (0., 1.); (1., 3.); (2., 5.) ] in
+  check (Alcotest.float 1e-6) "intercept" 1.0 a;
+  check (Alcotest.float 1e-6) "slope" 2.0 b
+
+let test_stats_log2_fit () =
+  let pts = [ (2, 3.0); (4, 6.0); (8, 9.0); (16, 12.0) ] in
+  check (Alcotest.float 1e-6) "c" 3.0 (Stats.log2_fit pts)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 0.1; 0.9; 1.0 ] in
+  checki "bins" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  checki "total preserved" 4 (c0 + c1)
+
+(* ------------------------------------------------------------- Interval *)
+
+let test_interval_basic () =
+  let iv = Interval.make 3 7 in
+  checki "card" 5 (Interval.cardinality iv);
+  checki "lo" 3 (Interval.lo iv);
+  checki "hi" 7 (Interval.hi iv);
+  checkb "mem" true (Interval.mem 5 iv);
+  checkb "not mem" false (Interval.mem 8 iv)
+
+let test_interval_empty () =
+  let iv = Interval.make 5 3 in
+  checkb "empty" true (Interval.is_empty iv);
+  checki "card 0" 0 (Interval.cardinality iv);
+  checkb "empty equal" true (Interval.equal iv Interval.empty)
+
+let test_interval_take () =
+  let iv = Interval.make 1 10 in
+  let front, rest = Interval.take iv 4 in
+  checkb "front" true (Interval.equal front (Interval.make 1 4));
+  checkb "rest" true (Interval.equal rest (Interval.make 5 10));
+  let all, none = Interval.take iv 99 in
+  checkb "overtake keeps all" true (Interval.equal all iv);
+  checkb "nothing left" true (Interval.is_empty none)
+
+let test_interval_take_back () =
+  let iv = Interval.make 1 10 in
+  let back, rest = Interval.take_back iv 4 in
+  checkb "back" true (Interval.equal back (Interval.make 7 10));
+  checkb "rest" true (Interval.equal rest (Interval.make 1 6));
+  let all, none = Interval.take_back iv 99 in
+  checkb "overtake keeps all" true (Interval.equal all iv);
+  checkb "nothing left" true (Interval.is_empty none);
+  let nothing, same = Interval.take_back iv 0 in
+  checkb "take 0 empty" true (Interval.is_empty nothing);
+  checkb "take 0 keeps" true (Interval.equal same iv)
+
+let prop_take_front_back_partition =
+  QCheck.Test.make ~name:"take and take_back partition the interval" ~count:200
+    QCheck.(pair (pair small_nat small_nat) small_nat)
+    (fun ((lo, len), k) ->
+      let iv = Interval.of_first_card ~first:lo ~card:(len mod 40) in
+      let k = k mod 45 in
+      let f, fr = Interval.take iv k in
+      let b, br = Interval.take_back iv k in
+      Interval.positions f @ Interval.positions fr = Interval.positions iv
+      && Interval.positions br @ Interval.positions b = Interval.positions iv)
+
+let test_interval_split_sizes () =
+  let iv = Interval.make 1 10 in
+  let parts = Interval.split_sizes iv [ 3; 0; 7 ] in
+  Alcotest.(check (list string))
+    "parts"
+    [ "[1,3]"; "\xe2\x88\x85"; "[4,10]" ]
+    (List.map Interval.to_string parts)
+
+let test_interval_split_too_much () =
+  Alcotest.check_raises "raises" (Invalid_argument "Interval.split_sizes: sizes exceed cardinality")
+    (fun () -> ignore (Interval.split_sizes (Interval.make 1 3) [ 2; 2 ]))
+
+let test_interval_positions () =
+  Alcotest.(check (list int)) "positions" [ 4; 5; 6 ] (Interval.positions (Interval.make 4 6));
+  Alcotest.(check (list int)) "empty positions" [] (Interval.positions Interval.empty)
+
+let test_interval_set_split () =
+  let s = Interval.Set.of_list [ Interval.make 1 3; Interval.make 10 12 ] in
+  checki "card" 6 (Interval.Set.cardinality s);
+  let parts = Interval.Set.split_sizes s [ 2; 2; 2 ] in
+  Alcotest.(check (list (list int)))
+    "positions per part"
+    [ [ 1; 2 ]; [ 3; 10 ]; [ 11; 12 ] ]
+    (List.map Interval.Set.positions parts)
+
+let test_interval_set_drops_empty () =
+  let s = Interval.Set.of_list [ Interval.empty; Interval.make 1 2; Interval.empty ] in
+  checki "members" 1 (List.length (Interval.Set.to_list s))
+
+(* qcheck: splitting an interval by any size list that fits partitions it. *)
+let prop_interval_split_partition =
+  QCheck.Test.make ~name:"interval split_sizes partitions positions" ~count:200
+    QCheck.(pair (pair small_nat small_nat) (list_of_size Gen.(0 -- 6) small_nat))
+    (fun ((lo, len), sizes) ->
+      let iv = Interval.of_first_card ~first:lo ~card:(len mod 50) in
+      let sizes = List.map (fun s -> s mod 10) sizes in
+      let total = List.fold_left ( + ) 0 sizes in
+      QCheck.assume (total <= Interval.cardinality iv);
+      let parts = Interval.split_sizes iv sizes in
+      let got = List.concat_map Interval.positions parts in
+      let expected =
+        List.filteri (fun i _ -> i < total) (Interval.positions iv)
+      in
+      got = expected)
+
+(* ------------------------------------------------------------- Binheap *)
+
+let test_binheap_basic () =
+  let h = Binheap.create ~cmp:Int.compare in
+  checkb "empty" true (Binheap.is_empty h);
+  Binheap.push h 5;
+  Binheap.push h 1;
+  Binheap.push h 3;
+  checki "len" 3 (Binheap.length h);
+  checki "peek" 1 (Option.get (Binheap.peek h));
+  checki "pop" 1 (Option.get (Binheap.pop h));
+  checki "pop" 3 (Option.get (Binheap.pop h));
+  checki "pop" 5 (Option.get (Binheap.pop h));
+  checkb "pop empty" true (Binheap.pop h = None)
+
+let test_binheap_pop_exn () =
+  let h = Binheap.create ~cmp:Int.compare in
+  Alcotest.check_raises "raises" (Invalid_argument "Binheap.pop_exn: empty heap") (fun () ->
+      ignore (Binheap.pop_exn h))
+
+let test_binheap_to_sorted_preserves () =
+  let h = Binheap.of_list ~cmp:Int.compare [ 4; 2; 9; 1 ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 4; 9 ] (Binheap.to_sorted_list h);
+  checki "non destructive" 4 (Binheap.length h)
+
+let prop_binheap_sorts =
+  QCheck.Test.make ~name:"binheap drains in sorted order" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Binheap.of_list ~cmp:Int.compare xs in
+      Binheap.to_sorted_list h = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------- Bitsize *)
+
+let test_bitsize_bits_of_int () =
+  checki "0" 1 (Bitsize.bits_of_int 0);
+  checki "1" 1 (Bitsize.bits_of_int 1);
+  checki "2" 2 (Bitsize.bits_of_int 2);
+  checki "255" 8 (Bitsize.bits_of_int 255);
+  checki "256" 9 (Bitsize.bits_of_int 256)
+
+let test_bitsize_log2 () =
+  checki "ceil 1" 0 (Bitsize.log2_ceil 1);
+  checki "ceil 2" 1 (Bitsize.log2_ceil 2);
+  checki "ceil 3" 2 (Bitsize.log2_ceil 3);
+  checki "ceil 1024" 10 (Bitsize.log2_ceil 1024);
+  checki "floor 1023" 9 (Bitsize.log2_floor 1023);
+  checkb "pow2" true (Bitsize.is_power_of_two 64);
+  checkb "not pow2" false (Bitsize.is_power_of_two 65)
+
+(* ------------------------------------------------------------- Element *)
+
+let test_element_order () =
+  let e1 = Element.make ~prio:1 ~origin:5 ~seq:0 () in
+  let e2 = Element.make ~prio:1 ~origin:5 ~seq:1 () in
+  let e3 = Element.make ~prio:2 ~origin:0 ~seq:0 () in
+  checkb "prio first" true (Element.compare e1 e3 < 0);
+  checkb "tiebreak seq" true (Element.compare e1 e2 < 0);
+  checkb "equal" true (Element.equal e1 e1)
+
+let test_element_rank () =
+  let mk p o = Element.make ~prio:p ~origin:o ~seq:0 () in
+  let all = [ mk 3 0; mk 1 0; mk 2 0; mk 1 1 ] in
+  checki "rank of smallest" 1 (Element.rank_in (mk 1 0) all);
+  checki "tiebreak rank" 2 (Element.rank_in (mk 1 1) all);
+  checki "rank of largest" 4 (Element.rank_in (mk 3 0) all)
+
+(* --------------------------------------------------------------- Table *)
+
+let contains_substring hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ ("n", Table.Right); ("v", Table.Left) ] in
+  Table.add_row t [ "1"; "abc" ];
+  Table.add_row t [ "100"; "x" ];
+  let s = Table.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 7 = "## demo");
+  checkb "has row" true (contains_substring s "100");
+  checkb "has cell" true (contains_substring s "abc");
+  checkb "has separator" true (contains_substring s "|--")
+
+let test_table_arity () =
+  let t = Table.create ~title:"t" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let () =
+  Alcotest.run "dpq_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "sample w/o replacement" `Quick test_rng_sample_without_replacement;
+          Alcotest.test_case "sample all" `Quick test_rng_sample_full;
+          Alcotest.test_case "zipf range" `Quick test_rng_zipf_range;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "seed dependent" `Quick test_hash_seed_dependent;
+          Alcotest.test_case "pair symmetric" `Quick test_hash_pair_sym;
+          Alcotest.test_case "unit interval" `Quick test_hash_unit_interval;
+          Alcotest.test_case "uniformity" `Quick test_hash_uniformity;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "min max" `Quick test_stats_min_max;
+          Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "log2 fit" `Quick test_stats_log2_fit;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "empty" `Quick test_interval_empty;
+          Alcotest.test_case "take" `Quick test_interval_take;
+          Alcotest.test_case "take_back" `Quick test_interval_take_back;
+          QCheck_alcotest.to_alcotest prop_take_front_back_partition;
+          Alcotest.test_case "split sizes" `Quick test_interval_split_sizes;
+          Alcotest.test_case "split too much" `Quick test_interval_split_too_much;
+          Alcotest.test_case "positions" `Quick test_interval_positions;
+          Alcotest.test_case "set split" `Quick test_interval_set_split;
+          Alcotest.test_case "set drops empty" `Quick test_interval_set_drops_empty;
+          QCheck_alcotest.to_alcotest prop_interval_split_partition;
+        ] );
+      ( "binheap",
+        [
+          Alcotest.test_case "basic" `Quick test_binheap_basic;
+          Alcotest.test_case "pop_exn" `Quick test_binheap_pop_exn;
+          Alcotest.test_case "to_sorted preserves" `Quick test_binheap_to_sorted_preserves;
+          QCheck_alcotest.to_alcotest prop_binheap_sorts;
+        ] );
+      ( "bitsize",
+        [
+          Alcotest.test_case "bits_of_int" `Quick test_bitsize_bits_of_int;
+          Alcotest.test_case "log2" `Quick test_bitsize_log2;
+        ] );
+      ( "element",
+        [
+          Alcotest.test_case "ordering" `Quick test_element_order;
+          Alcotest.test_case "rank" `Quick test_element_rank;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+        ] );
+    ]

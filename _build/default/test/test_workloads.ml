@@ -1,0 +1,137 @@
+module W = Dpq_workloads.Workload
+module R = Dpq_workloads.Runner
+module Rng = Dpq_util.Rng
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------ Workload *)
+
+let test_generate_counts () =
+  let wl = W.generate ~rng:(Rng.create ~seed:1) ~n:8 ~rounds:5 ~lambda:3 ~prio:(W.Constant_set 4) () in
+  checki "rounds" 5 (W.num_rounds wl);
+  checki "ops" (8 * 5 * 3) (W.total_ops wl);
+  checki "split" (W.total_ops wl) (W.inserts wl + W.deletes wl);
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : W.op) ->
+          checkb "node in range" true (op.W.node >= 0 && op.W.node < 8);
+          match op.W.action with
+          | `Ins p -> checkb "prio in constant set" true (p >= 1 && p <= 4)
+          | `Del -> ())
+        round)
+    wl
+
+let test_generate_insert_ratio () =
+  let wl =
+    W.generate ~rng:(Rng.create ~seed:2) ~n:16 ~rounds:10 ~lambda:4 ~insert_ratio:1.0
+      ~prio:(W.Uniform (1, 100)) ()
+  in
+  checki "all inserts" (W.total_ops wl) (W.inserts wl);
+  let wl0 =
+    W.generate ~rng:(Rng.create ~seed:2) ~n:16 ~rounds:10 ~lambda:4 ~insert_ratio:0.0
+      ~prio:(W.Uniform (1, 100)) ()
+  in
+  checki "all deletes" (W.total_ops wl0) (W.deletes wl0)
+
+let test_prio_distributions () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 200 do
+    let u = W.sample_prio rng (W.Uniform (10, 20)) in
+    checkb "uniform in range" true (u >= 10 && u <= 20);
+    let z = W.sample_prio rng (W.Zipf { s = 1.2; n = 30 }) in
+    checkb "zipf in range" true (z >= 1 && z <= 30);
+    let c = W.sample_prio rng (W.Constant_set 3) in
+    checkb "constant set" true (c >= 1 && c <= 3)
+  done;
+  let a = W.sample_prio rng W.Increasing in
+  let b = W.sample_prio rng W.Increasing in
+  checkb "increasing" true (b > a)
+
+let test_sorting_workload_shape () =
+  let wl = W.sorting_workload ~rng:(Rng.create ~seed:4) ~n:4 ~m:10 ~prio:(W.Uniform (1, 1000)) in
+  checki "inserts" 10 (W.inserts wl);
+  checki "deletes" 10 (W.deletes wl);
+  (* first round is all inserts *)
+  checkb "first round inserts" true
+    (List.for_all (fun (o : W.op) -> match o.W.action with `Ins _ -> true | _ -> false) (List.hd wl))
+
+let test_producer_consumer () =
+  let wl = W.producer_consumer ~rng:(Rng.create ~seed:5) ~n:8 ~rounds:3 ~rate:2 ~prio:(W.Constant_set 2) in
+  List.iter
+    (List.iter (fun (o : W.op) ->
+         match o.W.action with
+         | `Ins _ -> checkb "producers are the low nodes" true (o.W.node < 4)
+         | `Del -> checkb "consumers are the high nodes" true (o.W.node >= 4)))
+    wl
+
+let test_burst () =
+  let wl = W.burst ~rng:(Rng.create ~seed:6) ~n:4 ~quiet_rounds:5 ~burst_size:40 ~prio:(W.Constant_set 2) in
+  checki "rounds" 6 (W.num_rounds wl);
+  checki "last round is the burst" 40 (List.length (List.nth wl 5))
+
+(* -------------------------------------------------------------- Runner *)
+
+let small_wl seed n =
+  W.generate ~rng:(Rng.create ~seed) ~n ~rounds:2 ~lambda:2 ~prio:(W.Constant_set 3) ()
+
+let test_runner_skeap () =
+  let s = R.run_skeap ~n:8 ~num_prios:3 (small_wl 7 8) in
+  checki "ops counted" 32 s.R.ops;
+  checkb "semantics" true s.R.semantics_ok;
+  checkb "rounds positive" true (s.R.rounds > 0);
+  checki "completion balance" s.R.ops (s.R.got + s.R.empty + s.R.inserted)
+
+let test_runner_seap () =
+  let s = R.run_seap ~n:8 (small_wl 7 8) in
+  checkb "semantics" true s.R.semantics_ok;
+  checki "completion balance" s.R.ops (s.R.got + s.R.empty + s.R.inserted)
+
+let test_runner_centralized () =
+  let s = R.run_centralized ~n:8 (small_wl 7 8) in
+  checkb "semantics" true s.R.semantics_ok;
+  checkb "hotspot recorded" true (s.R.hotspot_load > 0)
+
+let test_runner_unbatched () =
+  let s = R.run_unbatched ~n:8 ~num_prios:3 (small_wl 7 8) in
+  checkb "semantics" true s.R.semantics_ok;
+  checki "completion balance" s.R.ops (s.R.got + s.R.empty + s.R.inserted)
+
+let test_throughput_metrics () =
+  let s = R.run_skeap ~n:8 ~num_prios:3 (small_wl 9 8) in
+  checkb "throughput positive" true (R.throughput s > 0.0);
+  checkb "effective <= raw" true (R.effective_throughput s <= R.throughput s +. 1e-9)
+
+let test_all_runners_same_matched_count () =
+  (* Same workload, same per-node issue orders: the number of non-⊥ deletes
+     must agree across all implementations (they serialize per-node order
+     identically at batch granularity). *)
+  let wl = small_wl 11 6 in
+  let a = R.run_skeap ~n:6 ~num_prios:3 wl in
+  let c = R.run_centralized ~n:6 wl in
+  let u = R.run_unbatched ~n:6 ~num_prios:3 wl in
+  checkb "insert counts equal" true (a.R.inserted = c.R.inserted && c.R.inserted = u.R.inserted)
+
+let () =
+  Alcotest.run "dpq_workloads"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "generate counts" `Quick test_generate_counts;
+          Alcotest.test_case "insert ratio" `Quick test_generate_insert_ratio;
+          Alcotest.test_case "prio distributions" `Quick test_prio_distributions;
+          Alcotest.test_case "sorting workload" `Quick test_sorting_workload_shape;
+          Alcotest.test_case "producer consumer" `Quick test_producer_consumer;
+          Alcotest.test_case "burst" `Quick test_burst;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "skeap" `Quick test_runner_skeap;
+          Alcotest.test_case "seap" `Quick test_runner_seap;
+          Alcotest.test_case "centralized" `Quick test_runner_centralized;
+          Alcotest.test_case "unbatched" `Quick test_runner_unbatched;
+          Alcotest.test_case "throughput metrics" `Quick test_throughput_metrics;
+          Alcotest.test_case "insert counts agree" `Quick test_all_runners_same_matched_count;
+        ] );
+    ]
