@@ -2,7 +2,10 @@
    the wall-clock cost of regenerating each experiment's core computation is
    tracked alongside the simulated-cost tables in bin/experiments.ml.
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe
+   With:      dune exec bench/main.exe -- --trace FILE
+   the timing loop is skipped and one four-backend comparison run is
+   recorded as JSONL trace events into FILE instead. *)
 
 open Bechamel
 open Toolkit
@@ -190,6 +193,18 @@ let bench_sstack =
      done;
      ignore (Dpq_skueue.Sstack.process_batch s))
 
+(* obs: the tracer's overhead — the same Skeap batch with tracing off/on
+   quantifies the "zero cost when disabled" claim. *)
+let bench_obs_overhead ~traced =
+  Test.make ~name:(Printf.sprintf "obs/skeap-batch-%s/n=32" (if traced then "traced" else "plain"))
+    (Staged.stage @@ fun () ->
+     let trace = if traced then Some (Dpq_obs.Trace.create ()) else None in
+     let h = Skeap.create ~seed:1 ?trace ~n:32 ~num_prios:4 () in
+     for v = 0 to 31 do
+       ignore (Skeap.insert h ~node:v ~prio:(1 + (v mod 4)))
+     done;
+     ignore (Skeap.process_batch h))
+
 (* T11: churn with data handoff. *)
 let bench_t11_churn =
   Test.make ~name:"t11/join+leave/n=32,m=320"
@@ -236,9 +251,13 @@ let tests =
       bench_t4_kselect 16;
       bench_t4_kselect 64;
       bench_t5_dht_storm;
-      bench_t6_comparison "skeap" (fun wl -> R.run_skeap ~n:32 ~num_prios:4 wl);
-      bench_t6_comparison "centralized" (fun wl -> R.run_centralized ~n:32 wl);
-      bench_t6_comparison "unbatched" (fun wl -> R.run_unbatched ~n:32 ~num_prios:4 wl);
+      bench_t6_comparison "skeap" (fun wl ->
+          R.run ~n:32 (Dpq_types.Types.Skeap { num_prios = 4 }) wl);
+      bench_t6_comparison "centralized" (fun wl -> R.run ~n:32 Dpq_types.Types.Centralized wl);
+      bench_t6_comparison "unbatched" (fun wl ->
+          R.run ~n:32 (Dpq_types.Types.Unbatched { num_prios = 4 }) wl);
+      bench_obs_overhead ~traced:false;
+      bench_obs_overhead ~traced:true;
       bench_t7_fairness;
       bench_t8_checker;
       bench_t9_sort;
@@ -256,7 +275,29 @@ let tests =
       bench_seq_pairing;
     ]
 
+let record_trace file =
+  let trace = Dpq_obs.Trace.create () in
+  let wl =
+    W.generate ~rng:(Rng.create ~seed:3) ~n:32 ~rounds:2 ~lambda:2 ~prio:(W.Constant_set 4) ()
+  in
+  List.iter
+    (fun backend -> ignore (R.run ~seed:1 ~trace ~n:32 backend wl))
+    [
+      Dpq_types.Types.Skeap { num_prios = 4 };
+      Dpq_types.Types.Seap;
+      Dpq_types.Types.Centralized;
+      Dpq_types.Types.Unbatched { num_prios = 4 };
+    ];
+  Dpq_obs.Trace.to_file trace file;
+  Printf.printf "recorded %d trace events -> %s\n" (Dpq_obs.Trace.num_events trace) file;
+  Format.printf "%a@." Dpq_obs.Trace.pp_summary trace
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--trace" :: file :: _ ->
+      record_trace file;
+      exit 0
+  | _ -> ());
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in

@@ -8,13 +8,16 @@
 
    Protocols: skeap | seap | centralized | unbatched.
    Distributions: const (uniform over {1..prios}) | uniform (1..10^6) |
-   zipf (s = 1.2 over 1..1000). *)
+   zipf (s = 1.2 over 1..1000).
+   With --trace FILE the whole run is recorded as JSONL events (one per
+   protocol phase / message delivery) replayable by Dpq_obs.Trace. *)
 
 module W = Dpq_workloads.Workload
 module R = Dpq_workloads.Runner
 module Rng = Dpq_util.Rng
+module Trace = Dpq_obs.Trace
 
-let run protocol nodes rounds lambda prios dist insert_ratio seed =
+let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file =
   let prio_dist =
     match dist with
     | "const" -> W.Constant_set prios
@@ -34,19 +37,21 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed =
   let wl =
     W.generate ~rng:(Rng.create ~seed) ~n:nodes ~rounds ~lambda ~insert_ratio ~prio:prio_dist ()
   in
-  let summary =
+  let backend =
     match protocol with
-    | "skeap" -> R.run_skeap ~seed ~n:nodes ~num_prios:prios wl
-    | "seap" -> R.run_seap ~seed ~n:nodes wl
-    | "centralized" -> R.run_centralized ~seed ~n:nodes wl
-    | "unbatched" -> R.run_unbatched ~seed ~n:nodes ~num_prios:prios wl
+    | "skeap" -> Dpq_types.Types.Skeap { num_prios = prios }
+    | "seap" -> Dpq_types.Types.Seap
+    | "centralized" -> Dpq_types.Types.Centralized
+    | "unbatched" -> Dpq_types.Types.Unbatched { num_prios = prios }
     | other ->
         Printf.eprintf "unknown protocol %S (skeap|seap|centralized|unbatched)\n" other;
         exit 1
   in
+  let trace = Option.map (fun _ -> Trace.create ()) trace_file in
+  let summary = R.run ~seed ?trace ~n:nodes backend wl in
   Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)\n"
     nodes rounds lambda (W.total_ops wl) (W.inserts wl) (W.deletes wl) dist;
-  Printf.printf "protocol : %s\n\n" summary.R.protocol;
+  Printf.printf "protocol : %s\n\n" (R.protocol_name summary);
   Printf.printf "  simulated rounds        %d\n" summary.R.rounds;
   Printf.printf "  messages                %d  (%d bits total)\n" summary.R.messages
     summary.R.total_bits;
@@ -59,6 +64,12 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed =
   Printf.printf "  outcomes                %d inserted, %d matched deletes, %d ⊥\n"
     summary.R.inserted summary.R.got summary.R.empty;
   Printf.printf "  semantics verified      %b\n" summary.R.semantics_ok;
+  (match (trace, trace_file) with
+  | Some tr, Some file ->
+      Trace.to_file tr file;
+      Printf.printf "\ntrace    : %d events -> %s\n" (Trace.num_events tr) file;
+      Format.printf "%a@." Trace.pp_summary tr
+  | _ -> ());
   if not summary.R.semantics_ok then exit 2
 
 open Cmdliner
@@ -77,9 +88,17 @@ let insert_ratio =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Record the run as JSONL trace events into $(docv).")
+
 let cmd =
   let doc = "Simulate a distributed priority queue under a configurable workload" in
   Cmd.v (Cmd.info "dpq_sim" ~doc)
-    Term.(const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed)
+    Term.(
+      const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
+      $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -19,6 +19,11 @@ module Seap = Dpq_seap.Seap
 module K = Dpq_kselect.Kselect
 module W = Dpq_workloads.Workload
 module R = Dpq_workloads.Runner
+module Trace = Dpq_obs.Trace
+
+(* Set by --trace FILE: experiments that drive the unified Runner (t6) feed
+   this sink; the driver writes the JSONL file at the end of the run. *)
+let trace_sink : Trace.t option ref = ref None
 
 let log2 n = log (float_of_int n) /. log 2.0
 let fi = float_of_int
@@ -216,19 +221,21 @@ let t6 ~seed ~full =
         W.generate ~rng:(Rng.create ~seed:s) ~n ~rounds:3 ~lambda:2 ~prio:(W.Constant_set 4) ()
       in
       let rows =
-        [
-          R.run_skeap ~seed ~n ~num_prios:4 (mk_wl (seed * 3));
-          R.run_seap ~seed ~n (mk_wl (seed * 3));
-          R.run_centralized ~seed ~n (mk_wl (seed * 3));
-          R.run_unbatched ~seed ~n ~num_prios:4 (mk_wl (seed * 3));
-        ]
+        List.map
+          (fun backend -> R.run ~seed ?trace:!trace_sink ~n backend (mk_wl (seed * 3)))
+          [
+            Dpq_types.Types.Skeap { num_prios = 4 };
+            Dpq_types.Types.Seap;
+            Dpq_types.Types.Centralized;
+            Dpq_types.Types.Unbatched { num_prios = 4 };
+          ]
       in
       List.iter
         (fun (s : R.summary) ->
           Table.add_row tab
             [
               string_of_int n;
-              s.R.protocol;
+              R.protocol_name s;
               string_of_int s.R.ops;
               string_of_int s.R.rounds;
               Table.fmt_float (R.throughput s);
@@ -701,7 +708,8 @@ let all_experiments =
     ("fig2", fig2);
   ]
 
-let run only seed full =
+let run only seed full trace_file =
+  Option.iter (fun _ -> trace_sink := Some (Trace.create ())) trace_file;
   let wanted =
     match only with
     | None -> all_experiments
@@ -720,7 +728,13 @@ let run only seed full =
       let t0 = Unix.gettimeofday () in
       f ~seed ~full;
       Printf.printf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t0))
-    wanted
+    wanted;
+  match (!trace_sink, trace_file) with
+  | Some tr, Some file ->
+      Trace.to_file tr file;
+      Printf.printf "\n[trace: %d events from Runner-driven experiments -> %s]\n"
+        (Trace.num_events tr) file
+  | _ -> ()
 
 open Cmdliner
 
@@ -736,8 +750,12 @@ let full =
   let doc = "Run the larger parameter sweeps (slower)." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let trace_file =
+  let doc = "Record the Runner-driven experiments (t6) as JSONL trace events into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the Skeap & Seap reproduction" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only $ seed $ full)
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only $ seed $ full $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -46,9 +46,12 @@ let () =
   | Ok () -> print_endline "semantics check: serializable + heap consistent ✓"
   | Error e -> Printf.printf "semantics check FAILED: %s\n" e);
 
-  (* Same API, Skeap backend (constant priorities, sequential consistency). *)
-  print_endline "\n== same API, Skeap backend with priorities {1..3} ==";
-  let h2 = H.create ~seed:7 ~n:4 (H.Skeap { num_prios = 3 }) in
+  (* Same API, Skeap backend (constant priorities, sequential consistency) —
+     this time with a structured trace recording every protocol phase and
+     message delivery. *)
+  print_endline "\n== same API, Skeap backend with priorities {1..3}, traced ==";
+  let trace = Dpq_obs.Trace.create () in
+  let h2 = H.create ~seed:7 ~trace ~n:4 (H.Skeap { num_prios = 3 }) in
   ignore (H.insert h2 ~node:0 ~prio:2);
   ignore (H.insert h2 ~node:1 ~prio:1);
   H.delete_min h2 ~node:2;
@@ -59,6 +62,11 @@ let () =
       | `Got e -> Printf.printf "  node %d got the min: %s\n" c.H.node (E.to_string e)
       | _ -> ())
     r2.H.completions;
-  match H.verify h2 with
+  (match H.verify h2 with
   | Ok () -> print_endline "semantics check: sequentially consistent + heap consistent ✓"
-  | Error e -> Printf.printf "semantics check FAILED: %s\n" e
+  | Error e -> Printf.printf "semantics check FAILED: %s\n" e);
+
+  (* The trace is an independent record of what the run cost: its derived
+     tallies equal the report sums, and it serializes to replayable JSONL
+     via [Dpq_obs.Trace.to_file trace "run.trace.jsonl"]. *)
+  Format.printf "\n%a@." Dpq_obs.Trace.pp_summary trace

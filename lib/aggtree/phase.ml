@@ -40,6 +40,15 @@ let pp_report fmt r =
     r.rounds r.messages r.max_congestion r.max_message_bits r.total_bits
     r.local_deliveries
 
+module Trace = Dpq_obs.Trace
+
+(* Close a trace span with the exact numbers the phase reports — the
+   equality the trace-vs-report cross-check in the test suite relies on. *)
+let trace_phase_end trace span name r =
+  Trace.phase_end trace ~span ~name ~rounds:r.rounds ~messages:r.messages
+    ~max_congestion:r.max_congestion ~max_message_bits:r.max_message_bits
+    ~total_bits:r.total_bits
+
 let report_of_metrics m rounds =
   {
     rounds;
@@ -61,7 +70,8 @@ let memo_parts memo v =
 
 type 'a tree_msg = { to_v : Ldb.vnode; from_v : Ldb.vnode; value : 'a }
 
-let up ~tree ~local ~combine ~size_bits =
+let up ?trace ~tree ~local ~combine ~size_bits () =
+  let span = Trace.phase_start trace "up" in
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
   let nv = 3 * n in
@@ -98,7 +108,7 @@ let up ~tree ~local ~combine ~size_bits =
   let eng =
     Sync.create ~n
       ~size_bits:(fun m -> header + size_bits m.value)
-      ~handler ()
+      ~handler ?trace ()
   in
   (* Kick off: leaves complete immediately. *)
   for v = 0 to nv - 1 do
@@ -113,9 +123,12 @@ let up ~tree ~local ~combine ~size_bits =
   let memo = { own; child_aggs = Array.init nv (fun v ->
       List.map (fun c -> (c, List.assoc c received.(v))) (Aggtree.children tree v)) }
   in
-  (value, memo, report_of_metrics (Sync.metrics eng) rounds)
+  let report = report_of_metrics (Sync.metrics eng) rounds in
+  trace_phase_end trace span "up" report;
+  (value, memo, report)
 
-let down ~tree ~memo ~root_payload ~split ~size_bits =
+let down ?trace ~tree ~memo ~root_payload ~split ~size_bits () =
+  let span = Trace.phase_start trace "down" in
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
   let nv = 3 * n in
@@ -140,13 +153,16 @@ let down ~tree ~memo ~root_payload ~split ~size_bits =
   let eng =
     Sync.create ~n
       ~size_bits:(fun m -> header + size_bits m.value)
-      ~handler ()
+      ~handler ?trace ()
   in
   handle eng (Aggtree.root tree) root_payload;
   let rounds = Sync.run_to_quiescence eng in
-  (retained, report_of_metrics (Sync.metrics eng) rounds)
+  let report = report_of_metrics (Sync.metrics eng) rounds in
+  trace_phase_end trace span "down" report;
+  (retained, report)
 
-let broadcast ~tree ~payload ~size_bits =
+let broadcast ?trace ~tree ~payload ~size_bits () =
+  let span = Trace.phase_start trace "broadcast" in
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
   let header = header_bits tree in
@@ -160,8 +176,10 @@ let broadcast ~tree ~payload ~size_bits =
   let eng =
     Sync.create ~n
       ~size_bits:(fun m -> header + size_bits m.value)
-      ~handler ()
+      ~handler ?trace ()
   in
   handle eng (Aggtree.root tree) payload;
   let rounds = Sync.run_to_quiescence eng in
-  report_of_metrics (Sync.metrics eng) rounds
+  let report = report_of_metrics (Sync.metrics eng) rounds in
+  trace_phase_end trace span "broadcast" report;
+  report

@@ -42,19 +42,26 @@ val memo_parts : 'a memo -> Dpq_overlay.Ldb.vnode -> 'a list
 (** The ordered parts at a vnode (own value first). *)
 
 val up :
+  ?trace:Dpq_obs.Trace.t ->
   tree:Aggtree.t ->
   local:(Dpq_overlay.Ldb.vnode -> 'a) ->
   combine:('a -> 'a -> 'a) ->
   size_bits:('a -> int) ->
+  unit ->
   'a * 'a memo * report
-(** Run one aggregation phase; returns the combined value at the anchor. *)
+(** Run one aggregation phase; returns the combined value at the anchor.
+    With [trace], the phase opens an ["up"] span, traces every delivery,
+    and closes the span with exactly the returned report's numbers (same
+    for {!down} / {!broadcast} with spans ["down"] / ["broadcast"]). *)
 
 val down :
+  ?trace:Dpq_obs.Trace.t ->
   tree:Aggtree.t ->
   memo:'a memo ->
   root_payload:'b ->
   split:(parts:'a list -> 'b -> 'b list) ->
   size_bits:('b -> int) ->
+  unit ->
   'b option array * report
 (** Run one decomposition phase.  At a vnode with memorized [parts]
     (length [1 + #children]), [split ~parts payload] must return one payload
@@ -64,9 +71,11 @@ val down :
     Raises [Failure] if [split] returns the wrong arity. *)
 
 val broadcast :
+  ?trace:Dpq_obs.Trace.t ->
   tree:Aggtree.t ->
   payload:'b ->
   size_bits:('b -> int) ->
+  unit ->
   report
 (** Flood one value from the anchor to every virtual node: the phase-change
     announcement of the protocol drivers. *)

@@ -10,6 +10,7 @@ type pending = { local_seq : int; kind : [ `Ins of Element.t | `Del ] }
 type t = {
   n : int;
   ldb : Ldb.t;
+  trace : Dpq_obs.Trace.t option;
   buffers : pending Queue.t array;
   seq_counters : int array;
   elt_counters : int array;
@@ -18,11 +19,12 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ~n () =
+let create ?(seed = 1) ?trace ~n () =
   if n < 1 then invalid_arg "Centralized.create: need n >= 1";
   {
     n;
     ldb = Ldb.build ~n ~seed;
+    trace;
     buffers = Array.init n (fun _ -> Queue.create ());
     seq_counters = Array.make n 0;
     elt_counters = Array.make n 0;
@@ -33,6 +35,13 @@ let create ?(seed = 1) ~n () =
 
 let n t = t.n
 let heap_size t = Pairing_heap.size t.heap
+let trace t = t.trace
+
+let stored_per_node t =
+  (* The whole heap lives at the coordinator. *)
+  let a = Array.make t.n 0 in
+  a.(0) <- Pairing_heap.size t.heap;
+  a
 
 let check_node t node =
   if node < 0 || node >= t.n then invalid_arg "Centralized: node out of range"
@@ -55,7 +64,7 @@ let delete_min t ~node =
 
 let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
 
-type completion = {
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
@@ -81,6 +90,7 @@ let payload_bits = function
   | Reply _ -> 64
 
 let process t =
+  let span = Dpq_obs.Trace.phase_start t.trace "centralized" in
   let coordinator = 0 in
   let coord_point = Ldb.label t.ldb (Ldb.vnode ~owner:coordinator Ldb.Middle) in
   let completions = ref [] in
@@ -135,7 +145,7 @@ let process t =
   let eng =
     Sync.create ~n:t.n
       ~size_bits:(fun m -> 64 + payload_bits m.payload)
-      ~handler ()
+      ~handler ?trace:t.trace ()
   in
   for node = 0 to t.n - 1 do
     Queue.iter
@@ -167,6 +177,9 @@ let process t =
         if c <> 0 then c else Int.compare a.local_seq b.local_seq)
       !completions
   in
+  Dpq_obs.Trace.phase_end t.trace ~span ~name:"centralized" ~rounds:report.Phase.rounds
+    ~messages:report.Phase.messages ~max_congestion:report.Phase.max_congestion
+    ~max_message_bits:report.Phase.max_message_bits ~total_bits:report.Phase.total_bits;
   { completions; report; coordinator_load = load }
 
 let oplog t = Oplog.of_list t.log

@@ -13,7 +13,9 @@ module Element = Dpq_util.Element
 
 type t
 
-val create : ?seed:int -> n:int -> unit -> t
+val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> unit -> t
+(** With [trace], each {!process} opens a ["centralized"] span, traces every
+    delivery, and closes the span with the returned report. *)
 
 val n : t -> int
 val insert : t -> node:int -> prio:int -> Element.t
@@ -21,7 +23,13 @@ val delete_min : t -> node:int -> unit
 val pending_ops : t -> int
 val heap_size : t -> int
 
-type completion = {
+val trace : t -> Dpq_obs.Trace.t option
+
+val stored_per_node : t -> int array
+(** Element count per node: everything sits at the coordinator (node 0) —
+    the degenerate storage balance the DHT-based designs avoid. *)
+
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];

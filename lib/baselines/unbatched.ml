@@ -16,6 +16,7 @@ type t = {
   n : int;
   num_prios : int;
   ldb : Ldb.t;
+  trace : Dpq_obs.Trace.t option;
   tree : Aggtree.t;
   dht : Dht.t;
   key_hash : Dpq_util.Hashing.t;
@@ -27,13 +28,14 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ~n ~num_prios () =
+let create ?(seed = 1) ?trace ~n ~num_prios () =
   if n < 1 then invalid_arg "Unbatched.create: need n >= 1";
   let ldb = Ldb.build ~n ~seed in
   {
     n;
     num_prios;
     ldb;
+    trace;
     tree = Aggtree.of_ldb ldb;
     dht = Dht.create ~ldb ~seed:(seed + 7919);
     key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
@@ -47,6 +49,8 @@ let create ?(seed = 1) ~n ~num_prios () =
 
 let n t = t.n
 let heap_size t = Anchor.total_occupied t.anchor
+let trace t = t.trace
+let stored_per_node t = Dht.stored_counts t.dht
 
 let check_node t node =
   if node < 0 || node >= t.n then invalid_arg "Unbatched: node out of range"
@@ -70,7 +74,7 @@ let delete_min t ~node =
 
 let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
 
-type completion = {
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
@@ -103,6 +107,7 @@ let payload_bits = function
 let dht_key t prio pos = Dpq_util.Hashing.pair t.key_hash prio pos
 
 let process t =
+  let span = Dpq_obs.Trace.phase_start t.trace "unbatched" in
   let root = Aggtree.root t.tree in
   let dht_ops = ref [] in
   let get_index = Hashtbl.create 64 in
@@ -184,7 +189,11 @@ let process t =
         Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
           { path = rest; payload = msg.payload }
   in
-  let eng = Sync.create ~n:t.n ~size_bits:(fun m -> 64 + payload_bits m.payload) ~handler () in
+  let eng =
+    Sync.create ~n:t.n
+      ~size_bits:(fun m -> 64 + payload_bits m.payload)
+      ~handler ?trace:t.trace ()
+  in
   for node = 0 to t.n - 1 do
     Queue.iter
       (fun (p : pending) ->
@@ -197,8 +206,13 @@ let process t =
   let rounds = Sync.run_to_quiescence eng in
   let m = Sync.metrics eng in
   let anchor_load = (Metrics.node_load m).(Ldb.owner root) in
+  (* Close the climb span before the DHT batch opens its own ["dht"] span;
+     the DHT report is added separately below. *)
+  Dpq_obs.Trace.phase_end t.trace ~span ~name:"unbatched" ~rounds
+    ~messages:(Metrics.total_messages m) ~max_congestion:(Metrics.max_congestion m)
+    ~max_message_bits:(Metrics.max_message_bits m) ~total_bits:(Metrics.total_bits m);
   (* Phase 4: the DHT rendezvous. *)
-  let dht_cs, dht_report = Dht.run_batch_sync t.dht (List.rev !dht_ops) in
+  let dht_cs, dht_report = Dht.run_batch_sync ?trace:t.trace t.dht (List.rev !dht_ops) in
   List.iter
     (fun c ->
       match c with

@@ -12,7 +12,10 @@ module Element = Dpq_util.Element
 
 type t
 
-val create : ?seed:int -> n:int -> num_prios:int -> unit -> t
+val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> num_prios:int -> unit -> t
+(** With [trace], each {!process} opens an ["unbatched"] span for the
+    climb/assign traffic (closed before the DHT batch's own ["dht"] span)
+    and traces every delivery. *)
 
 val n : t -> int
 val insert : t -> node:int -> prio:int -> Element.t
@@ -20,7 +23,12 @@ val delete_min : t -> node:int -> unit
 val pending_ops : t -> int
 val heap_size : t -> int
 
-type completion = {
+val trace : t -> Dpq_obs.Trace.t option
+
+val stored_per_node : t -> int array
+(** Elements stored per node in the DHT (Lemma 2.2(iv) balance). *)
+
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];

@@ -1,43 +1,83 @@
 module Element = Dpq_util.Element
 module Phase = Dpq_aggtree.Phase
+module Types = Dpq_types.Types
 module Skeap_impl = Dpq_skeap.Skeap
 module Seap_impl = Dpq_seap.Seap
+module Centralized_impl = Dpq_baselines.Centralized
+module Unbatched_impl = Dpq_baselines.Unbatched
 
-type backend = Skeap of { num_prios : int } | Seap
+type backend = Types.backend =
+  | Skeap of { num_prios : int }
+  | Seap
+  | Centralized
+  | Unbatched of { num_prios : int }
 
-type impl = I_skeap of Skeap_impl.t | I_seap of Seap_impl.t
+let backend_name = Types.backend_name
+let pp_backend = Types.pp_backend
 
-type t = { backend : backend; impl : impl }
+type dht_mode = Types.dht_mode =
+  | Dht_sync
+  | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
 
-let create ?(seed = 1) ~n backend =
+type impl =
+  | I_skeap of Skeap_impl.t
+  | I_seap of Seap_impl.t
+  | I_centralized of Centralized_impl.t
+  | I_unbatched of Unbatched_impl.t
+
+type t = { backend : backend; trace : Dpq_obs.Trace.t option; impl : impl }
+
+let create ?(seed = 1) ?trace ~n backend =
   let impl =
     match backend with
-    | Skeap { num_prios } -> I_skeap (Skeap_impl.create ~seed ~n ~num_prios ())
-    | Seap -> I_seap (Seap_impl.create ~seed ~n ())
+    | Skeap { num_prios } -> I_skeap (Skeap_impl.create ~seed ?trace ~n ~num_prios ())
+    | Seap -> I_seap (Seap_impl.create ~seed ?trace ~n ())
+    | Centralized -> I_centralized (Centralized_impl.create ~seed ?trace ~n ())
+    | Unbatched { num_prios } ->
+        I_unbatched (Unbatched_impl.create ~seed ?trace ~n ~num_prios ())
   in
-  { backend; impl }
+  { backend; trace; impl }
 
 let backend t = t.backend
-let n t = match t.impl with I_skeap h -> Skeap_impl.n h | I_seap h -> Seap_impl.n h
+let trace t = t.trace
+
+let n t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.n h
+  | I_seap h -> Seap_impl.n h
+  | I_centralized h -> Centralized_impl.n h
+  | I_unbatched h -> Unbatched_impl.n h
 
 let insert t ~node ~prio =
   match t.impl with
   | I_skeap h -> Skeap_impl.insert h ~node ~prio
   | I_seap h -> Seap_impl.insert h ~node ~prio
+  | I_centralized h -> Centralized_impl.insert h ~node ~prio
+  | I_unbatched h -> Unbatched_impl.insert h ~node ~prio
 
 let delete_min t ~node =
   match t.impl with
   | I_skeap h -> Skeap_impl.delete_min h ~node
   | I_seap h -> Seap_impl.delete_min h ~node
+  | I_centralized h -> Centralized_impl.delete_min h ~node
+  | I_unbatched h -> Unbatched_impl.delete_min h ~node
 
 let pending_ops t =
-  match t.impl with I_skeap h -> Skeap_impl.pending_ops h | I_seap h -> Seap_impl.pending_ops h
+  match t.impl with
+  | I_skeap h -> Skeap_impl.pending_ops h
+  | I_seap h -> Seap_impl.pending_ops h
+  | I_centralized h -> Centralized_impl.pending_ops h
+  | I_unbatched h -> Unbatched_impl.pending_ops h
 
 let heap_size t =
-  match t.impl with I_skeap h -> Skeap_impl.heap_size h | I_seap h -> Seap_impl.heap_size h
+  match t.impl with
+  | I_skeap h -> Skeap_impl.heap_size h
+  | I_seap h -> Seap_impl.heap_size h
+  | I_centralized h -> Centralized_impl.heap_size h
+  | I_unbatched h -> Unbatched_impl.heap_size h
 
 type outcome = [ `Inserted of Element.t | `Got of Element.t | `Empty ]
-type completion = { node : int; local_seq : int; outcome : outcome }
+type completion = Types.completion = { node : int; local_seq : int; outcome : outcome }
 
 type result = {
   completions : completion list;
@@ -45,6 +85,8 @@ type result = {
   messages : int;
   max_congestion : int;
   max_message_bits : int;
+  total_bits : int;
+  hotspot_load : int;
 }
 
 let of_report (report : Phase.report) completions =
@@ -54,38 +96,78 @@ let of_report (report : Phase.report) completions =
     messages = report.Phase.messages;
     max_congestion = report.Phase.max_congestion;
     max_message_bits = report.Phase.max_message_bits;
+    total_bits = report.Phase.total_bits;
+    hotspot_load = report.Phase.busiest_node_load;
   }
 
-let process t =
+let reject_async backend = function
+  | Some (Dht_async _) ->
+      invalid_arg
+        (Printf.sprintf "Dpq_heap.process: %s backend has no asynchronous DHT phase"
+           (backend_name backend))
+  | Some Dht_sync | None -> ()
+
+let process ?dht_mode t =
   match t.impl with
   | I_skeap h ->
-      let r = Skeap_impl.process_batch h in
-      of_report r.Skeap_impl.report
-        (List.map
-           (fun (c : Skeap_impl.completion) ->
-             { node = c.Skeap_impl.node; local_seq = c.Skeap_impl.local_seq; outcome = c.Skeap_impl.outcome })
-           r.Skeap_impl.completions)
+      let r = Skeap_impl.process_batch ?dht_mode h in
+      of_report r.Skeap_impl.report r.Skeap_impl.completions
   | I_seap h ->
-      let r = Seap_impl.process_round h in
-      of_report r.Seap_impl.report
-        (List.map
-           (fun (c : Seap_impl.completion) ->
-             { node = c.Seap_impl.node; local_seq = c.Seap_impl.local_seq; outcome = c.Seap_impl.outcome })
-           r.Seap_impl.completions)
+      let r = Seap_impl.process_round ?dht_mode h in
+      of_report r.Seap_impl.report r.Seap_impl.completions
+  | I_centralized h ->
+      reject_async t.backend dht_mode;
+      let r = Centralized_impl.process h in
+      of_report r.Centralized_impl.report r.Centralized_impl.completions
+  | I_unbatched h ->
+      reject_async t.backend dht_mode;
+      let r = Unbatched_impl.process h in
+      of_report r.Unbatched_impl.report r.Unbatched_impl.completions
 
-let drain t =
-  let rec go acc = if pending_ops t = 0 then List.rev acc else go (process t :: acc) in
+let drain ?dht_mode t =
+  let rec go acc =
+    if pending_ops t = 0 then List.rev acc else go (process ?dht_mode t :: acc)
+  in
   go []
 
+type churn_cost = Types.churn_cost = { join_messages : int; moved_elements : int }
+
+let no_churn backend =
+  invalid_arg
+    (Printf.sprintf "Dpq_heap: %s backend does not support membership changes"
+       (backend_name backend))
+
+let add_node t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.add_node h
+  | I_seap h -> Seap_impl.add_node h
+  | I_centralized _ | I_unbatched _ -> no_churn t.backend
+
+let remove_last_node t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.remove_last_node h
+  | I_seap h -> Seap_impl.remove_last_node h
+  | I_centralized _ | I_unbatched _ -> no_churn t.backend
+
 let oplog t =
-  match t.impl with I_skeap h -> Skeap_impl.oplog h | I_seap h -> Seap_impl.oplog h
+  match t.impl with
+  | I_skeap h -> Skeap_impl.oplog h
+  | I_seap h -> Seap_impl.oplog h
+  | I_centralized h -> Centralized_impl.oplog h
+  | I_unbatched h -> Unbatched_impl.oplog h
 
 let verify t =
   match t.impl with
   | I_skeap h -> Dpq_semantics.Checker.check_all_skeap (Skeap_impl.oplog h)
   | I_seap h -> Dpq_semantics.Checker.check_all_seap (Seap_impl.oplog h)
+  (* Both baselines serialize at a single point under synchronous delivery,
+     so they are held to the stronger (sequential-consistency) contract. *)
+  | I_centralized h -> Dpq_semantics.Checker.check_all_skeap (Centralized_impl.oplog h)
+  | I_unbatched h -> Dpq_semantics.Checker.check_all_skeap (Unbatched_impl.oplog h)
 
 let stored_per_node t =
   match t.impl with
   | I_skeap h -> Skeap_impl.stored_per_node h
   | I_seap h -> Seap_impl.stored_per_node h
+  | I_centralized h -> Centralized_impl.stored_per_node h
+  | I_unbatched h -> Unbatched_impl.stored_per_node h

@@ -2,32 +2,62 @@
 
     Pick a backend, buffer operations at nodes, call {!process} to run one
     protocol iteration, and (optionally) {!verify} the accumulated run
-    against the paper's semantics.  For anything protocol-specific (phase
-    reports, KSelect diagnostics, async delivery modes) drop down to
-    {!Dpq_skeap.Skeap} / {!Dpq_seap.Seap} directly.
+    against the paper's semantics.  All four implementations — the two
+    paper protocols and the two baselines they are measured against — sit
+    behind the same API, so experiment drivers and tests are written once.
+    For anything protocol-specific (phase reports, KSelect diagnostics,
+    batch internals) drop down to {!Dpq_skeap.Skeap} / {!Dpq_seap.Seap} /
+    {!Dpq_baselines.Centralized} / {!Dpq_baselines.Unbatched} directly.
 
     {[
-      let h = Dpq.Dpq_heap.create ~n:16 (Skeap { num_prios = 4 }) in
+      let trace = Dpq_obs.Trace.create () in
+      let h = Dpq.Dpq_heap.create ~trace ~n:16 (Skeap { num_prios = 4 }) in
       ignore (Dpq.Dpq_heap.insert h ~node:3 ~prio:2);
       Dpq.Dpq_heap.delete_min h ~node:7;
       let r = Dpq.Dpq_heap.process h in
-      ...
+      assert (Dpq.Dpq_heap.verify h = Ok ());
+      Dpq_obs.Trace.to_file trace "run.trace.jsonl"
     ]} *)
 
 module Element = Dpq_util.Element
 
-(** Which protocol realizes the heap.
+(** Which implementation realizes the heap (= {!Dpq_types.Types.backend}).
 
     - [Skeap]: constant priority universe [{1..num_prios}], sequential
       consistency (paper §3);
     - [Seap]: arbitrary positive priorities, serializability, O(log n)-bit
-      messages (paper §5). *)
-type backend = Skeap of { num_prios : int } | Seap
+      messages (paper §5);
+    - [Centralized]: every operation routed to a fixed coordinator — the
+      scalability baseline (experiment T6);
+    - [Unbatched]: Skeap's architecture without batch combining — the
+      ablation of the paper's key mechanism. *)
+type backend = Dpq_types.Types.backend =
+  | Skeap of { num_prios : int }
+  | Seap
+  | Centralized
+  | Unbatched of { num_prios : int }
+
+val backend_name : backend -> string
+(** ["skeap"], ["seap"], ["centralized"], ["unbatched"]. *)
+
+val pp_backend : Format.formatter -> backend -> unit
+
+(** How the DHT rendezvous phase is delivered (= {!Dpq_types.Types.dht_mode});
+    only meaningful for [Skeap] and [Seap].  {!process} raises
+    [Invalid_argument] when [Dht_async] is requested on a baseline. *)
+type dht_mode = Dpq_types.Types.dht_mode =
+  | Dht_sync
+  | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
 
 type t
 
-val create : ?seed:int -> n:int -> backend -> t
+val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> backend -> t
+(** With [trace], every {!process} (and membership change) records
+    structured events — spans per protocol phase, one event per message
+    delivery — into the given sink; see {!Dpq_obs.Trace}. *)
+
 val backend : t -> backend
+val trace : t -> Dpq_obs.Trace.t option
 val n : t -> int
 
 val insert : t -> node:int -> prio:int -> Element.t
@@ -37,25 +67,50 @@ val heap_size : t -> int
 
 type outcome = [ `Inserted of Element.t | `Got of Element.t | `Empty ]
 
-type completion = { node : int; local_seq : int; outcome : outcome }
+type completion = Dpq_types.Types.completion = {
+  node : int;
+  local_seq : int;
+  outcome : outcome;
+}
 
 type result = {
-  completions : completion list;
+  completions : completion list;  (** sorted by (node, local_seq) *)
   rounds : int;
   messages : int;
   max_congestion : int;
   max_message_bits : int;
+  total_bits : int;
+  hotspot_load : int;
+      (** messages handled by the busiest node, summed over the iteration's
+          phases — the serialization bottleneck a unit-bandwidth node sees *)
 }
 
-val process : t -> result
+val process : ?dht_mode:dht_mode -> t -> result
 (** One protocol iteration over everything buffered. *)
 
-val drain : t -> result list
+val drain : ?dht_mode:dht_mode -> t -> result list
+(** Iterations until nothing is pending. *)
+
+type churn_cost = Dpq_types.Types.churn_cost = {
+  join_messages : int;
+  moved_elements : int;
+}
+
+val add_node : t -> churn_cost
+(** Join a node (new id = old n) between iterations; O(log n) overlay
+    messages w.h.p., ~m/n stored elements move (paper Contribution 4).
+    Raises [Invalid_argument] on the baselines, which model a static
+    network. *)
+
+val remove_last_node : t -> churn_cost
+(** Remove node [n-1]; same contract as {!add_node}. *)
 
 val verify : t -> (unit, string) Stdlib.result
-(** Check the whole run so far against the backend's guarantee: sequential
-    consistency + heap consistency for Skeap, serializability + heap
-    consistency for Seap. *)
+(** Check the whole run so far against the backend's guarantee:
+    serializability + heap consistency for Seap, sequential consistency +
+    heap consistency for the rest. *)
 
 val oplog : t -> Dpq_semantics.Oplog.t
 val stored_per_node : t -> int array
+(** Element count per node: DHT balance for Skeap/Seap/Unbatched, all-at-
+    coordinator for Centralized. *)

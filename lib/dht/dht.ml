@@ -150,13 +150,30 @@ let launch t ~send op =
         ~point:(key_point t key)
         (P_get { origin; key })
 
-let run_batch_sync t ops =
+(* One trace event per launched operation, tagged with the manager node the
+   key rendezvouses at. *)
+let trace_ops trace t ops =
+  match trace with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun op ->
+          match op with
+          | Put { origin; key; _ } ->
+              Dpq_obs.Trace.dht_put trace ~origin ~key ~manager:(Ldb.owner (manager_of_key t key))
+          | Get { origin; key } ->
+              Dpq_obs.Trace.dht_get trace ~origin ~key ~manager:(Ldb.owner (manager_of_key t key)))
+        ops
+
+let run_batch_sync ?trace t ops =
+  let span = Dpq_obs.Trace.phase_start trace "dht" in
+  trace_ops trace t ops;
   let completions = ref [] in
   let complete c = completions := c :: !completions in
   let rec handler eng ~dst:_ ~src:_ msg =
     handle t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) ~complete msg
   and eng =
-    lazy (Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t) ~handler:(fun e ~dst ~src m -> handler e ~dst ~src m) ())
+    lazy (Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t) ~handler:(fun e ~dst ~src m -> handler e ~dst ~src m) ?trace ())
   in
   let eng = Lazy.force eng in
   List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) op) ops;
@@ -174,17 +191,26 @@ let run_batch_sync t ops =
         busiest_node_load = Array.fold_left max 0 (Dpq_simrt.Metrics.node_load m);
       }
   in
+  Dpq_obs.Trace.phase_end trace ~span ~name:"dht" ~rounds:report.Phase.rounds
+    ~messages:report.Phase.messages ~max_congestion:report.Phase.max_congestion
+    ~max_message_bits:report.Phase.max_message_bits ~total_bits:report.Phase.total_bits;
   (List.rev !completions, report)
 
-let run_batch_async t ~seed ?(policy = Dpq_simrt.Async_engine.Uniform (1.0, 10.0)) ops =
+let run_batch_async ?trace t ~seed ?(policy = Dpq_simrt.Async_engine.Uniform (1.0, 10.0)) ops =
+  (* The asynchronous model reports no synchronous cost, so the span closes
+     with zeros even though delivery events are traced inside it. *)
+  let span = Dpq_obs.Trace.phase_start trace "dht-async" in
+  trace_ops trace t ops;
   let completions = ref [] in
   let complete c = completions := c :: !completions in
   let handler eng ~dst:_ ~src:_ msg =
     handle t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) ~complete msg
   in
-  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ~size_bits:(size_bits t) ~handler () in
+  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ?trace ~size_bits:(size_bits t) ~handler () in
   List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) op) ops;
   ignore (Async.run_to_quiescence eng);
+  Dpq_obs.Trace.phase_end trace ~span ~name:"dht-async" ~rounds:0 ~messages:0 ~max_congestion:0
+    ~max_message_bits:0 ~total_bits:0;
   List.rev !completions
 
 let set_topology t ldb' =

@@ -40,12 +40,17 @@ type completion =
   | Put_confirmed of { origin : int; key : int }
   | Got of { origin : int; key : int; elt : Element.t }
 
-val run_batch_sync : t -> op list -> completion list * Dpq_aggtree.Phase.report
+val run_batch_sync :
+  ?trace:Dpq_obs.Trace.t -> t -> op list -> completion list * Dpq_aggtree.Phase.report
 (** Execute all operations concurrently on a synchronous engine, to
     quiescence.  Gets without a matching Put stay parked (see
-    {!pending_gets}) and produce no completion. *)
+    {!pending_gets}) and produce no completion.  With [trace], the batch
+    opens a ["dht"] span, emits one [Dht_put]/[Dht_get] event per launched
+    operation (tagged with the manager node it rendezvouses at), traces
+    every delivery, and closes the span with the returned report. *)
 
 val run_batch_async :
+  ?trace:Dpq_obs.Trace.t ->
   t ->
   seed:int ->
   ?policy:Dpq_simrt.Async_engine.delay_policy ->

@@ -92,8 +92,9 @@ let spayload_bits ldb p =
 (* [reps]: for each real node, the (position, element) pairs it contributed.
    Returns the element of each order (index 1..n') plus the number of
    (node, tree) participations, and adds the engine costs to [reports]. *)
-let sorting_stage ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list array) ~n'
+let sorting_stage ~trace ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list array) ~n'
     ~(add_report : Phase.report -> unit) =
+  let span = Dpq_obs.Trace.phase_start trace "kselect-sort" in
   let n = Ldb.n ldb in
   let d' = max 1 (Bitsize.log2_ceil (max 2 n')) in
   let point_of_bits x = float_of_int x /. float_of_int (1 lsl d') in
@@ -261,7 +262,7 @@ let sorting_stage ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list arra
         Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
           { path = rest; payload = msg.payload }
   in
-  let eng = Sync.create ~n ~size_bits ~handler () in
+  let eng = Sync.create ~n ~size_bits ~handler ?trace () in
   (* Kick off: every chosen representative is routed to the node responsible
      for its position; that node becomes the root v_i of copy tree T(v_i). *)
   Array.iteri
@@ -285,7 +286,7 @@ let sorting_stage ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list arra
     reps;
   let rounds = Sync.run_to_quiescence ~max_rounds:200_000 eng in
   let m = Sync.metrics eng in
-  add_report
+  let stage_report =
     Phase.
       {
         rounds;
@@ -295,7 +296,14 @@ let sorting_stage ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list arra
         total_bits = Metrics.total_bits m;
         local_deliveries = Metrics.local_deliveries m;
         busiest_node_load = Array.fold_left max 0 (Metrics.node_load m);
-      };
+      }
+  in
+  add_report stage_report;
+  Dpq_obs.Trace.phase_end trace ~span ~name:"kselect-sort"
+    ~rounds:stage_report.Phase.rounds ~messages:stage_report.Phase.messages
+    ~max_congestion:stage_report.Phase.max_congestion
+    ~max_message_bits:stage_report.Phase.max_message_bits
+    ~total_bits:stage_report.Phase.total_bits;
   if Hashtbl.length orders <> n' then
     failwith
       (Printf.sprintf "Kselect.sorting_stage: got %d orders for %d representatives"
@@ -326,6 +334,7 @@ type state = {
   rng : Rng.t;
   hash_pos : Hashing.t;
   hash_pair : Hashing.t;
+  trace : Dpq_obs.Trace.t option;
 }
 
 let add_report st r = st.report <- Phase.add_report st.report r
@@ -334,10 +343,11 @@ let int_bits = Bitsize.bits_of_int
 
 (* Aggregation-phase helpers, all charged to the report. *)
 let bcast st payload_bits =
-  add_report st (Phase.broadcast ~tree:st.tree ~payload:() ~size_bits:(fun () -> payload_bits))
+  add_report st
+    (Phase.broadcast ?trace:st.trace ~tree:st.tree ~payload:() ~size_bits:(fun () -> payload_bits) ())
 
 let up st ~local ~combine ~size_bits =
-  let v, memo, r = Phase.up ~tree:st.tree ~local ~combine ~size_bits in
+  let v, memo, r = Phase.up ?trace:st.trace ~tree:st.tree ~local ~combine ~size_bits () in
   add_report st r;
   (v, memo)
 
@@ -435,11 +445,12 @@ let draw_representatives st ~prob =
   if n' = 0 then (0, [||])
   else begin
     let retained, down_r =
-      Phase.down ~tree:st.tree ~memo ~root_payload:(Interval.make 1 n')
+      Phase.down ?trace:st.trace ~tree:st.tree ~memo ~root_payload:(Interval.make 1 n')
         ~split:(fun ~parts iv -> Interval.split_sizes iv parts)
         ~size_bits:(fun iv ->
           if Interval.is_empty iv then 2
           else Bitsize.interval_bits ~lo:(Interval.lo iv) ~hi:(Interval.hi iv))
+        ()
     in
     add_report st down_r;
     let reps =
@@ -497,7 +508,7 @@ let prune_between st ~c_l ~c_r ~prune_below ~prune_above =
 
 (* -------------------------------------------------------------- select  *)
 
-let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements ~k () =
+let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ~tree ~elements ~k () =
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
   if Array.length elements <> n then
@@ -516,6 +527,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements
       rng = Rng.create ~seed;
       hash_pos = Hashing.create ~seed:(seed + 31337);
       hash_pair = Hashing.create ~seed:(seed + 65537);
+      trace;
     }
   in
   let diag_p1 = ref [] and diag_p2 = ref [] and diag_reps = ref [] in
@@ -526,9 +538,10 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements
     else max 1 (int_of_float (ceil (log (float_of_int (max 2 m)) /. log (float_of_int n))))
   in
   let iters1 = Bitsize.log2_ceil (max 1 q) + 1 in
-  for _ = 1 to iters1 do
+  for i = 1 to iters1 do
     phase1_iteration st;
-    diag_p1 := st.n_remaining :: !diag_p1
+    diag_p1 := st.n_remaining :: !diag_p1;
+    Dpq_obs.Trace.kselect_round trace ~stage:"phase1" ~iteration:i ~candidates:st.n_remaining
   done;
   (* ---------------- Phase 2: shrink to ~sqrt(n) candidates ------------- *)
   (* Stop shrinking once everything fits into one exact sorting stage of
@@ -558,7 +571,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements
     if n' >= 2 then begin
       diag_reps := n' :: !diag_reps;
       let by_order, parts =
-        sorting_stage ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
+        sorting_stage ~trace ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
           ~add_report:(add_report st)
       in
       participations := !participations + parts;
@@ -576,10 +589,12 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements
         prune_between st ~c_l ~c_r ~prune_below ~prune_above
     end;
     diag_p2 := st.n_remaining :: !diag_p2;
+    Dpq_obs.Trace.kselect_round trace ~stage:"phase2" ~iteration:!iter2 ~candidates:st.n_remaining;
     if st.n_remaining >= before then incr no_progress else no_progress := 0
   done;
   (* ---------------- Phase 3: exact computation ------------------------- *)
   let phase3_n = st.n_remaining in
+  Dpq_obs.Trace.kselect_round trace ~stage:"phase3" ~iteration:0 ~candidates:phase3_n;
   let element =
     if phase3_n = 1 then (
       (* route the single survivor to the anchor *)
@@ -596,7 +611,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ~tree ~elements
       let n', reps = draw_representatives st ~prob:1.0 in
       assert (n' = phase3_n);
       let by_order, parts =
-        sorting_stage ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
+        sorting_stage ~trace ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
           ~add_report:(add_report st)
       in
       participations := !participations + parts;

@@ -57,6 +57,7 @@ val select :
   ?seed:int ->
   ?rep_factor:float ->
   ?delta_factor:float ->
+  ?trace:Dpq_obs.Trace.t ->
   tree:Dpq_aggtree.Aggtree.t ->
   elements:Element.t list array ->
   k:int ->

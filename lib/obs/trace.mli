@@ -1,0 +1,146 @@
+(** Structured run tracing for the distributed priority queues.
+
+    A {!t} is an in-memory sink of structured events: protocol phases open
+    and close {e spans}, and the engines / protocol drivers emit point
+    events (message deliveries, DHT operations, anchor assignments,
+    KSelect progress, membership changes) that are attributed to the
+    innermost open span.
+
+    Every emitter takes the sink as a [t option] and is a no-op on [None],
+    so instrumented code pays nothing when tracing is off — callers thread
+    a single optional value through, no conditionals required.
+
+    Invariant kept by the instrumentation: a [Msg_delivered] event is
+    emitted exactly when the synchronous engine charges a (non-local)
+    delivery to {!Dpq_simrt.Metrics}, and every [Phase_end] carries exactly
+    the phase report the protocol driver summed.  Hence for a run whose DHT
+    traffic is synchronous, the derived accessors below ({!rounds},
+    {!messages}, {!total_bits}, {!max_congestion}, {!max_message_bits})
+    reproduce the corresponding fields of the summed
+    [Dpq_aggtree.Phase.report].  Asynchronous DHT batches still emit
+    delivery events but report zero cost (matching the empty report the
+    drivers charge for them).
+
+    Traces serialize to JSONL — one flat JSON object per event — and read
+    back losslessly ({!to_channel} / {!of_channel}). *)
+
+type span = int
+(** Identifier of a phase span, unique within one trace.  The pseudo-span
+    [no_span] marks events emitted outside any open span. *)
+
+val no_span : span
+
+type event =
+  | Phase_start of { span : span; name : string }
+  | Phase_end of {
+      span : span;
+      name : string;
+      rounds : int;
+      messages : int;
+      max_congestion : int;
+      max_message_bits : int;
+      total_bits : int;
+    }  (** Span closed; fields echo the phase's cost report. *)
+  | Msg_delivered of { span : span; round : int; src : int; dst : int; bits : int }
+      (** One point-to-point delivery ([src <> dst]; free local deliveries
+          are not traced, mirroring the cost model).  [round] is relative
+          to the span's engine (asynchronous engines use the delivery
+          sequence number). *)
+  | Anchor_assign of { batch_inserts : int; batch_deletes : int; heap_size : int }
+      (** The Skeap anchor processed a combined batch; [heap_size] is the
+          occupancy after the assignment. *)
+  | Dht_put of { span : span; origin : int; key : int; manager : int }
+  | Dht_get of { span : span; origin : int; key : int; manager : int }
+  | Kselect_round of { stage : string; iteration : int; candidates : int }
+      (** KSelect progress: [candidates] still alive after [iteration] of
+          ["phase1"] / ["phase2"], or entering ["phase3"]. *)
+  | Churn of { kind : string; n : int; join_messages : int; moved_elements : int }
+      (** Membership change ["join"] / ["leave"]; [n] is the node count
+          after the change. *)
+
+type t
+
+val create : unit -> t
+
+val events : t -> event list
+(** In emission order. *)
+
+val num_events : t -> int
+
+val clear : t -> unit
+(** Drop all events and reset the span counter. *)
+
+(** {2 Emitters}
+
+    All no-ops on [None]. *)
+
+val phase_start : t option -> string -> span
+(** Open a span (returns [no_span] on [None]). *)
+
+val phase_end :
+  t option ->
+  span:span ->
+  name:string ->
+  rounds:int ->
+  messages:int ->
+  max_congestion:int ->
+  max_message_bits:int ->
+  total_bits:int ->
+  unit
+
+val msg_delivered : t option -> round:int -> src:int -> dst:int -> bits:int -> unit
+val anchor_assign : t option -> batch_inserts:int -> batch_deletes:int -> heap_size:int -> unit
+val dht_put : t option -> origin:int -> key:int -> manager:int -> unit
+val dht_get : t option -> origin:int -> key:int -> manager:int -> unit
+val kselect_round : t option -> stage:string -> iteration:int -> candidates:int -> unit
+val churn : t option -> kind:string -> n:int -> join_messages:int -> moved_elements:int -> unit
+
+(** {2 Derived metrics}
+
+    Recomputed from the raw events — deliberately independent of
+    {!Dpq_simrt.Metrics} so the two tallies cross-check each other. *)
+
+val rounds : t -> int
+(** Sum of [Phase_end] round counts (sequential phase composition). *)
+
+val messages : t -> int
+(** Number of [Msg_delivered] events. *)
+
+val total_bits : t -> int
+val max_message_bits : t -> int
+
+val max_congestion : t -> int
+(** Max over (span, round, destination) cells of deliveries into the cell —
+    the paper's congestion measure, recomputed from raw deliveries. *)
+
+val node_load : t -> int array
+(** Deliveries received per node, indexed by node id (length = 1 + the
+    largest node id seen; [||] for a message-free trace). *)
+
+val bits_per_round : t -> int array
+(** Bits delivered in each global round, concatenating spans in completion
+    order — the time series of wire traffic. *)
+
+val congestion_histogram : t -> (int * int) list
+(** [(c, cells)] pairs, ascending in [c]: how many (span, round, node)
+    cells received exactly [c] messages, over cells with at least one. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Compact one-paragraph text summary of the whole trace. *)
+
+(** {2 JSONL serialization} *)
+
+val event_to_json : event -> string
+(** One flat JSON object, no newlines. *)
+
+val event_of_json : string -> (event, string) result
+
+val to_channel : t -> out_channel -> unit
+(** One event per line, emission order. *)
+
+val of_channel : in_channel -> (t, string) result
+(** Reads until EOF; blank lines are skipped.  [Error] names the first
+    offending line. *)
+
+val to_file : t -> string -> unit
+val of_file : string -> (t, string) result

@@ -17,6 +17,7 @@ type t = {
   mutable n : int;
   seed : int;
   consistency : consistency;
+  trace : Dpq_obs.Trace.t option;
   mutable ldb : Ldb.t;
   mutable tree : Aggtree.t;
   dht : Dht.t;
@@ -34,13 +35,14 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ?(consistency = Serializable) ~n () =
+let create ?(seed = 1) ?(consistency = Serializable) ?trace ~n () =
   if n < 1 then invalid_arg "Seap.create: need n >= 1";
   let ldb = Ldb.build ~n ~seed in
   {
     n;
     seed;
     consistency;
+    trace;
     ldb;
     tree = Aggtree.of_ldb ldb;
     dht = Dht.create ~ldb ~seed:(seed + 7919);
@@ -82,12 +84,13 @@ let delete_min t ~node =
   Queue.push { local_seq; kind = `Del } t.buffers.(node)
 
 let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
+let trace t = t.trace
 
-type dht_mode =
+type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync
   | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
 
-type completion = {
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
@@ -103,9 +106,9 @@ let int_bits = Bitsize.bits_of_int
 
 let run_dht t ~dht_mode ops =
   match dht_mode with
-  | Dht_sync -> Dht.run_batch_sync t.dht ops
+  | Dht_sync -> Dht.run_batch_sync ?trace:t.trace t.dht ops
   | Dht_async { seed; policy } ->
-      let cs = Dht.run_batch_async t.dht ~seed ~policy ops in
+      let cs = Dht.run_batch_async ?trace:t.trace t.dht ~seed ~policy ops in
       (cs, Phase.empty_report)
 
 let next_witness t =
@@ -156,13 +159,14 @@ let insert_phase t ~dht_mode =
     | _ -> 0
   in
   let total, _memo, up_r =
-    Phase.up ~tree:t.tree ~local:count_local ~combine:( + )
+    Phase.up ?trace:t.trace ~tree:t.tree ~local:count_local ~combine:( + )
       ~size_bits:(fun c -> int_bits (max 1 c))
+      ()
   in
   add up_r;
   t.m <- t.m + total;
   (* Anchor's go-ahead broadcast, then the Put storm. *)
-  add (Phase.broadcast ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1));
+  add (Phase.broadcast ?trace:t.trace ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) ());
   let ops = ref [] in
   let by_key = Hashtbl.create 64 in
   Array.iteri
@@ -230,8 +234,9 @@ let delete_phase t ~dht_mode =
     | _ -> 0
   in
   let k, del_memo, up_r =
-    Phase.up ~tree:t.tree ~local:count_local ~combine:( + )
+    Phase.up ?trace:t.trace ~tree:t.tree ~local:count_local ~combine:( + )
       ~size_bits:(fun c -> int_bits (max 1 c))
+      ()
   in
   add up_r;
   let completions = ref [] in
@@ -242,13 +247,17 @@ let delete_phase t ~dht_mode =
     if k_eff > 0 then begin
       (* Find the k_eff-th smallest stored element. *)
       let elements = Array.init t.n (fun node -> Dht.elements_at t.dht ~node) in
-      let sel = Kselect.select ~seed:(t.seed + t.phase_no) ~tree:t.tree ~elements ~k:k_eff () in
+      let sel =
+        Kselect.select ~seed:(t.seed + t.phase_no) ?trace:t.trace ~tree:t.tree ~elements
+          ~k:k_eff ()
+      in
       add sel.Kselect.report;
       kselect_diag := Some sel.Kselect.diagnostics;
       let e_k = sel.Kselect.element in
       (* Broadcast e_k so every node can pick out its rank-<=k elements. *)
       add
-        (Phase.broadcast ~tree:t.tree ~payload:e_k ~size_bits:Element.encoded_bits);
+        (Phase.broadcast ?trace:t.trace ~tree:t.tree ~payload:e_k
+           ~size_bits:Element.encoded_bits ());
       (* Pull those elements out of their random-key homes and assign them
          positions 1..k_eff by interval decomposition. *)
       let taken =
@@ -265,23 +274,27 @@ let delete_phase t ~dht_mode =
         match Ldb.kind v with Ldb.Middle -> List.length taken.(Ldb.owner v) | _ -> 0
       in
       let total_chk, taken_memo, up2 =
-        Phase.up ~tree:t.tree ~local:counts_local ~combine:( + )
+        Phase.up ?trace:t.trace ~tree:t.tree ~local:counts_local ~combine:( + )
           ~size_bits:(fun c -> int_bits (max 1 c))
+          ()
       in
       add up2;
       assert (total_chk = k_eff);
       let elt_positions, down1 =
-        Phase.down ~tree:t.tree ~memo:taken_memo ~root_payload:(Interval.make 1 k_eff)
+        Phase.down ?trace:t.trace ~tree:t.tree ~memo:taken_memo
+          ~root_payload:(Interval.make 1 k_eff)
           ~split:(fun ~parts iv -> Interval.split_sizes iv parts)
           ~size_bits:(fun iv ->
             if Interval.is_empty iv then 2
             else Bitsize.interval_bits ~lo:(Interval.lo iv) ~hi:(Interval.hi iv))
+          ()
       in
       add down1;
       (* Decompose [1, k_eff] over the deleters as well; the shortage
          (k - k_eff) turns into ⊥ answers at the traversal-last deleters. *)
       let del_positions, down2 =
-        Phase.down ~tree:t.tree ~memo:del_memo ~root_payload:(Interval.make 1 k_eff)
+        Phase.down ?trace:t.trace ~tree:t.tree ~memo:del_memo
+          ~root_payload:(Interval.make 1 k_eff)
           ~split:(fun ~parts iv ->
             (* like Interval.split_sizes but tolerating shortage *)
             let rest = ref iv in
@@ -294,6 +307,7 @@ let delete_phase t ~dht_mode =
           ~size_bits:(fun iv ->
             if Interval.is_empty iv then 2
             else Bitsize.interval_bits ~lo:(Interval.lo iv) ~hi:(Interval.hi iv))
+          ()
       in
       add down2;
       (* Phase 4-style DHT traffic: re-store the k smallest under h(pos),
@@ -438,7 +452,7 @@ let stored_per_node t = Dht.stored_counts t.dht
 
 (* ------------------------------------------------- membership changes *)
 
-type churn_cost = { join_messages : int; moved_elements : int }
+type churn_cost = Dpq_types.Types.churn_cost = { join_messages : int; moved_elements : int }
 
 let retopology t ldb' =
   let moved = Dht.set_topology t.dht ldb' in
@@ -460,6 +474,7 @@ let add_node t =
   in
   t.seq_counters <- grow_array t.seq_counters t.n seq0;
   t.elt_counters <- grow_array t.elt_counters t.n elt0;
+  Dpq_obs.Trace.churn t.trace ~kind:"join" ~n:t.n ~join_messages ~moved_elements;
   { join_messages; moved_elements }
 
 let remove_last_node t =
@@ -474,4 +489,6 @@ let remove_last_node t =
   t.buffers <- Array.sub t.buffers 0 t.n;
   t.seq_counters <- Array.sub t.seq_counters 0 t.n;
   t.elt_counters <- Array.sub t.elt_counters 0 t.n;
-  { join_messages = Ldb.join_cost_hops ldb'; moved_elements }
+  let join_messages = Ldb.join_cost_hops ldb' in
+  Dpq_obs.Trace.churn t.trace ~kind:"leave" ~n:t.n ~join_messages ~moved_elements;
+  { join_messages; moved_elements }

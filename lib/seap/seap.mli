@@ -42,9 +42,11 @@ type t
       the trade-off the paper warns about. *)
 type consistency = Serializable | Sequential
 
-val create : ?seed:int -> ?consistency:consistency -> n:int -> unit -> t
+val create :
+  ?seed:int -> ?consistency:consistency -> ?trace:Dpq_obs.Trace.t -> n:int -> unit -> t
 (** Raises [Invalid_argument] if [n < 1].  Priorities are arbitrary
-    positive integers. *)
+    positive integers.  With [trace], every subsequent {!process_round} /
+    membership change records structured events (see {!Dpq_obs.Trace}). *)
 
 val consistency : t -> consistency
 
@@ -60,11 +62,14 @@ val pending_ops : t -> int
 val heap_size : t -> int
 (** The anchor's element count m. *)
 
-type dht_mode =
+val trace : t -> Dpq_obs.Trace.t option
+(** The trace sink passed at {!create}, if any. *)
+
+type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync
   | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
 
-type completion = {
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
@@ -90,7 +95,7 @@ val stored_per_node : t -> int array
 (** {2 Membership changes (paper Contribution 4)} — same contract as
     {!Dpq_skeap.Skeap.add_node} / [remove_last_node]. *)
 
-type churn_cost = { join_messages : int; moved_elements : int }
+type churn_cost = Dpq_types.Types.churn_cost = { join_messages : int; moved_elements : int }
 
 val add_node : t -> churn_cost
 val remove_last_node : t -> churn_cost

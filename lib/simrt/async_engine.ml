@@ -10,6 +10,7 @@ type 'msg t = {
   size_bits : 'msg -> int;
   handler : 'msg t -> dst:int -> src:int -> 'msg -> unit;
   policy : delay_policy;
+  trace : Dpq_obs.Trace.t option;
   rng : Dpq_util.Rng.t;
   queue : 'msg event Dpq_util.Binheap.t;
   mutable now : float;
@@ -22,12 +23,13 @@ let cmp_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ~size_bits ~handler () =
+let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ~size_bits ~handler () =
   {
     n;
     size_bits;
     handler;
     policy;
+    trace;
     rng = Dpq_util.Rng.create ~seed;
     queue = Dpq_util.Binheap.create ~cmp:cmp_event;
     now = 0.0;
@@ -80,6 +82,13 @@ let run_to_quiescence ?(max_events = 10_000_000) t =
            time only moves forward for well-behaved policies. *)
         if ev.time > t.now then t.now <- ev.time;
         t.delivered <- t.delivered + 1;
+        (* No rounds in the asynchronous model: the delivery sequence
+           number stands in as the trace's time axis. *)
+        (match t.trace with
+        | None -> ()
+        | Some _ ->
+            Dpq_obs.Trace.msg_delivered t.trace ~round:t.delivered ~src:ev.src ~dst:ev.dst
+              ~bits:(t.size_bits ev.msg));
         t.handler t ~dst:ev.dst ~src:ev.src ev.msg
   done;
   !count

@@ -22,11 +22,14 @@ val create :
   n:int ->
   seed:int ->
   ?policy:delay_policy ->
+  ?trace:Dpq_obs.Trace.t ->
   size_bits:('msg -> int) ->
   handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
   unit ->
   'msg t
-(** Default policy is [Uniform (1., 10.)]. *)
+(** Default policy is [Uniform (1., 10.)].  With [trace], every non-local
+    delivery emits a {!Dpq_obs.Trace.Msg_delivered} event whose [round] is
+    the delivery sequence number (the asynchronous model has no rounds). *)
 
 val n : 'msg t -> int
 

@@ -5,17 +5,19 @@ type 'msg t = {
   size_bits : 'msg -> int;
   handler : 'msg t -> dst:int -> src:int -> 'msg -> unit;
   activate : ('msg t -> int -> unit) option;
+  trace : Dpq_obs.Trace.t option;
   mutable inflight : 'msg envelope list; (* reversed send order *)
   mutable round : int;
   metrics : Metrics.t;
 }
 
-let create ~n ~size_bits ~handler ?activate () =
+let create ~n ~size_bits ~handler ?activate ?trace () =
   {
     n;
     size_bits;
     handler;
     activate;
+    trace;
     inflight = [];
     round = 0;
     metrics = Metrics.create ~n;
@@ -54,7 +56,9 @@ let step t =
   let this_round = t.round in
   List.iter
     (fun { src; dst; msg } ->
-      Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits:(t.size_bits msg);
+      let bits = t.size_bits msg in
+      Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits;
+      Dpq_obs.Trace.msg_delivered t.trace ~round:this_round ~src ~dst ~bits;
       t.handler t ~dst ~src msg)
     batch;
   t.round <- t.round + 1

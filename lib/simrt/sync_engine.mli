@@ -17,12 +17,15 @@ val create :
   size_bits:('msg -> int) ->
   handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
   ?activate:('msg t -> int -> unit) ->
+  ?trace:Dpq_obs.Trace.t ->
   unit ->
   'msg t
 (** [create ~n ~size_bits ~handler ()] builds an engine for nodes
     [0..n-1]. [handler] is invoked for every delivered message; [activate]
     (optional) is invoked once per node at the start of every round, before
-    deliveries. *)
+    deliveries.  With [trace], every non-local delivery additionally emits
+    a {!Dpq_obs.Trace.Msg_delivered} event (free local deliveries are not
+    traced, mirroring the cost model). *)
 
 val n : 'msg t -> int
 

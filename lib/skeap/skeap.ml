@@ -12,6 +12,7 @@ type t = {
   mutable n : int;
   num_prios : int;
   seed : int;
+  trace : Dpq_obs.Trace.t option;
   mutable ldb : Ldb.t;
   mutable tree : Aggtree.t;
   dht : Dht.t;
@@ -44,7 +45,7 @@ let compute_preorder_ranks tree n =
   Array.iteri (fun i r -> if r < 0 then failwith (Printf.sprintf "node %d missing preorder rank" i)) rank;
   rank
 
-let create ?(seed = 1) ~n ~num_prios () =
+let create ?(seed = 1) ?trace ~n ~num_prios () =
   if n < 1 then invalid_arg "Skeap.create: need n >= 1";
   if num_prios < 1 then invalid_arg "Skeap.create: need num_prios >= 1";
   let ldb = Ldb.build ~n ~seed in
@@ -53,6 +54,7 @@ let create ?(seed = 1) ~n ~num_prios () =
     n;
     num_prios;
     seed;
+    trace;
     ldb;
     tree;
     dht = Dht.create ~ldb ~seed:(seed + 7919);
@@ -95,12 +97,13 @@ let delete_min t ~node =
 
 let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
 let heap_size t = Anchor.total_occupied t.anchor
+let trace t = t.trace
 
-type dht_mode =
+type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync
   | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
 
-type completion = {
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
@@ -139,18 +142,24 @@ let process_batch ?(dht_mode = Dht_sync) t =
     | _ -> Batch.empty ~num_prios:t.num_prios
   in
   let combined, memo, up_report =
-    Phase.up ~tree:t.tree ~local ~combine:Batch.combine ~size_bits:Batch.encoded_bits
+    Phase.up ?trace:t.trace ~tree:t.tree ~local ~combine:Batch.combine
+      ~size_bits:Batch.encoded_bits ()
   in
   (* ---- Phase 2: anchor assigns position intervals (local) ------------- *)
   let assignment = Anchor.assign t.anchor combined in
+  Dpq_obs.Trace.anchor_assign t.trace ~batch_inserts:(Batch.total_inserts combined)
+    ~batch_deletes:(Batch.total_deletes combined)
+    ~heap_size:(Anchor.total_occupied t.anchor);
   (* ---- Phase 3: decompose intervals down the tree --------------------- *)
   let retained, down_report =
-    Phase.down ~tree:t.tree ~memo ~root_payload:assignment
+    Phase.down ?trace:t.trace ~tree:t.tree ~memo ~root_payload:assignment
       ~split:(fun ~parts a -> Anchor.split ~num_prios:t.num_prios a ~parts)
-      ~size_bits:Anchor.assignment_bits
+      ~size_bits:Anchor.assignment_bits ()
   in
   (* Announce the phase switch (anchor-driven broadcast). *)
-  let announce_report = Phase.broadcast ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) in
+  let announce_report =
+    Phase.broadcast ?trace:t.trace ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) ()
+  in
   (* ---- Phase 4: map positions to ops, run the DHT --------------------- *)
   let dht_ops = ref [] in
   (* (origin, key) -> (local_seq, wkey) for deletes in flight *)
@@ -244,9 +253,9 @@ let process_batch ?(dht_mode = Dht_sync) t =
   let dht_ops = List.rev !dht_ops in
   let dht_completions, dht_report =
     match dht_mode with
-    | Dht_sync -> Dht.run_batch_sync t.dht dht_ops
+    | Dht_sync -> Dht.run_batch_sync ?trace:t.trace t.dht dht_ops
     | Dht_async { seed; policy } ->
-        let cs = Dht.run_batch_async t.dht ~seed ~policy dht_ops in
+        let cs = Dht.run_batch_async ?trace:t.trace t.dht ~seed ~policy dht_ops in
         (cs, Phase.empty_report)
   in
   List.iter
@@ -307,7 +316,7 @@ let stored_per_node t = Dht.stored_counts t.dht
 
 (* ------------------------------------------------- membership changes *)
 
-type churn_cost = { join_messages : int; moved_elements : int }
+type churn_cost = Dpq_types.Types.churn_cost = { join_messages : int; moved_elements : int }
 
 let retopology t ldb' =
   let moved = Dht.set_topology t.dht ldb' in
@@ -329,6 +338,7 @@ let add_node t =
   in
   t.seq_counters <- grow_array t.seq_counters t.n seq0;
   t.elt_counters <- grow_array t.elt_counters t.n elt0;
+  Dpq_obs.Trace.churn t.trace ~kind:"join" ~n:t.n ~join_messages ~moved_elements;
   { join_messages; moved_elements }
 
 let remove_last_node t =
@@ -343,4 +353,6 @@ let remove_last_node t =
   t.buffers <- Array.sub t.buffers 0 t.n;
   t.seq_counters <- Array.sub t.seq_counters 0 t.n;
   t.elt_counters <- Array.sub t.elt_counters 0 t.n;
-  { join_messages = Ldb.join_cost_hops ldb'; moved_elements }
+  let join_messages = Ldb.join_cost_hops ldb' in
+  Dpq_obs.Trace.churn t.trace ~kind:"leave" ~n:t.n ~join_messages ~moved_elements;
+  { join_messages; moved_elements }

@@ -25,9 +25,11 @@ module Phase = Dpq_aggtree.Phase
 
 type t
 
-val create : ?seed:int -> n:int -> num_prios:int -> unit -> t
+val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> num_prios:int -> unit -> t
 (** A Skeap instance over [n] nodes with priorities [{1..num_prios}].
-    Raises [Invalid_argument] if [n < 1] or [num_prios < 1]. *)
+    Raises [Invalid_argument] if [n < 1] or [num_prios < 1].  With [trace],
+    every subsequent {!process_batch} / membership change records
+    structured events into the sink (see {!Dpq_obs.Trace}). *)
 
 val n : t -> int
 val num_prios : t -> int
@@ -47,14 +49,17 @@ val pending_ops : t -> int
 val heap_size : t -> int
 (** Elements logically in the heap (anchor's interval cardinalities). *)
 
-(** How Phase 4's DHT traffic is delivered. *)
-type dht_mode =
+val trace : t -> Dpq_obs.Trace.t option
+(** The trace sink passed at {!create}, if any. *)
+
+(** How Phase 4's DHT traffic is delivered (= {!Dpq_types.Types.dht_mode}). *)
+type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync  (** synchronous rounds; gives full cost measurements *)
   | Dht_async of { seed : int; policy : Dpq_simrt.Async_engine.delay_policy }
       (** adversarially delayed/reordered delivery; used to demonstrate
           order-independence of the rendezvous *)
 
-type completion = {
+type completion = Dpq_types.Types.completion = {
   node : int;
   local_seq : int;
   outcome : [ `Inserted of Element.t | `Got of Element.t | `Empty ];
@@ -89,7 +94,7 @@ val stored_per_node : t -> int array
     expectation.  No heap contents or semantics are lost; the operation log
     keeps verifying across the change. *)
 
-type churn_cost = {
+type churn_cost = Dpq_types.Types.churn_cost = {
   join_messages : int;  (** overlay messages to splice the node in/out *)
   moved_elements : int;  (** stored elements whose manager changed *)
 }

@@ -204,15 +204,15 @@ let process_batch t =
     | _ -> Batch.empty ~num_prios:1
   in
   let combined, memo, up_report =
-    Phase.up ~tree:t.tree ~local ~combine:Batch.combine ~size_bits:Batch.encoded_bits
+    Phase.up ~tree:t.tree ~local ~combine:Batch.combine ~size_bits:Batch.encoded_bits ()
   in
   let assignment = List.map (assign_entry t.anchor) (Batch.entries combined) in
   let retained, down_report =
     Phase.down ~tree:t.tree ~memo ~root_payload:assignment
       ~split:(fun ~parts a -> split a ~parts)
-      ~size_bits:assignment_bits
+      ~size_bits:assignment_bits ()
   in
-  let announce = Phase.broadcast ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) in
+  let announce = Phase.broadcast ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) () in
   let dht_ops = ref [] in
   let get_index : (int * int, int * wkey) Hashtbl.t = Hashtbl.create 64 in
   let records : (wkey * Oplog.record) list ref = ref [] in

@@ -1,8 +1,9 @@
 module Phase = Dpq_aggtree.Phase
-module Checker = Dpq_semantics.Checker
+module Heap = Dpq.Dpq_heap
+module Types = Dpq_types.Types
 
 type summary = {
-  protocol : string;
+  backend : Types.backend;
   n : int;
   ops : int;
   rounds : int;
@@ -17,6 +18,8 @@ type summary = {
   semantics_ok : bool;
 }
 
+let protocol_name s = Types.backend_name s.backend
+
 let count_outcomes outcomes =
   List.fold_left
     (fun (g, e, i) o ->
@@ -26,151 +29,55 @@ let count_outcomes outcomes =
       | `Inserted _ -> (g, e, i + 1))
     (0, 0, 0) outcomes
 
-let run_skeap ?(seed = 1) ~n ~num_prios workload =
-  let h = Dpq_skeap.Skeap.create ~seed ~n ~num_prios () in
-  let report = ref Phase.empty_report in
+let run ?(seed = 1) ?trace ~n backend workload =
+  let h = Heap.create ~seed ?trace ~n backend in
+  let rounds = ref 0
+  and messages = ref 0
+  and max_congestion = ref 0
+  and hotspot_load = ref 0
+  and max_message_bits = ref 0
+  and total_bits = ref 0 in
   let outcomes = ref [] in
   List.iter
     (fun round ->
       List.iter
         (fun (op : Workload.op) ->
           match op.Workload.action with
-          | `Ins p -> ignore (Dpq_skeap.Skeap.insert h ~node:op.Workload.node ~prio:p)
-          | `Del -> Dpq_skeap.Skeap.delete_min h ~node:op.Workload.node)
+          | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
+          | `Del -> Heap.delete_min h ~node:op.Workload.node)
         round;
-      let r = Dpq_skeap.Skeap.process_batch h in
-      report := Phase.add_report !report r.Dpq_skeap.Skeap.report;
-      List.iter
-        (fun c -> outcomes := c.Dpq_skeap.Skeap.outcome :: !outcomes)
-        r.Dpq_skeap.Skeap.completions)
+      let r = Heap.process h in
+      rounds := !rounds + r.Heap.rounds;
+      messages := !messages + r.Heap.messages;
+      max_congestion := max !max_congestion r.Heap.max_congestion;
+      hotspot_load := !hotspot_load + r.Heap.hotspot_load;
+      max_message_bits := max !max_message_bits r.Heap.max_message_bits;
+      total_bits := !total_bits + r.Heap.total_bits;
+      List.iter (fun (c : Heap.completion) -> outcomes := c.outcome :: !outcomes) r.Heap.completions)
     workload;
   let got, empty, inserted = count_outcomes !outcomes in
-  let ok = Checker.check_all_skeap (Dpq_skeap.Skeap.oplog h) = Ok () in
   {
-    protocol = "skeap";
+    backend;
     n;
     ops = Workload.total_ops workload;
-    rounds = !report.Phase.rounds;
-    messages = !report.Phase.messages;
-    max_congestion = !report.Phase.max_congestion;
-    hotspot_load = !report.Phase.busiest_node_load;
-    max_message_bits = !report.Phase.max_message_bits;
-    total_bits = !report.Phase.total_bits;
+    rounds = !rounds;
+    messages = !messages;
+    max_congestion = !max_congestion;
+    hotspot_load = !hotspot_load;
+    max_message_bits = !max_message_bits;
+    total_bits = !total_bits;
     got;
     empty;
     inserted;
-    semantics_ok = ok;
+    semantics_ok = Heap.verify h = Ok ();
   }
 
-let run_seap ?(seed = 1) ~n workload =
-  let h = Dpq_seap.Seap.create ~seed ~n () in
-  let report = ref Phase.empty_report in
-  let outcomes = ref [] in
-  List.iter
-    (fun round ->
-      List.iter
-        (fun (op : Workload.op) ->
-          match op.Workload.action with
-          | `Ins p -> ignore (Dpq_seap.Seap.insert h ~node:op.Workload.node ~prio:p)
-          | `Del -> Dpq_seap.Seap.delete_min h ~node:op.Workload.node)
-        round;
-      let r = Dpq_seap.Seap.process_round h in
-      report := Phase.add_report !report r.Dpq_seap.Seap.report;
-      List.iter
-        (fun c -> outcomes := c.Dpq_seap.Seap.outcome :: !outcomes)
-        r.Dpq_seap.Seap.completions)
-    workload;
-  let got, empty, inserted = count_outcomes !outcomes in
-  let ok = Checker.check_all_seap (Dpq_seap.Seap.oplog h) = Ok () in
-  {
-    protocol = "seap";
-    n;
-    ops = Workload.total_ops workload;
-    rounds = !report.Phase.rounds;
-    messages = !report.Phase.messages;
-    max_congestion = !report.Phase.max_congestion;
-    hotspot_load = !report.Phase.busiest_node_load;
-    max_message_bits = !report.Phase.max_message_bits;
-    total_bits = !report.Phase.total_bits;
-    got;
-    empty;
-    inserted;
-    semantics_ok = ok;
-  }
+let run_skeap ?seed ~n ~num_prios workload = run ?seed ~n (Types.Skeap { num_prios }) workload
+let run_seap ?seed ~n workload = run ?seed ~n Types.Seap workload
+let run_centralized ?seed ~n workload = run ?seed ~n Types.Centralized workload
 
-let run_centralized ?(seed = 1) ~n workload =
-  let module C = Dpq_baselines.Centralized in
-  let h = C.create ~seed ~n () in
-  let report = ref Phase.empty_report in
-  let outcomes = ref [] in
-  let load = ref 0 in
-  List.iter
-    (fun round ->
-      List.iter
-        (fun (op : Workload.op) ->
-          match op.Workload.action with
-          | `Ins p -> ignore (C.insert h ~node:op.Workload.node ~prio:p)
-          | `Del -> C.delete_min h ~node:op.Workload.node)
-        round;
-      let r = C.process h in
-      report := Phase.add_report !report r.C.report;
-      load := !load + r.C.coordinator_load;
-      List.iter (fun c -> outcomes := c.C.outcome :: !outcomes) r.C.completions)
-    workload;
-  let got, empty, inserted = count_outcomes !outcomes in
-  let ok = Checker.check_all_skeap (C.oplog h) = Ok () in
-  {
-    protocol = "centralized";
-    n;
-    ops = Workload.total_ops workload;
-    rounds = !report.Phase.rounds;
-    messages = !report.Phase.messages;
-    max_congestion = !report.Phase.max_congestion;
-    hotspot_load = max !load !report.Phase.busiest_node_load;
-    max_message_bits = !report.Phase.max_message_bits;
-    total_bits = !report.Phase.total_bits;
-    got;
-    empty;
-    inserted;
-    semantics_ok = ok;
-  }
-
-let run_unbatched ?(seed = 1) ~n ~num_prios workload =
-  let module U = Dpq_baselines.Unbatched in
-  let h = U.create ~seed ~n ~num_prios () in
-  let report = ref Phase.empty_report in
-  let outcomes = ref [] in
-  let load = ref 0 in
-  List.iter
-    (fun round ->
-      List.iter
-        (fun (op : Workload.op) ->
-          match op.Workload.action with
-          | `Ins p -> ignore (U.insert h ~node:op.Workload.node ~prio:p)
-          | `Del -> U.delete_min h ~node:op.Workload.node)
-        round;
-      let r = U.process h in
-      report := Phase.add_report !report r.U.report;
-      load := !load + r.U.anchor_load;
-      List.iter (fun c -> outcomes := c.U.outcome :: !outcomes) r.U.completions)
-    workload;
-  let got, empty, inserted = count_outcomes !outcomes in
-  let ok = Checker.check_all_skeap (U.oplog h) = Ok () in
-  {
-    protocol = "unbatched";
-    n;
-    ops = Workload.total_ops workload;
-    rounds = !report.Phase.rounds;
-    messages = !report.Phase.messages;
-    max_congestion = !report.Phase.max_congestion;
-    hotspot_load = max !load !report.Phase.busiest_node_load;
-    max_message_bits = !report.Phase.max_message_bits;
-    total_bits = !report.Phase.total_bits;
-    got;
-    empty;
-    inserted;
-    semantics_ok = ok;
-  }
+let run_unbatched ?seed ~n ~num_prios workload =
+  run ?seed ~n (Types.Unbatched { num_prios }) workload
 
 let throughput s = if s.rounds = 0 then 0.0 else float_of_int s.ops /. float_of_int s.rounds
 
@@ -181,5 +88,5 @@ let effective_throughput s =
 let pp_summary fmt s =
   Format.fprintf fmt
     "@[%s: n=%d ops=%d rounds=%d msgs=%d cong=%d hotspot=%d bits<=%d got=%d empty=%d ok=%b@]"
-    s.protocol s.n s.ops s.rounds s.messages s.max_congestion s.hotspot_load s.max_message_bits
-    s.got s.empty s.semantics_ok
+    (protocol_name s) s.n s.ops s.rounds s.messages s.max_congestion s.hotspot_load
+    s.max_message_bits s.got s.empty s.semantics_ok

@@ -1,9 +1,11 @@
-(** Drive a workload through any of the four heap implementations and
-    collect one comparable summary — the engine behind experiment T6 and
-    the example programs. *)
+(** Drive a workload through any heap backend and collect one comparable
+    summary — the engine behind experiment T6 and the example programs.
+
+    All runs go through the unified {!Dpq.Dpq_heap} facade: one code path,
+    four backends, the same cost accounting. *)
 
 type summary = {
-  protocol : string;
+  backend : Dpq_types.Types.backend;
   n : int;
   ops : int;
   rounds : int;  (** total synchronous rounds across all processing *)
@@ -11,23 +13,43 @@ type summary = {
   max_congestion : int;
   hotspot_load : int;
       (** upper bound on the total messages any single node handled (summed
-          per-phase maxima); for the baselines at least the coordinator's /
-          anchor owner's total load *)
+          per-phase maxima); for the baselines this dominates the
+          coordinator's / anchor owner's total load *)
   max_message_bits : int;
   total_bits : int;
   got : int;  (** deletes answered with an element *)
   empty : int;  (** deletes answered ⊥ *)
   inserted : int;
-  semantics_ok : bool;  (** the protocol-appropriate checker passed *)
+  semantics_ok : bool;  (** the backend-appropriate checker passed *)
 }
 
+val protocol_name : summary -> string
+(** {!Dpq_types.Types.backend_name} of the summary's backend. *)
+
+val run :
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  n:int ->
+  Dpq_types.Types.backend ->
+  Workload.t ->
+  summary
+(** Inject each workload round, process it, sum the cost measures, then
+    verify the whole run.  Raises [Invalid_argument] if the workload
+    contains priorities the backend rejects (outside [1..num_prios] for
+    [Skeap]/[Unbatched]).  With [trace], the entire run records structured
+    events (see {!Dpq_obs.Trace}). *)
+
 val run_skeap : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
-(** Raises [Invalid_argument] if the workload contains priorities outside
-    [1..num_prios]. *)
+(** Deprecated alias for [run (Skeap { num_prios })]. *)
 
 val run_seap : ?seed:int -> n:int -> Workload.t -> summary
+(** Deprecated alias for [run Seap]. *)
+
 val run_centralized : ?seed:int -> n:int -> Workload.t -> summary
+(** Deprecated alias for [run Centralized]. *)
+
 val run_unbatched : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
+(** Deprecated alias for [run (Unbatched { num_prios })]. *)
 
 val throughput : summary -> float
 (** Completed operations per synchronous round. *)

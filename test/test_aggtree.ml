@@ -130,7 +130,7 @@ let test_up_counts_nodes () =
     (fun n ->
       let tree = tree_of ~n ~seed:4 in
       let total, _memo, report =
-        Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 32)
+        Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 32) ()
       in
       checki "3n" (3 * n) total;
       checkb "rounds bounded by height+1" true (report.Phase.rounds <= Aggtree.height tree + 1))
@@ -138,7 +138,9 @@ let test_up_counts_nodes () =
 
 let test_up_memo_parts () =
   let tree = tree_of ~n:10 ~seed:4 in
-  let _total, memo, _ = Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 1) in
+  let _total, memo, _ =
+    Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 1) ()
+  in
   Array.iter
     (fun v ->
       let parts = Phase.memo_parts memo v in
@@ -156,6 +158,7 @@ let test_up_respects_order () =
       ~local:(fun v -> [ v ])
       ~combine:(fun a b -> a @ b)
       ~size_bits:(fun l -> 16 * List.length l)
+      ()
   in
   let rec expected v =
     v :: List.concat_map expected (Aggtree.children tree v)
@@ -168,12 +171,15 @@ let test_down_decomposes_intervals () =
      singleton. *)
   let n = 20 in
   let tree = tree_of ~n ~seed:13 in
-  let total, memo, _ = Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 8) in
+  let total, memo, _ =
+    Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 8) ()
+  in
   let iv = Dpq_util.Interval.make 1 total in
   let retained, _report =
     Phase.down ~tree ~memo ~root_payload:iv
       ~split:(fun ~parts iv -> Dpq_util.Interval.split_sizes iv parts)
       ~size_bits:(fun _ -> 64)
+      ()
   in
   let positions = ref [] in
   Array.iter
@@ -188,13 +194,16 @@ let test_down_decomposes_intervals () =
 
 let test_down_split_arity_enforced () =
   let tree = tree_of ~n:4 ~seed:1 in
-  let _, memo, _ = Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 1) in
+  let _, memo, _ =
+    Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 1) ()
+  in
   checkb "raises on bad arity" true
     (try
        ignore
          (Phase.down ~tree ~memo ~root_payload:0
             ~split:(fun ~parts:_ _ -> [])
-            ~size_bits:(fun _ -> 1));
+            ~size_bits:(fun _ -> 1)
+            ());
        false
      with Failure _ -> true)
 
@@ -203,11 +212,14 @@ let test_broadcast_reaches_all () =
   let tree = tree_of ~n ~seed:17 in
   (* broadcast + down with copying split should mark everyone; use down to
      observe retained values. *)
-  let _, memo, _ = Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 1) in
+  let _, memo, _ =
+    Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 1) ()
+  in
   let retained, report =
     Phase.down ~tree ~memo ~root_payload:"go"
       ~split:(fun ~parts payload -> List.map (fun _ -> payload) parts)
       ~size_bits:(fun s -> 8 * String.length s)
+      ()
   in
   Array.iter
     (function Some "go" -> () | _ -> Alcotest.fail "missed broadcast")
@@ -216,7 +228,7 @@ let test_broadcast_reaches_all () =
 
 let test_broadcast_report () =
   let tree = tree_of ~n:16 ~seed:21 in
-  let report = Phase.broadcast ~tree ~payload:42 ~size_bits:(fun _ -> 32) in
+  let report = Phase.broadcast ~tree ~payload:42 ~size_bits:(fun _ -> 32) () in
   checkb "messages < 3n (virtual edges free)" true (report.Phase.messages < 48);
   checkb "some messages" true (report.Phase.messages > 0)
 
@@ -235,7 +247,9 @@ let test_up_rounds_scale_logarithmically () =
       (List.map
          (fun seed ->
            let tree = tree_of ~n ~seed in
-           let _, _, r = Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 32) in
+           let _, _, r =
+             Phase.up ~tree ~local:(fun _ -> 1) ~combine:( + ) ~size_bits:(fun _ -> 32) ()
+           in
            float_of_int r.Phase.rounds)
          [ 29; 30; 31; 32 ])
   in

@@ -92,6 +92,68 @@ let test_both_backends_agree_on_min () =
       Alcotest.(check (list int)) "the minimum" [ 1 ] got)
     [ H.Skeap { num_prios = 3 }; H.Seap ]
 
+let all_backends =
+  [ H.Skeap { num_prios = 3 }; H.Seap; H.Centralized; H.Unbatched { num_prios = 3 } ]
+
+let test_all_backends_unified () =
+  List.iter
+    (fun backend ->
+      let h = H.create ~seed:5 ~n:4 backend in
+      checkb "backend" true (H.backend h = backend);
+      for i = 0 to 11 do
+        ignore (H.insert h ~node:(i mod 4) ~prio:(1 + (i mod 3)))
+      done;
+      ignore (H.process h);
+      checki "size 12" 12 (H.heap_size h);
+      (* One churn step where the backend supports it; the static baselines
+         must refuse. *)
+      (match backend with
+      | H.Skeap _ | H.Seap ->
+          let c = H.add_node h in
+          checkb "join cost" true (c.H.join_messages > 0);
+          ignore (H.remove_last_node h);
+          checki "back to 4 nodes" 4 (H.n h)
+      | H.Centralized | H.Unbatched _ ->
+          checkb "add_node raises" true
+            (try
+               ignore (H.add_node h);
+               false
+             with Invalid_argument _ -> true));
+      for v = 0 to 3 do
+        H.delete_min h ~node:v
+      done;
+      let rs = H.drain h in
+      checkb "drained" true (rs <> []);
+      checki "pending" 0 (H.pending_ops h);
+      checki "size 8" 8 (H.heap_size h);
+      checki "stored total" 8 (Array.fold_left ( + ) 0 (H.stored_per_node h));
+      checkb (Printf.sprintf "%s verifies" (H.backend_name backend)) true (H.verify h = Ok ()))
+    all_backends
+
+let test_backend_names () =
+  Alcotest.(check (list string))
+    "names"
+    [ "skeap"; "seap"; "centralized"; "unbatched" ]
+    (List.map H.backend_name all_backends)
+
+let test_baselines_reject_async_dht () =
+  List.iter
+    (fun backend ->
+      let h = H.create ~n:4 backend in
+      ignore (H.insert h ~node:0 ~prio:1);
+      checkb "async rejected" true
+        (try
+           ignore
+             (H.process
+                ~dht_mode:(H.Dht_async { seed = 1; policy = Dpq_simrt.Async_engine.Uniform (1.0, 4.0) })
+                h);
+           false
+         with Invalid_argument _ -> true);
+      (* Plain sync mode is the default everywhere and must keep working. *)
+      ignore (H.process ~dht_mode:H.Dht_sync h);
+      checkb "verify" true (H.verify h = Ok ()))
+    [ H.Centralized; H.Unbatched { num_prios = 3 } ]
+
 let prop_facade_verifies_random_runs =
   let gen =
     QCheck.Gen.(
@@ -125,6 +187,9 @@ let () =
           Alcotest.test_case "metrics populated" `Quick test_result_metrics_populated;
           Alcotest.test_case "stored per node" `Quick test_stored_per_node;
           Alcotest.test_case "backends agree" `Quick test_both_backends_agree_on_min;
+          Alcotest.test_case "all four backends, one API" `Quick test_all_backends_unified;
+          Alcotest.test_case "backend names" `Quick test_backend_names;
+          Alcotest.test_case "baselines reject async dht" `Quick test_baselines_reject_async_dht;
           QCheck_alcotest.to_alcotest prop_facade_verifies_random_runs;
         ] );
     ]

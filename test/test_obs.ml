@@ -1,0 +1,214 @@
+module Trace = Dpq_obs.Trace
+module H = Dpq.Dpq_heap
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* Sum the facade's per-iteration results the way Phase.add_report does, so
+   the trace's independently recomputed tallies can be checked against the
+   protocol's own accounting. *)
+type tally = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_congestion : int;
+  max_message_bits : int;
+}
+
+let tally_of results =
+  List.fold_left
+    (fun acc (r : H.result) ->
+      {
+        rounds = acc.rounds + r.H.rounds;
+        messages = acc.messages + r.H.messages;
+        total_bits = acc.total_bits + r.H.total_bits;
+        max_congestion = max acc.max_congestion r.H.max_congestion;
+        max_message_bits = max acc.max_message_bits r.H.max_message_bits;
+      })
+    { rounds = 0; messages = 0; total_bits = 0; max_congestion = 0; max_message_bits = 0 }
+    results
+
+let check_trace_matches trace results =
+  let t = tally_of results in
+  checki "rounds" t.rounds (Trace.rounds trace);
+  checki "messages" t.messages (Trace.messages trace);
+  checki "total bits" t.total_bits (Trace.total_bits trace);
+  checki "max congestion" t.max_congestion (Trace.max_congestion trace);
+  checki "max message bits" t.max_message_bits (Trace.max_message_bits trace)
+
+let run_some_ops h =
+  let n = H.n h in
+  let results = ref [] in
+  for i = 0 to (4 * n) - 1 do
+    ignore (H.insert h ~node:(i mod n) ~prio:(1 + (i mod 3)))
+  done;
+  results := H.process h :: !results;
+  for v = 0 to n - 1 do
+    H.delete_min h ~node:v
+  done;
+  results := !results @ [ H.process h ];
+  !results
+
+let test_skeap_trace_matches_report () =
+  let trace = Trace.create () in
+  let h = H.create ~seed:3 ~trace ~n:8 (H.Skeap { num_prios = 3 }) in
+  let results = run_some_ops h in
+  check_trace_matches trace results;
+  checkb "verify still passes" true (H.verify h = Ok ())
+
+let test_seap_trace_matches_report () =
+  let trace = Trace.create () in
+  let h = H.create ~seed:3 ~trace ~n:8 H.Seap in
+  let results = run_some_ops h in
+  check_trace_matches trace results;
+  (* DeleteMins on a populated heap must have exercised KSelect. *)
+  let kselect_events =
+    List.filter (function Trace.Kselect_round _ -> true | _ -> false) (Trace.events trace)
+  in
+  checkb "kselect progress traced" true (kselect_events <> [])
+
+let test_baselines_trace_matches_report () =
+  List.iter
+    (fun backend ->
+      let trace = Trace.create () in
+      let h = H.create ~seed:3 ~trace ~n:8 backend in
+      let results = run_some_ops h in
+      check_trace_matches trace results)
+    [ H.Centralized; H.Unbatched { num_prios = 3 } ]
+
+let test_churn_traced () =
+  let trace = Trace.create () in
+  let h = H.create ~seed:3 ~trace ~n:4 H.Seap in
+  for i = 0 to 15 do
+    ignore (H.insert h ~node:(i mod 4) ~prio:(i + 1))
+  done;
+  ignore (H.process h);
+  let c1 = H.add_node h in
+  let c2 = H.remove_last_node h in
+  let churns =
+    List.filter_map
+      (function
+        | Trace.Churn { kind; n; join_messages; moved_elements } ->
+            Some (kind, n, join_messages, moved_elements)
+        | _ -> None)
+      (Trace.events trace)
+  in
+  checki "two churn events" 2 (List.length churns);
+  match churns with
+  | [ (jk, jn, jmsgs, _); (lk, ln, _, lmoved) ] ->
+      Alcotest.(check string) "join" "join" jk;
+      Alcotest.(check string) "leave" "leave" lk;
+      checki "join n" 5 jn;
+      checki "leave n" 4 ln;
+      checki "join cost" c1.H.join_messages jmsgs;
+      checki "leave moved" c2.H.moved_elements lmoved
+  | _ -> Alcotest.fail "unreachable"
+
+let test_spans_balanced () =
+  let trace = Trace.create () in
+  let h = H.create ~seed:1 ~trace ~n:6 (H.Skeap { num_prios = 3 }) in
+  ignore (run_some_ops h);
+  let starts, ends =
+    List.fold_left
+      (fun (s, e) ev ->
+        match ev with
+        | Trace.Phase_start _ -> (s + 1, e)
+        | Trace.Phase_end _ -> (s, e + 1)
+        | _ -> (s, e))
+      (0, 0) (Trace.events trace)
+  in
+  checkb "some spans" true (starts > 0);
+  checki "every span closed" starts ends
+
+let test_derived_consistency () =
+  let trace = Trace.create () in
+  let h = H.create ~seed:2 ~trace ~n:8 H.Seap in
+  ignore (run_some_ops h);
+  checki "node_load sums to messages" (Trace.messages trace)
+    (Array.fold_left ( + ) 0 (Trace.node_load trace));
+  checki "bits_per_round sums to total_bits" (Trace.total_bits trace)
+    (Array.fold_left ( + ) 0 (Trace.bits_per_round trace));
+  let hist = Trace.congestion_histogram trace in
+  checkb "histogram nonempty" true (hist <> []);
+  checki "histogram max = max_congestion" (Trace.max_congestion trace)
+    (List.fold_left (fun acc (c, _) -> max acc c) 0 hist);
+  checki "histogram weighs every delivery" (Trace.messages trace)
+    (List.fold_left (fun acc (c, cells) -> acc + (c * cells)) 0 hist)
+
+let test_jsonl_roundtrip () =
+  let trace = Trace.create () in
+  let h = H.create ~seed:4 ~trace ~n:6 (H.Skeap { num_prios = 3 }) in
+  ignore (run_some_ops h);
+  ignore (H.add_node h);
+  let file = Filename.temp_file "dpq_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trace.to_file trace file;
+      match Trace.of_file file with
+      | Error e -> Alcotest.fail e
+      | Ok trace' ->
+          checki "event count" (Trace.num_events trace) (Trace.num_events trace');
+          checkb "events identical" true (Trace.events trace = Trace.events trace');
+          checki "derived rounds survive" (Trace.rounds trace) (Trace.rounds trace');
+          checki "derived congestion survives" (Trace.max_congestion trace)
+            (Trace.max_congestion trace'))
+
+let test_event_json_errors () =
+  checkb "garbage rejected" true (Result.is_error (Trace.event_of_json "not json"));
+  checkb "unknown ev rejected" true (Result.is_error (Trace.event_of_json {|{"ev":"nope"}|}));
+  checkb "missing field rejected" true
+    (Result.is_error (Trace.event_of_json {|{"ev":"msg","span":1}|}));
+  let ev = Trace.Msg_delivered { span = 3; round = 1; src = 0; dst = 5; bits = 42 } in
+  Alcotest.(check bool) "roundtrip one event" true (Trace.event_of_json (Trace.event_to_json ev) = Ok ev)
+
+let test_disabled_tracer_allocates_nothing () =
+  let trace = None in
+  (* Warm up so any one-time allocation is out of the way. *)
+  Trace.msg_delivered trace ~round:0 ~src:0 ~dst:1 ~bits:8;
+  let before = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    let span = Trace.phase_start trace "up" in
+    Trace.msg_delivered trace ~round:i ~src:0 ~dst:1 ~bits:8;
+    Trace.dht_put trace ~origin:0 ~key:i ~manager:1;
+    Trace.kselect_round trace ~stage:"phase1" ~iteration:i ~candidates:i;
+    Trace.phase_end trace ~span ~name:"up" ~rounds:0 ~messages:0 ~max_congestion:0
+      ~max_message_bits:0 ~total_bits:0
+  done;
+  let delta = Gc.minor_words () -. before in
+  checkb (Printf.sprintf "allocated %.0f minor words" delta) true (delta < 256.0)
+
+let test_clear () =
+  let trace = Trace.create () in
+  let h = H.create ~trace ~n:4 (H.Skeap { num_prios = 2 }) in
+  ignore (H.insert h ~node:0 ~prio:1);
+  ignore (H.process h);
+  checkb "has events" true (Trace.num_events trace > 0);
+  Trace.clear trace;
+  checki "cleared" 0 (Trace.num_events trace);
+  checki "no rounds" 0 (Trace.rounds trace)
+
+let () =
+  Alcotest.run "dpq_obs"
+    [
+      ( "trace-vs-report",
+        [
+          Alcotest.test_case "skeap" `Quick test_skeap_trace_matches_report;
+          Alcotest.test_case "seap" `Quick test_seap_trace_matches_report;
+          Alcotest.test_case "baselines" `Quick test_baselines_trace_matches_report;
+          Alcotest.test_case "spans balanced" `Quick test_spans_balanced;
+          Alcotest.test_case "churn traced" `Quick test_churn_traced;
+        ] );
+      ( "derived",
+        [
+          Alcotest.test_case "internal consistency" `Quick test_derived_consistency;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "error handling" `Quick test_event_json_errors;
+        ] );
+      ( "zero-cost",
+        [ Alcotest.test_case "disabled tracer" `Quick test_disabled_tracer_allocates_nothing ] );
+    ]
