@@ -5,7 +5,13 @@
    Run with:  dune exec bench/main.exe
    With:      dune exec bench/main.exe -- --trace FILE
    the timing loop is skipped and one four-backend comparison run is
-   recorded as JSONL trace events into FILE instead. *)
+   recorded as JSONL trace events into FILE instead.
+
+   Every run also writes machine-readable snapshots BENCH_skeap.json and
+   BENCH_seap.json (ops, rounds, messages, total_bits, wall seconds) for
+   regression tracking; `--json-only` writes just those and exits, and
+   `--faults SPEC` (e.g. "drop=0.1,dup=0.05") runs the snapshot workload
+   over the faulty network with reliable delivery. *)
 
 open Bechamel
 open Toolkit
@@ -292,12 +298,58 @@ let record_trace file =
   Printf.printf "recorded %d trace events -> %s\n" (Dpq_obs.Trace.num_events trace) file;
   Format.printf "%a@." Dpq_obs.Trace.pp_summary trace
 
+(* One representative end-to-end run per protocol, summarised as a small
+   JSON object so external tooling can diff benchmark results run-to-run
+   without parsing bechamel's table. *)
+let write_bench_json ?faults_spec () =
+  let write backend file =
+    let wl =
+      W.generate ~rng:(Rng.create ~seed:3) ~n:32 ~rounds:4 ~lambda:4 ~prio:(W.Constant_set 4) ()
+    in
+    let faults =
+      Option.map (fun spec -> Dpq_simrt.Fault_plan.of_string ~seed:271828 spec) faults_spec
+    in
+    let t0 = Unix.gettimeofday () in
+    let s = R.run ~seed:1 ?faults ~n:32 backend wl in
+    let wall = Unix.gettimeofday () -. t0 in
+    let oc = open_out file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"backend\": %S,\n\
+      \  \"n\": %d,\n\
+      \  \"ops\": %d,\n\
+      \  \"rounds\": %d,\n\
+      \  \"messages\": %d,\n\
+      \  \"total_bits\": %d,\n\
+      \  \"wall_seconds\": %.6f,\n\
+      \  \"semantics_ok\": %b\n\
+       }\n"
+      (R.protocol_name s) s.R.n s.R.ops s.R.rounds s.R.messages s.R.total_bits wall
+      s.R.semantics_ok;
+    close_out oc;
+    Printf.printf "wrote %s (ops=%d rounds=%d messages=%d bits=%d wall=%.3fs ok=%b)\n" file
+      s.R.ops s.R.rounds s.R.messages s.R.total_bits wall s.R.semantics_ok
+  in
+  write (Dpq_types.Types.Skeap { num_prios = 4 }) "BENCH_skeap.json";
+  write Dpq_types.Types.Seap "BENCH_seap.json"
+
 let () =
-  (match Array.to_list Sys.argv with
+  let argv = Array.to_list Sys.argv in
+  (match argv with
   | _ :: "--trace" :: file :: _ ->
       record_trace file;
       exit 0
   | _ -> ());
+  let rec opt_value flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> opt_value flag rest
+    | [] -> None
+  in
+  let faults_spec = opt_value "--faults" argv in
+  (* Validate the spec before spending any benchmark time on it. *)
+  Option.iter (fun s -> ignore (Dpq_simrt.Fault_plan.of_string ~seed:0 s)) faults_spec;
+  write_bench_json ?faults_spec ();
+  if List.mem "--json-only" argv then exit 0;
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in

@@ -10,14 +10,56 @@
    Distributions: const (uniform over {1..prios}) | uniform (1..10^6) |
    zipf (s = 1.2 over 1..1000).
    With --trace FILE the whole run is recorded as JSONL events (one per
-   protocol phase / message delivery) replayable by Dpq_obs.Trace. *)
+   protocol phase / message delivery) replayable by Dpq_obs.Trace.
+
+   Faults: --drop/--dup/--crash (or a full --faults SPEC) run the whole
+   simulation over a lossy network with ack/retransmit reliable delivery;
+   semantics still verify, costs grow. *)
 
 module W = Dpq_workloads.Workload
 module R = Dpq_workloads.Runner
 module Rng = Dpq_util.Rng
 module Trace = Dpq_obs.Trace
 
-let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file =
+let make_faults ~seed ~faults_spec ~drop ~dup ~crash =
+  match faults_spec with
+  | Some spec -> (
+      try Some (Dpq_simrt.Fault_plan.of_string ~seed spec)
+      with Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit 1)
+  | None ->
+      if drop = 0.0 && dup = 0.0 && crash = [] then None
+      else
+        let crashes =
+          List.map
+            (fun c ->
+              match String.split_on_char '@' c with
+              | [ node; window ] -> (
+                  match String.split_on_char '-' window with
+                  | [ f; u ] -> (
+                      try
+                        Dpq_simrt.Fault_plan.
+                          {
+                            node = int_of_string node;
+                            from_tick = int_of_string f;
+                            until_tick = int_of_string u;
+                          }
+                      with _ ->
+                        Printf.eprintf "bad --crash %S (want NODE@FROM-UNTIL)\n" c;
+                        exit 1)
+                  | _ ->
+                      Printf.eprintf "bad --crash %S (want NODE@FROM-UNTIL)\n" c;
+                      exit 1)
+              | _ ->
+                  Printf.eprintf "bad --crash %S (want NODE@FROM-UNTIL)\n" c;
+                  exit 1)
+            crash
+        in
+        Some (Dpq_simrt.Fault_plan.create ~drop ~duplicate:dup ~crashes ~seed ())
+
+let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file faults_spec drop dup
+    crash =
   let prio_dist =
     match dist with
     | "const" -> W.Constant_set prios
@@ -48,7 +90,8 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file =
         exit 1
   in
   let trace = Option.map (fun _ -> Trace.create ()) trace_file in
-  let summary = R.run ~seed ?trace ~n:nodes backend wl in
+  let faults = make_faults ~seed:(seed + 271828) ~faults_spec ~drop ~dup ~crash in
+  let summary = R.run ~seed ?trace ?faults ~n:nodes backend wl in
   Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)\n"
     nodes rounds lambda (W.total_ops wl) (W.inserts wl) (W.deletes wl) dist;
   Printf.printf "protocol : %s\n\n" (R.protocol_name summary);
@@ -64,6 +107,16 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file =
   Printf.printf "  outcomes                %d inserted, %d matched deletes, %d ⊥\n"
     summary.R.inserted summary.R.got summary.R.empty;
   Printf.printf "  semantics verified      %b\n" summary.R.semantics_ok;
+  (match faults with
+  | None -> ()
+  | Some plan ->
+      let st = Dpq_simrt.Fault_plan.stats plan in
+      Printf.printf "  faults injected         %d drops, %d dups, %d crash drops\n"
+        st.Dpq_simrt.Fault_plan.drops st.Dpq_simrt.Fault_plan.duplicates
+        st.Dpq_simrt.Fault_plan.crash_drops;
+      Printf.printf "  reliable layer          %d retransmits, %d acks, %d dups suppressed\n"
+        st.Dpq_simrt.Fault_plan.retransmits st.Dpq_simrt.Fault_plan.acks_sent
+        st.Dpq_simrt.Fault_plan.dups_suppressed);
   (match (trace, trace_file) with
   | Some tr, Some file ->
       Trace.to_file tr file;
@@ -94,11 +147,33 @@ let trace_file =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"Record the run as JSONL trace events into $(docv).")
 
+let faults_spec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault plan, e.g. $(b,drop=0.2,dup=0.05,spike=0.1x8,crash=3\\@100-200). Overrides \
+           $(b,--drop)/$(b,--dup)/$(b,--crash).")
+
+let drop =
+  Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Probability a transmission is dropped.")
+
+let dup =
+  Arg.(value & opt float 0.0 & info [ "dup" ] ~doc:"Probability a transmission is duplicated.")
+
+let crash =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "crash" ] ~docv:"NODE@FROM-UNTIL"
+        ~doc:"Crash window: the node receives nothing during ticks [FROM,UNTIL). Repeatable.")
+
 let cmd =
   let doc = "Simulate a distributed priority queue under a configurable workload" in
   Cmd.v (Cmd.info "dpq_sim" ~doc)
     Term.(
       const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
-      $ trace_file)
+      $ trace_file $ faults_spec $ drop $ dup $ crash)
 
 let () = exit (Cmd.eval cmd)

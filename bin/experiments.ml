@@ -25,6 +25,13 @@ module Trace = Dpq_obs.Trace
    this sink; the driver writes the JSONL file at the end of the run. *)
 let trace_sink : Trace.t option ref = ref None
 
+(* Set by --faults SPEC: Runner-driven experiments (t6) execute over this
+   faulty network with reliable ack/retransmit delivery. *)
+let fault_spec : string option ref = ref None
+
+let make_faults ~seed =
+  Option.map (fun spec -> Dpq_simrt.Fault_plan.of_string ~seed spec) !fault_spec
+
 let log2 n = log (float_of_int n) /. log 2.0
 let fi = float_of_int
 
@@ -222,7 +229,10 @@ let t6 ~seed ~full =
       in
       let rows =
         List.map
-          (fun backend -> R.run ~seed ?trace:!trace_sink ~n backend (mk_wl (seed * 3)))
+          (fun backend ->
+            R.run ~seed ?trace:!trace_sink
+              ?faults:(make_faults ~seed:(seed + n))
+              ~n backend (mk_wl (seed * 3)))
           [
             Dpq_types.Types.Skeap { num_prios = 4 };
             Dpq_types.Types.Seap;
@@ -708,8 +718,17 @@ let all_experiments =
     ("fig2", fig2);
   ]
 
-let run only seed full trace_file =
+let run only seed full trace_file faults =
   Option.iter (fun _ -> trace_sink := Some (Trace.create ())) trace_file;
+  fault_spec := faults;
+  (match faults with
+  | Some spec -> (
+      (* validate the spec up front so a typo fails before hours of sweeps *)
+      try ignore (Dpq_simrt.Fault_plan.of_string ~seed spec)
+      with Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit 1)
+  | None -> ());
   let wanted =
     match only with
     | None -> all_experiments
@@ -754,8 +773,17 @@ let trace_file =
   let doc = "Record the Runner-driven experiments (t6) as JSONL trace events into $(docv)." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let faults =
+  let doc =
+    "Run the Runner-driven experiments (t6) over a faulty network, e.g. \
+     $(b,drop=0.1,dup=0.05,crash=3\\@100-200); messages ride the reliable \
+     ack/retransmit layer."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
 let cmd =
   let doc = "Regenerate the tables and figures of the Skeap & Seap reproduction" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only $ seed $ full $ trace_file)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const run $ only $ seed $ full $ trace_file $ faults)
 
 let () = exit (Cmd.eval cmd)

@@ -43,6 +43,7 @@ val memo_parts : 'a memo -> Dpq_overlay.Ldb.vnode -> 'a list
 
 val up :
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
   tree:Aggtree.t ->
   local:(Dpq_overlay.Ldb.vnode -> 'a) ->
   combine:('a -> 'a -> 'a) ->
@@ -52,10 +53,13 @@ val up :
 (** Run one aggregation phase; returns the combined value at the anchor.
     With [trace], the phase opens an ["up"] span, traces every delivery,
     and closes the span with exactly the returned report's numbers (same
-    for {!down} / {!broadcast} with spans ["down"] / ["broadcast"]). *)
+    for {!down} / {!broadcast} with spans ["down"] / ["broadcast"]).  With
+    [faults], the phase's engine runs over the faulty network with reliable
+    delivery (same for {!down} / {!broadcast}). *)
 
 val down :
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
   tree:Aggtree.t ->
   memo:'a memo ->
   root_payload:'b ->
@@ -72,6 +76,7 @@ val down :
 
 val broadcast :
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
   tree:Aggtree.t ->
   payload:'b ->
   size_bits:('b -> int) ->

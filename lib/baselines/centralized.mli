@@ -13,7 +13,8 @@ module Element = Dpq_util.Element
 
 type t
 
-val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> unit -> t
+val create :
+  ?seed:int -> ?trace:Dpq_obs.Trace.t -> ?faults:Dpq_simrt.Fault_plan.t -> n:int -> unit -> t
 (** With [trace], each {!process} opens a ["centralized"] span, traces every
     delivery, and closes the span with the returned report. *)
 

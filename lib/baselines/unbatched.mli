@@ -12,7 +12,14 @@ module Element = Dpq_util.Element
 
 type t
 
-val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> num_prios:int -> unit -> t
+val create :
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  n:int ->
+  num_prios:int ->
+  unit ->
+  t
 (** With [trace], each {!process} opens an ["unbatched"] span for the
     climb/assign traffic (closed before the DHT batch's own ["dht"] span)
     and traces every delivery. *)

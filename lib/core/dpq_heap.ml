@@ -25,21 +25,27 @@ type impl =
   | I_centralized of Centralized_impl.t
   | I_unbatched of Unbatched_impl.t
 
-type t = { backend : backend; trace : Dpq_obs.Trace.t option; impl : impl }
+type t = {
+  backend : backend;
+  trace : Dpq_obs.Trace.t option;
+  faults : Dpq_simrt.Fault_plan.t option;
+  impl : impl;
+}
 
-let create ?(seed = 1) ?trace ~n backend =
+let create ?(seed = 1) ?trace ?faults ~n backend =
   let impl =
     match backend with
-    | Skeap { num_prios } -> I_skeap (Skeap_impl.create ~seed ?trace ~n ~num_prios ())
-    | Seap -> I_seap (Seap_impl.create ~seed ?trace ~n ())
-    | Centralized -> I_centralized (Centralized_impl.create ~seed ?trace ~n ())
+    | Skeap { num_prios } -> I_skeap (Skeap_impl.create ~seed ?trace ?faults ~n ~num_prios ())
+    | Seap -> I_seap (Seap_impl.create ~seed ?trace ?faults ~n ())
+    | Centralized -> I_centralized (Centralized_impl.create ~seed ?trace ?faults ~n ())
     | Unbatched { num_prios } ->
-        I_unbatched (Unbatched_impl.create ~seed ?trace ~n ~num_prios ())
+        I_unbatched (Unbatched_impl.create ~seed ?trace ?faults ~n ~num_prios ())
   in
-  { backend; trace; impl }
+  { backend; trace; faults; impl }
 
 let backend t = t.backend
 let trace t = t.trace
+let faults t = t.faults
 
 let n t =
   match t.impl with

@@ -41,16 +41,23 @@ type completion =
   | Got of { origin : int; key : int; elt : Element.t }
 
 val run_batch_sync :
-  ?trace:Dpq_obs.Trace.t -> t -> op list -> completion list * Dpq_aggtree.Phase.report
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  t ->
+  op list ->
+  completion list * Dpq_aggtree.Phase.report
 (** Execute all operations concurrently on a synchronous engine, to
     quiescence.  Gets without a matching Put stay parked (see
     {!pending_gets}) and produce no completion.  With [trace], the batch
     opens a ["dht"] span, emits one [Dht_put]/[Dht_get] event per launched
     operation (tagged with the manager node it rendezvouses at), traces
-    every delivery, and closes the span with the returned report. *)
+    every delivery, and closes the span with the returned report.  With
+    [faults], the batch's engine runs over the faulty network with
+    reliable delivery. *)
 
 val run_batch_async :
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
   t ->
   seed:int ->
   ?policy:Dpq_simrt.Async_engine.delay_policy ->

@@ -58,6 +58,7 @@ val select :
   ?rep_factor:float ->
   ?delta_factor:float ->
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
   tree:Dpq_aggtree.Aggtree.t ->
   elements:Element.t list array ->
   k:int ->

@@ -19,6 +19,9 @@ type event =
   | Dht_get of { span : span; origin : int; key : int; manager : int }
   | Kselect_round of { stage : string; iteration : int; candidates : int }
   | Churn of { kind : string; n : int; join_messages : int; moved_elements : int }
+  | Fault_injected of { span : span; kind : string; src : int; dst : int }
+  | Retransmit of { span : span; src : int; dst : int; attempt : int }
+  | Node_crashed of { node : int; kind : string; at : int }
 
 type t = {
   mutable rev_events : event list;
@@ -95,6 +98,21 @@ let churn topt ~kind ~n ~join_messages ~moved_elements =
   | None -> ()
   | Some t -> push t (Churn { kind; n; join_messages; moved_elements })
 
+let fault_injected topt ~kind ~src ~dst =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Fault_injected { span = current_span t; kind; src; dst })
+
+let retransmit topt ~src ~dst ~attempt =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Retransmit { span = current_span t; src; dst; attempt })
+
+let node_crashed topt ~node ~kind ~at =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Node_crashed { node; kind; at })
+
 (* ------------------------------------------------------ derived metrics *)
 
 let rounds t =
@@ -116,6 +134,54 @@ let max_message_bits t =
   List.fold_left
     (fun acc ev -> match ev with Msg_delivered m -> max acc m.bits | _ -> acc)
     0 (events t)
+
+let retransmits t =
+  List.fold_left
+    (fun acc ev -> match ev with Retransmit _ -> acc + 1 | _ -> acc)
+    0 (events t)
+
+let faults_injected t =
+  List.fold_left
+    (fun acc ev -> match ev with Fault_injected _ -> acc + 1 | _ -> acc)
+    0 (events t)
+
+let fault_counts t =
+  let by_kind = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Fault_injected f ->
+          Hashtbl.replace by_kind f.kind
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind f.kind))
+      | _ -> ())
+    (events t);
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) by_kind []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let retransmit_amplification t =
+  let fresh = messages t in
+  if fresh = 0 then 1.0
+  else float_of_int (fresh + retransmits t) /. float_of_int fresh
+
+let crash_windows t =
+  (* Pair each "down" with the next "up" of the same node, in order. *)
+  let downs : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let windows = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Node_crashed { node; kind = "down"; at } -> Hashtbl.replace downs node at
+      | Node_crashed { node; kind = "up"; at } -> (
+          match Hashtbl.find_opt downs node with
+          | Some from ->
+              Hashtbl.remove downs node;
+              windows := (node, from, at) :: !windows
+          | None -> ())
+      | _ -> ())
+    (events t);
+  List.rev !windows
+
+let recovery_latencies t = List.map (fun (_, a, b) -> b - a) (crash_windows t)
 
 (* Deliveries per (span, round, dst) cell — the unit congestion is measured
    over.  Spans run on fresh engines, so cells of different spans are
@@ -188,7 +254,21 @@ let pp_summary fmt t =
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
        (fun fmt (c, cells) -> Format.fprintf fmt "%d->%d" c cells))
-    (congestion_histogram t)
+    (congestion_histogram t);
+  let faults = faults_injected t and rtx = retransmits t in
+  if faults > 0 || rtx > 0 then
+    Format.fprintf fmt
+      "@,faults=%d (%a) retransmits=%d amplification=%.2fx recovery_latency=%a"
+      faults
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+         (fun fmt (k, c) -> Format.fprintf fmt "%s:%d" k c))
+      (fault_counts t) rtx
+      (retransmit_amplification t)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+         Format.pp_print_int)
+      (recovery_latencies t)
 
 (* ------------------------------------------------------------ JSONL I/O *)
 
@@ -264,7 +344,24 @@ let event_to_json ev =
       buf_kv_str b "kind" kind;
       buf_kv_int b "n" n;
       buf_kv_int b "join_messages" join_messages;
-      buf_kv_int b "moved_elements" moved_elements);
+      buf_kv_int b "moved_elements" moved_elements
+  | Fault_injected { span; kind; src; dst } ->
+      tag "fault";
+      buf_kv_int b "span" span;
+      buf_kv_str b "kind" kind;
+      buf_kv_int b "src" src;
+      buf_kv_int b "dst" dst
+  | Retransmit { span; src; dst; attempt } ->
+      tag "retransmit";
+      buf_kv_int b "span" span;
+      buf_kv_int b "src" src;
+      buf_kv_int b "dst" dst;
+      buf_kv_int b "attempt" attempt
+  | Node_crashed { node; kind; at } ->
+      tag "node_crash";
+      buf_kv_int b "node" node;
+      buf_kv_str b "kind" kind;
+      buf_kv_int b "at" at);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -389,6 +486,11 @@ let event_of_json line =
               join_messages = fint "join_messages";
               moved_elements = fint "moved_elements";
             }
+      | "fault" ->
+          Fault_injected { span = fint "span"; kind = fstr "kind"; src = fint "src"; dst = fint "dst" }
+      | "retransmit" ->
+          Retransmit { span = fint "span"; src = fint "src"; dst = fint "dst"; attempt = fint "attempt" }
+      | "node_crash" -> Node_crashed { node = fint "node"; kind = fstr "kind"; at = fint "at" }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev

@@ -57,6 +57,15 @@ type event =
   | Churn of { kind : string; n : int; join_messages : int; moved_elements : int }
       (** Membership change ["join"] / ["leave"]; [n] is the node count
           after the change. *)
+  | Fault_injected of { span : span; kind : string; src : int; dst : int }
+      (** The fault layer disturbed one transmission: ["drop"], ["dup"],
+          ["delay"] (spike), or ["crash_drop"] (receiver was down). *)
+  | Retransmit of { span : span; src : int; dst : int; attempt : int }
+      (** The reliable-delivery layer re-sent an unacknowledged message;
+          [attempt] counts retries (1 = first retransmission). *)
+  | Node_crashed of { node : int; kind : string; at : int }
+      (** A crash-window transition: ["down"] / ["up"] at fault-plan tick
+          [at]. *)
 
 type t
 
@@ -94,6 +103,9 @@ val dht_put : t option -> origin:int -> key:int -> manager:int -> unit
 val dht_get : t option -> origin:int -> key:int -> manager:int -> unit
 val kselect_round : t option -> stage:string -> iteration:int -> candidates:int -> unit
 val churn : t option -> kind:string -> n:int -> join_messages:int -> moved_elements:int -> unit
+val fault_injected : t option -> kind:string -> src:int -> dst:int -> unit
+val retransmit : t option -> src:int -> dst:int -> attempt:int -> unit
+val node_crashed : t option -> node:int -> kind:string -> at:int -> unit
 
 (** {2 Derived metrics}
 
@@ -124,6 +136,26 @@ val bits_per_round : t -> int array
 val congestion_histogram : t -> (int * int) list
 (** [(c, cells)] pairs, ascending in [c]: how many (span, round, node)
     cells received exactly [c] messages, over cells with at least one. *)
+
+val retransmits : t -> int
+(** Number of [Retransmit] events. *)
+
+val faults_injected : t -> int
+(** Number of [Fault_injected] events (all kinds). *)
+
+val fault_counts : t -> (string * int) list
+(** Injected faults grouped by kind, sorted by kind name. *)
+
+val retransmit_amplification : t -> float
+(** (fresh deliveries + retransmissions) / fresh deliveries — 1.0 on a
+    fault-free run.  The reliable layer's traffic overhead factor. *)
+
+val crash_windows : t -> (int * int * int) list
+(** [(node, down_at, up_at)] per completed crash window, in trace order
+    (fault-plan ticks). *)
+
+val recovery_latencies : t -> int list
+(** Window lengths of {!crash_windows}, in fault-plan ticks. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Compact one-paragraph text summary of the whole trace. *)

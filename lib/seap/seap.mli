@@ -43,10 +43,19 @@ type t
 type consistency = Serializable | Sequential
 
 val create :
-  ?seed:int -> ?consistency:consistency -> ?trace:Dpq_obs.Trace.t -> n:int -> unit -> t
+  ?seed:int ->
+  ?consistency:consistency ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  n:int ->
+  unit ->
+  t
 (** Raises [Invalid_argument] if [n < 1].  Priorities are arbitrary
     positive integers.  With [trace], every subsequent {!process_round} /
-    membership change records structured events (see {!Dpq_obs.Trace}). *)
+    membership change records structured events (see {!Dpq_obs.Trace}).
+    With [faults], every engine the protocol spawns runs over the faulty
+    network with reliable ack/retransmit delivery — semantics are
+    unchanged, costs grow. *)
 
 val consistency : t -> consistency
 

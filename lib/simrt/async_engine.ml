@@ -1,4 +1,6 @@
-type 'msg event = { time : float; seq : int; src : int; dst : int; msg : 'msg }
+type 'msg wire = Plain of 'msg | Rel of 'msg Reliable.packet
+
+type 'msg event = { time : float; seq : int; src : int; dst : int; wire : 'msg wire }
 
 type delay_policy =
   | Uniform of float * float
@@ -11,11 +13,15 @@ type 'msg t = {
   handler : 'msg t -> dst:int -> src:int -> 'msg -> unit;
   policy : delay_policy;
   trace : Dpq_obs.Trace.t option;
+  faults : Fault_plan.t option;
+  rel : 'msg Reliable.t option;
   rng : Dpq_util.Rng.t;
   queue : 'msg event Dpq_util.Binheap.t;
   mutable now : float;
   mutable seq : int;
   mutable delivered : int;
+  mutable acks_received : int;
+  mutable last_delivered : (int * int * int) option; (* delivery seq, src, dst *)
   mutable lifo_next : float; (* decreasing pseudo-times for adversarial mode *)
 }
 
@@ -23,30 +29,68 @@ let cmp_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ~size_bits ~handler () =
+let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ~size_bits ~handler () =
   {
     n;
     size_bits;
     handler;
     policy;
     trace;
+    faults;
+    rel = Option.map (fun plan -> Reliable.create ~plan ()) faults;
     rng = Dpq_util.Rng.create ~seed;
     queue = Dpq_util.Binheap.create ~cmp:cmp_event;
     now = 0.0;
     seq = 0;
     delivered = 0;
+    acks_received = 0;
+    last_delivered = None;
     lifo_next = 0.0;
   }
 
 let n t = t.n
 let now t = t.now
 let delivered t = t.delivered
+let faults t = t.faults
+let pending t = Dpq_util.Binheap.length t.queue
+let unacked t = match t.rel with None -> 0 | Some r -> Reliable.unacked r
 
 let sample_delay t =
   match t.policy with
   | Uniform (lo, hi) -> lo +. (Dpq_util.Rng.float t.rng *. (hi -. lo))
   | Exponential mean -> Dpq_util.Rng.exponential t.rng ~mean
-  | Adversarial_lifo -> assert false (* handled in [send] *)
+  | Adversarial_lifo -> assert false (* handled in [event_time] *)
+
+(* Under the adversarial policy delivery "times" are decreasing pseudo-times,
+   so delay spikes are meaningless there and the plan is not consulted. *)
+let event_time t ~src ~dst =
+  match t.policy with
+  | Adversarial_lifo ->
+      t.lifo_next <- t.lifo_next -. 1.0;
+      t.lifo_next
+  | _ ->
+      let mult =
+        match t.faults with
+        | None -> 1.0
+        | Some plan -> Fault_plan.delay_multiplier plan t.trace ~src ~dst
+      in
+      t.now +. (sample_delay t *. mult)
+
+let push_event t ~src ~dst wire =
+  let time = event_time t ~src ~dst in
+  t.seq <- t.seq + 1;
+  Dpq_util.Binheap.push t.queue { time; seq = t.seq; src; dst; wire }
+
+(* One logical transmission through the fault plan: 0, 1, or 2 copies land
+   in the event queue, each with an independently sampled delay. *)
+let transmit t ~src ~dst wire =
+  match t.faults with
+  | None -> push_event t ~src ~dst wire
+  | Some plan ->
+      let copies = Fault_plan.transmit_copies plan t.trace ~src ~dst in
+      for _ = 1 to copies do
+        push_event t ~src ~dst wire
+      done
 
 let check_id t id =
   if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Async_engine: node id %d out of range" id)
@@ -56,39 +100,107 @@ let send t ~src ~dst msg =
   check_id t dst;
   ignore (t.size_bits msg);
   if src = dst then t.handler t ~dst ~src msg
-  else begin
-    let time =
-      match t.policy with
-      | Adversarial_lifo ->
-          t.lifo_next <- t.lifo_next -. 1.0;
-          t.lifo_next
-      | _ -> t.now +. sample_delay t
-    in
-    t.seq <- t.seq + 1;
-    Dpq_util.Binheap.push t.queue { time; seq = t.seq; src; dst; msg }
-  end
+  else
+    match t.rel with
+    | None -> push_event t ~src ~dst (Plain msg)
+    | Some rel ->
+        let pkt = Reliable.register rel ~src ~dst ~now:t.now msg in
+        transmit t ~src ~dst (Rel pkt)
 
-let run_to_quiescence ?(max_events = 10_000_000) t =
+let deliver t ~src ~dst payload =
+  t.delivered <- t.delivered + 1;
+  t.last_delivered <- Some (t.delivered, src, dst);
+  (* No rounds in the asynchronous model: the delivery sequence number
+     stands in as the trace's time axis. *)
+  (match t.trace with
+  | None -> ()
+  | Some _ ->
+      Dpq_obs.Trace.msg_delivered t.trace ~round:t.delivered ~src ~dst
+        ~bits:(t.size_bits payload));
+  t.handler t ~dst ~src payload
+
+let process t ev =
+  (* One fault-plan tick per delivered wire event: the async engine's
+     stand-in for the round clock, so crash windows elapse with traffic. *)
+  Option.iter (fun plan -> Fault_plan.tick plan t.trace) t.faults;
+  let down node = match t.faults with None -> false | Some p -> Fault_plan.is_down p ~node in
+  match ev.wire with
+  | Plain msg -> deliver t ~src:ev.src ~dst:ev.dst msg
+  | Rel (Reliable.Data { sn; payload }) -> (
+      let plan = Option.get t.faults and rel = Option.get t.rel in
+      if down ev.dst then Fault_plan.note_crash_drop plan t.trace ~src:ev.src ~dst:ev.dst
+      else begin
+        (* Ack fresh and duplicate data alike — re-acking covers lost acks.
+           The ack rides the same faulty channel back. *)
+        Fault_plan.note_ack plan;
+        transmit t ~src:ev.dst ~dst:ev.src (Rel (Reliable.Ack { sn }));
+        List.iter
+          (fun p -> deliver t ~src:ev.src ~dst:ev.dst p)
+          (Reliable.receive_data rel ~src:ev.src ~dst:ev.dst ~sn payload)
+      end)
+  | Rel (Reliable.Ack { sn }) ->
+      let plan = Option.get t.faults and rel = Option.get t.rel in
+      if down ev.dst then Fault_plan.note_crash_drop plan t.trace ~src:ev.src ~dst:ev.dst
+      else begin
+        (* The data direction is the reverse of the ack's travel. *)
+        Reliable.receive_ack rel ~src:ev.dst ~dst:ev.src ~sn;
+        t.acks_received <- t.acks_received + 1
+      end
+
+let retransmit_due t =
+  match t.rel with
+  | None -> ()
+  | Some rel ->
+      List.iter
+        (fun (src, dst, pkt) -> transmit t ~src ~dst (Rel pkt))
+        (Reliable.due rel ~now:t.now t.trace)
+
+let describe_last_delivered t =
+  match t.last_delivered with
+  | None -> "none"
+  | Some (i, src, dst) -> Printf.sprintf "event %d: %d->%d" i src dst
+
+let quiescence_diag t reason ~events =
+  Printf.sprintf
+    "Async_engine.run_to_quiescence: %s: events=%d now=%g pending=%d unacked=%d delivered=%d \
+     last_delivered=%s"
+    reason events t.now (pending t) (unacked t) t.delivered (describe_last_delivered t)
+
+let run_to_quiescence ?(max_events = 10_000_000) ?(stall_events = 200_000) t =
   let count = ref 0 in
+  let last_mark = ref (t.delivered + t.acks_received) in
+  let last_progress = ref 0 in
   let continue = ref true in
   while !continue do
-    match Dpq_util.Binheap.pop t.queue with
-    | None -> continue := false
+    (match Dpq_util.Binheap.pop t.queue with
     | Some ev ->
         incr count;
         if !count > max_events then
-          failwith "Async_engine.run_to_quiescence: exceeded max_events (livelock?)";
+          failwith (quiescence_diag t "exceeded max_events (livelock?)" ~events:!count);
         (* Adversarial pseudo-times can be negative and decreasing; virtual
            time only moves forward for well-behaved policies. *)
         if ev.time > t.now then t.now <- ev.time;
-        t.delivered <- t.delivered + 1;
-        (* No rounds in the asynchronous model: the delivery sequence
-           number stands in as the trace's time axis. *)
-        (match t.trace with
-        | None -> ()
-        | Some _ ->
-            Dpq_obs.Trace.msg_delivered t.trace ~round:t.delivered ~src:ev.src ~dst:ev.dst
-              ~bits:(t.size_bits ev.msg));
-        t.handler t ~dst:ev.dst ~src:ev.src ev.msg
+        process t ev;
+        retransmit_due t;
+        let mark = t.delivered + t.acks_received in
+        if mark <> !last_mark then begin
+          last_mark := mark;
+          last_progress := !count
+        end
+        else if !count - !last_progress > stall_events then
+          failwith (quiescence_diag t "no progress watermark advanced (livelock)" ~events:!count)
+    | None -> (
+        (* Queue drained but packets remain unacknowledged: every copy was
+           dropped.  Jump virtual time to the next retransmission deadline;
+           if those retransmissions are dropped too, the deadlines move and
+           we jump again — bounded by the reliable layer's max_attempts. *)
+        match t.rel with
+        | Some rel when Reliable.unacked rel > 0 -> (
+            match Reliable.next_deadline rel with
+            | Some d ->
+                if d > t.now then t.now <- d;
+                retransmit_due t
+            | None -> continue := false)
+        | _ -> continue := false))
   done;
   !count

@@ -7,7 +7,16 @@
 
     Each send is assigned a delivery time [now + delay] where [delay] is
     drawn by a pluggable policy; events are processed in delivery-time order,
-    so messages can freely outrun one another. *)
+    so messages can freely outrun one another.
+
+    With a {!Fault_plan} every non-local message rides the ack/retransmit
+    reliable layer ({!Reliable}): transmissions can be dropped, duplicated
+    or delay-spiked, deliveries to a crashed node are lost, and the sender
+    retransmits on a virtual-time timeout with exponential backoff.  When
+    the event queue drains with packets still unacknowledged (all copies
+    dropped), virtual time jumps to the next retransmission deadline — a
+    dead channel fails after the reliable layer's bounded attempts instead
+    of hanging. *)
 
 type 'msg t
 
@@ -16,20 +25,23 @@ type delay_policy =
   | Exponential of float  (** exponential with the given mean *)
   | Adversarial_lifo
       (** each send is delivered before all currently pending sends — a
-          worst-case reordering stress *)
+          worst-case reordering stress (delay spikes do not apply) *)
 
 val create :
   n:int ->
   seed:int ->
   ?policy:delay_policy ->
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Fault_plan.t ->
   size_bits:('msg -> int) ->
   handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
   unit ->
   'msg t
 (** Default policy is [Uniform (1., 10.)].  With [trace], every non-local
-    delivery emits a {!Dpq_obs.Trace.Msg_delivered} event whose [round] is
-    the delivery sequence number (the asynchronous model has no rounds). *)
+    fresh delivery emits a {!Dpq_obs.Trace.Msg_delivered} event whose
+    [round] is the delivery sequence number (the asynchronous model has no
+    rounds); duplicate deliveries and acks are not traced.  With [faults],
+    messages ride the reliable layer under that plan. *)
 
 val n : 'msg t -> int
 
@@ -37,12 +49,28 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Self-sends are delivered immediately (virtual edges), like in
     {!Sync_engine}. *)
 
-val run_to_quiescence : ?max_events:int -> 'msg t -> int
-(** Deliver events until none remain; returns the number of events
-    delivered. Raises [Failure] beyond [max_events] (default 10_000_000). *)
+val run_to_quiescence : ?max_events:int -> ?stall_events:int -> 'msg t -> int
+(** Deliver events until none remain and nothing is unacked; returns the
+    number of wire events processed (including dropped and duplicate ones
+    under faults).  Raises [Failure] with a diagnostic (event count,
+    virtual now, pending/unacked counts, last delivery) beyond [max_events]
+    (default 10_000_000), or when the progress watermark — fresh deliveries
+    + acks received — does not advance within [stall_events] (default
+    200_000) consecutive events: a livelock detector that fails fast with
+    context instead of spinning to [max_events]. *)
 
 val now : 'msg t -> float
 (** Current virtual time. *)
 
 val delivered : 'msg t -> int
-(** Total events delivered so far. *)
+(** Fresh protocol deliveries so far (excludes acks and suppressed
+    duplicates). *)
+
+val pending : 'msg t -> int
+(** Wire events currently queued. *)
+
+val unacked : 'msg t -> int
+(** Reliable-layer packets sent but not yet acknowledged (0 without
+    faults). *)
+
+val faults : 'msg t -> Fault_plan.t option

@@ -1,0 +1,195 @@
+module Rng = Dpq_util.Rng
+module Trace = Dpq_obs.Trace
+
+type crash_window = { node : int; from_tick : int; until_tick : int }
+
+type stats = {
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable delay_spikes : int;
+  mutable crash_drops : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable dups_suppressed : int;
+}
+
+let empty_stats () =
+  {
+    drops = 0;
+    duplicates = 0;
+    delay_spikes = 0;
+    crash_drops = 0;
+    retransmits = 0;
+    acks_sent = 0;
+    dups_suppressed = 0;
+  }
+
+type t = {
+  drop : float;
+  duplicate : float;
+  delay_spike : float;
+  delay_factor : float;
+  crashes : crash_window list;
+  rng : Rng.t;
+  stats : stats;
+  mutable tick : int;
+  (* nodes currently inside a crash window, for edge-triggered trace events *)
+  down_now : (int, unit) Hashtbl.t;
+}
+
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Fault_plan: %s probability %g outside [0,1]" name p)
+
+let create ?(drop = 0.0) ?(duplicate = 0.0) ?(delay_spike = 0.0) ?(delay_factor = 8.0)
+    ?(crashes = []) ~seed () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "delay_spike" delay_spike;
+  if delay_factor < 1.0 then invalid_arg "Fault_plan: delay_factor must be >= 1";
+  List.iter
+    (fun w ->
+      if w.node < 0 then invalid_arg "Fault_plan: crash window names a negative node";
+      if w.until_tick <= w.from_tick then
+        invalid_arg "Fault_plan: crash window must satisfy from_tick < until_tick")
+    crashes;
+  {
+    drop;
+    duplicate;
+    delay_spike;
+    delay_factor;
+    crashes;
+    rng = Rng.create ~seed;
+    stats = empty_stats ();
+    tick = 0;
+    down_now = Hashtbl.create 4;
+  }
+
+let stats t = t.stats
+let tick_count t = t.tick
+
+let scheduled_down t node =
+  List.exists (fun w -> w.node = node && w.from_tick <= t.tick && t.tick < w.until_tick) t.crashes
+
+let is_down t ~node = scheduled_down t node
+
+let crashed_nodes t =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun w -> if w.from_tick <= t.tick && t.tick < w.until_tick then Some w.node else None)
+       t.crashes)
+
+(* Advance the global fault clock one step and emit edge-triggered
+   Node_crashed events for every window entered or left. *)
+let tick t trace =
+  t.tick <- t.tick + 1;
+  if t.crashes <> [] then begin
+    let now_down = crashed_nodes t in
+    List.iter
+      (fun node ->
+        if not (Hashtbl.mem t.down_now node) then begin
+          Hashtbl.replace t.down_now node ();
+          Trace.node_crashed trace ~node ~kind:"down" ~at:t.tick
+        end)
+      now_down;
+    Hashtbl.iter
+      (fun node () ->
+        if not (List.mem node now_down) then Trace.node_crashed trace ~node ~kind:"up" ~at:t.tick)
+      t.down_now;
+    Hashtbl.iter
+      (fun node () -> if not (List.mem node now_down) then Hashtbl.remove t.down_now node)
+      (Hashtbl.copy t.down_now)
+  end
+
+let transmit_copies t trace ~src ~dst =
+  if t.drop > 0.0 && Rng.bernoulli t.rng ~p:t.drop then begin
+    t.stats.drops <- t.stats.drops + 1;
+    Trace.fault_injected trace ~kind:"drop" ~src ~dst;
+    0
+  end
+  else if t.duplicate > 0.0 && Rng.bernoulli t.rng ~p:t.duplicate then begin
+    t.stats.duplicates <- t.stats.duplicates + 1;
+    Trace.fault_injected trace ~kind:"dup" ~src ~dst;
+    2
+  end
+  else 1
+
+let delay_multiplier t trace ~src ~dst =
+  if t.delay_spike > 0.0 && Rng.bernoulli t.rng ~p:t.delay_spike then begin
+    t.stats.delay_spikes <- t.stats.delay_spikes + 1;
+    Trace.fault_injected trace ~kind:"delay" ~src ~dst;
+    t.delay_factor
+  end
+  else 1.0
+
+let note_crash_drop t trace ~src ~dst =
+  t.stats.crash_drops <- t.stats.crash_drops + 1;
+  Trace.fault_injected trace ~kind:"crash_drop" ~src ~dst
+
+let note_retransmit t = t.stats.retransmits <- t.stats.retransmits + 1
+let note_ack t = t.stats.acks_sent <- t.stats.acks_sent + 1
+let note_dup_suppressed t = t.stats.dups_suppressed <- t.stats.dups_suppressed + 1
+
+let total_injected t =
+  t.stats.drops + t.stats.duplicates + t.stats.delay_spikes + t.stats.crash_drops
+
+(* ----------------------------------------------------------- spec parsing *)
+
+(* "drop=0.2,dup=0.05,spike=0.1x8,crash=3@100-200" — comma-separated
+   key=value items; crash may repeat. *)
+let of_string ~seed spec =
+  let drop = ref 0.0
+  and dup = ref 0.0
+  and spike = ref 0.0
+  and factor = ref 8.0
+  and crashes = ref [] in
+  let fail item reason =
+    invalid_arg (Printf.sprintf "Fault_plan.of_string: bad item %S (%s)" item reason)
+  in
+  let parse_float item s =
+    match float_of_string_opt (String.trim s) with
+    | Some f -> f
+    | None -> fail item "expected a number"
+  in
+  let parse_int item s =
+    match int_of_string_opt (String.trim s) with
+    | Some i -> i
+    | None -> fail item "expected an integer"
+  in
+  String.split_on_char ',' spec
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" then
+           match String.index_opt item '=' with
+           | None -> fail item "expected key=value"
+           | Some i -> (
+               let key = String.sub item 0 i in
+               let v = String.sub item (i + 1) (String.length item - i - 1) in
+               match key with
+               | "drop" -> drop := parse_float item v
+               | "dup" -> dup := parse_float item v
+               | "spike" -> (
+                   match String.index_opt v 'x' with
+                   | Some j ->
+                       spike := parse_float item (String.sub v 0 j);
+                       factor := parse_float item (String.sub v (j + 1) (String.length v - j - 1))
+                   | None -> spike := parse_float item v)
+               | "crash" -> (
+                   match (String.index_opt v '@', String.index_opt v '-') with
+                   | Some a, Some d when d > a ->
+                       let node = parse_int item (String.sub v 0 a) in
+                       let from_tick = parse_int item (String.sub v (a + 1) (d - a - 1)) in
+                       let until_tick =
+                         parse_int item (String.sub v (d + 1) (String.length v - d - 1))
+                       in
+                       crashes := { node; from_tick; until_tick } :: !crashes
+                   | _ -> fail item "expected crash=NODE@FROM-UNTIL")
+               | _ -> fail item "unknown key (drop|dup|spike|crash)"))
+  |> ignore;
+  create ~drop:!drop ~duplicate:!dup ~delay_spike:!spike ~delay_factor:!factor
+    ~crashes:(List.rev !crashes) ~seed ()
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "{drops=%d dups=%d spikes=%d crash_drops=%d retransmits=%d acks=%d suppressed=%d}" s.drops
+    s.duplicates s.delay_spikes s.crash_drops s.retransmits s.acks_sent s.dups_suppressed

@@ -1,0 +1,94 @@
+(** Seeded, deterministic fault injection for the simulation engines.
+
+    A fault plan is consulted by both engines on every non-local
+    transmission and delivery.  It can
+
+    - {b drop} a transmission (probabilistic, per copy put on the wire),
+    - {b duplicate} a transmission (the copy is re-enqueued once),
+    - {b spike} a delivery delay (asynchronous engine only: the sampled
+      delay is multiplied by [delay_factor]),
+    - keep whole nodes {b down} during scheduled crash windows: every
+      delivery to a down node is lost ("stall-and-recover" — the node's
+      state survives, it just stops receiving until the window closes).
+
+    All decisions flow from one seeded {!Dpq_util.Rng}, so a faulty run is
+    exactly reproducible.  The plan keeps a global {e tick} clock advanced
+    by the engines (one tick per synchronous round / per asynchronous
+    delivery) — crash windows are expressed in ticks and therefore span
+    engine instances: a window can begin in one protocol phase and end in
+    a later one.
+
+    The plan also owns the {!stats} counters the reliable-delivery layer
+    ({!Reliable}) and the engines increment, so one record aggregates the
+    whole run's fault activity across all phases; the trace's
+    [Fault_injected] / [Retransmit] / [Node_crashed] event tallies match
+    these counters exactly. *)
+
+type crash_window = { node : int; from_tick : int; until_tick : int }
+(** Node [node] is down for ticks [t] with [from_tick <= t < until_tick]. *)
+
+type stats = {
+  mutable drops : int;  (** transmissions lost to the drop probability *)
+  mutable duplicates : int;  (** transmissions enqueued twice *)
+  mutable delay_spikes : int;  (** deliveries with a multiplied delay *)
+  mutable crash_drops : int;  (** deliveries lost because the receiver was down *)
+  mutable retransmits : int;  (** reliable-layer re-sends *)
+  mutable acks_sent : int;  (** reliable-layer acknowledgements *)
+  mutable dups_suppressed : int;  (** duplicate data deliveries discarded *)
+}
+
+type t
+
+val create :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay_spike:float ->
+  ?delay_factor:float ->
+  ?crashes:crash_window list ->
+  seed:int ->
+  unit ->
+  t
+(** All probabilities default to 0 (and must lie in [0,1]);
+    [delay_factor] defaults to 8 and must be >= 1.  Raises
+    [Invalid_argument] on malformed windows ([until_tick <= from_tick]). *)
+
+val of_string : seed:int -> string -> t
+(** Parse a plan spec: comma-separated [key=value] items with keys
+    [drop=P], [dup=P], [spike=PxF] (or [spike=P] with the default factor),
+    and repeatable [crash=NODE\@FROM-UNTIL].  Example:
+    ["drop=0.2,dup=0.05,crash=3\@100-200"].  Raises [Invalid_argument] on
+    malformed input. *)
+
+val stats : t -> stats
+(** The live counter record (shared, mutable). *)
+
+val total_injected : t -> int
+(** drops + duplicates + delay spikes + crash drops — the number of
+    [Fault_injected] trace events a traced run emits. *)
+
+val tick : t -> Dpq_obs.Trace.t option -> unit
+(** Advance the global fault clock; emits edge-triggered [Node_crashed]
+    ["down"]/["up"] events for windows entered/left. *)
+
+val tick_count : t -> int
+
+val is_down : t -> node:int -> bool
+(** Is [node] inside a crash window at the current tick? *)
+
+val transmit_copies : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> int
+(** Consult the plan for one transmission: 0 (dropped), 1, or 2
+    (duplicated).  Counts and traces the injected fault, if any. *)
+
+val delay_multiplier : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> float
+(** 1.0, or [delay_factor] with probability [delay_spike] (counted and
+    traced as kind ["delay"]). *)
+
+val note_crash_drop : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> unit
+(** Record a delivery lost to a down receiver (counted and traced as kind
+    ["crash_drop"]). *)
+
+val note_retransmit : t -> unit
+val note_ack : t -> unit
+val note_dup_suppressed : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

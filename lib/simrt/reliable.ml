@@ -1,0 +1,120 @@
+type 'msg packet = Data of { sn : int; payload : 'msg } | Ack of { sn : int }
+
+type 'msg outstanding = {
+  o_payload : 'msg;
+  mutable o_attempts : int; (* retransmissions so far *)
+  mutable o_deadline : float;
+  mutable o_rto : float;
+}
+
+type 'msg channel = {
+  mutable next_sn : int; (* sender side: next sequence number to allocate *)
+  mutable next_deliver : int; (* receiver side: next sn to release in order *)
+  buffered : (int, 'msg) Hashtbl.t; (* receiver side: out-of-order arrivals *)
+  unacked : (int, 'msg outstanding) Hashtbl.t;
+}
+
+type 'msg t = {
+  plan : Fault_plan.t;
+  channels : (int * int, 'msg channel) Hashtbl.t;
+  base_rto : float;
+  max_rto : float;
+  max_attempts : int;
+  mutable unacked_total : int;
+}
+
+(* Sequence number + ack flag: the wire overhead the reliable layer adds to
+   every data packet; an ack is just this header. *)
+let header_bits = 33
+
+let create ?(base_rto = 4.0) ?(max_rto = 64.0) ?(max_attempts = 64) ~plan () =
+  if base_rto <= 0.0 then invalid_arg "Reliable.create: base_rto must be positive";
+  if max_attempts < 1 then invalid_arg "Reliable.create: max_attempts must be >= 1";
+  { plan; channels = Hashtbl.create 64; base_rto; max_rto; max_attempts; unacked_total = 0 }
+
+let channel t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.channels key with
+  | Some ch -> ch
+  | None ->
+      let ch =
+        { next_sn = 0; next_deliver = 0; buffered = Hashtbl.create 8; unacked = Hashtbl.create 8 }
+      in
+      Hashtbl.replace t.channels key ch;
+      ch
+
+let register t ~src ~dst ~now payload =
+  let ch = channel t ~src ~dst in
+  let sn = ch.next_sn in
+  ch.next_sn <- sn + 1;
+  Hashtbl.replace ch.unacked sn
+    { o_payload = payload; o_attempts = 0; o_deadline = now +. t.base_rto; o_rto = t.base_rto };
+  t.unacked_total <- t.unacked_total + 1;
+  Data { sn; payload }
+
+(* Per-channel FIFO release: a retransmission that overtakes a later send
+   must not reorder the application stream, so out-of-order arrivals are
+   buffered until the gap closes.  Returns the (possibly empty) in-order run
+   now deliverable to the protocol handler. *)
+let receive_data t ~src ~dst ~sn payload =
+  let ch = channel t ~src ~dst in
+  if sn < ch.next_deliver || Hashtbl.mem ch.buffered sn then begin
+    Fault_plan.note_dup_suppressed t.plan;
+    []
+  end
+  else begin
+    Hashtbl.replace ch.buffered sn payload;
+    let out = ref [] in
+    while Hashtbl.mem ch.buffered ch.next_deliver do
+      out := Hashtbl.find ch.buffered ch.next_deliver :: !out;
+      Hashtbl.remove ch.buffered ch.next_deliver;
+      ch.next_deliver <- ch.next_deliver + 1
+    done;
+    List.rev !out
+  end
+
+let receive_ack t ~src ~dst ~sn =
+  (* [src -> dst] names the DATA direction; the ack travelled dst -> src. *)
+  let ch = channel t ~src ~dst in
+  if Hashtbl.mem ch.unacked sn then begin
+    Hashtbl.remove ch.unacked sn;
+    t.unacked_total <- t.unacked_total - 1
+  end
+
+let unacked t = t.unacked_total
+
+let next_deadline t =
+  Hashtbl.fold
+    (fun _ ch acc ->
+      Hashtbl.fold
+        (fun _ o acc ->
+          match acc with Some d when d <= o.o_deadline -> acc | _ -> Some o.o_deadline)
+        ch.unacked acc)
+    t.channels None
+
+exception Delivery_failed of string
+
+let due t ~now trace =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun (src, dst) ch ->
+      Hashtbl.iter
+        (fun sn o ->
+          if o.o_deadline <= now then begin
+            o.o_attempts <- o.o_attempts + 1;
+            if o.o_attempts > t.max_attempts then
+              raise
+                (Delivery_failed
+                   (Printf.sprintf
+                      "Reliable: message %d->%d sn=%d still unacknowledged after %d \
+                       retransmissions (rto=%g, now=%g) — channel permanently down?"
+                      src dst sn t.max_attempts o.o_rto now));
+            o.o_rto <- Float.min t.max_rto (o.o_rto *. 2.0);
+            o.o_deadline <- now +. o.o_rto;
+            Fault_plan.note_retransmit t.plan;
+            Dpq_obs.Trace.retransmit trace ~src ~dst ~attempt:o.o_attempts;
+            out := (src, dst, Data { sn; payload = o.o_payload }) :: !out
+          end)
+        ch.unacked)
+    t.channels;
+  !out

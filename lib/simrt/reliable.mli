@@ -1,0 +1,71 @@
+(** Ack/retransmit reliable delivery over a faulty channel.
+
+    When an engine runs under a {!Fault_plan}, every non-local protocol
+    message is wrapped in a [Data] packet carrying a per-(src, dst)-channel
+    sequence number.  The receiver acknowledges every data packet it sees
+    (fresh or duplicate — re-acking duplicates covers lost acks),
+    suppresses duplicates, and buffers out-of-order arrivals until the
+    sequence gap closes, so the protocol handler observes exactly-once,
+    per-channel-FIFO delivery — a retransmission cannot overtake a later
+    send; the sender retransmits unacknowledged packets on a
+    timeout-driven schedule with exponential backoff (capped at [max_rto]).
+    Acks travel over the same faulty channel and are themselves droppable —
+    they carry no sequence numbers and are never retransmitted directly.
+
+    The clock ([now], deadlines) is whatever the host engine uses: round
+    numbers for {!Sync_engine}, virtual time for {!Async_engine}.
+
+    Counters (retransmits, acks, suppressed duplicates) are recorded on the
+    shared {!Fault_plan.stats} so they aggregate across the many short-lived
+    engines of a protocol run. *)
+
+type 'msg packet =
+  | Data of { sn : int; payload : 'msg }
+  | Ack of { sn : int }  (** acknowledges [Data sn] of the reverse direction *)
+
+type 'msg t
+
+val header_bits : int
+(** Wire overhead added to each data packet; also the full size of an ack. *)
+
+val create : ?base_rto:float -> ?max_rto:float -> ?max_attempts:int -> plan:Fault_plan.t -> unit -> 'msg t
+(** [base_rto] (default 4.0) is the first retransmission timeout in engine
+    clock units; it doubles per retransmission up to [max_rto] (default
+    64.0).  After [max_attempts] (default 64) retransmissions of one packet,
+    {!due} raises {!Delivery_failed} — the bounded re-issue guard that turns
+    a permanently dead channel into a diagnosable failure instead of a
+    livelock. *)
+
+val register : 'msg t -> src:int -> dst:int -> now:float -> 'msg -> 'msg packet
+(** Allocate the next sequence number on channel [(src, dst)], remember the
+    payload for retransmission, and return the [Data] packet to transmit. *)
+
+val receive_data : 'msg t -> src:int -> dst:int -> sn:int -> 'msg -> 'msg list
+(** Receiver-side dedup and per-channel FIFO reordering for channel
+    [(src, dst)]: duplicates (counted on the plan's stats) return [[]];
+    out-of-order arrivals are buffered and return [[]]; an arrival that
+    closes the gap releases the whole in-order run.  The caller must ack in
+    every case — the ack means "received", not "released". *)
+
+val receive_ack : 'msg t -> src:int -> dst:int -> sn:int -> unit
+(** Clear the outstanding packet [sn] of the {e data} direction
+    [(src, dst)] (the ack itself travelled dst → src).  Duplicate acks are
+    ignored. *)
+
+val due : 'msg t -> now:float -> Dpq_obs.Trace.t option -> (int * int * 'msg packet) list
+(** All outstanding packets whose deadline has passed, as
+    [(src, dst, packet)] — each gets its attempt count bumped, its deadline
+    pushed back (exponential backoff), a [Retransmit] trace event, and a
+    tally on the plan's stats.  Raises {!Delivery_failed} when a packet
+    exhausts [max_attempts]. *)
+
+val unacked : 'msg t -> int
+(** Outstanding (sent but unacknowledged) packets across all channels.
+    Quiescence under faults means: no events in flight {e and} zero
+    unacked. *)
+
+val next_deadline : 'msg t -> float option
+(** Earliest retransmission deadline, if anything is outstanding — where an
+    idle asynchronous engine jumps its clock. *)
+
+exception Delivery_failed of string

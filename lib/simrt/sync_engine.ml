@@ -1,4 +1,10 @@
-type 'msg envelope = { src : int; dst : int; msg : 'msg }
+(* The wire carries protocol messages directly on a perfect network, and
+   reliable-layer packets (sequence-numbered data + acks) under a fault
+   plan.  [Plain] is the zero-overhead fast path: without faults nothing is
+   wrapped and behavior/costs are bit-identical to the fault-free engine. *)
+type 'msg wire = Plain of 'msg | Rel of 'msg Reliable.packet
+
+type 'msg envelope = { src : int; dst : int; wire : 'msg wire }
 
 type 'msg t = {
   n : int;
@@ -6,40 +12,85 @@ type 'msg t = {
   handler : 'msg t -> dst:int -> src:int -> 'msg -> unit;
   activate : ('msg t -> int -> unit) option;
   trace : Dpq_obs.Trace.t option;
+  faults : Fault_plan.t option;
+  rel : 'msg Reliable.t option;
   mutable inflight : 'msg envelope list; (* reversed send order *)
   mutable round : int;
   metrics : Metrics.t;
+  mutable fresh_delivered : int;
+  mutable acks_received : int;
+  mutable last_delivered : (int * int * int) option; (* round, src, dst *)
 }
 
-let create ~n ~size_bits ~handler ?activate ?trace () =
+let create ~n ~size_bits ~handler ?activate ?trace ?faults () =
   {
     n;
     size_bits;
     handler;
     activate;
     trace;
+    faults;
+    rel = Option.map (fun plan -> Reliable.create ~plan ()) faults;
     inflight = [];
     round = 0;
     metrics = Metrics.create ~n;
+    fresh_delivered = 0;
+    acks_received = 0;
+    last_delivered = None;
   }
 
 let n t = t.n
 let round t = t.round
 let metrics t = t.metrics
 let pending t = List.length t.inflight
+let faults t = t.faults
+
+let unacked t = match t.rel with None -> 0 | Some r -> Reliable.unacked r
+
+let wire_bits t = function
+  | Plain m -> t.size_bits m
+  | Rel (Reliable.Data { payload; _ }) -> t.size_bits payload + Reliable.header_bits
+  | Rel (Reliable.Ack _) -> Reliable.header_bits
 
 let check_id t id name =
   if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Sync_engine.%s: node id %d out of range" name id)
+
+let enqueue t ~src ~dst wire = t.inflight <- { src; dst; wire } :: t.inflight
+
+(* Put one logical transmission on the wire, letting the fault plan drop or
+   duplicate it.  A dropped data packet stays registered with the reliable
+   layer and comes back as a retransmission. *)
+let transmit t ~src ~dst wire =
+  match t.faults with
+  | None -> enqueue t ~src ~dst wire
+  | Some plan ->
+      let copies = Fault_plan.transmit_copies plan t.trace ~src ~dst in
+      for _ = 1 to copies do
+        enqueue t ~src ~dst wire
+      done
 
 let send t ~src ~dst msg =
   check_id t src "send";
   check_id t dst "send";
   if src = dst then begin
-    (* Virtual edge between co-located virtual nodes: free, immediate. *)
+    (* Virtual edge between co-located virtual nodes: free, immediate, and
+       exempt from faults (it never touches the network). *)
     Metrics.record_local t.metrics;
     t.handler t ~dst ~src msg
   end
-  else t.inflight <- { src; dst; msg } :: t.inflight
+  else
+    match t.rel with
+    | None -> enqueue t ~src ~dst (Plain msg)
+    | Some rel ->
+        let pkt = Reliable.register rel ~src ~dst ~now:(float_of_int t.round) msg in
+        transmit t ~src ~dst (Rel pkt)
+
+let deliver t ~this_round ~src ~dst ~bits payload =
+  Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits;
+  Dpq_obs.Trace.msg_delivered t.trace ~round:this_round ~src ~dst ~bits;
+  t.fresh_delivered <- t.fresh_delivered + 1;
+  t.last_delivered <- Some (this_round, src, dst);
+  t.handler t ~dst ~src payload
 
 let step t =
   (* Deliveries of this round are the messages sent in previous rounds;
@@ -47,32 +98,86 @@ let step t =
      processed in round [t.round + 1]. *)
   let batch = List.rev t.inflight in
   t.inflight <- [];
+  (* One fault-plan tick per synchronous round: crash windows open/close on
+     round boundaries, shared across all engines of the run. *)
+  Option.iter (fun plan -> Fault_plan.tick plan t.trace) t.faults;
+  let down node = match t.faults with None -> false | Some p -> Fault_plan.is_down p ~node in
   (match t.activate with
   | Some f ->
       for i = 0 to t.n - 1 do
-        f t i
+        if not (down i) then f t i
       done
   | None -> ());
   let this_round = t.round in
   List.iter
-    (fun { src; dst; msg } ->
-      let bits = t.size_bits msg in
-      Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits;
-      Dpq_obs.Trace.msg_delivered t.trace ~round:this_round ~src ~dst ~bits;
-      t.handler t ~dst ~src msg)
+    (fun { src; dst; wire } ->
+      match wire with
+      | Plain msg -> deliver t ~this_round ~src ~dst ~bits:(wire_bits t wire) msg
+      | Rel (Reliable.Data { sn; payload }) ->
+          let plan = Option.get t.faults and rel = Option.get t.rel in
+          if down dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
+          else begin
+            (* Ack everything we see — re-acking duplicates covers lost
+               acks.  The ack rides the same faulty channel. *)
+            Fault_plan.note_ack plan;
+            transmit t ~src:dst ~dst:src (Rel (Reliable.Ack { sn }));
+            List.iter
+              (fun p ->
+                deliver t ~this_round ~src ~dst ~bits:(t.size_bits p + Reliable.header_bits) p)
+              (Reliable.receive_data rel ~src ~dst ~sn payload)
+          end
+      | Rel (Reliable.Ack { sn }) ->
+          let plan = Option.get t.faults and rel = Option.get t.rel in
+          if down dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
+          else begin
+            (* The data direction is the reverse of the ack's travel. *)
+            Reliable.receive_ack rel ~src:dst ~dst:src ~sn;
+            t.acks_received <- t.acks_received + 1
+          end)
     batch;
-  t.round <- t.round + 1
+  t.round <- t.round + 1;
+  (* Timeout-driven retransmission: anything overdue goes back on the wire
+     (and through the fault plan again) for delivery next round. *)
+  match t.rel with
+  | None -> ()
+  | Some rel ->
+      List.iter
+        (fun (src, dst, pkt) -> transmit t ~src ~dst (Rel pkt))
+        (Reliable.due rel ~now:(float_of_int t.round) t.trace)
 
-let run_to_quiescence ?(max_rounds = 1_000_000) t =
+let describe_last_delivered t =
+  match t.last_delivered with
+  | None -> "none"
+  | Some (r, src, dst) -> Printf.sprintf "round %d: %d->%d" r src dst
+
+let quiescence_diag t reason =
+  Printf.sprintf
+    "Sync_engine.run_to_quiescence: %s: round=%d pending=%d unacked=%d delivered=%d \
+     last_delivered=%s"
+    reason t.round (pending t) (unacked t) t.fresh_delivered (describe_last_delivered t)
+
+let quiesced t = t.inflight = [] && unacked t = 0
+
+let run_to_quiescence ?(max_rounds = 1_000_000) ?(stall_rounds = 10_000) t =
   let start = t.round in
-  while t.inflight <> [] do
-    if t.round - start > max_rounds then
-      failwith "Sync_engine.run_to_quiescence: exceeded max_rounds (livelock?)";
-    step t
+  let progress_mark () = t.fresh_delivered + t.acks_received in
+  let last_mark = ref (progress_mark ()) in
+  let last_progress_round = ref t.round in
+  while not (quiesced t) do
+    if t.round - start > max_rounds then failwith (quiescence_diag t "exceeded max_rounds (livelock?)");
+    step t;
+    let mark = progress_mark () in
+    if mark <> !last_mark then begin
+      last_mark := mark;
+      last_progress_round := t.round
+    end
+    else if t.round - !last_progress_round > stall_rounds then
+      failwith (quiescence_diag t "no progress watermark advanced (livelock)")
   done;
   t.round - start
 
 let reset_clock t =
   if t.inflight <> [] then invalid_arg "Sync_engine.reset_clock: messages in flight";
+  if unacked t <> 0 then invalid_arg "Sync_engine.reset_clock: unacknowledged messages outstanding";
   t.round <- 0;
   Metrics.reset t.metrics

@@ -8,7 +8,14 @@
     A message sent to the sender's own node id models a "virtual edge"
     between co-located virtual nodes: it is delivered immediately within the
     same activation, costs no round and no congestion, and is tallied
-    separately (see {!Metrics.local_deliveries}). *)
+    separately (see {!Metrics.local_deliveries}).
+
+    With a {!Fault_plan} the engine runs every non-local message through the
+    ack/retransmit reliable layer ({!Reliable}): transmissions can be
+    dropped or duplicated, deliveries to a crashed node are lost, and the
+    sender retransmits on a round-count timeout with exponential backoff.
+    The protocol handler still observes exactly-once delivery.  Without a
+    plan, behavior and costs are identical to the fault-free engine. *)
 
 type 'msg t
 
@@ -18,14 +25,17 @@ val create :
   handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
   ?activate:('msg t -> int -> unit) ->
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Fault_plan.t ->
   unit ->
   'msg t
 (** [create ~n ~size_bits ~handler ()] builds an engine for nodes
     [0..n-1]. [handler] is invoked for every delivered message; [activate]
     (optional) is invoked once per node at the start of every round, before
-    deliveries.  With [trace], every non-local delivery additionally emits
-    a {!Dpq_obs.Trace.Msg_delivered} event (free local deliveries are not
-    traced, mirroring the cost model). *)
+    deliveries (crashed nodes are skipped).  With [trace], every non-local
+    fresh delivery additionally emits a {!Dpq_obs.Trace.Msg_delivered} event
+    (free local deliveries, duplicate deliveries and acks are not traced,
+    mirroring the cost model).  With [faults], messages ride the reliable
+    layer under that plan. *)
 
 val n : 'msg t -> int
 
@@ -35,15 +45,27 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     out-of-range node id. *)
 
 val step : 'msg t -> unit
-(** Execute one round: activations, then all pending deliveries. *)
+(** Execute one round: advance the fault clock, activations, all pending
+    deliveries, then retransmissions that came due. *)
 
 val pending : 'msg t -> int
-(** Messages currently in flight. *)
+(** Wire packets currently in flight (under faults this counts data packets
+    and acks alike). *)
 
-val run_to_quiescence : ?max_rounds:int -> 'msg t -> int
-(** Run rounds until no messages are in flight; returns the number of rounds
-    executed. Raises [Failure] if [max_rounds] (default 1_000_000) is
-    exceeded — a protocol bug guard. *)
+val unacked : 'msg t -> int
+(** Reliable-layer packets sent but not yet acknowledged (0 without
+    faults). *)
+
+val faults : 'msg t -> Fault_plan.t option
+
+val run_to_quiescence : ?max_rounds:int -> ?stall_rounds:int -> 'msg t -> int
+(** Run rounds until no messages are in flight and nothing is unacked;
+    returns the number of rounds executed.  Raises [Failure] with a
+    diagnostic (round, pending count, unacked count, last delivery) if
+    [max_rounds] (default 1_000_000) is exceeded, or if the progress
+    watermark — fresh deliveries + acks received — does not advance for
+    [stall_rounds] (default 10_000) consecutive rounds: a livelock
+    detector that fails fast instead of spinning to [max_rounds]. *)
 
 val round : 'msg t -> int
 (** Rounds executed so far. *)
@@ -51,6 +73,6 @@ val round : 'msg t -> int
 val metrics : 'msg t -> Metrics.t
 
 val reset_clock : 'msg t -> unit
-(** Zero the round counter and metrics (in-flight messages must be none);
-    used between protocol phases to measure them separately.
-    Raises [Invalid_argument] if messages are pending. *)
+(** Zero the round counter and metrics (in-flight messages must be none and
+    nothing unacked); used between protocol phases to measure them
+    separately.  Raises [Invalid_argument] if messages are pending. *)

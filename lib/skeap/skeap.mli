@@ -25,11 +25,21 @@ module Phase = Dpq_aggtree.Phase
 
 type t
 
-val create : ?seed:int -> ?trace:Dpq_obs.Trace.t -> n:int -> num_prios:int -> unit -> t
+val create :
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  n:int ->
+  num_prios:int ->
+  unit ->
+  t
 (** A Skeap instance over [n] nodes with priorities [{1..num_prios}].
     Raises [Invalid_argument] if [n < 1] or [num_prios < 1].  With [trace],
     every subsequent {!process_batch} / membership change records
-    structured events into the sink (see {!Dpq_obs.Trace}). *)
+    structured events into the sink (see {!Dpq_obs.Trace}).  With [faults],
+    every engine the protocol spawns runs over the faulty network with
+    reliable ack/retransmit delivery — semantics are unchanged, costs
+    grow. *)
 
 val n : t -> int
 val num_prios : t -> int

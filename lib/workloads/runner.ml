@@ -29,8 +29,8 @@ let count_outcomes outcomes =
       | `Inserted _ -> (g, e, i + 1))
     (0, 0, 0) outcomes
 
-let run ?(seed = 1) ?trace ~n backend workload =
-  let h = Heap.create ~seed ?trace ~n backend in
+let run ?(seed = 1) ?trace ?faults ~n backend workload =
+  let h = Heap.create ~seed ?trace ?faults ~n backend in
   let rounds = ref 0
   and messages = ref 0
   and max_congestion = ref 0

@@ -29,6 +29,7 @@ val protocol_name : summary -> string
 val run :
   ?seed:int ->
   ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
   n:int ->
   Dpq_types.Types.backend ->
   Workload.t ->
@@ -37,7 +38,9 @@ val run :
     verify the whole run.  Raises [Invalid_argument] if the workload
     contains priorities the backend rejects (outside [1..num_prios] for
     [Skeap]/[Unbatched]).  With [trace], the entire run records structured
-    events (see {!Dpq_obs.Trace}). *)
+    events (see {!Dpq_obs.Trace}).  With [faults], the whole run executes
+    over the faulty network with reliable delivery (see
+    {!Dpq_simrt.Fault_plan}). *)
 
 val run_skeap : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
 (** Deprecated alias for [run (Skeap { num_prios })]. *)

@@ -1,0 +1,342 @@
+(* Fault-injection matrix: the protocols must complete with verified
+   semantics over dropping / duplicating / crashing networks, and the trace's
+   fault tallies must agree with the fault plan's own counters. *)
+
+open Dpq_simrt
+module Heap = Dpq.Dpq_heap
+module Trace = Dpq_obs.Trace
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------ Fault_plan *)
+
+let test_plan_of_string () =
+  let plan = Fault_plan.of_string ~seed:1 "drop=0.2, dup=0.05, spike=0.1x4, crash=3@10-20" in
+  ignore plan;
+  (match Fault_plan.of_string ~seed:1 "drop=bogus" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad drop accepted");
+  (match Fault_plan.of_string ~seed:1 "crash=3@20-10" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted crash window accepted");
+  match Fault_plan.create ~drop:1.5 ~seed:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "probability > 1 accepted"
+
+let test_plan_determinism () =
+  let run () =
+    let plan = Fault_plan.create ~drop:0.3 ~duplicate:0.2 ~seed:42 () in
+    List.init 200 (fun i -> Fault_plan.transmit_copies plan None ~src:(i mod 7) ~dst:0)
+  in
+  Alcotest.(check (list int)) "same seed, same decisions" (run ()) (run ())
+
+let test_crash_window_ticks () =
+  let plan = Fault_plan.create ~crashes:[ { node = 2; from_tick = 2; until_tick = 4 } ] ~seed:1 () in
+  let trace = Trace.create () in
+  let t = Some trace in
+  checkb "up before window" false (Fault_plan.is_down plan ~node:2);
+  Fault_plan.tick plan t;
+  (* tick = 1 *)
+  checkb "still up" false (Fault_plan.is_down plan ~node:2);
+  Fault_plan.tick plan t;
+  (* tick = 2: window opens *)
+  checkb "down" true (Fault_plan.is_down plan ~node:2);
+  Fault_plan.tick plan t;
+  checkb "still down" true (Fault_plan.is_down plan ~node:2);
+  Fault_plan.tick plan t;
+  (* tick = 4: window closed *)
+  checkb "up again" false (Fault_plan.is_down plan ~node:2);
+  match Trace.crash_windows trace with
+  | [ (2, 2, 4) ] -> ()
+  | ws ->
+      Alcotest.fail
+        (Printf.sprintf "expected one window (2,2,4), got %d" (List.length ws))
+
+(* ------------------------------------------------- engine-level reliable *)
+
+(* Under heavy drop, every sync message still arrives exactly once. *)
+let test_sync_reliable_exactly_once () =
+  let plan = Fault_plan.create ~drop:0.4 ~duplicate:0.2 ~seed:7 () in
+  let received = Hashtbl.create 64 in
+  let eng =
+    Sync_engine.create ~n:4 ~size_bits:(fun _ -> 8)
+      ~handler:(fun _ ~dst:_ ~src:_ msg ->
+        Hashtbl.replace received msg (1 + Option.value ~default:0 (Hashtbl.find_opt received msg)))
+      ~faults:plan ()
+  in
+  for i = 0 to 99 do
+    Sync_engine.send eng ~src:(i mod 3) ~dst:3 i
+  done;
+  ignore (Sync_engine.run_to_quiescence eng);
+  checki "all delivered" 100 (Hashtbl.length received);
+  Hashtbl.iter (fun _ c -> checki "exactly once" 1 c) received;
+  checki "nothing unacked" 0 (Sync_engine.unacked eng);
+  let stats = Fault_plan.stats plan in
+  checkb "drops happened" true (stats.Fault_plan.drops > 0);
+  checkb "retransmits happened" true (stats.Fault_plan.retransmits > 0)
+
+let test_async_reliable_exactly_once () =
+  let plan = Fault_plan.create ~drop:0.4 ~duplicate:0.2 ~seed:11 () in
+  let received = Hashtbl.create 64 in
+  let eng =
+    Async_engine.create ~n:4 ~seed:3 ~size_bits:(fun _ -> 8)
+      ~handler:(fun _ ~dst:_ ~src:_ msg ->
+        Hashtbl.replace received msg (1 + Option.value ~default:0 (Hashtbl.find_opt received msg)))
+      ~faults:plan ()
+  in
+  for i = 0 to 99 do
+    Async_engine.send eng ~src:(i mod 3) ~dst:3 i
+  done;
+  ignore (Async_engine.run_to_quiescence eng);
+  checki "all delivered" 100 (Hashtbl.length received);
+  Hashtbl.iter (fun _ c -> checki "exactly once" 1 c) received;
+  checki "nothing unacked" 0 (Async_engine.unacked eng)
+
+(* A crash window must stall delivery, not lose it: messages sent into the
+   window arrive after the node recovers. *)
+let test_sync_crash_stall_and_recover () =
+  let plan =
+    Fault_plan.create ~crashes:[ { node = 1; from_tick = 1; until_tick = 6 } ] ~seed:5 ()
+  in
+  let got = ref [] in
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 8)
+      ~handler:(fun eng ~dst:_ ~src:_ msg -> got := (Sync_engine.round eng, msg) :: !got)
+      ~faults:plan ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "x";
+  ignore (Sync_engine.run_to_quiescence eng);
+  (match !got with
+  | [ (round, "x") ] -> checkb "delivered after the window closed" true (round >= 5)
+  | _ -> Alcotest.fail "message lost or duplicated across the crash");
+  checkb "crash drops recorded" true ((Fault_plan.stats plan).Fault_plan.crash_drops > 0)
+
+(* A permanently-dead receiver must produce a bounded, diagnosable failure
+   rather than a silent livelock. *)
+let test_dead_channel_fails_bounded () =
+  let plan =
+    Fault_plan.create
+      ~crashes:[ { node = 1; from_tick = 0; until_tick = max_int } ]
+      ~seed:5 ()
+  in
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 8)
+      ~handler:(fun _ ~dst:_ ~src:_ _ -> ())
+      ~faults:plan
+      ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "never";
+  match Sync_engine.run_to_quiescence eng with
+  | exception Reliable.Delivery_failed _ -> ()
+  | _ -> Alcotest.fail "expected Delivery_failed on a permanently dead channel"
+
+(* The enriched livelock diagnostics of run_to_quiescence. *)
+let test_quiescence_diagnostics () =
+  let eng =
+    Sync_engine.create ~n:2 ~size_bits:(fun _ -> 8)
+      ~handler:(fun eng ~dst ~src msg -> Sync_engine.send eng ~src:dst ~dst:src msg)
+      ()
+  in
+  Sync_engine.send eng ~src:0 ~dst:1 "ping";
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match Sync_engine.run_to_quiescence ~max_rounds:50 eng with
+  | exception Failure m ->
+      checkb "mentions pending" true (contains m "pending=");
+      checkb "mentions round" true (contains m "round=");
+      checkb "mentions last delivery" true (contains m "last_delivered=")
+  | _ -> Alcotest.fail "ping-pong should exceed max_rounds"
+
+(* --------------------------------------------- full-protocol fault matrix *)
+
+let mixed_workload h ~n ~ops ~num_prios ~seed =
+  let rng = Dpq_util.Rng.create ~seed in
+  for _ = 1 to ops do
+    let node = Dpq_util.Rng.int rng n in
+    if Dpq_util.Rng.bernoulli rng ~p:0.6 then
+      ignore (Heap.insert h ~node ~prio:(1 + Dpq_util.Rng.int rng num_prios))
+    else Heap.delete_min h ~node
+  done
+
+(* The ISSUE's acceptance scenario: 20% drop + duplication + one mid-run
+   crash/recover window; both protocols, both engines; verify = Ok; and the
+   trace's fault/retransmit tallies equal the plan's own counters. *)
+let run_acceptance backend ~dht_mode ~seed =
+  let n = 8 in
+  let trace = Trace.create () in
+  let plan =
+    Fault_plan.create ~drop:0.2 ~duplicate:0.1
+      ~crashes:[ { node = 3; from_tick = 40; until_tick = 90 } ]
+      ~seed ()
+  in
+  let h = Heap.create ~seed ~trace ~faults:plan ~n backend in
+  mixed_workload h ~n ~ops:60 ~num_prios:4 ~seed:(seed + 1);
+  let batches = ref 0 in
+  while Heap.pending_ops h > 0 do
+    ignore (Heap.process ?dht_mode:(Some dht_mode) h);
+    incr batches
+  done;
+  (match Heap.verify h with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "%s under faults: %s" (Heap.backend_name (Heap.backend h)) e));
+  let stats = Fault_plan.stats plan in
+  checkb "faults actually fired" true (stats.Fault_plan.drops > 0);
+  checkb "retransmissions happened" true (stats.Fault_plan.retransmits > 0);
+  (* Cross-check: trace event tallies == the reliable layer's own counters. *)
+  checki "Fault_injected events match plan" (Fault_plan.total_injected plan)
+    (Trace.faults_injected trace);
+  checki "Retransmit events match plan" stats.Fault_plan.retransmits (Trace.retransmits trace);
+  checkb "amplification >= 1" true (Trace.retransmit_amplification trace >= 1.0)
+
+let test_skeap_acceptance_sync () =
+  run_acceptance (Heap.Skeap { num_prios = 4 }) ~dht_mode:Heap.Dht_sync ~seed:21
+
+let test_skeap_acceptance_async () =
+  run_acceptance
+    (Heap.Skeap { num_prios = 4 })
+    ~dht_mode:(Heap.Dht_async { seed = 5; policy = Async_engine.Uniform (1.0, 10.0) })
+    ~seed:22
+
+let test_seap_acceptance_sync () = run_acceptance Heap.Seap ~dht_mode:Heap.Dht_sync ~seed:23
+
+let test_seap_acceptance_async () =
+  run_acceptance Heap.Seap
+    ~dht_mode:(Heap.Dht_async { seed = 6; policy = Async_engine.Uniform (1.0, 10.0) })
+    ~seed:24
+
+(* Drop matrix: 0 / 0.05 / 0.2 across both protocols and both engines. *)
+let run_matrix_cell backend ~drop ~dht_mode ~seed =
+  let n = 6 in
+  let faults = if drop = 0.0 then None else Some (Fault_plan.create ~drop ~seed ()) in
+  let h = Heap.create ~seed ?faults ~n backend in
+  mixed_workload h ~n ~ops:40 ~num_prios:3 ~seed:(seed + 1);
+  while Heap.pending_ops h > 0 do
+    ignore (Heap.process ?dht_mode:(Some dht_mode) h)
+  done;
+  match Heap.verify h with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "%s drop=%g: %s" (Heap.backend_name (Heap.backend h)) drop e)
+
+let test_faulty_matrix () =
+  List.iter
+    (fun drop ->
+      List.iteri
+        (fun i backend ->
+          run_matrix_cell backend ~drop ~dht_mode:Heap.Dht_sync ~seed:(100 + i);
+          run_matrix_cell backend ~drop
+            ~dht_mode:(Heap.Dht_async { seed = 9 + i; policy = Async_engine.Uniform (1.0, 10.0) })
+            ~seed:(200 + i))
+        [ Heap.Skeap { num_prios = 3 }; Heap.Seap ])
+    [ 0.0; 0.05; 0.2 ]
+
+(* The baselines' single-point serialization assumes arrival order respects
+   issue order, so they only survive faults because the reliable layer
+   releases per-channel FIFO — a retransmission must not overtake a later
+   send.  Regression for exactly that property. *)
+let test_baselines_fifo_under_drop () =
+  List.iter
+    (fun drop ->
+      List.iteri
+        (fun i backend ->
+          let faults = Fault_plan.create ~drop ~duplicate:0.05 ~seed:(400 + i) () in
+          let h = Heap.create ~seed:(410 + i) ~faults ~n:6 backend in
+          mixed_workload h ~n:6 ~ops:40 ~num_prios:3 ~seed:(420 + i);
+          while Heap.pending_ops h > 0 do
+            ignore (Heap.process h)
+          done;
+          match Heap.verify h with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.fail
+                (Printf.sprintf "%s drop=%g: %s" (Heap.backend_name (Heap.backend h)) drop e))
+        [ Heap.Centralized; Heap.Unbatched { num_prios = 3 } ])
+    [ 0.05; 0.2 ]
+
+(* Adversarial LIFO reordering on the facade, with and without drops. *)
+let test_adversarial_lifo_seap () =
+  List.iter
+    (fun drop ->
+      let faults = if drop = 0.0 then None else Some (Fault_plan.create ~drop ~seed:31 ()) in
+      let h = Heap.create ~seed:31 ?faults ~n:6 Heap.Seap in
+      mixed_workload h ~n:6 ~ops:40 ~num_prios:5 ~seed:32;
+      while Heap.pending_ops h > 0 do
+        ignore
+          (Heap.process
+             ~dht_mode:(Heap.Dht_async { seed = 13; policy = Async_engine.Adversarial_lifo })
+             h)
+      done;
+      match Heap.verify h with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "Seap lifo drop=%g: %s" drop e))
+    [ 0.0; 0.1 ]
+
+let test_adversarial_lifo_skeap () =
+  let faults = Some (Fault_plan.create ~drop:0.1 ~duplicate:0.05 ~seed:41 ()) in
+  let h = Heap.create ~seed:41 ?faults ~n:6 (Heap.Skeap { num_prios = 4 }) in
+  mixed_workload h ~n:6 ~ops:40 ~num_prios:4 ~seed:42;
+  while Heap.pending_ops h > 0 do
+    ignore
+      (Heap.process
+         ~dht_mode:(Heap.Dht_async { seed = 17; policy = Async_engine.Adversarial_lifo })
+         h)
+  done;
+  match Heap.verify h with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("Skeap lifo under faults: " ^ e)
+
+(* Fault-free runs with a plan of all-zero probabilities still go through
+   the reliable layer; semantics and trace cross-checks must hold. *)
+let test_zero_probability_plan () =
+  let trace = Trace.create () in
+  let plan = Fault_plan.create ~seed:51 () in
+  let h = Heap.create ~seed:51 ~trace ~faults:plan ~n:5 (Heap.Skeap { num_prios = 3 }) in
+  mixed_workload h ~n:5 ~ops:30 ~num_prios:3 ~seed:52;
+  while Heap.pending_ops h > 0 do
+    ignore (Heap.process h)
+  done;
+  checkb "verify ok" true (Heap.verify h = Ok ());
+  checki "no faults injected" 0 (Fault_plan.total_injected plan);
+  checki "no retransmits" 0 (Trace.retransmits trace)
+
+let () =
+  Alcotest.run "dpq_faults"
+    [
+      ( "fault_plan",
+        [
+          Alcotest.test_case "of_string parses and validates" `Quick test_plan_of_string;
+          Alcotest.test_case "seeded determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "crash windows tick open/closed" `Quick test_crash_window_ticks;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "sync exactly-once under drop+dup" `Quick
+            test_sync_reliable_exactly_once;
+          Alcotest.test_case "async exactly-once under drop+dup" `Quick
+            test_async_reliable_exactly_once;
+          Alcotest.test_case "crash stalls, does not lose" `Quick test_sync_crash_stall_and_recover;
+          Alcotest.test_case "dead channel fails bounded" `Quick test_dead_channel_fails_bounded;
+          Alcotest.test_case "quiescence failure diagnostics" `Quick test_quiescence_diagnostics;
+        ] );
+      ( "protocol_matrix",
+        [
+          Alcotest.test_case "skeap sync: 20% drop + dup + crash" `Quick test_skeap_acceptance_sync;
+          Alcotest.test_case "skeap async: 20% drop + dup + crash" `Quick
+            test_skeap_acceptance_async;
+          Alcotest.test_case "seap sync: 20% drop + dup + crash" `Quick test_seap_acceptance_sync;
+          Alcotest.test_case "seap async: 20% drop + dup + crash" `Quick test_seap_acceptance_async;
+          Alcotest.test_case "drop matrix 0/0.05/0.2 x both x both" `Slow test_faulty_matrix;
+          Alcotest.test_case "baselines need FIFO release under drop" `Slow
+            test_baselines_fifo_under_drop;
+          Alcotest.test_case "adversarial lifo seap" `Quick test_adversarial_lifo_seap;
+          Alcotest.test_case "adversarial lifo skeap" `Quick test_adversarial_lifo_skeap;
+          Alcotest.test_case "zero-probability plan is benign" `Quick test_zero_probability_plan;
+        ] );
+    ]
