@@ -14,12 +14,24 @@
 
    Faults: --drop/--dup/--crash (or a full --faults SPEC) run the whole
    simulation over a lossy network with ack/retransmit reliable delivery;
-   semantics still verify, costs grow. *)
+   semantics still verify, costs grow.
+
+   Schedule exploration:
+
+     dune exec bin/dpq_sim.exe -- explore --seeds 256
+     dune exec bin/dpq_sim.exe -- --replay dpq-repro-21.txt
+
+   `explore` sweeps seeded adversarial interleavings over the full
+   (backend x engine x faults x scheduler) grid, checks every oplog, and
+   on failure shrinks the schedule and writes a self-contained repro file
+   that --replay re-executes bit-for-bit. *)
 
 module W = Dpq_workloads.Workload
 module R = Dpq_workloads.Runner
 module Rng = Dpq_util.Rng
 module Trace = Dpq_obs.Trace
+module Explore = Dpq_explore.Explore
+module Checker = Dpq_semantics.Checker
 
 let make_faults ~seed ~faults_spec ~drop ~dup ~crash =
   match faults_spec with
@@ -58,8 +70,37 @@ let make_faults ~seed ~faults_spec ~drop ~dup ~crash =
         in
         Some (Dpq_simrt.Fault_plan.create ~drop ~duplicate:dup ~crashes ~seed ())
 
+let pp_config (cfg : Explore.config) =
+  Printf.printf "  seed=%d backend=%s n=%d engine=%s sched=%s faults=%s%s\n" cfg.Explore.seed
+    (Explore.backend_to_string cfg.Explore.backend)
+    cfg.Explore.n
+    (Explore.engine_to_string cfg.Explore.engine)
+    (Dpq_simrt.Sched.policy_to_string cfg.Explore.sched)
+    (Option.value cfg.Explore.faults ~default:"none")
+    (match cfg.Explore.corrupt with
+    | None -> ""
+    | Some c -> " corrupt=" ^ Dpq_explore.Corrupt.to_string c)
+
+let do_replay file =
+  match Explore.replay file with
+  | Error msg ->
+      Printf.eprintf "replay: %s\n" msg;
+      exit 1
+  | Ok rep ->
+      Printf.printf "replaying %s\n" file;
+      pp_config rep.Explore.config;
+      Printf.printf "  ops=%d digest=%s\n" rep.Explore.outcome.Explore.ops
+        rep.Explore.outcome.Explore.digest;
+      (match rep.Explore.outcome.Explore.violation with
+      | None -> Printf.printf "  semantics: all checks passed\n"
+      | Some v -> Printf.printf "  semantics: %s\n" (Checker.violation_to_string v));
+      Printf.printf "  digest matches expectation : %b\n" rep.Explore.digest_matches;
+      Printf.printf "  clause matches expectation : %b\n" rep.Explore.clause_matches;
+      if rep.Explore.digest_matches && rep.Explore.clause_matches then exit 0 else exit 2
+
 let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file faults_spec drop dup
-    crash =
+    crash replay =
+  (match replay with Some file -> do_replay file | None -> ());
   let prio_dist =
     match dist with
     | "const" -> W.Constant_set prios
@@ -125,6 +166,41 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file fau
   | _ -> ());
   if not summary.R.semantics_ok then exit 2
 
+let explore_run num_seeds start nodes rounds lambda repro_dir no_shrink =
+  let seeds = List.init num_seeds (fun i -> start + i) in
+  let res = Explore.sweep ~n:nodes ~rounds ~lambda ~seeds () in
+  Printf.printf "explored  : %d runs over %d combos x %d scheduler policies\n" res.Explore.runs
+    (List.length Explore.default_combos)
+    (List.length Explore.default_policies);
+  match res.Explore.failures with
+  | [] ->
+      Printf.printf "violations: none\n";
+      exit 0
+  | failures ->
+      Printf.printf "violations: %d\n\n" (List.length failures);
+      List.iter
+        (fun (f : Explore.failure) ->
+          Printf.printf "FAIL %s\n" (Checker.violation_to_string f.Explore.violation);
+          pp_config f.Explore.config;
+          let clause = f.Explore.violation.Checker.clause in
+          let cfg =
+            if no_shrink then f.Explore.config
+            else begin
+              let shrunk = Explore.shrink f.Explore.config clause in
+              Printf.printf "  shrunk to %d op(s):\n" (W.total_ops shrunk.Explore.workload);
+              pp_config shrunk;
+              shrunk
+            end
+          in
+          let out = Explore.run cfg in
+          let path =
+            Filename.concat repro_dir (Printf.sprintf "dpq-repro-%d.txt" cfg.Explore.seed)
+          in
+          Explore.write_repro ~path cfg out;
+          Printf.printf "  repro: %s (replay with dpq_sim --replay)\n\n" path)
+        failures;
+      exit 2
+
 open Cmdliner
 
 let protocol =
@@ -169,11 +245,45 @@ let crash =
     & info [ "crash" ] ~docv:"NODE@FROM-UNTIL"
         ~doc:"Crash window: the node receives nothing during ticks [FROM,UNTIL). Repeatable.")
 
+let replay_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Re-execute the repro file $(docv) written by $(b,explore) and verify that the run \
+           digests and violates identically. Exits 0 on an exact match, 2 otherwise.")
+
+let run_term =
+  Term.(
+    const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
+    $ trace_file $ faults_spec $ drop $ dup $ crash $ replay_file)
+
+let explore_cmd =
+  let num_seeds =
+    Arg.(value & opt int 64 & info [ "seeds" ] ~doc:"Number of consecutive seeds to sweep.")
+  in
+  let start = Arg.(value & opt int 0 & info [ "start" ] ~doc:"First seed of the sweep.") in
+  let ex_nodes = Arg.(value & opt int 6 & info [ "nodes"; "n" ] ~doc:"Nodes per run.") in
+  let ex_rounds = Arg.(value & opt int 2 & info [ "rounds"; "r" ] ~doc:"Injection rounds per run.") in
+  let ex_lambda =
+    Arg.(value & opt int 2 & info [ "lambda" ] ~doc:"Operations per node per round.")
+  in
+  let repro_dir =
+    Arg.(
+      value & opt string "." & info [ "repro-dir" ] ~docv:"DIR" ~doc:"Where to write repro files.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Write failing configs without minimizing them.")
+  in
+  let doc = "Sweep seeded adversarial schedules over the protocol grid and check semantics" in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const explore_run $ num_seeds $ start $ ex_nodes $ ex_rounds $ ex_lambda $ repro_dir
+      $ no_shrink)
+
 let cmd =
   let doc = "Simulate a distributed priority queue under a configurable workload" in
-  Cmd.v (Cmd.info "dpq_sim" ~doc)
-    Term.(
-      const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
-      $ trace_file $ faults_spec $ drop $ dup $ crash)
+  Cmd.group (Cmd.info "dpq_sim" ~doc) ~default:run_term [ explore_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -70,7 +70,7 @@ let memo_parts memo v =
 
 type 'a tree_msg = { to_v : Ldb.vnode; from_v : Ldb.vnode; value : 'a }
 
-let up ?trace ?faults ~tree ~local ~combine ~size_bits () =
+let up ?trace ?faults ?sched ~tree ~local ~combine ~size_bits () =
   let span = Trace.phase_start trace "up" in
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
@@ -108,7 +108,7 @@ let up ?trace ?faults ~tree ~local ~combine ~size_bits () =
   let eng =
     Sync.create ~n
       ~size_bits:(fun m -> header + size_bits m.value)
-      ~handler ?trace ?faults ()
+      ~handler ?trace ?faults ?sched ()
   in
   (* Kick off: leaves complete immediately. *)
   for v = 0 to nv - 1 do
@@ -127,7 +127,7 @@ let up ?trace ?faults ~tree ~local ~combine ~size_bits () =
   trace_phase_end trace span "up" report;
   (value, memo, report)
 
-let down ?trace ?faults ~tree ~memo ~root_payload ~split ~size_bits () =
+let down ?trace ?faults ?sched ~tree ~memo ~root_payload ~split ~size_bits () =
   let span = Trace.phase_start trace "down" in
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
@@ -153,7 +153,7 @@ let down ?trace ?faults ~tree ~memo ~root_payload ~split ~size_bits () =
   let eng =
     Sync.create ~n
       ~size_bits:(fun m -> header + size_bits m.value)
-      ~handler ?trace ?faults ()
+      ~handler ?trace ?faults ?sched ()
   in
   handle eng (Aggtree.root tree) root_payload;
   let rounds = Sync.run_to_quiescence eng in
@@ -161,7 +161,7 @@ let down ?trace ?faults ~tree ~memo ~root_payload ~split ~size_bits () =
   trace_phase_end trace span "down" report;
   (retained, report)
 
-let broadcast ?trace ?faults ~tree ~payload ~size_bits () =
+let broadcast ?trace ?faults ?sched ~tree ~payload ~size_bits () =
   let span = Trace.phase_start trace "broadcast" in
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
@@ -176,7 +176,7 @@ let broadcast ?trace ?faults ~tree ~payload ~size_bits () =
   let eng =
     Sync.create ~n
       ~size_bits:(fun m -> header + size_bits m.value)
-      ~handler ?trace ?faults ()
+      ~handler ?trace ?faults ?sched ()
   in
   handle eng (Aggtree.root tree) payload;
   let rounds = Sync.run_to_quiescence eng in

@@ -44,6 +44,7 @@ val memo_parts : 'a memo -> Dpq_overlay.Ldb.vnode -> 'a list
 val up :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   tree:Aggtree.t ->
   local:(Dpq_overlay.Ldb.vnode -> 'a) ->
   combine:('a -> 'a -> 'a) ->
@@ -60,6 +61,7 @@ val up :
 val down :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   tree:Aggtree.t ->
   memo:'a memo ->
   root_payload:'b ->
@@ -77,6 +79,7 @@ val down :
 val broadcast :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   tree:Aggtree.t ->
   payload:'b ->
   size_bits:('b -> int) ->

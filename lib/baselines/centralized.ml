@@ -12,6 +12,7 @@ type t = {
   ldb : Ldb.t;
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
+  sched : Dpq_simrt.Sched.t option;
   buffers : pending Queue.t array;
   seq_counters : int array;
   elt_counters : int array;
@@ -20,13 +21,14 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ?trace ?faults ~n () =
+let create ?(seed = 1) ?trace ?faults ?sched ~n () =
   if n < 1 then invalid_arg "Centralized.create: need n >= 1";
   {
     n;
     ldb = Ldb.build ~n ~seed;
     trace;
     faults;
+    sched;
     buffers = Array.init n (fun _ -> Queue.create ());
     seq_counters = Array.make n 0;
     elt_counters = Array.make n 0;
@@ -147,7 +149,7 @@ let process t =
   let eng =
     Sync.create ~n:t.n
       ~size_bits:(fun m -> 64 + payload_bits m.payload)
-      ~handler ?trace:t.trace ?faults:t.faults ()
+      ~handler ?trace:t.trace ?faults:t.faults ?sched:t.sched ()
   in
   for node = 0 to t.n - 1 do
     Queue.iter

@@ -14,7 +14,13 @@ module Element = Dpq_util.Element
 type t
 
 val create :
-  ?seed:int -> ?trace:Dpq_obs.Trace.t -> ?faults:Dpq_simrt.Fault_plan.t -> n:int -> unit -> t
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
+  n:int ->
+  unit ->
+  t
 (** With [trace], each {!process} opens a ["centralized"] span, traces every
     delivery, and closes the span with the returned report. *)
 

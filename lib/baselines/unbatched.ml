@@ -18,6 +18,7 @@ type t = {
   ldb : Ldb.t;
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
+  sched : Dpq_simrt.Sched.t option;
   tree : Aggtree.t;
   dht : Dht.t;
   key_hash : Dpq_util.Hashing.t;
@@ -29,7 +30,7 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ?trace ?faults ~n ~num_prios () =
+let create ?(seed = 1) ?trace ?faults ?sched ~n ~num_prios () =
   if n < 1 then invalid_arg "Unbatched.create: need n >= 1";
   let ldb = Ldb.build ~n ~seed in
   {
@@ -38,6 +39,7 @@ let create ?(seed = 1) ?trace ?faults ~n ~num_prios () =
     ldb;
     trace;
     faults;
+    sched;
     tree = Aggtree.of_ldb ldb;
     dht = Dht.create ~ldb ~seed:(seed + 7919);
     key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
@@ -194,7 +196,7 @@ let process t =
   let eng =
     Sync.create ~n:t.n
       ~size_bits:(fun m -> 64 + payload_bits m.payload)
-      ~handler ?trace:t.trace ?faults:t.faults ()
+      ~handler ?trace:t.trace ?faults:t.faults ?sched:t.sched ()
   in
   for node = 0 to t.n - 1 do
     Queue.iter
@@ -214,7 +216,7 @@ let process t =
     ~messages:(Metrics.total_messages m) ~max_congestion:(Metrics.max_congestion m)
     ~max_message_bits:(Metrics.max_message_bits m) ~total_bits:(Metrics.total_bits m);
   (* Phase 4: the DHT rendezvous. *)
-  let dht_cs, dht_report = Dht.run_batch_sync ?trace:t.trace ?faults:t.faults t.dht (List.rev !dht_ops) in
+  let dht_cs, dht_report = Dht.run_batch_sync ?trace:t.trace ?faults:t.faults ?sched:t.sched t.dht (List.rev !dht_ops) in
   List.iter
     (fun c ->
       match c with

@@ -16,6 +16,7 @@ val create :
   ?seed:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   n:int ->
   num_prios:int ->
   unit ->

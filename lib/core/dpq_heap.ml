@@ -29,23 +29,26 @@ type t = {
   backend : backend;
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
+  sched : Dpq_simrt.Sched.t option;
   impl : impl;
 }
 
-let create ?(seed = 1) ?trace ?faults ~n backend =
+let create ?(seed = 1) ?trace ?faults ?sched ~n backend =
   let impl =
     match backend with
-    | Skeap { num_prios } -> I_skeap (Skeap_impl.create ~seed ?trace ?faults ~n ~num_prios ())
-    | Seap -> I_seap (Seap_impl.create ~seed ?trace ?faults ~n ())
-    | Centralized -> I_centralized (Centralized_impl.create ~seed ?trace ?faults ~n ())
+    | Skeap { num_prios } ->
+        I_skeap (Skeap_impl.create ~seed ?trace ?faults ?sched ~n ~num_prios ())
+    | Seap -> I_seap (Seap_impl.create ~seed ?trace ?faults ?sched ~n ())
+    | Centralized -> I_centralized (Centralized_impl.create ~seed ?trace ?faults ?sched ~n ())
     | Unbatched { num_prios } ->
-        I_unbatched (Unbatched_impl.create ~seed ?trace ?faults ~n ~num_prios ())
+        I_unbatched (Unbatched_impl.create ~seed ?trace ?faults ?sched ~n ~num_prios ())
   in
-  { backend; trace; faults; impl }
+  { backend; trace; faults; sched; impl }
 
 let backend t = t.backend
 let trace t = t.trace
 let faults t = t.faults
+let sched t = t.sched
 
 let n t =
   match t.impl with

@@ -52,7 +52,13 @@ type dht_mode = Dpq_types.Types.dht_mode =
 type t
 
 val create :
-  ?seed:int -> ?trace:Dpq_obs.Trace.t -> ?faults:Dpq_simrt.Fault_plan.t -> n:int -> backend -> t
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
+  n:int ->
+  backend ->
+  t
 (** With [trace], every {!process} (and membership change) records
     structured events — spans per protocol phase, one event per message
     delivery — into the given sink; see {!Dpq_obs.Trace}.  With [faults],
@@ -61,11 +67,14 @@ val create :
     ({!Dpq_simrt.Fault_plan} / {!Dpq_simrt.Reliable}): messages are
     dropped, duplicated, delayed, or lost to crash windows, yet {!process}
     completes with unchanged semantics and {!verify} still passes — only
-    the costs grow. *)
+    the costs grow.  With [sched], every engine runs under that adversarial
+    delivery scheduler ({!Dpq_simrt.Sched}) — the exploration harness's
+    lever for hunting semantics-breaking interleavings. *)
 
 val backend : t -> backend
 val trace : t -> Dpq_obs.Trace.t option
 val faults : t -> Dpq_simrt.Fault_plan.t option
+val sched : t -> Dpq_simrt.Sched.t option
 val n : t -> int
 
 val insert : t -> node:int -> prio:int -> Element.t

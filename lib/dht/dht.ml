@@ -165,7 +165,7 @@ let trace_ops trace t ops =
               Dpq_obs.Trace.dht_get trace ~origin ~key ~manager:(Ldb.owner (manager_of_key t key)))
         ops
 
-let run_batch_sync ?trace ?faults t ops =
+let run_batch_sync ?trace ?faults ?sched t ops =
   let span = Dpq_obs.Trace.phase_start trace "dht" in
   trace_ops trace t ops;
   let completions = ref [] in
@@ -173,7 +173,7 @@ let run_batch_sync ?trace ?faults t ops =
   let rec handler eng ~dst:_ ~src:_ msg =
     handle t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) ~complete msg
   and eng =
-    lazy (Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t) ~handler:(fun e ~dst ~src m -> handler e ~dst ~src m) ?trace ?faults ())
+    lazy (Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t) ~handler:(fun e ~dst ~src m -> handler e ~dst ~src m) ?trace ?faults ?sched ())
   in
   let eng = Lazy.force eng in
   List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) op) ops;
@@ -196,7 +196,7 @@ let run_batch_sync ?trace ?faults t ops =
     ~max_message_bits:report.Phase.max_message_bits ~total_bits:report.Phase.total_bits;
   (List.rev !completions, report)
 
-let run_batch_async ?trace ?faults t ~seed ?(policy = Dpq_simrt.Async_engine.Uniform (1.0, 10.0)) ops =
+let run_batch_async ?trace ?faults ?sched t ~seed ?(policy = Dpq_simrt.Async_engine.Uniform (1.0, 10.0)) ops =
   (* The asynchronous model reports no synchronous cost, so the span closes
      with zeros even though delivery events are traced inside it. *)
   let span = Dpq_obs.Trace.phase_start trace "dht-async" in
@@ -206,7 +206,7 @@ let run_batch_async ?trace ?faults t ~seed ?(policy = Dpq_simrt.Async_engine.Uni
   let handler eng ~dst:_ ~src:_ msg =
     handle t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) ~complete msg
   in
-  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ?trace ?faults ~size_bits:(size_bits t) ~handler () in
+  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ?trace ?faults ?sched ~size_bits:(size_bits t) ~handler () in
   List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) op) ops;
   ignore (Async.run_to_quiescence eng);
   Dpq_obs.Trace.phase_end trace ~span ~name:"dht-async" ~rounds:0 ~messages:0 ~max_congestion:0

@@ -43,6 +43,7 @@ type completion =
 val run_batch_sync :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   t ->
   op list ->
   completion list * Dpq_aggtree.Phase.report
@@ -53,11 +54,13 @@ val run_batch_sync :
     operation (tagged with the manager node it rendezvouses at), traces
     every delivery, and closes the span with the returned report.  With
     [faults], the batch's engine runs over the faulty network with
-    reliable delivery. *)
+    reliable delivery.  With [sched], the adversarial scheduler perturbs
+    the batch's delivery order (see {!Dpq_simrt.Sched}). *)
 
 val run_batch_async :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   t ->
   seed:int ->
   ?policy:Dpq_simrt.Async_engine.delay_policy ->

@@ -1,0 +1,68 @@
+module Oplog = Dpq_semantics.Oplog
+
+type t =
+  | Swap_matched_pair of int
+  | Forge_bottom of int
+  | Dup_witness of int
+
+let to_string = function
+  | Swap_matched_pair k -> Printf.sprintf "swap=%d" k
+  | Forge_bottom k -> Printf.sprintf "bottom=%d" k
+  | Dup_witness k -> Printf.sprintf "dupw=%d" k
+
+let of_string s =
+  let s = String.trim s in
+  let fail () = Error (Printf.sprintf "Corrupt.of_string: bad spec %S" s) in
+  match String.index_opt s '=' with
+  | None -> fail ()
+  | Some i -> (
+      let name = String.sub s 0 i in
+      match (name, int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))) with
+      | "swap", Some k when k >= 0 -> Ok (Swap_matched_pair k)
+      | "bottom", Some k when k >= 0 -> Ok (Forge_bottom k)
+      | "dupw", Some k when k >= 0 -> Ok (Dup_witness k)
+      | _ -> fail ())
+
+let nth_opt l k = if k < 0 then None else List.nth_opt l k
+
+let apply c log =
+  let records = Oplog.to_list log in
+  match c with
+  | Swap_matched_pair k -> (
+      match nth_opt (Oplog.matching log) k with
+      | None -> log
+      | Some (ins, del) ->
+          let wi = ins.Oplog.witness and wd = del.Oplog.witness in
+          Oplog.of_list
+            (List.map
+               (fun (r : Oplog.record) ->
+                 if r.Oplog.witness = wi then { r with Oplog.witness = wd }
+                 else if r.Oplog.witness = wd then { r with Oplog.witness = wi }
+                 else r)
+               records))
+  | Forge_bottom k -> (
+      let answered =
+        List.filter
+          (fun (r : Oplog.record) -> r.Oplog.kind = Oplog.Delete_min && r.Oplog.result <> None)
+          records
+      in
+      match nth_opt answered k with
+      | None -> log
+      | Some victim ->
+          Oplog.of_list
+            (List.map
+               (fun (r : Oplog.record) ->
+                 if r.Oplog.witness = victim.Oplog.witness then { r with Oplog.result = None }
+                 else r)
+               records))
+  | Dup_witness k -> (
+      match (nth_opt records k, nth_opt records (k + 1)) with
+      | Some prev, Some next ->
+          Oplog.of_list
+            (List.map
+               (fun (r : Oplog.record) ->
+                 if r.Oplog.witness = next.Oplog.witness then
+                   { r with Oplog.witness = prev.Oplog.witness }
+                 else r)
+               records)
+      | _ -> log)

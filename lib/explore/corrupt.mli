@@ -1,0 +1,30 @@
+(** Test-only oplog corruptions: planted protocol bugs.
+
+    The exploration harness needs failures to exercise its checker → shrink
+    → repro pipeline, but the protocols are (believed) correct.  A
+    {!t} deterministically mis-witnesses an otherwise-honest oplog after the
+    run, simulating a protocol that lies about its serialization order —
+    the checkers must catch it, the shrinker must preserve it, and a repro
+    file must replay it.  Never applied outside tests and replay. *)
+
+type t =
+  | Swap_matched_pair of int
+      (** Swap the witness positions of the k-th matched (insert, delete)
+          pair (0-based): the delete now claims to precede its insert —
+          violates heap-consistency clause 1 (and serializability). *)
+  | Forge_bottom of int
+      (** Erase the result of the k-th answered delete: it now claims ⊥
+          while its element's priority was present — violates
+          serializability. *)
+  | Dup_witness of int
+      (** Give record k+1 the same witness position as record k — violates
+          well-formedness. *)
+
+val to_string : t -> string
+(** [swap=K] / [bottom=K] / [dupw=K]; round-trips with {!of_string}. *)
+
+val of_string : string -> (t, string) result
+
+val apply : t -> Dpq_semantics.Oplog.t -> Dpq_semantics.Oplog.t
+(** Deterministic; the identity when the index is out of range (so a shrunk
+    workload with fewer operations than the index stays checkable). *)

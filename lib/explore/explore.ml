@@ -1,0 +1,373 @@
+module Rng = Dpq_util.Rng
+module Types = Dpq_types.Types
+module Sched = Dpq_simrt.Sched
+module Async = Dpq_simrt.Async_engine
+module Fault_plan = Dpq_simrt.Fault_plan
+module Trace = Dpq_obs.Trace
+module Oplog = Dpq_semantics.Oplog
+module Checker = Dpq_semantics.Checker
+module Workload = Dpq_workloads.Workload
+module Heap = Dpq.Dpq_heap
+
+type engine = Sync | Async of Async.delay_policy
+
+type config = {
+  seed : int;
+  backend : Types.backend;
+  n : int;
+  engine : engine;
+  sched : Sched.policy;
+  faults : string option;
+  corrupt : Corrupt.t option;
+  workload : Workload.t;
+}
+
+type outcome = { digest : string; violation : Checker.violation option; ops : int }
+
+(* Independent named streams off the master seed: the workload draw, the
+   fault draw and the async delay draw never share randomness, so shrinking
+   one axis (say, dropping the fault plan) cannot silently reshuffle
+   another. *)
+let sub_seed seed name = Rng.bits (Rng.named ~seed name)
+
+(* Which contract a run is held to.  Skeap claims sequential consistency
+   under arbitrary reordering (Theorem 3.2) and Seap serializability
+   (Theorem 5.1) — always.  The baselines serialize at a single point but
+   only promise local consistency under FIFO delivery (see the
+   "baselines need FIFO release" regression in test_faults): under a
+   perturbing scheduler they are held to serializability instead. *)
+let explain ~sched backend log =
+  match backend with
+  | Types.Seap -> Checker.explain_all_seap log
+  | Types.Skeap _ -> Checker.explain_all_skeap log
+  | Types.Centralized | Types.Unbatched _ ->
+      if sched = Sched.Fifo then Checker.explain_all_skeap log
+      else Checker.explain_all_seap log
+
+let run cfg =
+  (match (cfg.backend, cfg.engine) with
+  | (Types.Centralized | Types.Unbatched _), Async _ ->
+      invalid_arg "Explore.run: baselines have no asynchronous DHT phase"
+  | _ -> ());
+  let trace = Trace.create () in
+  let faults =
+    Option.map (fun spec -> Fault_plan.of_string ~seed:(sub_seed cfg.seed "fault") spec) cfg.faults
+  in
+  let sched =
+    match cfg.sched with Sched.Fifo -> None | p -> Some (Sched.create ~seed:cfg.seed p)
+  in
+  let h = Heap.create ~seed:cfg.seed ~trace ?faults ?sched ~n:cfg.n cfg.backend in
+  let dht_mode =
+    match cfg.engine with
+    | Sync -> Types.Dht_sync
+    | Async policy -> Types.Dht_async { seed = sub_seed cfg.seed "delay"; policy }
+  in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : Workload.op) ->
+          match op.Workload.action with
+          | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
+          | `Del -> Heap.delete_min h ~node:op.Workload.node)
+        round;
+      ignore (Heap.process ~dht_mode h))
+    cfg.workload;
+  let log =
+    match cfg.corrupt with None -> Heap.oplog h | Some c -> Corrupt.apply c (Heap.oplog h)
+  in
+  let violation =
+    match explain ~sched:cfg.sched cfg.backend log with Ok () -> None | Error v -> Some v
+  in
+  { digest = Run_digest.of_run ~oplog:log ~trace; violation; ops = Oplog.length log }
+
+(* ---------------------------------------------------------------- sweep *)
+
+type combo = { backend : Types.backend; engine : engine; faults : string option }
+
+let num_prios = 4
+let drop_dup_spec = "drop=0.2,dup=0.05"
+
+let default_combos =
+  let backends =
+    [ Types.Skeap { num_prios }; Types.Seap; Types.Centralized; Types.Unbatched { num_prios } ]
+  in
+  let engines = [ Sync; Async (Async.Uniform (1.0, 10.0)) ] in
+  let faultss = [ None; Some drop_dup_spec ] in
+  List.concat_map
+    (fun backend ->
+      List.concat_map
+        (fun engine ->
+          match (backend, engine) with
+          | (Types.Centralized | Types.Unbatched _), Async _ -> []
+          | _ -> List.map (fun faults -> { backend; engine; faults }) faultss)
+        engines)
+    backends
+
+let default_policies =
+  [
+    Sched.Fifo;
+    Sched.Shuffle { burst = 4; starvation = 0.1 };
+    Sched.Crossing_pairs;
+    Sched.Channel_bias { src = None; dst = Some 0; factor = 4 };
+  ]
+
+let prio_for = function
+  | Types.Skeap _ | Types.Unbatched _ -> Workload.Constant_set num_prios
+  | Types.Seap | Types.Centralized -> Workload.Uniform (1, 50)
+
+let gen_workload ~seed ~n ~rounds ~lambda backend =
+  Workload.generate
+    ~rng:(Rng.named ~seed "workload")
+    ~n ~rounds ~lambda ~prio:(prio_for backend) ()
+
+let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ~seed ~policy combo =
+  {
+    seed;
+    backend = combo.backend;
+    n;
+    engine = combo.engine;
+    sched = policy;
+    faults = combo.faults;
+    corrupt = None;
+    workload = gen_workload ~seed ~n ~rounds ~lambda combo.backend;
+  }
+
+type failure = { config : config; violation : Checker.violation }
+type sweep_result = { runs : int; failures : failure list }
+
+let sweep ?n ?rounds ?lambda ?(combos = default_combos) ?(policies = default_policies)
+    ~seeds () =
+  if combos = [] then invalid_arg "Explore.sweep: empty combo list";
+  if policies = [] then invalid_arg "Explore.sweep: empty policy list";
+  let ncombos = List.length combos and npolicies = List.length policies in
+  let runs = ref 0 and failures = ref [] in
+  List.iteri
+    (fun i seed ->
+      (* Round-robin the grid over the seed list with coprime-ish strides so
+         consecutive seeds hit different (combo, policy) cells. *)
+      let combo = List.nth combos (i mod ncombos) in
+      let policy = List.nth policies (i / ncombos mod npolicies) in
+      let cfg = config_of_combo ?n ?rounds ?lambda ~seed ~policy combo in
+      incr runs;
+      match (run cfg).violation with
+      | None -> ()
+      | Some violation -> failures := { config = cfg; violation } :: !failures)
+    seeds;
+  { runs = !runs; failures = List.rev !failures }
+
+(* --------------------------------------------------------------- shrink *)
+
+let violates_same clause cfg =
+  match try Some (run cfg) with _ -> None with
+  | Some { violation = Some v; _ } -> v.Checker.clause = clause
+  | _ -> false
+
+let shrink_candidates cfg =
+  let with_workload w = { cfg with workload = w } in
+  let workload_cands = List.map with_workload (Workload.shrink_candidates cfg.workload) in
+  let sched_cands = if cfg.sched = Sched.Fifo then [] else [ { cfg with sched = Sched.Fifo } ] in
+  let fault_cands = if cfg.faults = None then [] else [ { cfg with faults = None } ] in
+  (* Axis simplifications first: they cut the most replay state at once. *)
+  sched_cands @ fault_cands @ workload_cands
+
+let shrink ?(max_attempts = 400) cfg clause =
+  let attempts = ref 0 in
+  let try_cand cand =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      violates_same clause cand
+    end
+  in
+  let rec descend cfg =
+    match List.find_opt try_cand (shrink_candidates cfg) with
+    | Some smaller -> descend smaller
+    | None -> cfg
+  in
+  if not (violates_same clause cfg) then
+    invalid_arg "Explore.shrink: configuration does not exhibit the violation";
+  descend cfg
+
+(* -------------------------------------------------------- repro files *)
+
+let backend_to_string = function
+  | Types.Skeap { num_prios } -> Printf.sprintf "skeap:%d" num_prios
+  | Types.Seap -> "seap"
+  | Types.Centralized -> "centralized"
+  | Types.Unbatched { num_prios } -> Printf.sprintf "unbatched:%d" num_prios
+
+let backend_of_string s =
+  let fail () = Error (Printf.sprintf "Explore: bad backend %S" s) in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "seap" ] -> Ok Types.Seap
+  | [ "centralized" ] -> Ok Types.Centralized
+  | [ "skeap"; c ] -> (
+      match int_of_string_opt c with
+      | Some num_prios when num_prios >= 1 -> Ok (Types.Skeap { num_prios })
+      | _ -> fail ())
+  | [ "unbatched"; c ] -> (
+      match int_of_string_opt c with
+      | Some num_prios when num_prios >= 1 -> Ok (Types.Unbatched { num_prios })
+      | _ -> fail ())
+  | _ -> fail ()
+
+let engine_to_string = function
+  | Sync -> "sync"
+  | Async policy -> "async:" ^ Async.policy_to_string policy
+
+let engine_of_string s =
+  let s = String.trim s in
+  if s = "sync" then Ok Sync
+  else if String.length s > 6 && String.sub s 0 6 = "async:" then
+    Result.map (fun p -> Async p)
+      (Async.policy_of_string (String.sub s 6 (String.length s - 6)))
+  else Error (Printf.sprintf "Explore: bad engine %S" s)
+
+let all_clauses =
+  Checker.
+    [
+      Well_formedness;
+      Local_consistency;
+      Serializability;
+      Heap_clause_1;
+      Heap_clause_2;
+      Heap_clause_3;
+      Fifo_order;
+      Lifo_order;
+    ]
+
+let clause_of_string s =
+  let s = String.trim s in
+  match List.find_opt (fun c -> Checker.clause_name c = s) all_clauses with
+  | Some c -> Ok c
+  | None -> Error (Printf.sprintf "Explore: unknown clause %S" s)
+
+type expectation = { expect_clause : Checker.clause option; expect_digest : string }
+
+let magic = "dpq-repro v1"
+
+let repro_to_string cfg (o : outcome) =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "seed %d" cfg.seed;
+  line "backend %s" (backend_to_string cfg.backend);
+  line "nodes %d" cfg.n;
+  line "engine %s" (engine_to_string cfg.engine);
+  line "sched %s" (Sched.policy_to_string cfg.sched);
+  line "faults %s" (match cfg.faults with None -> "none" | Some s -> s);
+  line "corrupt %s" (match cfg.corrupt with None -> "none" | Some c -> Corrupt.to_string c);
+  line "expect-clause %s"
+    (match o.violation with None -> "none" | Some v -> Checker.clause_name v.Checker.clause);
+  line "expect-digest %s" o.digest;
+  line "workload";
+  List.iter (fun r -> line "%s" (Workload.round_to_string r)) cfg.workload;
+  Buffer.contents buf
+
+let repro_of_string text =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match lines with
+  | m :: rest when m = magic ->
+      (* Header is a fixed sequence of "key value" lines up to "workload";
+         everything after is round lines. *)
+      let rec split_header acc = function
+        | "workload" :: rounds -> Ok (List.rev acc, rounds)
+        | kv :: rest -> (
+            match String.index_opt kv ' ' with
+            | None -> fail "Explore: bad repro line %S" kv
+            | Some i ->
+                split_header
+                  ((String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1)) :: acc)
+                  rest)
+        | [] -> fail "Explore: repro file has no workload section"
+      in
+      let* header, round_lines = split_header [] rest in
+      let field k =
+        match List.assoc_opt k header with
+        | Some v -> Ok v
+        | None -> fail "Explore: repro file missing %S" k
+      in
+      let int_field k =
+        let* v = field k in
+        match int_of_string_opt v with Some i -> Ok i | None -> fail "Explore: bad %s %S" k v
+      in
+      let* seed = int_field "seed" in
+      let* n = int_field "nodes" in
+      let* backend = Result.bind (field "backend") backend_of_string in
+      let* engine = Result.bind (field "engine") engine_of_string in
+      let* sched = Result.bind (field "sched") Sched.policy_of_string in
+      let* faults =
+        let* v = field "faults" in
+        if v = "none" then Ok None
+        else begin
+          (* Validate eagerly so a bad spec fails at parse, not mid-replay. *)
+          match Fault_plan.of_string ~seed:0 v with
+          | (_ : Fault_plan.t) -> Ok (Some v)
+          | exception Invalid_argument m -> Error m
+        end
+      in
+      let* corrupt =
+        let* v = field "corrupt" in
+        if v = "none" then Ok None else Result.map Option.some (Corrupt.of_string v)
+      in
+      let* expect_clause =
+        let* v = field "expect-clause" in
+        if v = "none" then Ok None else Result.map Option.some (clause_of_string v)
+      in
+      let* expect_digest = field "expect-digest" in
+      let* workload =
+        List.fold_left
+          (fun acc line ->
+            let* acc = acc in
+            let* r = Workload.round_of_string line in
+            Ok (r :: acc))
+          (Ok []) round_lines
+        |> Result.map List.rev
+      in
+      Ok
+        ( { seed; backend; n; engine; sched; faults; corrupt; workload },
+          { expect_clause; expect_digest } )
+  | _ -> fail "Explore: not a %s file" magic
+
+let write_repro ~path cfg outcome =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (repro_to_string cfg outcome))
+
+let read_repro path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> repro_of_string (In_channel.input_all ic))
+
+type replay_report = {
+  config : config;
+  outcome : outcome;
+  digest_matches : bool;
+  clause_matches : bool;
+}
+
+let replay path =
+  Result.map
+    (fun (cfg, expect) ->
+      let o = run cfg in
+      {
+        config = cfg;
+        outcome = o;
+        digest_matches = String.equal o.digest expect.expect_digest;
+        clause_matches =
+          (match (expect.expect_clause, o.violation) with
+          | None, None -> true
+          | Some c, Some v -> v.Checker.clause = c
+          | _ -> false);
+      })
+    (read_repro path)

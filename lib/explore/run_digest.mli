@@ -1,0 +1,20 @@
+(** Deterministic digests of a run's observable behaviour.
+
+    The exploration harness's determinism contract — "same (seed, policy,
+    workload) ⇒ same execution" — is checked by digesting what a run did
+    and comparing hex strings.  The digest covers the full oplog (every
+    operation, witness position and result) plus the schedule-identity
+    slice of the trace: message deliveries in order, scheduler
+    perturbations, fault injections and retransmissions.  Phase spans and
+    cost summaries are excluded, so accounting changes do not break stored
+    repro files.
+
+    FNV-1a (64-bit), rendered as 16 lowercase hex digits.  Not
+    cryptographic — it only separates schedules. *)
+
+val of_oplog : Dpq_semantics.Oplog.t -> string
+(** Digest of the operations alone (no trace). *)
+
+val of_run : oplog:Dpq_semantics.Oplog.t -> trace:Dpq_obs.Trace.t -> string
+(** Digest of operations + delivery schedule: the identity of one
+    execution. *)

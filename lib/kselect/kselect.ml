@@ -92,7 +92,7 @@ let spayload_bits ldb p =
 (* [reps]: for each real node, the (position, element) pairs it contributed.
    Returns the element of each order (index 1..n') plus the number of
    (node, tree) participations, and adds the engine costs to [reports]. *)
-let sorting_stage ~trace ~faults ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list array) ~n'
+let sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list array) ~n'
     ~(add_report : Phase.report -> unit) =
   let span = Dpq_obs.Trace.phase_start trace "kselect-sort" in
   let n = Ldb.n ldb in
@@ -262,7 +262,7 @@ let sorting_stage ~trace ~faults ~ldb ~hash_pos ~hash_pair ~(reps : (int * Eleme
         Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
           { path = rest; payload = msg.payload }
   in
-  let eng = Sync.create ~n ~size_bits ~handler ?trace ?faults () in
+  let eng = Sync.create ~n ~size_bits ~handler ?trace ?faults ?sched () in
   (* Kick off: every chosen representative is routed to the node responsible
      for its position; that node becomes the root v_i of copy tree T(v_i). *)
   Array.iteri
@@ -336,6 +336,7 @@ type state = {
   hash_pair : Hashing.t;
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
+  sched : Dpq_simrt.Sched.t option;
 }
 
 let add_report st r = st.report <- Phase.add_report st.report r
@@ -345,10 +346,10 @@ let int_bits = Bitsize.bits_of_int
 (* Aggregation-phase helpers, all charged to the report. *)
 let bcast st payload_bits =
   add_report st
-    (Phase.broadcast ?trace:st.trace ?faults:st.faults ~tree:st.tree ~payload:() ~size_bits:(fun () -> payload_bits) ())
+    (Phase.broadcast ?trace:st.trace ?faults:st.faults ?sched:st.sched ~tree:st.tree ~payload:() ~size_bits:(fun () -> payload_bits) ())
 
 let up st ~local ~combine ~size_bits =
-  let v, memo, r = Phase.up ?trace:st.trace ?faults:st.faults ~tree:st.tree ~local ~combine ~size_bits () in
+  let v, memo, r = Phase.up ?trace:st.trace ?faults:st.faults ?sched:st.sched ~tree:st.tree ~local ~combine ~size_bits () in
   add_report st r;
   (v, memo)
 
@@ -446,7 +447,7 @@ let draw_representatives st ~prob =
   if n' = 0 then (0, [||])
   else begin
     let retained, down_r =
-      Phase.down ?trace:st.trace ?faults:st.faults ~tree:st.tree ~memo ~root_payload:(Interval.make 1 n')
+      Phase.down ?trace:st.trace ?faults:st.faults ?sched:st.sched ~tree:st.tree ~memo ~root_payload:(Interval.make 1 n')
         ~split:(fun ~parts iv -> Interval.split_sizes iv parts)
         ~size_bits:(fun iv ->
           if Interval.is_empty iv then 2
@@ -509,7 +510,7 @@ let prune_between st ~c_l ~c_r ~prune_below ~prune_above =
 
 (* -------------------------------------------------------------- select  *)
 
-let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults ~tree ~elements ~k () =
+let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults ?sched ~tree ~elements ~k () =
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
   if Array.length elements <> n then
@@ -530,6 +531,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
       hash_pair = Hashing.create ~seed:(seed + 65537);
       trace;
       faults;
+      sched;
     }
   in
   let diag_p1 = ref [] and diag_p2 = ref [] and diag_reps = ref [] in
@@ -573,7 +575,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
     if n' >= 2 then begin
       diag_reps := n' :: !diag_reps;
       let by_order, parts =
-        sorting_stage ~trace ~faults ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
+        sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
           ~add_report:(add_report st)
       in
       participations := !participations + parts;
@@ -613,7 +615,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
       let n', reps = draw_representatives st ~prob:1.0 in
       assert (n' = phase3_n);
       let by_order, parts =
-        sorting_stage ~trace ~faults ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
+        sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
           ~add_report:(add_report st)
       in
       participations := !participations + parts;

@@ -59,6 +59,7 @@ val select :
   ?delta_factor:float ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   tree:Dpq_aggtree.Aggtree.t ->
   elements:Element.t list array ->
   k:int ->

@@ -22,6 +22,7 @@ type event =
   | Fault_injected of { span : span; kind : string; src : int; dst : int }
   | Retransmit of { span : span; src : int; dst : int; attempt : int }
   | Node_crashed of { node : int; kind : string; at : int }
+  | Sched_perturbed of { span : span; kind : string; src : int; dst : int }
 
 type t = {
   mutable rev_events : event list;
@@ -112,6 +113,11 @@ let node_crashed topt ~node ~kind ~at =
   match topt with
   | None -> ()
   | Some t -> push t (Node_crashed { node; kind; at })
+
+let sched_perturbed topt ~kind ~src ~dst =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Sched_perturbed { span = current_span t; kind; src; dst })
 
 (* ------------------------------------------------------ derived metrics *)
 
@@ -361,7 +367,13 @@ let event_to_json ev =
       tag "node_crash";
       buf_kv_int b "node" node;
       buf_kv_str b "kind" kind;
-      buf_kv_int b "at" at);
+      buf_kv_int b "at" at
+  | Sched_perturbed { span; kind; src; dst } ->
+      tag "sched";
+      buf_kv_int b "span" span;
+      buf_kv_str b "kind" kind;
+      buf_kv_int b "src" src;
+      buf_kv_int b "dst" dst);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -491,6 +503,8 @@ let event_of_json line =
       | "retransmit" ->
           Retransmit { span = fint "span"; src = fint "src"; dst = fint "dst"; attempt = fint "attempt" }
       | "node_crash" -> Node_crashed { node = fint "node"; kind = fstr "kind"; at = fint "at" }
+      | "sched" ->
+          Sched_perturbed { span = fint "span"; kind = fstr "kind"; src = fint "src"; dst = fint "dst" }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev

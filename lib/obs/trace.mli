@@ -66,6 +66,11 @@ type event =
   | Node_crashed of { node : int; kind : string; at : int }
       (** A crash-window transition: ["down"] / ["up"] at fault-plan tick
           [at]. *)
+  | Sched_perturbed of { span : span; kind : string; src : int; dst : int }
+      (** An adversarial scheduler ({!Dpq_simrt.Sched}) diverged from FIFO
+          delivery for one message: ["defer"] (postponed a round), ["swap"]
+          (crossed with its pair), ["bias"] (slow-link delay), or
+          ["starve"] (long random delay). *)
 
 type t
 
@@ -106,6 +111,7 @@ val churn : t option -> kind:string -> n:int -> join_messages:int -> moved_eleme
 val fault_injected : t option -> kind:string -> src:int -> dst:int -> unit
 val retransmit : t option -> src:int -> dst:int -> attempt:int -> unit
 val node_crashed : t option -> node:int -> kind:string -> at:int -> unit
+val sched_perturbed : t option -> kind:string -> src:int -> dst:int -> unit
 
 (** {2 Derived metrics}
 

@@ -19,6 +19,7 @@ type t = {
   consistency : consistency;
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
+  sched : Dpq_simrt.Sched.t option;
   mutable ldb : Ldb.t;
   mutable tree : Aggtree.t;
   dht : Dht.t;
@@ -36,7 +37,7 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ?(consistency = Serializable) ?trace ?faults ~n () =
+let create ?(seed = 1) ?(consistency = Serializable) ?trace ?faults ?sched ~n () =
   if n < 1 then invalid_arg "Seap.create: need n >= 1";
   let ldb = Ldb.build ~n ~seed in
   {
@@ -45,6 +46,7 @@ let create ?(seed = 1) ?(consistency = Serializable) ?trace ?faults ~n () =
     consistency;
     trace;
     faults;
+    sched;
     ldb;
     tree = Aggtree.of_ldb ldb;
     dht = Dht.create ~ldb ~seed:(seed + 7919);
@@ -108,9 +110,9 @@ let int_bits = Bitsize.bits_of_int
 
 let run_dht t ~dht_mode ops =
   match dht_mode with
-  | Dht_sync -> Dht.run_batch_sync ?trace:t.trace ?faults:t.faults t.dht ops
+  | Dht_sync -> Dht.run_batch_sync ?trace:t.trace ?faults:t.faults ?sched:t.sched t.dht ops
   | Dht_async { seed; policy } ->
-      let cs = Dht.run_batch_async ?trace:t.trace ?faults:t.faults t.dht ~seed ~policy ops in
+      let cs = Dht.run_batch_async ?trace:t.trace ?faults:t.faults ?sched:t.sched t.dht ~seed ~policy ops in
       (cs, Phase.empty_report)
 
 let next_witness t =
@@ -161,14 +163,14 @@ let insert_phase t ~dht_mode =
     | _ -> 0
   in
   let total, _memo, up_r =
-    Phase.up ?trace:t.trace ?faults:t.faults ~tree:t.tree ~local:count_local ~combine:( + )
+    Phase.up ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~local:count_local ~combine:( + )
       ~size_bits:(fun c -> int_bits (max 1 c))
       ()
   in
   add up_r;
   t.m <- t.m + total;
   (* Anchor's go-ahead broadcast, then the Put storm. *)
-  add (Phase.broadcast ?trace:t.trace ?faults:t.faults ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) ());
+  add (Phase.broadcast ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~payload:() ~size_bits:(fun () -> 1) ());
   let ops = ref [] in
   let by_key = Hashtbl.create 64 in
   Array.iteri
@@ -236,7 +238,7 @@ let delete_phase t ~dht_mode =
     | _ -> 0
   in
   let k, del_memo, up_r =
-    Phase.up ?trace:t.trace ?faults:t.faults ~tree:t.tree ~local:count_local ~combine:( + )
+    Phase.up ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~local:count_local ~combine:( + )
       ~size_bits:(fun c -> int_bits (max 1 c))
       ()
   in
@@ -250,7 +252,7 @@ let delete_phase t ~dht_mode =
       (* Find the k_eff-th smallest stored element. *)
       let elements = Array.init t.n (fun node -> Dht.elements_at t.dht ~node) in
       let sel =
-        Kselect.select ~seed:(t.seed + t.phase_no) ?trace:t.trace ?faults:t.faults
+        Kselect.select ~seed:(t.seed + t.phase_no) ?trace:t.trace ?faults:t.faults ?sched:t.sched
           ~tree:t.tree ~elements ~k:k_eff ()
       in
       add sel.Kselect.report;
@@ -258,7 +260,7 @@ let delete_phase t ~dht_mode =
       let e_k = sel.Kselect.element in
       (* Broadcast e_k so every node can pick out its rank-<=k elements. *)
       add
-        (Phase.broadcast ?trace:t.trace ?faults:t.faults ~tree:t.tree ~payload:e_k
+        (Phase.broadcast ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~payload:e_k
            ~size_bits:Element.encoded_bits ());
       (* Pull those elements out of their random-key homes and assign them
          positions 1..k_eff by interval decomposition. *)
@@ -276,14 +278,14 @@ let delete_phase t ~dht_mode =
         match Ldb.kind v with Ldb.Middle -> List.length taken.(Ldb.owner v) | _ -> 0
       in
       let total_chk, taken_memo, up2 =
-        Phase.up ?trace:t.trace ?faults:t.faults ~tree:t.tree ~local:counts_local ~combine:( + )
+        Phase.up ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~local:counts_local ~combine:( + )
           ~size_bits:(fun c -> int_bits (max 1 c))
           ()
       in
       add up2;
       assert (total_chk = k_eff);
       let elt_positions, down1 =
-        Phase.down ?trace:t.trace ?faults:t.faults ~tree:t.tree ~memo:taken_memo
+        Phase.down ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~memo:taken_memo
           ~root_payload:(Interval.make 1 k_eff)
           ~split:(fun ~parts iv -> Interval.split_sizes iv parts)
           ~size_bits:(fun iv ->
@@ -295,7 +297,7 @@ let delete_phase t ~dht_mode =
       (* Decompose [1, k_eff] over the deleters as well; the shortage
          (k - k_eff) turns into ⊥ answers at the traversal-last deleters. *)
       let del_positions, down2 =
-        Phase.down ?trace:t.trace ?faults:t.faults ~tree:t.tree ~memo:del_memo
+        Phase.down ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~memo:del_memo
           ~root_payload:(Interval.make 1 k_eff)
           ~split:(fun ~parts iv ->
             (* like Interval.split_sizes but tolerating shortage *)

@@ -47,6 +47,7 @@ val create :
   ?consistency:consistency ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
   n:int ->
   unit ->
   t

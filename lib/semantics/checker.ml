@@ -1,25 +1,82 @@
 module Element = Dpq_util.Element
 module Binheap = Dpq_util.Binheap
 
-let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+(* ------------------------------------------------------------ violations *)
+
+type clause =
+  | Well_formedness
+  | Local_consistency
+  | Serializability
+  | Heap_clause_1
+  | Heap_clause_2
+  | Heap_clause_3
+  | Fifo_order
+  | Lifo_order
+
+let clause_name = function
+  | Well_formedness -> "well-formedness"
+  | Local_consistency -> "local-consistency"
+  | Serializability -> "serializability"
+  | Heap_clause_1 -> "heap-clause-1"
+  | Heap_clause_2 -> "heap-clause-2"
+  | Heap_clause_3 -> "heap-clause-3"
+  | Fifo_order -> "fifo-order"
+  | Lifo_order -> "lifo-order"
+
+type op_ref = { node : int; local_seq : int; witness : int }
+
+type violation = {
+  clause : clause;
+  culprit : op_ref option;
+  partner : op_ref option;
+  detail : string;
+}
+
+let ref_of (r : Oplog.record) =
+  { node = r.Oplog.node; local_seq = r.Oplog.local_seq; witness = r.Oplog.witness }
+
+let pp_op_ref fmt r =
+  Format.fprintf fmt "op(node=%d,seq=%d,witness=%d)" r.node r.local_seq r.witness
+
+let violation_to_string v =
+  let opt name = function
+    | None -> ""
+    | Some r -> Format.asprintf " %s=%a" name pp_op_ref r
+  in
+  Printf.sprintf "[%s] %s%s%s" (clause_name v.clause) v.detail (opt "culprit" v.culprit)
+    (opt "partner" v.partner)
+
+let pp_violation fmt v = Format.pp_print_string fmt (violation_to_string v)
+
+let fail ~clause ?culprit ?partner fmt =
+  Printf.ksprintf (fun detail -> Error { clause; culprit; partner; detail }) fmt
+
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-let check_local_consistency log =
+(* ------------------------------------------------- explaining checkers *)
+
+let explain_well_formed log =
+  match Oplog.check_well_formed log with
+  | Ok () -> Ok ()
+  | Error detail -> Error { clause = Well_formedness; culprit = None; partner = None; detail }
+
+let explain_local_consistency log =
   let last_seen = Hashtbl.create 16 in
   let rec go = function
     | [] -> Ok ()
     | (r : Oplog.record) :: rest -> (
         match Hashtbl.find_opt last_seen r.Oplog.node with
-        | Some prev when prev >= r.Oplog.local_seq ->
-            err "node %d: local op %d appears in ≺ after local op %d" r.Oplog.node
-              r.Oplog.local_seq prev
+        | Some (prev : Oplog.record) when prev.Oplog.local_seq >= r.Oplog.local_seq ->
+            fail ~clause:Local_consistency ~culprit:(ref_of r) ~partner:(ref_of prev)
+              "node %d: local op %d appears in ≺ after local op %d" r.Oplog.node
+              r.Oplog.local_seq prev.Oplog.local_seq
         | _ ->
-            Hashtbl.replace last_seen r.Oplog.node r.Oplog.local_seq;
+            Hashtbl.replace last_seen r.Oplog.node r;
             go rest)
   in
   go (Oplog.to_list log)
 
-let check_serializability log =
+let explain_serializability log =
   (* Replay on a reference multiset-of-priorities heap.  Definition 1.2
      constrains which {e priority} a delete may return (the minimum present)
      but leaves equal-priority ties unconstrained — Skeap resolves them
@@ -50,6 +107,7 @@ let check_serializability log =
         end
         else Some p
   in
+  let clause = Serializability in
   let rec go = function
     | [] -> Ok ()
     | (r : Oplog.record) :: rest -> (
@@ -62,19 +120,23 @@ let check_serializability log =
             match (min_prio (), r.Oplog.result) with
             | None, None -> go rest
             | None, Some got ->
-                err "delete at node %d (op %d) returned %s from an empty heap" r.Oplog.node
+                fail ~clause ~culprit:(ref_of r)
+                  "delete at node %d (op %d) returned %s from an empty heap" r.Oplog.node
                   r.Oplog.local_seq (Element.to_string got)
             | Some p, None ->
-                err "delete at node %d (op %d) returned ⊥ but priority %d is present"
+                fail ~clause ~culprit:(ref_of r)
+                  "delete at node %d (op %d) returned ⊥ but priority %d is present"
                   r.Oplog.node r.Oplog.local_seq p
             | Some p, Some got ->
                 if Element.prio got <> p then
-                  err "delete at node %d (op %d) returned priority %d but the minimum is %d"
+                  fail ~clause ~culprit:(ref_of r)
+                    "delete at node %d (op %d) returned priority %d but the minimum is %d"
                     r.Oplog.node r.Oplog.local_seq (Element.prio got) p
                 else
                   let b = bucket p in
                   if not (Hashtbl.mem b (ekey got)) then
-                    err "delete at node %d (op %d) returned %s which is not in the heap"
+                    fail ~clause ~culprit:(ref_of r)
+                      "delete at node %d (op %d) returned %s which is not in the heap"
                       r.Oplog.node r.Oplog.local_seq (Element.to_string got)
                   else begin
                     Hashtbl.remove b (ekey got);
@@ -83,7 +145,7 @@ let check_serializability log =
   in
   go (Oplog.to_list log)
 
-let check_heap_consistency_clauses log =
+let explain_heap_consistency_clauses log =
   let records = Oplog.to_list log in
   let matching = Oplog.matching log in
   (* Clause (1): Ins ≺ Del for every matched pair. *)
@@ -92,41 +154,47 @@ let check_heap_consistency_clauses log =
       (fun acc ((ins : Oplog.record), (del : Oplog.record)) ->
         let* () = acc in
         if ins.Oplog.witness < del.Oplog.witness then Ok ()
-        else err "matched insert #%d does not precede its delete #%d" ins.Oplog.witness
-          del.Oplog.witness)
+        else
+          fail ~clause:Heap_clause_1 ~culprit:(ref_of del) ~partner:(ref_of ins)
+            "matched insert #%d does not precede its delete #%d" ins.Oplog.witness
+            del.Oplog.witness)
       (Ok ()) matching
   in
   (* Clause (2): no unmatched delete strictly between a matched insert and
      its delete. *)
-  let unmatched_del_witnesses =
+  let unmatched_deletes =
     List.filter_map
       (fun (r : Oplog.record) ->
         match (r.Oplog.kind, r.Oplog.result) with
-        | Oplog.Delete_min, None -> Some r.Oplog.witness
+        | Oplog.Delete_min, None -> Some r
         | _ -> None)
       records
-    |> List.sort Int.compare |> Array.of_list
+    |> List.sort (fun (a : Oplog.record) b -> Int.compare a.Oplog.witness b.Oplog.witness)
+    |> Array.of_list
   in
-  let exists_between lo hi =
+  let find_between lo hi =
     (* any unmatched delete with lo < w < hi? *)
-    let n = Array.length unmatched_del_witnesses in
+    let n = Array.length unmatched_deletes in
     let rec bs l r =
       if l >= r then l
       else
         let m = (l + r) / 2 in
-        if unmatched_del_witnesses.(m) <= lo then bs (m + 1) r else bs l m
+        if unmatched_deletes.(m).Oplog.witness <= lo then bs (m + 1) r else bs l m
     in
     let i = bs 0 n in
-    i < n && unmatched_del_witnesses.(i) < hi
+    if i < n && unmatched_deletes.(i).Oplog.witness < hi then Some unmatched_deletes.(i)
+    else None
   in
   let* () =
     List.fold_left
       (fun acc ((ins : Oplog.record), (del : Oplog.record)) ->
         let* () = acc in
-        if exists_between ins.Oplog.witness del.Oplog.witness then
-          err "an unmatched ⊥-delete lies between matched insert #%d and delete #%d"
-            ins.Oplog.witness del.Oplog.witness
-        else Ok ())
+        match find_between ins.Oplog.witness del.Oplog.witness with
+        | Some bottom ->
+            fail ~clause:Heap_clause_2 ~culprit:(ref_of bottom) ~partner:(ref_of del)
+              "an unmatched ⊥-delete (#%d) lies between matched insert #%d and delete #%d"
+              bottom.Oplog.witness ins.Oplog.witness del.Oplog.witness
+        | None -> Ok ())
       (Ok ()) matching
   in
   (* Clause (3): for a matched (Ins_v, Del_w) there is no unmatched insert
@@ -140,28 +208,27 @@ let check_heap_consistency_clauses log =
       (fun (r : Oplog.record) ->
         match r.Oplog.kind with
         | Oplog.Insert e when not (Hashtbl.mem matched_ins r.Oplog.witness) ->
-            Some (r.Oplog.witness, Element.prio e)
+            Some (r.Oplog.witness, (Element.prio e, r))
         | _ -> None)
       records
   in
-  (* For each witness position, the minimum priority among unmatched inserts
-     up to that position (prefix minimum). *)
-  let sorted_unmatched = List.sort compare unmatched_inserts in
+  let sorted_unmatched = List.sort (fun (a, _) (b, _) -> Int.compare a b) unmatched_inserts in
   let check_pair ((ins : Oplog.record), (del : Oplog.record)) =
     let prio_ins =
       match ins.Oplog.kind with Oplog.Insert e -> Element.prio e | _ -> assert false
     in
     let rec scan best = function
-      | (w, p) :: rest when w < del.Oplog.witness -> scan (min best p) rest
+      | (w, (p, r)) :: rest when w < del.Oplog.witness ->
+          scan (match best with Some (bp, _) when bp <= p -> best | _ -> Some (p, r)) rest
       | _ -> best
     in
-    let best = scan max_int sorted_unmatched in
-    if best < prio_ins then
-      err
-        "matched delete #%d returned priority %d while an unmatched insert of priority %d \
-         precedes it"
-        del.Oplog.witness prio_ins best
-    else Ok ()
+    match scan None sorted_unmatched with
+    | Some (best, smaller) when best < prio_ins ->
+        fail ~clause:Heap_clause_3 ~culprit:(ref_of del) ~partner:(ref_of smaller)
+          "matched delete #%d returned priority %d while an unmatched insert of priority %d \
+           precedes it"
+          del.Oplog.witness prio_ins best
+    | _ -> Ok ()
   in
   List.fold_left
     (fun acc pair ->
@@ -169,9 +236,9 @@ let check_heap_consistency_clauses log =
       check_pair pair)
     (Ok ()) matching
 
-(* Shared replay against a sequential container: [push]/[pop] define the
+(* Shared replay against a sequential container: [pop_expected] defines the
    discipline (FIFO front or LIFO top). *)
-let check_container_replay ~what ~pop_expected log =
+let check_container_replay ~clause ~what ~pop_expected log =
   let store = ref [] (* newest first *) in
   let rec go = function
     | [] -> Ok ()
@@ -188,51 +255,68 @@ let check_container_replay ~what ~pop_expected log =
                 store := rest_store;
                 go rest
             | Some e, Some got ->
-                err "%s replay: delete at node %d (op %d) returned %s, expected %s" what
+                fail ~clause ~culprit:(ref_of r)
+                  "%s replay: delete at node %d (op %d) returned %s, expected %s" what
                   r.Oplog.node r.Oplog.local_seq (Element.to_string got) (Element.to_string e)
             | Some e, None ->
-                err "%s replay: delete returned ⊥ but %s is present" what (Element.to_string e)
+                fail ~clause ~culprit:(ref_of r) "%s replay: delete returned ⊥ but %s is present"
+                  what (Element.to_string e)
             | None, Some got ->
-                err "%s replay: delete returned %s from an empty structure" what
+                fail ~clause ~culprit:(ref_of r)
+                  "%s replay: delete returned %s from an empty structure" what
                   (Element.to_string got)))
   in
   go (Oplog.to_list log)
 
-let check_fifo_queue log =
-  check_container_replay ~what:"FIFO"
+let explain_fifo_queue log =
+  check_container_replay ~clause:Fifo_order ~what:"FIFO"
     ~pop_expected:(fun store ->
       match List.rev store with
       | [] -> (None, [])
-      | oldest :: _ ->
-          (Some oldest, List.rev (List.tl (List.rev store))))
+      | oldest :: _ -> (Some oldest, List.rev (List.tl (List.rev store))))
     log
 
-let check_lifo_stack log =
-  check_container_replay ~what:"LIFO"
+let explain_lifo_stack log =
+  check_container_replay ~clause:Lifo_order ~what:"LIFO"
     ~pop_expected:(fun store ->
       match store with [] -> (None, []) | top :: rest -> (Some top, rest))
     log
 
-let check_sequential_consistency log =
-  let* () = check_serializability log in
-  check_local_consistency log
+let explain_sequential_consistency log =
+  let* () = explain_serializability log in
+  explain_local_consistency log
 
-let check_all_skeap log =
-  let* () = Oplog.check_well_formed log in
-  let* () = check_sequential_consistency log in
-  check_heap_consistency_clauses log
+let explain_all_skeap log =
+  let* () = explain_well_formed log in
+  let* () = explain_sequential_consistency log in
+  explain_heap_consistency_clauses log
 
-let check_all_seap log =
-  let* () = Oplog.check_well_formed log in
-  let* () = check_serializability log in
-  check_heap_consistency_clauses log
+let explain_all_seap log =
+  let* () = explain_well_formed log in
+  let* () = explain_serializability log in
+  explain_heap_consistency_clauses log
 
-let check_all_skueue log =
-  let* () = Oplog.check_well_formed log in
-  let* () = check_local_consistency log in
-  check_fifo_queue log
+let explain_all_skueue log =
+  let* () = explain_well_formed log in
+  let* () = explain_local_consistency log in
+  explain_fifo_queue log
 
-let check_all_sstack log =
-  let* () = Oplog.check_well_formed log in
-  let* () = check_local_consistency log in
-  check_lifo_stack log
+let explain_all_sstack log =
+  let* () = explain_well_formed log in
+  let* () = explain_local_consistency log in
+  explain_lifo_stack log
+
+(* ------------------------------------------------- string-result façade *)
+
+let stringify check log = Result.map_error violation_to_string (check log)
+
+let check_local_consistency log = stringify explain_local_consistency log
+let check_serializability log = stringify explain_serializability log
+let check_heap_consistency_clauses log = stringify explain_heap_consistency_clauses log
+let check_sequential_consistency log = stringify explain_sequential_consistency log
+let check_all_skeap log = stringify explain_all_skeap log
+let check_all_seap log = stringify explain_all_seap log
+let check_fifo_queue log = stringify explain_fifo_queue log
+let check_lifo_stack log = stringify explain_lifo_stack log
+let check_all_skueue log = stringify explain_all_skueue log
+let check_all_sstack log = stringify explain_all_sstack log

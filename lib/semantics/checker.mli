@@ -18,7 +18,53 @@
       second opinion on the replay check.
 
     Skeap must pass all three; Seap must pass serializability and heap
-    consistency but not necessarily local consistency. *)
+    consistency but not necessarily local consistency.
+
+    Every checker exists in two forms: an [explain_*] variant returning a
+    structured {!violation} — which clause failed, on which operation(s) —
+    and a [check_*] variant rendering that violation to a string (the
+    historical API).  The exploration harness ({!Dpq_explore.Explore})
+    shrinks failing schedules while preserving the violated {!clause}, so
+    provenance must survive the check. *)
+
+(** Which part of the specification a log violated. *)
+type clause =
+  | Well_formedness  (** {!Oplog.check_well_formed} failed. *)
+  | Local_consistency  (** Definition 1.1's per-node order condition. *)
+  | Serializability  (** Replay divergence from the reference heap. *)
+  | Heap_clause_1  (** Def 1.2 (1): a matched insert after its delete. *)
+  | Heap_clause_2  (** Def 1.2 (2): ⊥-delete inside a matched pair's span. *)
+  | Heap_clause_3  (** Def 1.2 (3): smaller unmatched insert before a matched delete. *)
+  | Fifo_order  (** Skueue FIFO replay divergence. *)
+  | Lifo_order  (** Sstack LIFO replay divergence. *)
+
+val clause_name : clause -> string
+(** Stable kebab-case name (["heap-clause-2"], ...), used in repro files. *)
+
+type op_ref = { node : int; local_seq : int; witness : int }
+(** Provenance handle for one logged operation. *)
+
+type violation = {
+  clause : clause;
+  culprit : op_ref option;  (** the operation the check tripped on *)
+  partner : op_ref option;  (** the other operation of the offending pair *)
+  detail : string;  (** human-readable explanation *)
+}
+
+val violation_to_string : violation -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+val explain_well_formed : Oplog.t -> (unit, violation) result
+val explain_local_consistency : Oplog.t -> (unit, violation) result
+val explain_serializability : Oplog.t -> (unit, violation) result
+val explain_heap_consistency_clauses : Oplog.t -> (unit, violation) result
+val explain_sequential_consistency : Oplog.t -> (unit, violation) result
+val explain_all_skeap : Oplog.t -> (unit, violation) result
+val explain_all_seap : Oplog.t -> (unit, violation) result
+val explain_fifo_queue : Oplog.t -> (unit, violation) result
+val explain_lifo_stack : Oplog.t -> (unit, violation) result
+val explain_all_skueue : Oplog.t -> (unit, violation) result
+val explain_all_sstack : Oplog.t -> (unit, violation) result
 
 val check_local_consistency : Oplog.t -> (unit, string) result
 

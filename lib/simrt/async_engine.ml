@@ -14,6 +14,7 @@ type 'msg t = {
   policy : delay_policy;
   trace : Dpq_obs.Trace.t option;
   faults : Fault_plan.t option;
+  sched : Sched.t option;
   rel : 'msg Reliable.t option;
   rng : Dpq_util.Rng.t;
   queue : 'msg event Dpq_util.Binheap.t;
@@ -23,13 +24,42 @@ type 'msg t = {
   mutable acks_received : int;
   mutable last_delivered : (int * int * int) option; (* delivery seq, src, dst *)
   mutable lifo_next : float; (* decreasing pseudo-times for adversarial mode *)
+  mutable cross_prev : float option; (* pending partner time for Crossing_pairs *)
 }
+
+let policy_to_string = function
+  | Uniform (lo, hi) -> Printf.sprintf "uniform:%g,%g" lo hi
+  | Exponential mean -> Printf.sprintf "exp:%g" mean
+  | Adversarial_lifo -> "lifo"
+
+let policy_of_string s =
+  let s = String.trim s in
+  let err () = Error (Printf.sprintf "Async_engine.policy_of_string: bad policy %S" s) in
+  let name, body =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match name with
+  | "lifo" -> Ok Adversarial_lifo
+  | "exp" -> (
+      match float_of_string_opt body with
+      | Some mean when mean > 0.0 -> Ok (Exponential mean)
+      | _ -> err ())
+  | "uniform" -> (
+      match String.split_on_char ',' body with
+      | [ lo; hi ] -> (
+          match (float_of_string_opt lo, float_of_string_opt hi) with
+          | Some lo, Some hi when lo <= hi && lo >= 0.0 -> Ok (Uniform (lo, hi))
+          | _ -> err ())
+      | _ -> err ())
+  | _ -> err ()
 
 let cmp_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ~size_bits ~handler () =
+let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ?sched ~size_bits ~handler () =
   {
     n;
     size_bits;
@@ -37,6 +67,7 @@ let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ~size_bits ~h
     policy;
     trace;
     faults;
+    sched;
     rel = Option.map (fun plan -> Reliable.create ~plan ()) faults;
     rng = Dpq_util.Rng.create ~seed;
     queue = Dpq_util.Binheap.create ~cmp:cmp_event;
@@ -46,6 +77,7 @@ let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ~size_bits ~h
     acks_received = 0;
     last_delivered = None;
     lifo_next = 0.0;
+    cross_prev = None;
   }
 
 let n t = t.n
@@ -61,6 +93,42 @@ let sample_delay t =
   | Exponential mean -> Dpq_util.Rng.exponential t.rng ~mean
   | Adversarial_lifo -> assert false (* handled in [event_time] *)
 
+(* Adversarial-scheduler transform of one delivery time.  [base] is the
+   absolute time the base policy (plus any fault-plan spike) chose. *)
+let sched_time t s ~src ~dst base =
+  match Sched.policy s with
+  | Sched.Fifo -> base
+  | Sched.Shuffle { burst; starvation } ->
+      let rng = Sched.rng s in
+      (* Land in a uniformly random burst slot: messages of one slot clump
+         together and reorder freely against neighbouring slots. *)
+      let d = float_of_int (1 + Dpq_util.Rng.int rng burst) +. Dpq_util.Rng.float rng in
+      let d =
+        if starvation > 0.0 && Dpq_util.Rng.bernoulli rng ~p:starvation then begin
+          Dpq_obs.Trace.sched_perturbed t.trace ~kind:"starve" ~src ~dst;
+          d *. Sched.starvation_factor
+        end
+        else d
+      in
+      t.now +. d
+  | Sched.Channel_bias { factor; _ } ->
+      if Sched.biased s ~src ~dst then begin
+        Dpq_obs.Trace.sched_perturbed t.trace ~kind:"bias" ~src ~dst;
+        t.now +. ((base -. t.now) *. float_of_int factor)
+      end
+      else base
+  | Sched.Crossing_pairs -> (
+      (* Pair consecutive sends; the second of each pair is scheduled just
+         before its partner, deliberately crossing them on the wire. *)
+      match t.cross_prev with
+      | None ->
+          t.cross_prev <- Some base;
+          base
+      | Some partner ->
+          t.cross_prev <- None;
+          Dpq_obs.Trace.sched_perturbed t.trace ~kind:"swap" ~src ~dst;
+          partner -. 0.5)
+
 (* Under the adversarial policy delivery "times" are decreasing pseudo-times,
    so delay spikes are meaningless there and the plan is not consulted. *)
 let event_time t ~src ~dst =
@@ -74,7 +142,8 @@ let event_time t ~src ~dst =
         | None -> 1.0
         | Some plan -> Fault_plan.delay_multiplier plan t.trace ~src ~dst
       in
-      t.now +. (sample_delay t *. mult)
+      let base = t.now +. (sample_delay t *. mult) in
+      (match t.sched with None -> base | Some s -> sched_time t s ~src ~dst base)
 
 let push_event t ~src ~dst wire =
   let time = event_time t ~src ~dst in

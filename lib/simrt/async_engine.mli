@@ -27,12 +27,20 @@ type delay_policy =
       (** each send is delivered before all currently pending sends — a
           worst-case reordering stress (delay spikes do not apply) *)
 
+val policy_to_string : delay_policy -> string
+(** Compact spec form: [uniform:LO,HI], [exp:MEAN], [lifo].  Round-trips
+    with {!policy_of_string} (used by the exploration harness's repro
+    files). *)
+
+val policy_of_string : string -> (delay_policy, string) result
+
 val create :
   n:int ->
   seed:int ->
   ?policy:delay_policy ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Fault_plan.t ->
+  ?sched:Sched.t ->
   size_bits:('msg -> int) ->
   handler:('msg t -> dst:int -> src:int -> 'msg -> unit) ->
   unit ->
@@ -41,7 +49,9 @@ val create :
     fresh delivery emits a {!Dpq_obs.Trace.Msg_delivered} event whose
     [round] is the delivery sequence number (the asynchronous model has no
     rounds); duplicate deliveries and acks are not traced.  With [faults],
-    messages ride the reliable layer under that plan. *)
+    messages ride the reliable layer under that plan.  With [sched], the
+    scheduler transforms each sampled delivery time (no effect under
+    [Adversarial_lifo], whose pseudo-times already encode a worst case). *)
 
 val n : 'msg t -> int
 

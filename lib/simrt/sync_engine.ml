@@ -4,7 +4,7 @@
    wrapped and behavior/costs are bit-identical to the fault-free engine. *)
 type 'msg wire = Plain of 'msg | Rel of 'msg Reliable.packet
 
-type 'msg envelope = { src : int; dst : int; wire : 'msg wire }
+type 'msg envelope = { src : int; dst : int; wire : 'msg wire; defers : int }
 
 type 'msg t = {
   n : int;
@@ -13,6 +13,7 @@ type 'msg t = {
   activate : ('msg t -> int -> unit) option;
   trace : Dpq_obs.Trace.t option;
   faults : Fault_plan.t option;
+  sched : Sched.t option;
   rel : 'msg Reliable.t option;
   mutable inflight : 'msg envelope list; (* reversed send order *)
   mutable round : int;
@@ -22,7 +23,7 @@ type 'msg t = {
   mutable last_delivered : (int * int * int) option; (* round, src, dst *)
 }
 
-let create ~n ~size_bits ~handler ?activate ?trace ?faults () =
+let create ~n ~size_bits ~handler ?activate ?trace ?faults ?sched () =
   {
     n;
     size_bits;
@@ -30,6 +31,7 @@ let create ~n ~size_bits ~handler ?activate ?trace ?faults () =
     activate;
     trace;
     faults;
+    sched;
     rel = Option.map (fun plan -> Reliable.create ~plan ()) faults;
     inflight = [];
     round = 0;
@@ -55,7 +57,7 @@ let wire_bits t = function
 let check_id t id name =
   if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Sync_engine.%s: node id %d out of range" name id)
 
-let enqueue t ~src ~dst wire = t.inflight <- { src; dst; wire } :: t.inflight
+let enqueue t ~src ~dst wire = t.inflight <- { src; dst; wire; defers = 0 } :: t.inflight
 
 (* Put one logical transmission on the wire, letting the fault plan drop or
    duplicate it.  A dropped data packet stays registered with the reliable
@@ -85,6 +87,78 @@ let send t ~src ~dst msg =
         let pkt = Reliable.register rel ~src ~dst ~now:(float_of_int t.round) msg in
         transmit t ~src ~dst (Rel pkt)
 
+(* ---------------------------------------------------- schedule adversary *)
+
+(* Postpone an envelope to next round, counting the deferral so fairness
+   caps (Sched.max_defers / the bias factor) bound every message's delay. *)
+let defer t env ~kind =
+  Dpq_obs.Trace.sched_perturbed t.trace ~kind ~src:env.src ~dst:env.dst;
+  t.inflight <- { env with defers = env.defers + 1 } :: t.inflight
+
+let swap_pairs t batch =
+  let rec go = function
+    | a :: b :: rest ->
+        Dpq_obs.Trace.sched_perturbed t.trace ~kind:"swap" ~src:b.src ~dst:b.dst;
+        b :: a :: go rest
+    | tail -> tail
+  in
+  go batch
+
+(* Shuffle the round batch in contiguous blocks of [burst] messages: the
+   blocks permute freely while messages inside one block stay in order, so
+   [burst = 1] is a full per-message shuffle and larger bursts model
+   clumped arrivals. *)
+let shuffle_blocks rng ~burst batch =
+  let arr = Array.of_list batch in
+  let len = Array.length arr in
+  let nblocks = (len + burst - 1) / burst in
+  let order = Array.init nblocks (fun i -> i) in
+  Dpq_util.Rng.shuffle rng order;
+  let out = ref [] in
+  for bi = nblocks - 1 downto 0 do
+    let b = order.(bi) in
+    for k = min ((b + 1) * burst) len - 1 downto b * burst do
+      out := arr.(k) :: !out
+    done
+  done;
+  !out
+
+(* Perturb one round's delivery batch.  Returns the envelopes to deliver
+   this round; deferred ones go back into [t.inflight] (already cleared by
+   the caller) for the next round.  Round semantics stay bounded: every
+   deferral chain is capped, so quiescence is still reached. *)
+let apply_sched t batch =
+  match t.sched with
+  | None -> batch
+  | Some s -> (
+      match Sched.policy s with
+      | Sched.Fifo -> batch
+      | Sched.Crossing_pairs -> swap_pairs t batch
+      | Sched.Channel_bias { factor; _ } ->
+          let cap = min factor Sched.max_defers in
+          List.filter
+            (fun env ->
+              if Sched.biased s ~src:env.src ~dst:env.dst && env.defers < cap then begin
+                defer t env ~kind:"bias";
+                false
+              end
+              else true)
+            batch
+      | Sched.Shuffle { burst; starvation } ->
+          let rng = Sched.rng s in
+          let batch = shuffle_blocks rng ~burst batch in
+          if starvation <= 0.0 then batch
+          else
+            List.filter
+              (fun env ->
+                if env.defers < Sched.max_defers && Dpq_util.Rng.bernoulli rng ~p:starvation
+                then begin
+                  defer t env ~kind:"defer";
+                  false
+                end
+                else true)
+              batch)
+
 let deliver t ~this_round ~src ~dst ~bits payload =
   Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits;
   Dpq_obs.Trace.msg_delivered t.trace ~round:this_round ~src ~dst ~bits;
@@ -98,6 +172,7 @@ let step t =
      processed in round [t.round + 1]. *)
   let batch = List.rev t.inflight in
   t.inflight <- [];
+  let batch = apply_sched t batch in
   (* One fault-plan tick per synchronous round: crash windows open/close on
      round boundaries, shared across all engines of the run. *)
   Option.iter (fun plan -> Fault_plan.tick plan t.trace) t.faults;
@@ -110,7 +185,7 @@ let step t =
   | None -> ());
   let this_round = t.round in
   List.iter
-    (fun { src; dst; wire } ->
+    (fun { src; dst; wire; _ } ->
       match wire with
       | Plain msg -> deliver t ~this_round ~src ~dst ~bits:(wire_bits t wire) msg
       | Rel (Reliable.Data { sn; payload }) ->

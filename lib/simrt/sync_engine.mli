@@ -26,6 +26,7 @@ val create :
   ?activate:('msg t -> int -> unit) ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Fault_plan.t ->
+  ?sched:Sched.t ->
   unit ->
   'msg t
 (** [create ~n ~size_bits ~handler ()] builds an engine for nodes
@@ -35,7 +36,9 @@ val create :
     fresh delivery additionally emits a {!Dpq_obs.Trace.Msg_delivered} event
     (free local deliveries, duplicate deliveries and acks are not traced,
     mirroring the cost model).  With [faults], messages ride the reliable
-    layer under that plan. *)
+    layer under that plan.  With [sched], the adversarial scheduler permutes
+    each round's delivery batch and may defer messages a bounded number of
+    rounds ({!Sched.max_defers}); quiescence is still always reached. *)
 
 val n : 'msg t -> int
 

@@ -14,6 +14,7 @@ type t = {
   seed : int;
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
+  sched : Dpq_simrt.Sched.t option;
   mutable ldb : Ldb.t;
   mutable tree : Aggtree.t;
   dht : Dht.t;
@@ -46,7 +47,7 @@ let compute_preorder_ranks tree n =
   Array.iteri (fun i r -> if r < 0 then failwith (Printf.sprintf "node %d missing preorder rank" i)) rank;
   rank
 
-let create ?(seed = 1) ?trace ?faults ~n ~num_prios () =
+let create ?(seed = 1) ?trace ?faults ?sched ~n ~num_prios () =
   if n < 1 then invalid_arg "Skeap.create: need n >= 1";
   if num_prios < 1 then invalid_arg "Skeap.create: need num_prios >= 1";
   let ldb = Ldb.build ~n ~seed in
@@ -57,6 +58,7 @@ let create ?(seed = 1) ?trace ?faults ~n ~num_prios () =
     seed;
     trace;
     faults;
+    sched;
     ldb;
     tree;
     dht = Dht.create ~ldb ~seed:(seed + 7919);
@@ -144,7 +146,7 @@ let process_batch ?(dht_mode = Dht_sync) t =
     | _ -> Batch.empty ~num_prios:t.num_prios
   in
   let combined, memo, up_report =
-    Phase.up ?trace:t.trace ?faults:t.faults ~tree:t.tree ~local ~combine:Batch.combine
+    Phase.up ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~local ~combine:Batch.combine
       ~size_bits:Batch.encoded_bits ()
   in
   (* ---- Phase 2: anchor assigns position intervals (local) ------------- *)
@@ -154,13 +156,13 @@ let process_batch ?(dht_mode = Dht_sync) t =
     ~heap_size:(Anchor.total_occupied t.anchor);
   (* ---- Phase 3: decompose intervals down the tree --------------------- *)
   let retained, down_report =
-    Phase.down ?trace:t.trace ?faults:t.faults ~tree:t.tree ~memo ~root_payload:assignment
+    Phase.down ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~memo ~root_payload:assignment
       ~split:(fun ~parts a -> Anchor.split ~num_prios:t.num_prios a ~parts)
       ~size_bits:Anchor.assignment_bits ()
   in
   (* Announce the phase switch (anchor-driven broadcast). *)
   let announce_report =
-    Phase.broadcast ?trace:t.trace ?faults:t.faults ~tree:t.tree ~payload:()
+    Phase.broadcast ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~payload:()
       ~size_bits:(fun () -> 1) ()
   in
   (* ---- Phase 4: map positions to ops, run the DHT --------------------- *)
@@ -256,9 +258,9 @@ let process_batch ?(dht_mode = Dht_sync) t =
   let dht_ops = List.rev !dht_ops in
   let dht_completions, dht_report =
     match dht_mode with
-    | Dht_sync -> Dht.run_batch_sync ?trace:t.trace ?faults:t.faults t.dht dht_ops
+    | Dht_sync -> Dht.run_batch_sync ?trace:t.trace ?faults:t.faults ?sched:t.sched t.dht dht_ops
     | Dht_async { seed; policy } ->
-        let cs = Dht.run_batch_async ?trace:t.trace ?faults:t.faults t.dht ~seed ~policy dht_ops in
+        let cs = Dht.run_batch_async ?trace:t.trace ?faults:t.faults ?sched:t.sched t.dht ~seed ~policy dht_ops in
         (cs, Phase.empty_report)
   in
   List.iter

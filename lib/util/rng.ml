@@ -17,6 +17,20 @@ let split t =
   let s = next_raw t in
   { state = s }
 
+(* FNV-1a over the stream name, folded into the seed.  Distinct names give
+   independent SplitMix64 streams for the same master seed, so e.g. the
+   workload draw cannot perturb the delay draw. *)
+let named ~seed name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    name;
+  let t = { state = Int64.logxor (Int64.of_int seed) !h } in
+  (* One mixing step so that seeds differing in a few bits land far apart. *)
+  t.state <- next_raw t;
+  t
+
 let copy t = { state = t.state }
 
 let bits t = Int64.to_int (Int64.shift_right_logical (next_raw t) 2)

@@ -15,6 +15,14 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Use it to give each node / phase its own stream. *)
 
+val named : seed:int -> string -> t
+(** [named ~seed name] is an independent stream keyed by [(seed, name)]:
+    deterministic, and distinct names never share a stream.  This is how the
+    harness splits one master seed into the {e workload} draw, the {e delay}
+    (schedule) draw and the {e fault} draw, so that changing what one
+    consumer samples cannot silently change what another sees for the same
+    seed. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future outputs). *)
 

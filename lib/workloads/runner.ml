@@ -29,8 +29,8 @@ let count_outcomes outcomes =
       | `Inserted _ -> (g, e, i + 1))
     (0, 0, 0) outcomes
 
-let run ?(seed = 1) ?trace ?faults ~n backend workload =
-  let h = Heap.create ~seed ?trace ?faults ~n backend in
+let run ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend workload =
+  let h = Heap.create ~seed ?trace ?faults ?sched ~n backend in
   let rounds = ref 0
   and messages = ref 0
   and max_congestion = ref 0
@@ -46,7 +46,7 @@ let run ?(seed = 1) ?trace ?faults ~n backend workload =
           | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
           | `Del -> Heap.delete_min h ~node:op.Workload.node)
         round;
-      let r = Heap.process h in
+      let r = Heap.process ?dht_mode h in
       rounds := !rounds + r.Heap.rounds;
       messages := !messages + r.Heap.messages;
       max_congestion := max !max_congestion r.Heap.max_congestion;

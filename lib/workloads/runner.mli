@@ -30,6 +30,8 @@ val run :
   ?seed:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
+  ?dht_mode:Dpq_types.Types.dht_mode ->
   n:int ->
   Dpq_types.Types.backend ->
   Workload.t ->
@@ -40,7 +42,10 @@ val run :
     [Skeap]/[Unbatched]).  With [trace], the entire run records structured
     events (see {!Dpq_obs.Trace}).  With [faults], the whole run executes
     over the faulty network with reliable delivery (see
-    {!Dpq_simrt.Fault_plan}). *)
+    {!Dpq_simrt.Fault_plan}).  With [sched], every engine runs under the
+    adversarial scheduler (see {!Dpq_simrt.Sched}).  [dht_mode] selects
+    synchronous or asynchronous DHT delivery per {!Dpq.Dpq_heap.process}
+    (asynchronous raises on the baselines). *)
 
 val run_skeap : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
 (** Deprecated alias for [run (Skeap { num_prios })]. *)

@@ -63,6 +63,99 @@ let burst ~rng ~n ~quiet_rounds ~burst_size ~prio =
   in
   quiet @ [ boom ]
 
+(* ---------------------------------------------------------- serialization *)
+
+let op_to_string o =
+  match o.action with
+  | `Ins p -> Printf.sprintf "%d:I%d" o.node p
+  | `Del -> Printf.sprintf "%d:D" o.node
+
+let op_of_string s =
+  let fail () = Error (Printf.sprintf "Workload.op_of_string: bad op %S" s) in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let node = int_of_string_opt (String.sub s 0 i) in
+      let act = String.sub s (i + 1) (String.length s - i - 1) in
+      match (node, act) with
+      | Some node, "D" when node >= 0 -> Ok { node; action = `Del }
+      | Some node, _ when node >= 0 && String.length act >= 2 && act.[0] = 'I' -> (
+          match int_of_string_opt (String.sub act 1 (String.length act - 1)) with
+          | Some p -> Ok { node; action = `Ins p }
+          | None -> fail ())
+      | _ -> fail ())
+
+(* A round is one line of space-separated ops; "." stands for an empty round
+   so round boundaries survive the trip (they decide what batches together). *)
+let round_to_string = function
+  | [] -> "."
+  | ops -> String.concat " " (List.map op_to_string ops)
+
+let round_of_string line =
+  let line = String.trim line in
+  if line = "." || line = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+          match op_of_string tok with Ok op -> go (op :: acc) rest | Error _ as e -> e)
+    in
+    go [] (List.filter (fun s -> s <> "") (String.split_on_char ' ' line))
+
+let to_string t = String.concat "\n" (List.map round_to_string t)
+
+let of_string s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match round_of_string line with Ok r -> go (r :: acc) rest | Error _ as e -> e)
+  in
+  go []
+    (String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> ""))
+
+(* ------------------------------------------------------------- shrinking *)
+
+(* Candidate reductions for the greedy shrinker, largest cuts first: drop a
+   whole round, drop half a round, drop a single op.  Single-op candidates
+   are only offered once the workload is already small — they are O(ops)
+   many, and on a big workload the coarser cuts get there faster. *)
+let shrink_candidates t =
+  let arr = Array.of_list t in
+  let nrounds = Array.length arr in
+  let without_round i =
+    List.filteri (fun j _ -> j <> i) t
+  in
+  let replace_round i r = List.mapi (fun j old -> if j = i then r else old) t in
+  let drop_rounds =
+    if nrounds <= 1 then []
+    else List.init nrounds without_round
+  in
+  let halve_rounds =
+    List.concat
+      (List.init nrounds (fun i ->
+           let ops = arr.(i) in
+           let len = List.length ops in
+           if len < 2 then []
+           else
+             let half = len / 2 in
+             [
+               replace_round i (List.filteri (fun k _ -> k >= half) ops);
+               replace_round i (List.filteri (fun k _ -> k < half) ops);
+             ]))
+  in
+  let ops_total = List.fold_left (fun acc r -> acc + List.length r) 0 t in
+  let drop_ops =
+    if ops_total > 48 then []
+    else
+      List.concat
+        (List.init nrounds (fun i ->
+             let ops = arr.(i) in
+             List.init (List.length ops) (fun k ->
+                 replace_round i (List.filteri (fun j _ -> j <> k) ops))))
+  in
+  drop_rounds @ halve_rounds @ drop_ops
+
 let total_ops t = List.fold_left (fun acc r -> acc + List.length r) 0 t
 let num_rounds = List.length
 

@@ -47,3 +47,30 @@ val total_ops : t -> int
 val num_rounds : t -> int
 val inserts : t -> int
 val deletes : t -> int
+
+(** {2 Serialization}
+
+    Textual form used by the exploration harness's repro files: one line per
+    round, ops space-separated as [node:Iprio] / [node:D], a lone ["."] for
+    an empty round (round boundaries decide what batches together, so they
+    must survive the trip). *)
+
+val op_to_string : op -> string
+val op_of_string : string -> (op, string) result
+
+val round_to_string : round -> string
+val round_of_string : string -> (round, string) result
+
+val to_string : t -> string
+(** Round-trips with {!of_string} up to blank lines. *)
+
+val of_string : string -> (t, string) result
+
+(** {2 Shrinking} *)
+
+val shrink_candidates : t -> t list
+(** Strictly smaller variants for the greedy shrinker, coarsest cuts first:
+    each workload minus one round, each round halved (either half), and —
+    once at most 48 ops remain — each workload minus a single op.  Every
+    candidate strictly decreases (total ops + rounds), so greedy descent
+    terminates. *)

@@ -214,6 +214,105 @@ let test_async_determinism () =
   checkb "same seed same schedule" true (run 42 = run 42);
   checkb "diff seed diff schedule" true (run 42 <> run 43)
 
+(* -------------------------------------------------- Scheduler policies *)
+
+let checkil = Alcotest.check Alcotest.(list int)
+
+(* Regression: pins a known (seed -> delivery order) pair.  If the RNG
+   stream layout, the event queue tiebreak, or the delay sampling ever
+   shifts, this fails loudly — every repro file in the wild depends on the
+   mapping staying put. *)
+let test_async_pinned_delivery_order () =
+  let order = ref [] in
+  let eng =
+    Async_engine.create ~n:2 ~seed:42 ~size_bits:(fun _ -> 1)
+      ~handler:(fun _ ~dst:_ ~src:_ msg -> order := msg :: !order)
+      ()
+  in
+  for i = 0 to 7 do
+    Async_engine.send eng ~src:0 ~dst:1 i
+  done;
+  ignore (Async_engine.run_to_quiescence eng);
+  checkil "seed 42 delivery order" [ 4; 1; 6; 2; 3; 0; 7; 5 ] (List.rev !order)
+
+let sync_deliveries ?sched sends =
+  let order = ref [] in
+  let eng =
+    Sync_engine.create ~n:4 ~size_bits:(fun _ -> 1) ?sched
+      ~handler:(fun _ ~dst:_ ~src:_ msg -> order := msg :: !order)
+      ()
+  in
+  List.iter (fun (src, dst, msg) -> Sync_engine.send eng ~src ~dst msg) sends;
+  ignore (Sync_engine.run_to_quiescence eng);
+  List.rev !order
+
+let test_sched_shuffle_pinned () =
+  let sends = List.init 8 (fun i -> (i mod 2, 2, i)) in
+  let run seed =
+    sync_deliveries ~sched:(Sched.create ~seed (Sched.Shuffle { burst = 2; starvation = 0.0 })) sends
+  in
+  (* bursts of 2 stay contiguous; only the block order is permuted *)
+  checkil "seed 9 shuffled order" [ 6; 7; 4; 5; 2; 3; 0; 1 ] (run 9);
+  checkb "same seed same order" true (run 9 = run 9);
+  checkb "different seed reshuffles" true (run 9 <> run 10)
+
+let test_sched_crossing_swaps () =
+  let sched = Sched.create ~seed:1 Sched.Crossing_pairs in
+  checkil "adjacent pairs cross" [ 1; 0; 3; 2 ]
+    (sync_deliveries ~sched [ (0, 2, 0); (1, 2, 1); (0, 3, 2); (1, 3, 3) ])
+
+let test_sched_bias_defers () =
+  (* Traffic into node 0 is held back [factor] rounds but still delivered. *)
+  let sched = Sched.create ~seed:1 (Sched.Channel_bias { src = None; dst = Some 0; factor = 3 }) in
+  let order = ref [] in
+  let rounds = ref [] in
+  let eng =
+    Sync_engine.create ~n:3 ~size_bits:(fun _ -> 1) ~sched
+      ~handler:(fun eng ~dst:_ ~src:_ msg ->
+        order := msg :: !order;
+        rounds := (msg, Sync_engine.round eng) :: !rounds)
+      ()
+  in
+  Sync_engine.send eng ~src:1 ~dst:0 "slow";
+  Sync_engine.send eng ~src:1 ~dst:2 "fast";
+  ignore (Sync_engine.run_to_quiescence eng);
+  (match List.rev !order with
+  | [ "fast"; "slow" ] -> ()
+  | _ -> Alcotest.fail "biased channel should deliver last");
+  checki "fast in round 0" 0 (List.assoc "fast" !rounds);
+  checki "slow deferred 3 rounds" 3 (List.assoc "slow" !rounds)
+
+let test_sched_fifo_is_identity () =
+  let sends = List.init 6 (fun i -> (i mod 2, 3, i)) in
+  checkb "fifo leaves the batch alone" true
+    (sync_deliveries ~sched:(Sched.create ~seed:5 Sched.Fifo) sends = sync_deliveries sends)
+
+let test_sched_spec_roundtrip () =
+  List.iter
+    (fun p ->
+      match Sched.policy_of_string (Sched.policy_to_string p) with
+      | Ok p' -> checkb (Sched.policy_to_string p) true (p = p')
+      | Error e -> Alcotest.fail e)
+    [
+      Sched.Fifo;
+      Sched.Shuffle { burst = 4; starvation = 0.1 };
+      Sched.Crossing_pairs;
+      Sched.Channel_bias { src = None; dst = Some 0; factor = 4 };
+      Sched.Channel_bias { src = Some 2; dst = Some 1; factor = 2 };
+    ];
+  checkb "bad spec rejected" true (Result.is_error (Sched.policy_of_string "warp:9"));
+  List.iter
+    (fun p ->
+      match Async_engine.policy_of_string (Async_engine.policy_to_string p) with
+      | Ok p' -> checkb (Async_engine.policy_to_string p) true (p = p')
+      | Error e -> Alcotest.fail e)
+    [
+      Async_engine.Uniform (1.0, 8.0);
+      Async_engine.Exponential 3.0;
+      Async_engine.Adversarial_lifo;
+    ];
+  checkb "bad delay rejected" true (Result.is_error (Async_engine.policy_of_string "exp:-1"))
+
 (* ------------------------------------------------------------ Metrics *)
 
 let test_metrics_rounds_and_reset () =
@@ -269,6 +368,15 @@ let () =
           Alcotest.test_case "self send immediate" `Quick test_async_self_send_immediate;
           Alcotest.test_case "handler can send" `Quick test_async_handler_can_send;
           Alcotest.test_case "determinism" `Quick test_async_determinism;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "pinned async delivery order" `Quick test_async_pinned_delivery_order;
+          Alcotest.test_case "shuffle pinned + deterministic" `Quick test_sched_shuffle_pinned;
+          Alcotest.test_case "crossing pairs swap" `Quick test_sched_crossing_swaps;
+          Alcotest.test_case "channel bias defers" `Quick test_sched_bias_defers;
+          Alcotest.test_case "fifo is identity" `Quick test_sched_fifo_is_identity;
+          Alcotest.test_case "spec round-trip" `Quick test_sched_spec_roundtrip;
         ] );
       ( "metrics",
         [

@@ -58,6 +58,23 @@ let test_rng_copy () =
   let b = Rng.copy a in
   checkb "copy resumes identically" true (Rng.int64 a = Rng.int64 b)
 
+let test_rng_named_streams () =
+  let a = Rng.named ~seed:11 "workload" and b = Rng.named ~seed:11 "workload" in
+  for _ = 1 to 50 do
+    checkb "same (seed, name) pins the stream" true (Rng.int64 a = Rng.int64 b)
+  done;
+  let w = Rng.named ~seed:11 "workload"
+  and d = Rng.named ~seed:11 "delay"
+  and f = Rng.named ~seed:11 "fault" in
+  let collisions = ref 0 in
+  for _ = 1 to 64 do
+    let x = Rng.int64 w and y = Rng.int64 d and z = Rng.int64 f in
+    if x = y || y = z || x = z then incr collisions
+  done;
+  checkb "distinct names give independent streams" true (!collisions = 0);
+  checkb "seed still matters" true
+    (Rng.int64 (Rng.named ~seed:1 "delay") <> Rng.int64 (Rng.named ~seed:2 "delay"))
+
 let test_rng_bernoulli_extremes () =
   let r = Rng.create ~seed:1 in
   checkb "p=0 never" false (Rng.bernoulli r ~p:0.0);
@@ -143,6 +160,21 @@ let test_hash_uniformity () =
     if Hashing.to_unit_interval h x < 0.5 then incr lo
   done;
   checkb "roughly balanced" true (abs (!lo - (total / 2)) < total / 20)
+
+(* qcheck: a keyed hash is a pure function of (seed, key) — equal keys agree
+   across independently created instances, and pair_sym is symmetric. *)
+let prop_hashing_stable =
+  QCheck.Test.make ~name:"hashing stable across instances for equal keys" ~count:300
+    QCheck.(pair small_nat (pair small_int small_int))
+    (fun (seed, (i, j)) ->
+      let h1 = Hashing.create ~seed and h2 = Hashing.create ~seed in
+      Hashing.int h1 i = Hashing.int h2 i
+      && Hashing.pair h1 i j = Hashing.pair h2 i j
+      && Hashing.pair_sym h1 i j = Hashing.pair_sym h2 j i
+      && Hashing.to_unit_interval h1 i = Hashing.to_unit_interval h2 i
+      &&
+      let u = Hashing.to_unit_interval h1 i in
+      u >= 0.0 && u < 1.0)
 
 (* ---------------------------------------------------------------- Stats *)
 
@@ -272,6 +304,36 @@ let prop_interval_split_partition =
       in
       got = expected)
 
+(* qcheck: assigning position ranges out of a set of disjoint intervals
+   (the anchor's batch-entry assignment, §3.2.2) never overlaps, hands each
+   part exactly its requested cardinality, and covers exactly the first
+   [sum sizes] positions. *)
+let prop_interval_set_assign_no_overlap =
+  QCheck.Test.make ~name:"interval set assignment disjoint and exactly covering" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 4) (pair small_nat small_nat))
+        (list_of_size Gen.(0 -- 5) small_nat))
+    (fun (spans, sizes) ->
+      let _, members =
+        List.fold_left
+          (fun (base, acc) (gap, len) ->
+            let lo = base + (gap mod 5) + 1 in
+            let card = len mod 6 in
+            (lo + card, Interval.of_first_card ~first:lo ~card :: acc))
+          (0, []) spans
+      in
+      let set = Interval.Set.of_list (List.rev members) in
+      let sizes = List.map (fun s -> s mod 4) sizes in
+      let total = List.fold_left ( + ) 0 sizes in
+      QCheck.assume (total <= Interval.Set.cardinality set);
+      let parts = Interval.Set.split_sizes set sizes in
+      let poss = List.map Interval.Set.positions parts in
+      let all = List.concat poss in
+      List.for_all2 (fun p s -> List.length p = s) poss sizes
+      && List.length (List.sort_uniq Int.compare all) = List.length all
+      && all = List.filteri (fun i _ -> i < total) (Interval.Set.positions set))
+
 (* ------------------------------------------------------------- Binheap *)
 
 let test_binheap_basic () =
@@ -303,6 +365,32 @@ let prop_binheap_sorts =
     (fun xs ->
       let h = Binheap.of_list ~cmp:Int.compare xs in
       Binheap.to_sorted_list h = List.sort Int.compare xs)
+
+(* qcheck: an arbitrary interleaving of push/pop agrees step-for-step with a
+   sorted-list reference model. *)
+let prop_binheap_model =
+  QCheck.Test.make ~name:"binheap agrees with sorted reference over random ops" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Binheap.create ~cmp:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, x) ->
+          if is_pop then (
+            let expect =
+              match !model with
+              | [] -> None
+              | y :: rest ->
+                  model := rest;
+                  Some y
+            in
+            Binheap.pop h = expect)
+          else (
+            Binheap.push h x;
+            model := List.sort Int.compare (x :: !model);
+            Binheap.peek h = Some (List.hd !model)))
+        ops
+      && Binheap.to_sorted_list h = !model)
 
 (* ------------------------------------------------------------- Bitsize *)
 
@@ -374,6 +462,7 @@ let () =
           Alcotest.test_case "float mean" `Quick test_rng_float_mean;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
           Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "named streams" `Quick test_rng_named_streams;
           Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
           Alcotest.test_case "sample w/o replacement" `Quick test_rng_sample_without_replacement;
@@ -390,6 +479,7 @@ let () =
           Alcotest.test_case "pair symmetric" `Quick test_hash_pair_sym;
           Alcotest.test_case "unit interval" `Quick test_hash_unit_interval;
           Alcotest.test_case "uniformity" `Quick test_hash_uniformity;
+          QCheck_alcotest.to_alcotest prop_hashing_stable;
         ] );
       ( "stats",
         [
@@ -415,6 +505,7 @@ let () =
           Alcotest.test_case "set split" `Quick test_interval_set_split;
           Alcotest.test_case "set drops empty" `Quick test_interval_set_drops_empty;
           QCheck_alcotest.to_alcotest prop_interval_split_partition;
+          QCheck_alcotest.to_alcotest prop_interval_set_assign_no_overlap;
         ] );
       ( "binheap",
         [
@@ -422,6 +513,7 @@ let () =
           Alcotest.test_case "pop_exn" `Quick test_binheap_pop_exn;
           Alcotest.test_case "to_sorted preserves" `Quick test_binheap_to_sorted_preserves;
           QCheck_alcotest.to_alcotest prop_binheap_sorts;
+          QCheck_alcotest.to_alcotest prop_binheap_model;
         ] );
       ( "bitsize",
         [
