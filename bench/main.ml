@@ -7,11 +7,22 @@
    the timing loop is skipped and one four-backend comparison run is
    recorded as JSONL trace events into FILE instead.
 
-   Every run also writes machine-readable snapshots BENCH_skeap.json and
-   BENCH_seap.json (ops, rounds, messages, total_bits, wall seconds) for
-   regression tracking; `--json-only` writes just those and exits, and
-   `--faults SPEC` (e.g. "drop=0.1,dup=0.05") runs the snapshot workload
-   over the faulty network with reliable delivery. *)
+   The regression gate (EXPERIMENTS.md §S2) lives here too:
+
+     --record          run the smoke grid (backend × n × Λ) and write one
+                       JSON row per cell — events/sec, minor words/op, peak
+                       heap words, run digest — to BENCH_grid.jsonl, plus
+                       the legacy BENCH_skeap.json / BENCH_seap.json
+                       snapshots for the largest cells.  (--json-only is a
+                       deprecated alias.)
+     --compare         re-run every cell recorded in BENCH_grid.jsonl and
+                       fail (exit 1) if any digest changed or throughput
+                       regressed more than --tolerance (default 0.4).
+     --out FILE        with --compare, also write the freshly measured rows
+                       to FILE (CI uploads them as an artifact).
+     --faults SPEC     with --record, run the grid over the faulty network
+                       (e.g. "drop=0.1,dup=0.05"); the spec is stored per
+                       row and replayed by --compare. *)
 
 open Bechamel
 open Toolkit
@@ -298,40 +309,299 @@ let record_trace file =
   Printf.printf "recorded %d trace events -> %s\n" (Dpq_obs.Trace.num_events trace) file;
   Format.printf "%a@." Dpq_obs.Trace.pp_summary trace
 
-(* One representative end-to-end run per protocol, summarised as a small
-   JSON object so external tooling can diff benchmark results run-to-run
-   without parsing bechamel's table. *)
-let write_bench_json ?faults_spec () =
-  let write backend file =
-    let wl =
-      W.generate ~rng:(Rng.create ~seed:3) ~n:32 ~rounds:4 ~lambda:4 ~prio:(W.Constant_set 4) ()
-    in
-    let faults =
-      Option.map (fun spec -> Dpq_simrt.Fault_plan.of_string ~seed:271828 spec) faults_spec
-    in
-    let t0 = Unix.gettimeofday () in
-    let s = R.run ~seed:1 ?faults ~n:32 backend wl in
-    let wall = Unix.gettimeofday () -. t0 in
-    let oc = open_out file in
-    Printf.fprintf oc
-      "{\n\
-      \  \"backend\": %S,\n\
-      \  \"n\": %d,\n\
-      \  \"ops\": %d,\n\
-      \  \"rounds\": %d,\n\
-      \  \"messages\": %d,\n\
-      \  \"total_bits\": %d,\n\
-      \  \"wall_seconds\": %.6f,\n\
-      \  \"semantics_ok\": %b\n\
-       }\n"
-      (R.protocol_name s) s.R.n s.R.ops s.R.rounds s.R.messages s.R.total_bits wall
-      s.R.semantics_ok;
-    close_out oc;
-    Printf.printf "wrote %s (ops=%d rounds=%d messages=%d bits=%d wall=%.3fs ok=%b)\n" file
-      s.R.ops s.R.rounds s.R.messages s.R.total_bits wall s.R.semantics_ok
+(* ------------------------------------------------- regression-gate grid *)
+
+module Heap = Dpq.Dpq_heap
+module Run_digest = Dpq_explore.Run_digest
+
+let grid_file = "BENCH_grid.jsonl"
+let faults_seed = 271828
+
+(* The smoke grid.  The largest cell per backend (n=32, Λ=4) is exactly the
+   workload the legacy BENCH_skeap.json / BENCH_seap.json snapshots have
+   always recorded, so those files stay comparable across history. *)
+let grid =
+  List.concat_map
+    (fun backend ->
+      List.concat_map
+        (fun n -> List.map (fun lambda -> (backend, n, lambda)) [ 2; 4 ])
+        [ 16; 32 ])
+    [ Dpq_types.Types.Skeap { num_prios = 4 }; Dpq_types.Types.Seap ]
+
+let cell_workload ~n ~lambda =
+  W.generate ~rng:(Rng.create ~seed:3) ~n ~rounds:4 ~lambda ~prio:(W.Constant_set 4) ()
+
+type cell_stats = {
+  c_backend : string;
+  c_n : int;
+  c_lambda : int;
+  c_faults : string; (* fault-plan spec, "" when fault-free *)
+  c_ops : int;
+  c_rounds : int;
+  c_messages : int;
+  c_total_bits : int;
+  c_wall : float; (* best of the timed repetitions, protocol only *)
+  c_eps : float; (* delivered messages ("events") per second *)
+  c_minor_words_per_op : float;
+  c_peak_heap_words : int; (* Gc.quick_stat top_heap_words after the run *)
+  c_digest : string;
+  c_ok : bool;
+}
+
+(* One full workload pass through the facade: inject each round, process,
+   accumulate cost counters.  This is Runner.run minus the final semantics
+   check, so the timed region is protocol work only. *)
+let drive ?trace ?faults ~backend ~n wl =
+  let h = Heap.create ~seed:1 ?trace ?faults ~n backend in
+  let rounds = ref 0 and messages = ref 0 and total_bits = ref 0 in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (op : W.op) ->
+          match op.W.action with
+          | `Ins p -> ignore (Heap.insert h ~node:op.W.node ~prio:p)
+          | `Del -> Heap.delete_min h ~node:op.W.node)
+        round;
+      let r = Heap.process h in
+      rounds := !rounds + r.Heap.rounds;
+      messages := !messages + r.Heap.messages;
+      total_bits := !total_bits + r.Heap.total_bits)
+    wl;
+  (h, !rounds, !messages, !total_bits)
+
+let run_cell ?(faults_spec = "") (backend, n, lambda) =
+  let wl = cell_workload ~n ~lambda in
+  let plan () =
+    if faults_spec = "" then None
+    else Some (Dpq_simrt.Fault_plan.of_string ~seed:faults_seed faults_spec)
   in
-  write (Dpq_types.Types.Skeap { num_prios = 4 }) "BENCH_skeap.json";
-  write Dpq_types.Types.Seap "BENCH_seap.json"
+  let timed () =
+    let faults = plan () in
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let _, rounds, messages, total_bits = drive ?faults ~backend ~n wl in
+    let wall = Unix.gettimeofday () -. t0 in
+    (wall, rounds, messages, total_bits, Gc.minor_words () -. m0)
+  in
+  (* One untimed warmup settles caches, branch predictors and the GC
+     before measurement; the min over five timed repetitions then estimates
+     peak attainable throughput rather than scheduler luck. *)
+  ignore (timed ());
+  let reps = List.init 5 (fun _ -> timed ()) in
+  let wall, rounds, messages, total_bits, minor =
+    List.fold_left
+      (fun (w, _, _, _, mi) (w', r', m', b', mi') ->
+        ((min w w' : float), r', m', b', min mi mi'))
+      (infinity, 0, 0, 0, infinity)
+      reps
+  in
+  ignore rounds;
+  (* A separate traced run pins the schedule identity: the digest must be
+     bit-for-bit stable across any engine optimisation. *)
+  let trace = Dpq_obs.Trace.create () in
+  let h, rounds, messages', total_bits' = drive ~trace ?faults:(plan ()) ~backend ~n wl in
+  assert (messages' = messages && total_bits' = total_bits);
+  let ops = W.total_ops wl in
+  {
+    c_backend = Dpq_types.Types.backend_name backend;
+    c_n = n;
+    c_lambda = lambda;
+    c_faults = faults_spec;
+    c_ops = ops;
+    c_rounds = rounds;
+    c_messages = messages;
+    c_total_bits = total_bits;
+    c_wall = wall;
+    c_eps = (if wall > 0.0 then float_of_int messages /. wall else 0.0);
+    c_minor_words_per_op = minor /. float_of_int (max 1 ops);
+    c_peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    c_digest = Run_digest.of_run ~oplog:(Heap.oplog h) ~trace;
+    c_ok = Heap.verify h = Ok ();
+  }
+
+let row_to_json c =
+  Printf.sprintf
+    "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"faults\": %S, \"ops\": %d, \"rounds\": %d, \
+     \"messages\": %d, \"total_bits\": %d, \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, \
+     \"minor_words_per_op\": %.1f, \"peak_heap_words\": %d, \"digest\": %S, \"semantics_ok\": %b}"
+    c.c_backend c.c_n c.c_lambda c.c_faults c.c_ops c.c_rounds c.c_messages c.c_total_bits c.c_wall
+    c.c_eps c.c_minor_words_per_op c.c_peak_heap_words c.c_digest c.c_ok
+
+(* Minimal flat-JSON-object reader — just enough for our own rows (string /
+   number / bool values, no nesting, no escapes), so the gate needs no JSON
+   dependency. *)
+let parse_flat_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "bench: bad JSON row (%s) at %d: %s" msg !pos s) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected %c" c) in
+  let string_lit () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && s.[!pos] <> '"' do
+      incr pos
+    done;
+    let v = String.sub s start (!pos - start) in
+    expect '"';
+    v
+  in
+  let scalar () =
+    let start = !pos in
+    while !pos < n && (match s.[!pos] with ',' | '}' | ' ' | '\t' | '\n' | '\r' -> false | _ -> true) do
+      incr pos
+    done;
+    String.sub s start (!pos - start)
+  in
+  skip_ws ();
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !pos < n && s.[!pos] = '}' then incr pos
+  else begin
+    let continue = ref true in
+    while !continue do
+      skip_ws ();
+      let k = string_lit () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v = if !pos < n && s.[!pos] = '"' then string_lit () else scalar () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      if !pos < n && s.[!pos] = ',' then incr pos else (expect '}'; continue := false)
+    done
+  end;
+  List.rev !fields
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bench: baseline row missing field %S" k)
+
+let backend_of_name = function
+  | "skeap" -> Dpq_types.Types.Skeap { num_prios = 4 }
+  | "seap" -> Dpq_types.Types.Seap
+  | "centralized" -> Dpq_types.Types.Centralized
+  | "unbatched" -> Dpq_types.Types.Unbatched { num_prios = 4 }
+  | s -> failwith (Printf.sprintf "bench: unknown backend %S in baseline" s)
+
+(* Legacy single-cell snapshots, kept schema-compatible (new fields are
+   additive) so external tooling that diffed them keeps working. *)
+let write_legacy_snapshot c file =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"backend\": %S,\n\
+    \  \"n\": %d,\n\
+    \  \"lambda\": %d,\n\
+    \  \"ops\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"messages\": %d,\n\
+    \  \"total_bits\": %d,\n\
+    \  \"wall_seconds\": %.6f,\n\
+    \  \"events_per_sec\": %.1f,\n\
+    \  \"digest\": %S,\n\
+    \  \"semantics_ok\": %b\n\
+     }\n"
+    c.c_backend c.c_n c.c_lambda c.c_ops c.c_rounds c.c_messages c.c_total_bits c.c_wall c.c_eps
+    c.c_digest c.c_ok;
+  close_out oc;
+  Printf.printf "wrote %s (messages=%d wall=%.4fs %.2fM ev/s digest=%s)\n" file c.c_messages c.c_wall
+    (c.c_eps /. 1e6) c.c_digest
+
+(* A short untimed spin before the first measured cell: in a cold process
+   the first cell otherwise absorbs CPU frequency ramp-up and code-page
+   faults, which read as noise on its events/sec — it was reliably the
+   worst-measuring cell of the grid. *)
+let spinup () =
+  let wl = cell_workload ~n:16 ~lambda:2 in
+  for _ = 1 to 3 do
+    ignore (drive ~backend:(Dpq_types.Types.Skeap { num_prios = 4 }) ~n:16 wl)
+  done
+
+let record_grid ?faults_spec () =
+  spinup ();
+  let rows =
+    List.map
+      (fun cell ->
+        let c = run_cell ?faults_spec cell in
+        Printf.printf "%-12s n=%-3d lambda=%-2d %8d msgs %9.4fs %8.2fM ev/s %8.1f w/op ok=%b\n%!"
+          c.c_backend c.c_n c.c_lambda c.c_messages c.c_wall (c.c_eps /. 1e6)
+          c.c_minor_words_per_op c.c_ok;
+        c)
+      grid
+  in
+  let oc = open_out grid_file in
+  List.iter (fun c -> output_string oc (row_to_json c ^ "\n")) rows;
+  close_out oc;
+  Printf.printf "wrote %s (%d cells)\n" grid_file (List.length rows);
+  List.iter
+    (fun c ->
+      if c.c_n = 32 && c.c_lambda = 4 then
+        match c.c_backend with
+        | "skeap" -> write_legacy_snapshot c "BENCH_skeap.json"
+        | "seap" -> write_legacy_snapshot c "BENCH_seap.json"
+        | _ -> ())
+    rows
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc = match input_line ic with
+    | line -> go (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  go []
+
+let compare_grid ~tolerance ~out () =
+  if not (Sys.file_exists grid_file) then begin
+    Printf.eprintf "bench --compare: no %s baseline; run `bench -- --record` first\n" grid_file;
+    exit 2
+  end;
+  let baselines = List.map parse_flat_json (read_lines grid_file) in
+  spinup ();
+  let failures = ref 0 in
+  let current =
+    List.map
+      (fun base ->
+        let backend = backend_of_name (field base "backend") in
+        let n = int_of_string (field base "n") in
+        let lambda = int_of_string (field base "lambda") in
+        let faults_spec = field base "faults" in
+        let c = run_cell ~faults_spec (backend, n, lambda) in
+        let base_eps = float_of_string (field base "events_per_sec") in
+        let base_digest = field base "digest" in
+        let ratio = if base_eps > 0.0 then c.c_eps /. base_eps else infinity in
+        let digest_ok = String.equal base_digest c.c_digest in
+        let eps_ok = ratio >= 1.0 -. tolerance in
+        if not (digest_ok && eps_ok && c.c_ok) then incr failures;
+        Printf.printf "%-4s %-12s n=%-3d lambda=%-2d %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s\n%!"
+          (if digest_ok && eps_ok && c.c_ok then "ok" else "FAIL")
+          c.c_backend c.c_n c.c_lambda (c.c_eps /. 1e6) (base_eps /. 1e6) ratio
+          (if digest_ok then "unchanged" else Printf.sprintf "CHANGED (%s -> %s)" base_digest c.c_digest)
+          (if c.c_ok then "" else "  semantics BROKEN");
+        c)
+      baselines
+  in
+  (match out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      List.iter (fun c -> output_string oc (row_to_json c ^ "\n")) current;
+      close_out oc;
+      Printf.printf "wrote %s (%d cells)\n" file (List.length current));
+  if !failures > 0 then begin
+    Printf.printf "bench --compare: %d of %d cells FAILED (tolerance %.0f%%)\n" !failures
+      (List.length current) (tolerance *. 100.0);
+    exit 1
+  end
+  else
+    Printf.printf "bench --compare: all %d cells within tolerance (%.0f%%), digests bit-identical\n"
+      (List.length current) (tolerance *. 100.0)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -348,8 +618,17 @@ let () =
   let faults_spec = opt_value "--faults" argv in
   (* Validate the spec before spending any benchmark time on it. *)
   Option.iter (fun s -> ignore (Dpq_simrt.Fault_plan.of_string ~seed:0 s)) faults_spec;
-  write_bench_json ?faults_spec ();
-  if List.mem "--json-only" argv then exit 0;
+  if List.mem "--record" argv || List.mem "--json-only" argv then begin
+    record_grid ?faults_spec ();
+    exit 0
+  end;
+  if List.mem "--compare" argv then begin
+    let tolerance =
+      match opt_value "--tolerance" argv with None -> 0.4 | Some s -> float_of_string s
+    in
+    compare_grid ~tolerance ~out:(opt_value "--out" argv) ();
+    exit 0
+  end;
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in

@@ -7,13 +7,25 @@ module Bitsize = Dpq_util.Bitsize
 
 type t = {
   mutable ldb : Ldb.t;
+  mutable header_bits : int; (* routing header for the current n, cached *)
   hash : Dpq_util.Hashing.t;
   store : (int, Element.t Queue.t) Hashtbl.t; (* key -> stored elements *)
   parked : (int, int Queue.t) Hashtbl.t; (* key -> waiting requesters *)
 }
 
+let compute_header_bits ldb =
+  (* target point (≈ 2 log n bits at the needed resolution) + hop counter *)
+  let n = max 2 (Ldb.n ldb) in
+  (2 * Bitsize.log2_ceil n) + Bitsize.log2_ceil n
+
 let create ~ldb ~seed =
-  { ldb; hash = Dpq_util.Hashing.create ~seed; store = Hashtbl.create 64; parked = Hashtbl.create 16 }
+  {
+    ldb;
+    header_bits = compute_header_bits ldb;
+    hash = Dpq_util.Hashing.create ~seed;
+    store = Hashtbl.create 64;
+    parked = Hashtbl.create 16;
+  }
 
 let ldb t = t.ldb
 let key_point t k = Dpq_util.Hashing.to_unit_interval t.hash k
@@ -27,22 +39,55 @@ type completion =
   | Put_confirmed of { origin : int; key : int }
   | Got of { origin : int; key : int; elt : Element.t }
 
-(* In-flight wire format: the remaining virtual-node path plus the payload.
-   The path is the routing state; its wire cost is the O(log n)-bit target
-   point + hop counter of de Bruijn routing, not the explicit list, so we
-   charge a fixed routing header. *)
+(* In-flight wire format: an immediate integer [(rid lsl 16) lor idx]
+   naming a route in the batch's route table and the hop position of the
+   message's current holder on that route's vnode path.  The modelled wire
+   cost is the O(log n)-bit target point + hop counter of de Bruijn routing
+   (a fixed routing header) plus the payload's encoded size, computed once
+   at launch; the table keeps both.  Forwarding a hop is then [w + 1] — no
+   allocation at all on the per-hop fast path, which carries ~99% of a
+   priority-queue run's messages. *)
 type payload =
   | P_put of { origin : int; key : int; elt : Element.t; confirm : bool }
   | P_get of { origin : int; key : int }
   | P_reply of { origin : int; key : int; elt : Element.t }
   | P_confirm of { origin : int; key : int }
 
-type msg = { path : Ldb.vnode list; payload : payload }
+type batch = {
+  mutable bpaths : Ldb.vnode array array; (* rid -> visited-vnode path *)
+  mutable bpbits : int array; (* rid -> payload bits *)
+  mutable bpay : payload array; (* rid -> payload *)
+  mutable nroutes : int;
+}
 
-let routing_header_bits t =
-  (* target point (≈ 2 log n bits at the needed resolution) + hop counter *)
-  let n = max 2 (Ldb.n t.ldb) in
-  (2 * Bitsize.log2_ceil n) + Bitsize.log2_ceil n
+let dummy_payload = P_confirm { origin = 0; key = 0 }
+
+let batch_create () =
+  {
+    bpaths = Array.make 64 [||];
+    bpbits = Array.make 64 0;
+    bpay = Array.make 64 dummy_payload;
+    nroutes = 0;
+  }
+
+let grow a fill =
+  let a' = Array.make (2 * Array.length a) fill in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let batch_add b path pbits payload =
+  if Array.length path > 0x10000 then invalid_arg "Dht: route too long for the wire encoding";
+  if b.nroutes = Array.length b.bpaths then begin
+    b.bpaths <- grow b.bpaths [||];
+    b.bpbits <- grow b.bpbits 0;
+    b.bpay <- grow b.bpay dummy_payload
+  end;
+  let rid = b.nroutes in
+  b.bpaths.(rid) <- path;
+  b.bpbits.(rid) <- pbits;
+  b.bpay.(rid) <- payload;
+  b.nroutes <- rid + 1;
+  rid
 
 let payload_bits t = function
   | P_put p -> Bitsize.bits_of_int p.origin + Bitsize.bits_of_int p.key + Element.encoded_bits p.elt + 1
@@ -51,7 +96,7 @@ let payload_bits t = function
   | P_confirm c -> Bitsize.bits_of_int c.origin + Bitsize.bits_of_int c.key
   [@@warning "-27"]
 
-let size_bits t m = routing_header_bits t + payload_bits t m.payload
+let size_bits t b w = t.header_bits + b.bpbits.(w lsr 16)
 
 let store_push t key elt =
   let q =
@@ -95,58 +140,61 @@ let unpark t key =
         if Queue.is_empty q then Hashtbl.remove t.parked key;
         Some r
 
-(* Route a payload from [src_vnode] to the manager of [point].  [send_fn]
+(* Route a payload from [src_vnode] to the manager of [point].  [send]
    abstracts over the engine. *)
-let route_via t ~send ~src_vnode ~point payload =
-  let path, _hops = Ldb.route t.ldb ~src:src_vnode ~point in
-  match path with
-  | [] | [ _ ] ->
-      (* Already at the manager: local handling via a self-send. *)
-      send ~src:(Ldb.owner src_vnode) ~dst:(Ldb.owner src_vnode)
-        { path = [ src_vnode ]; payload }
-  | first :: (next :: _ as rest) ->
-      send ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; payload }
+let route_via t b ~send ~src_vnode ~point payload =
+  let path = Ldb.route_array t.ldb ~src:src_vnode ~point in
+  let pbits = payload_bits t payload in
+  let rid = batch_add b path pbits payload in
+  if Array.length path <= 1 then
+    (* Already at the manager: local handling via a self-send. *)
+    send ~src:(Ldb.owner src_vnode) ~dst:(Ldb.owner src_vnode) (rid lsl 16)
+  else send ~src:(Ldb.owner path.(0)) ~dst:(Ldb.owner path.(1)) ((rid lsl 16) lor 1)
 
 let reply_point t origin = Ldb.label t.ldb (Ldb.vnode ~owner:origin Ldb.Middle)
 
 (* Engine-agnostic message handler.  [send] enqueues a message; [complete]
    records a finished operation. *)
-let handle t ~send ~complete msg =
-  match msg.path with
-  | [] -> failwith "Dht: empty routing path"
-  | cur :: (next :: _ as rest) ->
-      (* Still in transit: forward one hop. *)
-      ignore cur;
-      send ~src:(Ldb.owner cur) ~dst:(Ldb.owner next) { path = rest; payload = msg.payload }
-  | [ final ] -> (
-      match msg.payload with
-      | P_put { origin; key; elt; confirm } -> (
-          (match unpark t key with
-          | Some requester ->
-              (* A Get was already waiting: rendezvous complete. *)
-              route_via t ~send ~src_vnode:final ~point:(reply_point t requester)
-                (P_reply { origin = requester; key; elt })
-          | None -> store_push t key elt);
-          if confirm then
-            route_via t ~send ~src_vnode:final ~point:(reply_point t origin)
-              (P_confirm { origin; key }))
-      | P_get { origin; key } -> (
-          match store_pop t key with
-          | Some elt ->
-              route_via t ~send ~src_vnode:final ~point:(reply_point t origin)
-                (P_reply { origin; key; elt })
-          | None -> park t key origin)
-      | P_reply { origin; key; elt } -> complete (Got { origin; key; elt })
-      | P_confirm { origin; key } -> complete (Put_confirmed { origin; key }))
+let handle t b ~send ~complete w =
+  let rid = w lsr 16 in
+  let idx = w land 0xffff in
+  let path = b.bpaths.(rid) in
+  let last = Array.length path - 1 in
+  if idx < last then
+    (* Still in transit: forward one hop. *)
+    send ~src:(Ldb.owner path.(idx)) ~dst:(Ldb.owner path.(idx + 1)) (w + 1)
+  else begin
+    if last < 0 then failwith "Dht: empty routing path";
+    let final = path.(last) in
+    match b.bpay.(rid) with
+    | P_put { origin; key; elt; confirm } ->
+        (match unpark t key with
+        | Some requester ->
+            (* A Get was already waiting: rendezvous complete. *)
+            route_via t b ~send ~src_vnode:final ~point:(reply_point t requester)
+              (P_reply { origin = requester; key; elt })
+        | None -> store_push t key elt);
+        if confirm then
+          route_via t b ~send ~src_vnode:final ~point:(reply_point t origin)
+            (P_confirm { origin; key })
+    | P_get { origin; key } -> (
+        match store_pop t key with
+        | Some elt ->
+            route_via t b ~send ~src_vnode:final ~point:(reply_point t origin)
+              (P_reply { origin; key; elt })
+        | None -> park t key origin)
+    | P_reply { origin; key; elt } -> complete (Got { origin; key; elt })
+    | P_confirm { origin; key } -> complete (Put_confirmed { origin; key })
+  end
 
-let launch t ~send op =
+let launch t b ~send op =
   match op with
   | Put { origin; key; elt; confirm } ->
-      route_via t ~send ~src_vnode:(Ldb.vnode ~owner:origin Ldb.Middle)
+      route_via t b ~send ~src_vnode:(Ldb.vnode ~owner:origin Ldb.Middle)
         ~point:(key_point t key)
         (P_put { origin; key; elt; confirm })
   | Get { origin; key } ->
-      route_via t ~send ~src_vnode:(Ldb.vnode ~owner:origin Ldb.Middle)
+      route_via t b ~send ~src_vnode:(Ldb.vnode ~owner:origin Ldb.Middle)
         ~point:(key_point t key)
         (P_get { origin; key })
 
@@ -170,13 +218,16 @@ let run_batch_sync ?trace ?faults ?sched t ops =
   trace_ops trace t ops;
   let completions = ref [] in
   let complete c = completions := c :: !completions in
-  let rec handler eng ~dst:_ ~src:_ msg =
-    handle t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) ~complete msg
-  and eng =
-    lazy (Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t) ~handler:(fun e ~dst ~src m -> handler e ~dst ~src m) ?trace ?faults ?sched ())
-  in
-  let eng = Lazy.force eng in
-  List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Sync.send eng ~src ~dst m) op) ops;
+  let b = batch_create () in
+  (* One [send] closure for the whole batch (routed through a ref to break
+     the engine/handler cycle): the old per-delivery lambda was a
+     measurable allocation on every forwarded hop. *)
+  let send_ref = ref (fun ~src:_ ~dst:_ _ -> assert false) in
+  let send ~src ~dst m = !send_ref ~src ~dst m in
+  let handler _eng ~dst:_ ~src:_ w = handle t b ~send ~complete w in
+  let eng = Sync.create ~n:(Ldb.n t.ldb) ~size_bits:(size_bits t b) ~handler ?trace ?faults ?sched () in
+  send_ref := (fun ~src ~dst m -> Sync.send eng ~src ~dst m);
+  List.iter (fun op -> launch t b ~send op) ops;
   let rounds = Sync.run_to_quiescence eng in
   let m = Sync.metrics eng in
   let report =
@@ -203,11 +254,13 @@ let run_batch_async ?trace ?faults ?sched t ~seed ?(policy = Dpq_simrt.Async_eng
   trace_ops trace t ops;
   let completions = ref [] in
   let complete c = completions := c :: !completions in
-  let handler eng ~dst:_ ~src:_ msg =
-    handle t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) ~complete msg
-  in
-  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ?trace ?faults ?sched ~size_bits:(size_bits t) ~handler () in
-  List.iter (fun op -> launch t ~send:(fun ~src ~dst m -> Async.send eng ~src ~dst m) op) ops;
+  let b = batch_create () in
+  let send_ref = ref (fun ~src:_ ~dst:_ _ -> assert false) in
+  let send ~src ~dst m = !send_ref ~src ~dst m in
+  let handler _eng ~dst:_ ~src:_ w = handle t b ~send ~complete w in
+  let eng = Async.create ~n:(Ldb.n t.ldb) ~seed ~policy ?trace ?faults ?sched ~size_bits:(size_bits t b) ~handler () in
+  send_ref := (fun ~src ~dst m -> Async.send eng ~src ~dst m);
+  List.iter (fun op -> launch t b ~send op) ops;
   ignore (Async.run_to_quiescence eng);
   Dpq_obs.Trace.phase_end trace ~span ~name:"dht-async" ~rounds:0 ~messages:0 ~max_congestion:0
     ~max_message_bits:0 ~total_bits:0;
@@ -225,6 +278,7 @@ let set_topology t ldb' =
     (fun key q -> if owner_of t.ldb key <> owner_of ldb' key then moved := !moved + Queue.length q)
     t.parked;
   t.ldb <- ldb';
+  t.header_bits <- compute_header_bits ldb';
   !moved
 
 let stored_counts t =

@@ -56,7 +56,11 @@ type spayload =
   | Vote of { i : int; j : int; smaller : int; larger : int }
   | Child_sum of { i : int; parent_mid : int; smaller : int; larger : int }
 
-type smsg = { path : Ldb.vnode list; payload : spayload }
+(* [pbits] caches [spayload_bits] of [payload], computed once when the
+   message is launched: the engine charges [size_bits] on every hop, and
+   re-walking the payload's bit-length per delivery was a measurable slice
+   of the sorting storm. *)
+type smsg = { path : Ldb.vnode list; pbits : int; payload : spayload }
 
 type tnode = {
   t_i : int;
@@ -110,17 +114,18 @@ let sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos ~hash_pair ~(reps : (int 
     let nn = max 2 n in
     (2 * Bitsize.log2_ceil nn) + Bitsize.log2_ceil nn
   in
-  let size_bits m = routing_header + spayload_bits ldb m.payload in
+  let size_bits m = routing_header + m.pbits in
   let send_along eng path payload =
+    let pbits = spayload_bits ldb payload in
     match path with
     | [] -> assert false
     | [ only ] ->
-        Sync.send eng ~src:(Ldb.owner only) ~dst:(Ldb.owner only) { path = [ only ]; payload }
+        Sync.send eng ~src:(Ldb.owner only) ~dst:(Ldb.owner only) { path = [ only ]; pbits; payload }
     | first :: (next :: _ as rest) ->
-        Sync.send eng ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; payload }
+        Sync.send eng ~src:(Ldb.owner first) ~dst:(Ldb.owner next) { path = rest; pbits; payload }
   in
   let route_from eng ~src_vnode ~point payload =
-    send_along eng (fst (Ldb.route ldb ~src:src_vnode ~point)) payload
+    send_along eng (Ldb.route_path ldb ~src:src_vnode ~point) payload
   in
   (* A single de Bruijn edge (copy-tree dissemination / vote aggregation):
      O(1) expected messages instead of a full O(log n) route. *)
@@ -260,7 +265,7 @@ let sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos ~hash_pair ~(reps : (int 
     | cur :: (next :: _ as rest) ->
         ignore cur;
         Sync.send eng ~src:(Ldb.owner cur) ~dst:(Ldb.owner next)
-          { path = rest; payload = msg.payload }
+          { path = rest; pbits = msg.pbits; payload = msg.payload }
   in
   let eng = Sync.create ~n ~size_bits ~handler ?trace ?faults ?sched () in
   (* Kick off: every chosen representative is routed to the node responsible

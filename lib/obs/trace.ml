@@ -69,10 +69,13 @@ let phase_end topt ~span ~name ~rounds ~messages ~max_congestion ~max_message_bi
       push t
         (Phase_end { span; name; rounds; messages; max_congestion; max_message_bits; total_bits })
 
+let msg_delivered_direct t ~round ~src ~dst ~bits =
+  push t (Msg_delivered { span = current_span t; round; src; dst; bits })
+
 let msg_delivered topt ~round ~src ~dst ~bits =
   match topt with
   | None -> ()
-  | Some t -> push t (Msg_delivered { span = current_span t; round; src; dst; bits })
+  | Some t -> msg_delivered_direct t ~round ~src ~dst ~bits
 
 let anchor_assign topt ~batch_inserts ~batch_deletes ~heap_size =
   match topt with

@@ -103,6 +103,11 @@ val phase_end :
   unit
 
 val msg_delivered : t option -> round:int -> src:int -> dst:int -> bits:int -> unit
+
+(** Non-optional variant for the engines' delivery hot loops: the caller
+    branches on its cached [t option] once, so a disabled tracer costs one
+    load-and-branch and no call. *)
+val msg_delivered_direct : t -> round:int -> src:int -> dst:int -> bits:int -> unit
 val anchor_assign : t option -> batch_inserts:int -> batch_deletes:int -> heap_size:int -> unit
 val dht_put : t option -> origin:int -> key:int -> manager:int -> unit
 val dht_get : t option -> origin:int -> key:int -> manager:int -> unit

@@ -8,6 +8,9 @@ type t = {
   cycle : vnode array; (* all vnodes sorted by label *)
   cycle_pos : int array; (* inverse of [cycle] *)
   d : int; (* emulated de Bruijn dimension *)
+  pidx : int array; (* bucket index for [manager_of_point]: greatest cycle
+                       position whose label <= b/256, or -1 *)
+  mutable scratch : int array; (* reusable path buffer for [route_array] *)
 }
 
 let kind_code = function Left -> 0 | Middle -> 1 | Right -> 2
@@ -43,7 +46,15 @@ let build_from_middles ~seed middles =
   let cycle_pos = Array.make (3 * n) 0 in
   Array.iteri (fun pos v -> cycle_pos.(v) <- pos) cycle;
   let d = Dpq_util.Bitsize.log2_ceil (max 2 n) + 2 in
-  { n; seed; labels; cycle; cycle_pos; d }
+  let len = Array.length cycle in
+  let pidx = Array.make 256 (-1) in
+  let pos = ref (-1) in
+  for b = 0 to 255 do
+    let lim = float_of_int b /. 256.0 in
+    while !pos + 1 < len && labels.(cycle.(!pos + 1)) <= lim do incr pos done;
+    pidx.(b) <- !pos
+  done;
+  { n; seed; labels; cycle; cycle_pos; d; pidx; scratch = Array.make 64 0 }
 
 let middle_label ~seed id =
   let h = Dpq_util.Hashing.create ~seed in
@@ -66,18 +77,19 @@ let pred t v =
 
 let manager_of_point t p =
   (* Greatest label <= p; wraps to the maximum label if p is below all
-     labels.  Binary search over the sorted cycle. *)
+     labels.  The bucket index jumps to the last position at or below the
+     enclosing 1/256 bucket's start; a short forward scan (expected O(1):
+     labels are hash-uniform) finishes the job.  This sits on every routing
+     step, where it replaced a full binary search over the cycle. *)
   let len = Array.length t.cycle in
-  let lo = ref 0 and hi = ref (len - 1) and res = ref (-1) in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.labels.(t.cycle.(mid)) <= p then begin
-      res := mid;
-      lo := mid + 1
-    end
-    else hi := mid - 1
-  done;
-  if !res = -1 then t.cycle.(len - 1) else t.cycle.(!res)
+  if p < 0.0 then t.cycle.(len - 1)
+  else begin
+    let b = int_of_float (p *. 256.0) in
+    let b = if b > 255 then 255 else b in
+    let i = ref t.pidx.(b) in
+    while !i + 1 < len && t.labels.(t.cycle.(!i + 1)) <= p do incr i done;
+    if !i < 0 then t.cycle.(len - 1) else t.cycle.(!i)
+  end
 
 let min_vnode t = t.cycle.(0)
 
@@ -171,6 +183,91 @@ let route t ~src ~point =
   let final = linear_walk t !cur point in
   List.iter (fun h -> match h with Linear (_, v) | Virtual (_, v) -> push h v) final;
   (List.rev !visited, List.rev !hops)
+
+(* [route] above materializes every hop constructor for diagnostics; the
+   DHT's forwarding loop only ever uses the visited-node path, so this
+   variant produces exactly the same node sequence with index arithmetic on
+   the sorted cycle instead of per-step hop allocation — equal, bit for
+   bit, to [fst (route t ~src ~point)].  The scratch buffer is reused
+   across calls; the returned array is a fresh exact-length copy. *)
+let route_array t ~src ~point =
+  if point < 0.0 || point >= 1.0 then invalid_arg "Ldb.route: point must be in [0,1)";
+  let len = Array.length t.cycle in
+  let blen = ref 0 in
+  let push v =
+    let b = t.scratch in
+    let cap = Array.length b in
+    if !blen = cap then begin
+      let b' = Array.make (2 * cap) 0 in
+      Array.blit b 0 b' 0 cap;
+      t.scratch <- b'
+    end;
+    t.scratch.(!blen) <- v;
+    incr blen
+  in
+  push src;
+  (* Cycle position [pos] offset by [i] steps in direction [dir]; valid for
+     [i <= len], so one conditional correction replaces the double mod. *)
+  let at pos i dir =
+    let j = pos + (dir * i) in
+    let j = if j >= len then j - len else if j < 0 then j + len else j in
+    t.cycle.(j)
+  in
+  (* Append the [steps] nodes walked from [v]'s cycle position in [dir]. *)
+  let walk_from v steps dir =
+    let pos = t.cycle_pos.(v) in
+    for i = 1 to steps do
+      push (at pos i dir)
+    done
+  in
+  (* Linear walk to [target], shorter direction, forward on ties — the same
+     choice [linear_walk] makes. *)
+  let walk_to v target =
+    let pv = t.cycle_pos.(v) and pt = t.cycle_pos.(target) in
+    let fwd = pt - pv in
+    let fwd = if fwd < 0 then fwd + len else fwd in
+    let bwd = if fwd = 0 then 0 else len - fwd in
+    if fwd <= bwd then walk_from v fwd 1 else walk_from v bwd (-1);
+    target
+  in
+  (* The middle vnode real-nearest to [p], walking at most a full cycle in
+     each direction and preferring forward on distance ties, exactly like
+     [seek_kind_near] — but scanning by index with direct middle tests
+     (vnode code 1 mod 3), allocating nothing. *)
+  let seek_middle v p =
+    let pos = t.cycle_pos.(v) in
+    let f = ref (-1) in
+    let i = ref 0 in
+    while !f < 0 && !i <= len do
+      if at pos !i 1 mod 3 = 1 then f := !i else incr i
+    done;
+    let b = ref (-1) in
+    let i = ref 0 in
+    while !b < 0 && !i <= len do
+      if at pos !i (-1) mod 3 = 1 then b := !i else incr i
+    done;
+    let df = if !f < 0 then infinity else abs_float (t.labels.(at pos !f 1) -. p) in
+    let db = if !b < 0 then infinity else abs_float (t.labels.(at pos !b (-1)) -. p) in
+    if df = infinity && db = infinity then
+      failwith "Ldb.seek_kind_near: no virtual node of the requested kind";
+    let steps, dir = if df <= db then (!f, 1) else (!b, -1) in
+    walk_from v steps dir;
+    at pos steps dir
+  in
+  let cur = ref src in
+  let p = ref (label t src) in
+  for j = 1 to t.d do
+    let c = bit_of_point point (t.d - j + 1) in
+    let m = seek_middle !cur !p in
+    let dst = vnode ~owner:(owner m) (if c = 0 then Left else Right) in
+    push dst;
+    p := (!p +. Float.of_int c) /. 2.0;
+    cur := walk_to dst (manager_of_point t !p)
+  done;
+  ignore (walk_to !cur (manager_of_point t point));
+  Array.sub t.scratch 0 !blen
+
+let route_path t ~src ~point = Array.to_list (route_array t ~src ~point)
 
 let collect_walk push hops =
   List.iter (fun h -> match h with Linear (_, v) | Virtual (_, v) -> push h v) hops

@@ -67,6 +67,16 @@ val route : t -> src:vnode -> point:float -> vnode list * hop list
     [point]; returns the visited virtual nodes (first = [src], last =
     [manager_of_point t point]) and the hop list. *)
 
+val route_array : t -> src:vnode -> point:float -> vnode array
+(** The visited-vnode sequence of {!route} ([fst], bit for bit) as a fresh
+    exactly-sized array, computed with index arithmetic on the sorted cycle
+    and a reusable scratch buffer — the forwarding hot path for the DHT,
+    which never looks at the hop constructors and indexes the path by hop
+    position. *)
+
+val route_path : t -> src:vnode -> point:float -> vnode list
+(** [route_array] as a list; [route_path t ~src ~point = fst (route t ~src ~point)]. *)
+
 val route_message_hops : t -> src:vnode -> point:float -> int
 (** Number of costed (linear) hops of {!route} — the dilation of one
     routing operation. *)

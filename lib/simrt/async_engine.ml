@@ -1,12 +1,11 @@
-type 'msg wire = Plain of 'msg | Rel of 'msg Reliable.packet
-
-type 'msg event = { time : float; seq : int; src : int; dst : int; wire : 'msg wire }
-
 type delay_policy =
   | Uniform of float * float
   | Exponential of float
   | Adversarial_lifo
 
+(* Events live in a struct-of-arrays heap ({!Eventq}) keyed by
+   (delivery time, sequence number); the wire is the integer tag + payload
+   encoding documented in {!Roundq} (-1 plain, even Data, odd Ack). *)
 type 'msg t = {
   n : int;
   size_bits : 'msg -> int;
@@ -17,15 +16,23 @@ type 'msg t = {
   sched : Sched.t option;
   rel : 'msg Reliable.t option;
   rng : Dpq_util.Rng.t;
-  queue : 'msg event Dpq_util.Binheap.t;
+  queue : 'msg Eventq.t;
   mutable now : float;
   mutable seq : int;
   mutable delivered : int;
   mutable acks_received : int;
-  mutable last_delivered : (int * int * int) option; (* delivery seq, src, dst *)
+  (* last delivery as unboxed ints (last_seq = -1: none yet); see the
+     synchronous engine's note on per-delivery boxing. *)
+  mutable last_seq : int;
+  mutable last_src : int;
+  mutable last_dst : int;
   mutable lifo_next : float; (* decreasing pseudo-times for adversarial mode *)
   mutable cross_prev : float option; (* pending partner time for Crossing_pairs *)
 }
+
+let tag_plain = -1
+let tag_data sn = 2 * sn
+let tag_ack sn = (2 * sn) + 1
 
 let policy_to_string = function
   | Uniform (lo, hi) -> Printf.sprintf "uniform:%g,%g" lo hi
@@ -55,10 +62,6 @@ let policy_of_string s =
       | _ -> err ())
   | _ -> err ()
 
-let cmp_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
-
 let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ?sched ~size_bits ~handler () =
   {
     n;
@@ -70,12 +73,14 @@ let create ~n ~seed ?(policy = Uniform (1.0, 10.0)) ?trace ?faults ?sched ~size_
     sched;
     rel = Option.map (fun plan -> Reliable.create ~plan ()) faults;
     rng = Dpq_util.Rng.create ~seed;
-    queue = Dpq_util.Binheap.create ~cmp:cmp_event;
+    queue = Eventq.create ();
     now = 0.0;
     seq = 0;
     delivered = 0;
     acks_received = 0;
-    last_delivered = None;
+    last_seq = -1;
+    last_src = 0;
+    last_dst = 0;
     lifo_next = 0.0;
     cross_prev = None;
   }
@@ -84,7 +89,7 @@ let n t = t.n
 let now t = t.now
 let delivered t = t.delivered
 let faults t = t.faults
-let pending t = Dpq_util.Binheap.length t.queue
+let pending t = Eventq.length t.queue
 let unacked t = match t.rel with None -> 0 | Some r -> Reliable.unacked r
 
 let sample_delay t =
@@ -145,20 +150,20 @@ let event_time t ~src ~dst =
       let base = t.now +. (sample_delay t *. mult) in
       (match t.sched with None -> base | Some s -> sched_time t s ~src ~dst base)
 
-let push_event t ~src ~dst wire =
+let push_event t ~src ~dst ~tag payload =
   let time = event_time t ~src ~dst in
   t.seq <- t.seq + 1;
-  Dpq_util.Binheap.push t.queue { time; seq = t.seq; src; dst; wire }
+  Eventq.push t.queue ~time ~seq:t.seq ~src ~dst ~tag payload
 
 (* One logical transmission through the fault plan: 0, 1, or 2 copies land
    in the event queue, each with an independently sampled delay. *)
-let transmit t ~src ~dst wire =
+let transmit t ~src ~dst ~tag payload =
   match t.faults with
-  | None -> push_event t ~src ~dst wire
+  | None -> push_event t ~src ~dst ~tag payload
   | Some plan ->
       let copies = Fault_plan.transmit_copies plan t.trace ~src ~dst in
       for _ = 1 to copies do
-        push_event t ~src ~dst wire
+        push_event t ~src ~dst ~tag payload
       done
 
 let check_id t id =
@@ -171,105 +176,113 @@ let send t ~src ~dst msg =
   if src = dst then t.handler t ~dst ~src msg
   else
     match t.rel with
-    | None -> push_event t ~src ~dst (Plain msg)
-    | Some rel ->
-        let pkt = Reliable.register rel ~src ~dst ~now:t.now msg in
-        transmit t ~src ~dst (Rel pkt)
+    | None -> push_event t ~src ~dst ~tag:tag_plain msg
+    | Some rel -> (
+        match Reliable.register rel ~src ~dst ~now:t.now msg with
+        | Reliable.Data { sn; payload } -> transmit t ~src ~dst ~tag:(tag_data sn) payload
+        | Reliable.Ack _ -> assert false (* register always issues Data *))
 
 let deliver t ~src ~dst payload =
   t.delivered <- t.delivered + 1;
-  t.last_delivered <- Some (t.delivered, src, dst);
+  t.last_seq <- t.delivered;
+  t.last_src <- src;
+  t.last_dst <- dst;
   (* No rounds in the asynchronous model: the delivery sequence number
      stands in as the trace's time axis. *)
   (match t.trace with
   | None -> ()
-  | Some _ ->
-      Dpq_obs.Trace.msg_delivered t.trace ~round:t.delivered ~src ~dst
+  | Some tr ->
+      Dpq_obs.Trace.msg_delivered_direct tr ~round:t.delivered ~src ~dst
         ~bits:(t.size_bits payload));
   t.handler t ~dst ~src payload
 
-let process t ev =
+let is_down t node = match t.faults with None -> false | Some p -> Fault_plan.is_down p ~node
+
+(* Process the event just popped from the queue (still parked in its
+   [popped_*] slot). *)
+let process t ~src ~dst ~tag payload =
   (* One fault-plan tick per delivered wire event: the async engine's
      stand-in for the round clock, so crash windows elapse with traffic. *)
   Option.iter (fun plan -> Fault_plan.tick plan t.trace) t.faults;
-  let down node = match t.faults with None -> false | Some p -> Fault_plan.is_down p ~node in
-  match ev.wire with
-  | Plain msg -> deliver t ~src:ev.src ~dst:ev.dst msg
-  | Rel (Reliable.Data { sn; payload }) -> (
-      let plan = Option.get t.faults and rel = Option.get t.rel in
-      if down ev.dst then Fault_plan.note_crash_drop plan t.trace ~src:ev.src ~dst:ev.dst
-      else begin
-        (* Ack fresh and duplicate data alike — re-acking covers lost acks.
-           The ack rides the same faulty channel back. *)
-        Fault_plan.note_ack plan;
-        transmit t ~src:ev.dst ~dst:ev.src (Rel (Reliable.Ack { sn }));
-        List.iter
-          (fun p -> deliver t ~src:ev.src ~dst:ev.dst p)
-          (Reliable.receive_data rel ~src:ev.src ~dst:ev.dst ~sn payload)
-      end)
-  | Rel (Reliable.Ack { sn }) ->
-      let plan = Option.get t.faults and rel = Option.get t.rel in
-      if down ev.dst then Fault_plan.note_crash_drop plan t.trace ~src:ev.src ~dst:ev.dst
-      else begin
-        (* The data direction is the reverse of the ack's travel. *)
-        Reliable.receive_ack rel ~src:ev.dst ~dst:ev.src ~sn;
-        t.acks_received <- t.acks_received + 1
-      end
+  if tag = tag_plain then deliver t ~src ~dst payload
+  else if tag land 1 = 0 then begin
+    (* Data packet. *)
+    let sn = tag asr 1 in
+    let plan = Option.get t.faults and rel = Option.get t.rel in
+    if is_down t dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
+    else begin
+      (* Ack fresh and duplicate data alike — re-acking covers lost acks.
+         The ack rides the same faulty channel back, its payload slot
+         carrying the data payload as an inert dummy. *)
+      Fault_plan.note_ack plan;
+      transmit t ~src:dst ~dst:src ~tag:(tag_ack sn) payload;
+      List.iter (fun p -> deliver t ~src ~dst p) (Reliable.receive_data rel ~src ~dst ~sn payload)
+    end
+  end
+  else begin
+    (* Ack. *)
+    let sn = tag asr 1 in
+    let plan = Option.get t.faults and rel = Option.get t.rel in
+    if is_down t dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
+    else begin
+      (* The data direction is the reverse of the ack's travel. *)
+      Reliable.receive_ack rel ~src:dst ~dst:src ~sn;
+      t.acks_received <- t.acks_received + 1
+    end
+  end
 
 let retransmit_due t =
   match t.rel with
   | None -> ()
   | Some rel ->
       List.iter
-        (fun (src, dst, pkt) -> transmit t ~src ~dst (Rel pkt))
+        (fun (src, dst, pkt) ->
+          match pkt with
+          | Reliable.Data { sn; payload } -> transmit t ~src ~dst ~tag:(tag_data sn) payload
+          | Reliable.Ack _ -> assert false (* only data packets are registered *))
         (Reliable.due rel ~now:t.now t.trace)
 
-let describe_last_delivered t =
-  match t.last_delivered with
-  | None -> "none"
-  | Some (i, src, dst) -> Printf.sprintf "event %d: %d->%d" i src dst
-
 let quiescence_diag t reason ~events =
-  Printf.sprintf
-    "Async_engine.run_to_quiescence: %s: events=%d now=%g pending=%d unacked=%d delivered=%d \
-     last_delivered=%s"
-    reason events t.now (pending t) (unacked t) t.delivered (describe_last_delivered t)
+  Quiesce.diag ~engine:"Async_engine" ~reason
+    ~clock:(Printf.sprintf "events=%d now=%g" events t.now)
+    ~pending:(pending t) ~unacked:(unacked t) ~delivered:t.delivered
+    ~last:
+      (Quiesce.describe_last ~unit:"event"
+         (if t.last_seq < 0 then None else Some (t.last_seq, t.last_src, t.last_dst)))
 
 let run_to_quiescence ?(max_events = 10_000_000) ?(stall_events = 200_000) t =
   let count = ref 0 in
-  let last_mark = ref (t.delivered + t.acks_received) in
-  let last_progress = ref 0 in
+  let w = Quiesce.watermark ~mark:(t.delivered + t.acks_received) ~at:0 in
   let continue = ref true in
   while !continue do
-    (match Dpq_util.Binheap.pop t.queue with
-    | Some ev ->
-        incr count;
-        if !count > max_events then
-          failwith (quiescence_diag t "exceeded max_events (livelock?)" ~events:!count);
-        (* Adversarial pseudo-times can be negative and decreasing; virtual
-           time only moves forward for well-behaved policies. *)
-        if ev.time > t.now then t.now <- ev.time;
-        process t ev;
-        retransmit_due t;
-        let mark = t.delivered + t.acks_received in
-        if mark <> !last_mark then begin
-          last_mark := mark;
-          last_progress := !count
-        end
-        else if !count - !last_progress > stall_events then
-          failwith (quiescence_diag t "no progress watermark advanced (livelock)" ~events:!count)
-    | None -> (
-        (* Queue drained but packets remain unacknowledged: every copy was
-           dropped.  Jump virtual time to the next retransmission deadline;
-           if those retransmissions are dropped too, the deadlines move and
-           we jump again — bounded by the reliable layer's max_attempts. *)
-        match t.rel with
-        | Some rel when Reliable.unacked rel > 0 -> (
-            match Reliable.next_deadline rel with
-            | Some d ->
-                if d > t.now then t.now <- d;
-                retransmit_due t
-            | None -> continue := false)
-        | _ -> continue := false))
+    if Eventq.pop t.queue then begin
+      incr count;
+      if !count > max_events then
+        failwith (quiescence_diag t "exceeded max_events (livelock?)" ~events:!count);
+      (* Adversarial pseudo-times can be negative and decreasing; virtual
+         time only moves forward for well-behaved policies. *)
+      let time = Eventq.popped_time t.queue in
+      if time > t.now then t.now <- time;
+      process t ~src:(Eventq.popped_src t.queue) ~dst:(Eventq.popped_dst t.queue)
+        ~tag:(Eventq.popped_tag t.queue)
+        (Eventq.popped_payload t.queue);
+      retransmit_due t;
+      Quiesce.note w ~mark:(t.delivered + t.acks_received) ~at:!count;
+      if Quiesce.stalled w ~at:!count ~limit:stall_events then
+        failwith (quiescence_diag t "no progress watermark advanced (livelock)" ~events:!count)
+    end
+    else
+      (* Queue drained but packets remain unacknowledged: every copy was
+         dropped.  Jump virtual time to the next retransmission deadline;
+         if those retransmissions are dropped too, the deadlines move and
+         we jump again — bounded by the reliable layer's max_attempts. *)
+      match t.rel with
+      | Some rel when Reliable.unacked rel > 0 -> (
+          match Reliable.next_deadline rel with
+          | Some d ->
+              if d > t.now then t.now <- d;
+              retransmit_due t
+          | None -> continue := false)
+      | _ -> continue := false
   done;
   !count

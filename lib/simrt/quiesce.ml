@@ -1,0 +1,26 @@
+(* Shared quiescence bookkeeping for the two engines: the progress
+   watermark that backs the livelock detectors, and the diagnostic string
+   both [run_to_quiescence] variants raise with.  The exact diagnostic
+   formats predate this module (tests and repro tooling grep them), so the
+   engines pass preformatted clock/last-delivery fragments and this module
+   only owns the shared skeleton. *)
+
+type watermark = { mutable mark : int; mutable at : int }
+
+let watermark ~mark ~at = { mark; at }
+
+let note w ~mark ~at =
+  if mark <> w.mark then begin
+    w.mark <- mark;
+    w.at <- at
+  end
+
+let stalled w ~at ~limit = at - w.at > limit
+
+let describe_last ~unit = function
+  | None -> "none"
+  | Some (i, src, dst) -> Printf.sprintf "%s %d: %d->%d" unit i src dst
+
+let diag ~engine ~reason ~clock ~pending ~unacked ~delivered ~last =
+  Printf.sprintf "%s.run_to_quiescence: %s: %s pending=%d unacked=%d delivered=%d last_delivered=%s"
+    engine reason clock pending unacked delivered last

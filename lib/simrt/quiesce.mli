@@ -1,0 +1,35 @@
+(** Shared quiescence bookkeeping for {!Sync_engine} and {!Async_engine}:
+    the progress watermark behind both livelock detectors and the common
+    diagnostic skeleton their [run_to_quiescence] failures are built from
+    (previously copy-pasted between the two engines). *)
+
+type watermark
+
+val watermark : mark:int -> at:int -> watermark
+(** A progress watermark at clock position [at] with progress counter
+    [mark] (the engines use fresh deliveries + acks received). *)
+
+val note : watermark -> mark:int -> at:int -> unit
+(** Record the current progress counter; the watermark position advances
+    only when [mark] changed. *)
+
+val stalled : watermark -> at:int -> limit:int -> bool
+(** True when more than [limit] clock units passed since the watermark last
+    advanced — the livelock signal. *)
+
+val describe_last : unit:string -> (int * int * int) option -> string
+(** ["none"], or ["<unit> <i>: <src>-><dst>"] for the last delivery. *)
+
+val diag :
+  engine:string ->
+  reason:string ->
+  clock:string ->
+  pending:int ->
+  unacked:int ->
+  delivered:int ->
+  last:string ->
+  string
+(** The shared diagnostic line
+    ["<engine>.run_to_quiescence: <reason>: <clock> pending=... unacked=...
+    delivered=... last_delivered=<last>"]; [clock] is the engine-specific
+    fragment (["round=17"] / ["events=902 now=3.5"]). *)

@@ -1,10 +1,10 @@
 (* The wire carries protocol messages directly on a perfect network, and
    reliable-layer packets (sequence-numbered data + acks) under a fault
-   plan.  [Plain] is the zero-overhead fast path: without faults nothing is
-   wrapped and behavior/costs are bit-identical to the fault-free engine. *)
-type 'msg wire = Plain of 'msg | Rel of 'msg Reliable.packet
-
-type 'msg envelope = { src : int; dst : int; wire : 'msg wire; defers : int }
+   plan.  Messages live in a round-indexed calendar queue ({!Roundq}) as
+   integer-tagged column entries instead of allocated envelopes: tag -1 is
+   the zero-overhead plain fast path, even tags are Data packets, odd tags
+   are Acks (see Roundq's header).  Without faults nothing is wrapped and
+   behavior/costs are bit-identical to the fault-free engine. *)
 
 type 'msg t = {
   n : int;
@@ -15,12 +15,19 @@ type 'msg t = {
   faults : Fault_plan.t option;
   sched : Sched.t option;
   rel : 'msg Reliable.t option;
-  mutable inflight : 'msg envelope list; (* reversed send order *)
+  q : 'msg Roundq.t;
+  mutable in_step : bool; (* sends during a step deliver next round *)
+  mutable order : int array; (* scheduler scratch: delivery permutation *)
   mutable round : int;
   metrics : Metrics.t;
   mutable fresh_delivered : int;
   mutable acks_received : int;
-  mutable last_delivered : (int * int * int) option; (* round, src, dst *)
+  (* last delivery, kept as unboxed ints (last_round = -1: none yet): this
+     is written on every delivery, and boxing it was a measurable slice of
+     the per-hop cost.  Only the quiescence diagnostics read it. *)
+  mutable last_round : int;
+  mutable last_src : int;
+  mutable last_dst : int;
 }
 
 let create ~n ~size_bits ~handler ?activate ?trace ?faults ?sched () =
@@ -33,42 +40,52 @@ let create ~n ~size_bits ~handler ?activate ?trace ?faults ?sched () =
     faults;
     sched;
     rel = Option.map (fun plan -> Reliable.create ~plan ()) faults;
-    inflight = [];
+    q = Roundq.create ();
+    in_step = false;
+    order = [||];
     round = 0;
     metrics = Metrics.create ~n;
     fresh_delivered = 0;
     acks_received = 0;
-    last_delivered = None;
+    last_round = -1;
+    last_src = 0;
+    last_dst = 0;
   }
 
 let n t = t.n
 let round t = t.round
 let metrics t = t.metrics
-let pending t = List.length t.inflight
+let pending t = Roundq.pending t.q
 let faults t = t.faults
 
 let unacked t = match t.rel with None -> 0 | Some r -> Reliable.unacked r
 
-let wire_bits t = function
-  | Plain m -> t.size_bits m
-  | Rel (Reliable.Data { payload; _ }) -> t.size_bits payload + Reliable.header_bits
-  | Rel (Reliable.Ack _) -> Reliable.header_bits
+(* Wire tags, as documented in Roundq. *)
+let tag_plain = -1
+let tag_data sn = 2 * sn
+let tag_ack sn = (2 * sn) + 1
 
 let check_id t id name =
   if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Sync_engine.%s: node id %d out of range" name id)
 
-let enqueue t ~src ~dst wire = t.inflight <- { src; dst; wire; defers = 0 } :: t.inflight
+(* Everything sent while a round is being processed (scheduler deferrals,
+   activation and handler sends, retransmissions queued before the round
+   counter advanced) is delivered in the next round. *)
+let target_round t = if t.in_step then t.round + 1 else t.round
+
+let enqueue t ~src ~dst ~tag ~defers payload =
+  Roundq.add t.q ~round:(target_round t) ~src ~dst ~tag ~defers payload
 
 (* Put one logical transmission on the wire, letting the fault plan drop or
    duplicate it.  A dropped data packet stays registered with the reliable
    layer and comes back as a retransmission. *)
-let transmit t ~src ~dst wire =
+let transmit t ~src ~dst ~tag payload =
   match t.faults with
-  | None -> enqueue t ~src ~dst wire
+  | None -> enqueue t ~src ~dst ~tag ~defers:0 payload
   | Some plan ->
       let copies = Fault_plan.transmit_copies plan t.trace ~src ~dst in
       for _ = 1 to copies do
-        enqueue t ~src ~dst wire
+        enqueue t ~src ~dst ~tag ~defers:0 payload
       done
 
 let send t ~src ~dst msg =
@@ -82,177 +99,208 @@ let send t ~src ~dst msg =
   end
   else
     match t.rel with
-    | None -> enqueue t ~src ~dst (Plain msg)
-    | Some rel ->
-        let pkt = Reliable.register rel ~src ~dst ~now:(float_of_int t.round) msg in
-        transmit t ~src ~dst (Rel pkt)
+    | None -> enqueue t ~src ~dst ~tag:tag_plain ~defers:0 msg
+    | Some rel -> (
+        match Reliable.register rel ~src ~dst ~now:(float_of_int t.round) msg with
+        | Reliable.Data { sn; payload } -> transmit t ~src ~dst ~tag:(tag_data sn) payload
+        | Reliable.Ack _ -> assert false (* register always issues Data *))
 
 (* ---------------------------------------------------- schedule adversary *)
 
-(* Postpone an envelope to next round, counting the deferral so fairness
-   caps (Sched.max_defers / the bias factor) bound every message's delay. *)
-let defer t env ~kind =
-  Dpq_obs.Trace.sched_perturbed t.trace ~kind ~src:env.src ~dst:env.dst;
-  t.inflight <- { env with defers = env.defers + 1 } :: t.inflight
+let ensure_order t len =
+  if Array.length t.order < len then t.order <- Array.make (max 16 (2 * len)) 0
 
-let swap_pairs t batch =
-  let rec go = function
-    | a :: b :: rest ->
-        Dpq_obs.Trace.sched_perturbed t.trace ~kind:"swap" ~src:b.src ~dst:b.dst;
-        b :: a :: go rest
-    | tail -> tail
-  in
-  go batch
+(* Postpone entry [i] of the current batch to next round, counting the
+   deferral so fairness caps (Sched.max_defers / the bias factor) bound
+   every message's delay. *)
+let defer t (b : 'msg Roundq.bucket) i ~kind =
+  Dpq_obs.Trace.sched_perturbed t.trace ~kind ~src:(Roundq.src b i) ~dst:(Roundq.dst b i);
+  (* [meta + 1] bumps the deferral count in the packed word's low byte. *)
+  Roundq.add_packed t.q ~round:(t.round + 1)
+    ~meta:(Roundq.meta b i + 1)
+    ~tag:b.Roundq.tags.(i) b.Roundq.pays.(i)
 
-(* Shuffle the round batch in contiguous blocks of [burst] messages: the
-   blocks permute freely while messages inside one block stay in order, so
-   [burst = 1] is a full per-message shuffle and larger bursts model
-   clumped arrivals. *)
-let shuffle_blocks rng ~burst batch =
-  let arr = Array.of_list batch in
-  let len = Array.length arr in
-  let nblocks = (len + burst - 1) / burst in
-  let order = Array.init nblocks (fun i -> i) in
-  Dpq_util.Rng.shuffle rng order;
-  let out = ref [] in
-  for bi = nblocks - 1 downto 0 do
-    let b = order.(bi) in
-    for k = min ((b + 1) * burst) len - 1 downto b * burst do
-      out := arr.(k) :: !out
-    done
-  done;
-  !out
-
-(* Perturb one round's delivery batch.  Returns the envelopes to deliver
-   this round; deferred ones go back into [t.inflight] (already cleared by
-   the caller) for the next round.  Round semantics stay bounded: every
-   deferral chain is capped, so quiescence is still reached. *)
-let apply_sched t batch =
+(* Perturb one round's delivery batch.  Fills [t.order] with the indices to
+   deliver this round (in order) and returns how many, or -1 for identity;
+   deferred entries go back into the queue for the next round.  Round
+   semantics stay bounded: every deferral chain is capped, so quiescence is
+   still reached.  All scheduler trace events are emitted here, before any
+   delivery, exactly as the envelope-list implementation did. *)
+let apply_sched t (b : 'msg Roundq.bucket) =
   match t.sched with
-  | None -> batch
+  | None -> -1
   | Some s -> (
+      let len = b.Roundq.len in
       match Sched.policy s with
-      | Sched.Fifo -> batch
-      | Sched.Crossing_pairs -> swap_pairs t batch
+      | Sched.Fifo -> -1
+      | Sched.Crossing_pairs ->
+          ensure_order t len;
+          let k = ref 0 in
+          let i = ref 0 in
+          while !i + 1 < len do
+            Dpq_obs.Trace.sched_perturbed t.trace ~kind:"swap"
+              ~src:(Roundq.src b (!i + 1))
+              ~dst:(Roundq.dst b (!i + 1));
+            t.order.(!k) <- !i + 1;
+            t.order.(!k + 1) <- !i;
+            k := !k + 2;
+            i := !i + 2
+          done;
+          if !i < len then begin
+            t.order.(!k) <- !i;
+            incr k
+          end;
+          !k
       | Sched.Channel_bias { factor; _ } ->
           let cap = min factor Sched.max_defers in
-          List.filter
-            (fun env ->
-              if Sched.biased s ~src:env.src ~dst:env.dst && env.defers < cap then begin
-                defer t env ~kind:"bias";
-                false
-              end
-              else true)
-            batch
+          ensure_order t len;
+          let k = ref 0 in
+          for i = 0 to len - 1 do
+            if
+              Sched.biased s ~src:(Roundq.src b i) ~dst:(Roundq.dst b i)
+              && Roundq.defers b i < cap
+            then defer t b i ~kind:"bias"
+            else begin
+              t.order.(!k) <- i;
+              incr k
+            end
+          done;
+          !k
       | Sched.Shuffle { burst; starvation } ->
           let rng = Sched.rng s in
-          let batch = shuffle_blocks rng ~burst batch in
-          if starvation <= 0.0 then batch
-          else
-            List.filter
-              (fun env ->
-                if env.defers < Sched.max_defers && Dpq_util.Rng.bernoulli rng ~p:starvation
-                then begin
-                  defer t env ~kind:"defer";
-                  false
-                end
-                else true)
-              batch)
+          (* Shuffle the batch in contiguous blocks of [burst] messages:
+             blocks permute freely while messages inside one block stay in
+             order, so [burst = 1] is a full per-message shuffle and larger
+             bursts model clumped arrivals. *)
+          let nblocks = (len + burst - 1) / burst in
+          let blocks = Array.init nblocks (fun i -> i) in
+          Dpq_util.Rng.shuffle rng blocks;
+          ensure_order t len;
+          let k = ref 0 in
+          for bi = 0 to nblocks - 1 do
+            let blk = blocks.(bi) in
+            for i = blk * burst to min ((blk + 1) * burst) len - 1 do
+              if
+                starvation > 0.0
+                && Roundq.defers b i < Sched.max_defers
+                && Dpq_util.Rng.bernoulli rng ~p:starvation
+              then defer t b i ~kind:"defer"
+              else begin
+                t.order.(!k) <- i;
+                incr k
+              end
+            done
+          done;
+          !k)
 
 let deliver t ~this_round ~src ~dst ~bits payload =
   Metrics.record_delivery t.metrics ~round:this_round ~dst ~bits;
-  Dpq_obs.Trace.msg_delivered t.trace ~round:this_round ~src ~dst ~bits;
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Dpq_obs.Trace.msg_delivered_direct tr ~round:this_round ~src ~dst ~bits);
   t.fresh_delivered <- t.fresh_delivered + 1;
-  t.last_delivered <- Some (this_round, src, dst);
+  t.last_round <- this_round;
+  t.last_src <- src;
+  t.last_dst <- dst;
   t.handler t ~dst ~src payload
+
+let is_down t node = match t.faults with None -> false | Some p -> Fault_plan.is_down p ~node
 
 let step t =
   (* Deliveries of this round are the messages sent in previous rounds;
      anything sent during activation or during a delivery handler is
      processed in round [t.round + 1]. *)
-  let batch = List.rev t.inflight in
-  t.inflight <- [];
-  let batch = apply_sched t batch in
+  let b = Roundq.take t.q ~round:t.round in
+  t.in_step <- true;
+  let nord = apply_sched t b in
   (* One fault-plan tick per synchronous round: crash windows open/close on
      round boundaries, shared across all engines of the run. *)
   Option.iter (fun plan -> Fault_plan.tick plan t.trace) t.faults;
-  let down node = match t.faults with None -> false | Some p -> Fault_plan.is_down p ~node in
   (match t.activate with
   | Some f ->
       for i = 0 to t.n - 1 do
-        if not (down i) then f t i
+        if not (is_down t i) then f t i
       done
   | None -> ());
   let this_round = t.round in
-  List.iter
-    (fun { src; dst; wire; _ } ->
-      match wire with
-      | Plain msg -> deliver t ~this_round ~src ~dst ~bits:(wire_bits t wire) msg
-      | Rel (Reliable.Data { sn; payload }) ->
-          let plan = Option.get t.faults and rel = Option.get t.rel in
-          if down dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
-          else begin
-            (* Ack everything we see — re-acking duplicates covers lost
-               acks.  The ack rides the same faulty channel. *)
-            Fault_plan.note_ack plan;
-            transmit t ~src:dst ~dst:src (Rel (Reliable.Ack { sn }));
-            List.iter
-              (fun p ->
-                deliver t ~this_round ~src ~dst ~bits:(t.size_bits p + Reliable.header_bits) p)
-              (Reliable.receive_data rel ~src ~dst ~sn payload)
-          end
-      | Rel (Reliable.Ack { sn }) ->
-          let plan = Option.get t.faults and rel = Option.get t.rel in
-          if down dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
-          else begin
-            (* The data direction is the reverse of the ack's travel. *)
-            Reliable.receive_ack rel ~src:dst ~dst:src ~sn;
-            t.acks_received <- t.acks_received + 1
-          end)
-    batch;
+  let count = if nord < 0 then b.Roundq.len else nord in
+  for j = 0 to count - 1 do
+    let i = if nord < 0 then j else t.order.(j) in
+    (* One metas read recovers src and dst (see Roundq's packing). *)
+    let m = b.Roundq.metas.(i) in
+    let src = Roundq.meta_src m and dst = Roundq.meta_dst m in
+    let tag = b.Roundq.tags.(i) in
+    let payload = b.Roundq.pays.(i) in
+    if tag = tag_plain then deliver t ~this_round ~src ~dst ~bits:(t.size_bits payload) payload
+    else if tag land 1 = 0 then begin
+      (* Data packet. *)
+      let sn = tag asr 1 in
+      let plan = Option.get t.faults and rel = Option.get t.rel in
+      if is_down t dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
+      else begin
+        (* Ack everything we see — re-acking duplicates covers lost acks.
+           The ack rides the same faulty channel; its payload slot carries
+           the data payload as an inert dummy. *)
+        Fault_plan.note_ack plan;
+        transmit t ~src:dst ~dst:src ~tag:(tag_ack sn) payload;
+        List.iter
+          (fun p -> deliver t ~this_round ~src ~dst ~bits:(t.size_bits p + Reliable.header_bits) p)
+          (Reliable.receive_data rel ~src ~dst ~sn payload)
+      end
+    end
+    else begin
+      (* Ack. *)
+      let sn = tag asr 1 in
+      let plan = Option.get t.faults and rel = Option.get t.rel in
+      if is_down t dst then Fault_plan.note_crash_drop plan t.trace ~src ~dst
+      else begin
+        (* The data direction is the reverse of the ack's travel. *)
+        Reliable.receive_ack rel ~src:dst ~dst:src ~sn;
+        t.acks_received <- t.acks_received + 1
+      end
+    end
+  done;
+  Roundq.recycle t.q b;
   t.round <- t.round + 1;
+  t.in_step <- false;
   (* Timeout-driven retransmission: anything overdue goes back on the wire
      (and through the fault plan again) for delivery next round. *)
   match t.rel with
   | None -> ()
   | Some rel ->
       List.iter
-        (fun (src, dst, pkt) -> transmit t ~src ~dst (Rel pkt))
+        (fun (src, dst, pkt) ->
+          match pkt with
+          | Reliable.Data { sn; payload } -> transmit t ~src ~dst ~tag:(tag_data sn) payload
+          | Reliable.Ack _ -> assert false (* only data packets are registered *))
         (Reliable.due rel ~now:(float_of_int t.round) t.trace)
 
-let describe_last_delivered t =
-  match t.last_delivered with
-  | None -> "none"
-  | Some (r, src, dst) -> Printf.sprintf "round %d: %d->%d" r src dst
-
 let quiescence_diag t reason =
-  Printf.sprintf
-    "Sync_engine.run_to_quiescence: %s: round=%d pending=%d unacked=%d delivered=%d \
-     last_delivered=%s"
-    reason t.round (pending t) (unacked t) t.fresh_delivered (describe_last_delivered t)
+  Quiesce.diag ~engine:"Sync_engine" ~reason
+    ~clock:(Printf.sprintf "round=%d" t.round)
+    ~pending:(pending t) ~unacked:(unacked t) ~delivered:t.fresh_delivered
+    ~last:
+      (Quiesce.describe_last ~unit:"round"
+         (if t.last_round < 0 then None else Some (t.last_round, t.last_src, t.last_dst)))
 
-let quiesced t = t.inflight = [] && unacked t = 0
+let quiesced t = Roundq.is_empty t.q && unacked t = 0
 
 let run_to_quiescence ?(max_rounds = 1_000_000) ?(stall_rounds = 10_000) t =
   let start = t.round in
   let progress_mark () = t.fresh_delivered + t.acks_received in
-  let last_mark = ref (progress_mark ()) in
-  let last_progress_round = ref t.round in
+  let w = Quiesce.watermark ~mark:(progress_mark ()) ~at:t.round in
   while not (quiesced t) do
     if t.round - start > max_rounds then failwith (quiescence_diag t "exceeded max_rounds (livelock?)");
     step t;
-    let mark = progress_mark () in
-    if mark <> !last_mark then begin
-      last_mark := mark;
-      last_progress_round := t.round
-    end
-    else if t.round - !last_progress_round > stall_rounds then
+    Quiesce.note w ~mark:(progress_mark ()) ~at:t.round;
+    if Quiesce.stalled w ~at:t.round ~limit:stall_rounds then
       failwith (quiescence_diag t "no progress watermark advanced (livelock)")
   done;
   t.round - start
 
 let reset_clock t =
-  if t.inflight <> [] then invalid_arg "Sync_engine.reset_clock: messages in flight";
+  if not (Roundq.is_empty t.q) then invalid_arg "Sync_engine.reset_clock: messages in flight";
   if unacked t <> 0 then invalid_arg "Sync_engine.reset_clock: unacknowledged messages outstanding";
   t.round <- 0;
+  Roundq.reset t.q;
   Metrics.reset t.metrics

@@ -1,7 +1,20 @@
+(* Position of the most significant set bit + 1, by binary chunking: this
+   sits on every payload-size computation, and the bit-at-a-time loop was
+   visible in profiles of the routing storm. *)
 let bits_of_int v =
   let v = abs v in
-  let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
-  go 0 v
+  if v = 0 then 1
+  else begin
+    let n = ref 0 in
+    let v = ref v in
+    if !v lsr 32 <> 0 then begin n := !n + 32; v := !v lsr 32 end;
+    if !v lsr 16 <> 0 then begin n := !n + 16; v := !v lsr 16 end;
+    if !v lsr 8 <> 0 then begin n := !n + 8; v := !v lsr 8 end;
+    if !v lsr 4 <> 0 then begin n := !n + 4; v := !v lsr 4 end;
+    if !v lsr 2 <> 0 then begin n := !n + 2; v := !v lsr 2 end;
+    if !v lsr 1 <> 0 then n := !n + 1;
+    !n + 1
+  end
 
 let bits_of_nat_bound bound =
   if bound < 0 then invalid_arg "Bitsize.bits_of_nat_bound: negative bound";

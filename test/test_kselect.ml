@@ -176,6 +176,69 @@ let test_trees_per_node_bounded () =
   checkb "stays bounded as n quadruples" true (l256 < 4.0 *. l64);
   checkb "nontrivial" true (l64 > 0.0)
 
+(* Statistical check for DESIGN.md rows F2/F3 (Lemmas 4.5, 4.7), pooled
+   over 64 seeded runs rather than a single instance: Phase-2 candidate
+   counts must drop geometrically from one iteration to the next, and the
+   copy-tree participation per node must sit in a constant band.  Both are
+   w.h.p. statements, so individual runs may be lucky or unlucky; pooling
+   64 runs (~120 phase-2 iterations at this size) makes the geometric mean
+   of the shrink ratios a stable statistic, and the tolerances stay loose
+   (observed geomean ≈ 0.43, asserted ≤ 0.7). *)
+let test_phase2_geometric_drop_64_seeds () =
+  let n = 16 and per_node = 64 in
+  let ratios = ref [] in
+  let runs_with_p2 = ref 0 in
+  let small_final = ref 0 in
+  let trees = ref [] in
+  for seed = 1 to 64 do
+    let rng = Dpq_util.Rng.create ~seed:(seed * 101) in
+    let tree = tree_of ~n ~seed in
+    let elements = uniform_elements ~rng ~n ~per_node ~prio_range:1_000_000 in
+    let k = 1 + Dpq_util.Rng.int rng (n * per_node) in
+    let r = run_and_check ~seed ~tree ~elements k in
+    let d = r.K.diagnostics in
+    trees := d.K.mean_trees_per_node :: !trees;
+    (* N entering Phase 2 is the last Phase-1 count. *)
+    let start =
+      match List.rev d.K.phase1_candidates with
+      | last :: _ -> last
+      | [] -> d.K.initial_candidates
+    in
+    let p2 = d.K.phase2_candidates in
+    if p2 <> [] then begin
+      incr runs_with_p2;
+      let final = List.nth p2 (List.length p2 - 1) in
+      if float_of_int final <= 8.0 *. sqrt (float_of_int n) then incr small_final;
+      ignore
+        (List.fold_left
+           (fun prev x ->
+             ratios := (float_of_int x /. float_of_int (max 1 prev)) :: !ratios;
+             x)
+           start p2)
+    end
+  done;
+  (* F3: Phase 2 actually runs and ends ≤ const·√n in (almost) every run. *)
+  checkb "phase 2 ran in >= 58/64 runs" true (!runs_with_p2 >= 58);
+  checkb "final N <= 8√n in >= 90% of phase-2 runs" true
+    (float_of_int !small_final >= 0.9 *. float_of_int !runs_with_p2);
+  (* F3: pooled geometric mean of per-iteration shrink ratios. *)
+  let rs = !ratios in
+  checkb "enough pooled iterations" true (List.length rs >= 64);
+  let geomean =
+    exp (List.fold_left (fun a r -> a +. log (max r 1e-9)) 0.0 rs /. float_of_int (List.length rs))
+  in
+  checkb
+    (Printf.sprintf "geometric drop: pooled shrink geomean %.3f <= 0.7" geomean)
+    true (geomean <= 0.7);
+  (* F2: copy-tree participation averaged over the 64 runs is a small
+     constant (Lemma 4.5; with n' = 4√n the expectation is ~2·(n'/√n)² = 32,
+     observed ≈ 8). *)
+  let mean_trees = List.fold_left ( +. ) 0.0 !trees /. 64.0 in
+  checkb
+    (Printf.sprintf "mean copy trees/node %.2f in (0, 32]" mean_trees)
+    true
+    (mean_trees > 0.0 && mean_trees <= 32.0)
+
 let test_rounds_logarithmic () =
   let rounds n =
     let rng = Dpq_util.Rng.create ~seed:29 in
@@ -241,6 +304,8 @@ let () =
           Alcotest.test_case "phase 1 reduces candidates" `Quick test_phase1_reduces_candidates;
           Alcotest.test_case "phase 2 reaches threshold" `Quick test_phase2_reaches_threshold;
           Alcotest.test_case "trees per node bounded" `Quick test_trees_per_node_bounded;
+          Alcotest.test_case "phase 2 geometric drop (64 seeds)" `Quick
+            test_phase2_geometric_drop_64_seeds;
           Alcotest.test_case "rounds logarithmic" `Slow test_rounds_logarithmic;
           Alcotest.test_case "message bits logarithmic" `Quick test_message_bits_logarithmic;
         ] );

@@ -296,6 +296,45 @@ let prop_sequential_mode_semantics =
       ignore (S.drain h);
       match Checker.check_all_skeap (S.oplog h) with Ok () -> true | Error _ -> false)
 
+(* qcheck: the DeleteMin phase's position assignment agrees with a sorted
+   reference model.  Internally the k_eff smallest stored elements are
+   re-homed under position keys h(1..k_eff) by interval decomposition and
+   each deleter fetches one assigned position; the observable consequence —
+   checked here against a plain sort — is that the matched deletes return
+   {e exactly} the k_eff smallest elements under the paper's total order.
+   Comparing full elements (not just priorities) pins the tie-breaking: the
+   tiny priority range forces many ties, which positions 1..k_eff must
+   resolve by (origin, seq) exactly as the reference sort does.  Excess
+   deleters (k > m) must get ⊥ and nothing else. *)
+let prop_delete_positions_match_sorted_reference =
+  let gen =
+    QCheck.Gen.(
+      (1 -- 6) >>= fun n ->
+      triple (return n)
+        (list_size (1 -- 40) (pair (0 -- (n - 1)) (1 -- 8)))
+        (1 -- 45))
+  in
+  QCheck.Test.make ~name:"delete-min positions cover exactly the k smallest (ties consistent)"
+    ~count:50 (QCheck.make gen)
+    (fun (n, inserts, k) ->
+      let h = S.create ~seed:29 ~n () in
+      let elems = List.map (fun (node, p) -> S.insert h ~node ~prio:p) inserts in
+      ignore (S.process_round h);
+      for i = 0 to k - 1 do
+        S.delete_min h ~node:(i mod n)
+      done;
+      let r = S.process_round h in
+      let got =
+        List.filter_map (fun c -> match c.S.outcome with `Got e -> Some e | _ -> None) r.S.completions
+      in
+      let bots = List.length (List.filter (fun c -> c.S.outcome = `Empty) r.S.completions) in
+      let k_eff = min k (List.length elems) in
+      let expected = List.filteri (fun i _ -> i < k_eff) (List.sort E.compare elems) in
+      bots = k - k_eff
+      && List.length got = k_eff
+      && List.for_all2 E.equal expected (List.sort E.compare got)
+      && Checker.check_all_seap (S.oplog h) = Ok ())
+
 (* qcheck: random interleavings preserve Seap's guarantees. *)
 let prop_seap_semantics =
   let gen =
@@ -338,6 +377,7 @@ let () =
           Alcotest.test_case "kselect diagnostics" `Quick test_kselect_diagnostics_surface;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
           Alcotest.test_case "drain" `Quick test_drain;
+          QCheck_alcotest.to_alcotest prop_delete_positions_match_sorted_reference;
           QCheck_alcotest.to_alcotest prop_seap_semantics;
         ] );
       ( "sequential-mode",
