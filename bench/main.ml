@@ -14,10 +14,20 @@
                        heap words, run digest — to BENCH_grid.jsonl, plus
                        the legacy BENCH_skeap.json / BENCH_seap.json
                        snapshots for the largest cells.  (--json-only is a
-                       deprecated alias.)
+                       deprecated alias.)  The grid ends with the streamed
+                       large-n cells (mode "stream": skeap at n = 4096,
+                       16384, 65536 with 2²⁰ ops each) — generated on
+                       demand, digested and checked online, never
+                       materialized; they run last, ascending in n, because
+                       Gc top_heap_words is process-global and monotonic.
      --compare         re-run every cell recorded in BENCH_grid.jsonl and
-                       fail (exit 1) if any digest changed or throughput
-                       regressed more than --tolerance (default 0.4).
+                       fail (exit 1) if any digest changed, throughput
+                       regressed more than --tolerance (default 0.4), or a
+                       stream cell's peak heap exceeded the recorded value
+                       by more than --heap-tolerance (default 0.5, i.e. a
+                       1.5x ceiling).
+     --max-n N         with --compare, skip cells with n > N (CI smoke
+                       caps at 4096 to bound wall-clock).
      --out FILE        with --compare, also write the freshly measured rows
                        to FILE (CI uploads them as an artifact).
      --faults SPEC     with --record, run the grid over the faulty network
@@ -328,13 +338,29 @@ let grid =
         [ 16; 32 ])
     [ Dpq_types.Types.Skeap { num_prios = 4 }; Dpq_types.Types.Seap ]
 
-let cell_workload ~n ~lambda =
-  W.generate ~rng:(Rng.create ~seed:3) ~n ~rounds:4 ~lambda ~prio:(W.Constant_set 4) ()
+(* The scale-frontier cells (EXPERIMENTS.md §S3): one streamed pass each,
+   2²⁰ operations, generated on demand and checked online.  Kept in
+   ascending n and always run AFTER the eager grid: Gc top_heap_words is
+   process-global and monotonic, so each cell's reading is only meaningful
+   if nothing larger ran before it. *)
+let stream_grid =
+  List.map
+    (fun (n, wl_rounds) -> (Dpq_types.Types.Skeap { num_prios = 4 }, n, 1, wl_rounds))
+    [ (4096, 256); (16384, 64); (65536, 16) ]
+
+let cell_workload ?(wl_rounds = 4) ~n ~lambda () =
+  W.generate ~rng:(Rng.create ~seed:3) ~n ~rounds:wl_rounds ~lambda ~prio:(W.Constant_set 4) ()
+
+let stream_spec ~n ~lambda ~wl_rounds =
+  W.Gen.
+    { n; rounds = wl_rounds; lambda; insert_ratio = 0.5; dist = W.Constant_set 4; seed = 3 }
 
 type cell_stats = {
   c_backend : string;
   c_n : int;
   c_lambda : int;
+  c_mode : string; (* "eager" | "stream" *)
+  c_wl_rounds : int; (* injection rounds of the cell's workload *)
   c_faults : string; (* fault-plan spec, "" when fault-free *)
   c_ops : int;
   c_rounds : int;
@@ -344,6 +370,7 @@ type cell_stats = {
   c_eps : float; (* delivered messages ("events") per second *)
   c_minor_words_per_op : float;
   c_peak_heap_words : int; (* Gc.quick_stat top_heap_words after the run *)
+  c_peak_live : int; (* online checker's live-element high-water mark; 0 for eager *)
   c_digest : string;
   c_ok : bool;
 }
@@ -369,8 +396,78 @@ let drive ?trace ?faults ~backend ~n wl =
     wl;
   (h, !rounds, !messages, !total_bits)
 
-let run_cell ?(faults_spec = "") (backend, n, lambda) =
-  let wl = cell_workload ~n ~lambda in
+(* The streamed counterpart of [drive]: rounds come from the generator on
+   demand, and after every processed round the completed records are drained
+   into the incremental digest and the online checker — nothing O(total ops)
+   is ever held, which is what makes the n=65536 cell fit in one process. *)
+let drive_stream ?faults ~backend ~n spec =
+  let h = Heap.create ~seed:1 ?faults ~n backend in
+  let checker = Heap.online_checker h in
+  let acc = Run_digest.start () in
+  let gen = W.Gen.create spec in
+  let rounds = ref 0 and messages = ref 0 and total_bits = ref 0 in
+  let rec loop () =
+    match W.Gen.next gen with
+    | None -> ()
+    | Some round ->
+        List.iter
+          (fun (op : W.op) ->
+            match op.W.action with
+            | `Ins p -> ignore (Heap.insert h ~node:op.W.node ~prio:p)
+            | `Del -> Heap.delete_min h ~node:op.W.node)
+          round;
+        let r = Heap.process h in
+        rounds := !rounds + r.Heap.rounds;
+        messages := !messages + r.Heap.messages;
+        total_bits := !total_bits + r.Heap.total_bits;
+        let recs = Heap.take_oplog h in
+        Run_digest.feed_records acc recs;
+        Dpq_semantics.Checker.Online.feed_all checker recs;
+        loop ()
+  in
+  loop ();
+  let ok = Dpq_semantics.Checker.Online.finish checker = Ok () in
+  let peak_live = Dpq_semantics.Checker.Online.peak_live checker in
+  (!rounds, !messages, !total_bits, Run_digest.finish acc, ok, peak_live)
+
+let run_stream_cell ?(faults_spec = "") (backend, n, lambda, wl_rounds) =
+  let spec = stream_spec ~n ~lambda ~wl_rounds in
+  let faults =
+    if faults_spec = "" then None
+    else Some (Dpq_simrt.Fault_plan.of_string ~seed:faults_seed faults_spec)
+  in
+  (* A single timed pass: at 2²⁰ ops per cell the run is long enough that
+     warmup and repetition buy nothing, and the eager grid already ran. *)
+  let ops = W.Gen.total_ops spec in
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let rounds, messages, total_bits, digest, ok, peak_live =
+    drive_stream ?faults ~backend ~n spec
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  {
+    c_backend = Dpq_types.Types.backend_name backend;
+    c_n = n;
+    c_lambda = lambda;
+    c_mode = "stream";
+    c_wl_rounds = wl_rounds;
+    c_faults = faults_spec;
+    c_ops = ops;
+    c_rounds = rounds;
+    c_messages = messages;
+    c_total_bits = total_bits;
+    c_wall = wall;
+    c_eps = (if wall > 0.0 then float_of_int messages /. wall else 0.0);
+    c_minor_words_per_op = minor /. float_of_int (max 1 ops);
+    c_peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    c_peak_live = peak_live;
+    c_digest = digest;
+    c_ok = ok;
+  }
+
+let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
+  let wl = cell_workload ~wl_rounds ~n ~lambda () in
   let plan () =
     if faults_spec = "" then None
     else Some (Dpq_simrt.Fault_plan.of_string ~seed:faults_seed faults_spec)
@@ -406,6 +503,8 @@ let run_cell ?(faults_spec = "") (backend, n, lambda) =
     c_backend = Dpq_types.Types.backend_name backend;
     c_n = n;
     c_lambda = lambda;
+    c_mode = "eager";
+    c_wl_rounds = wl_rounds;
     c_faults = faults_spec;
     c_ops = ops;
     c_rounds = rounds;
@@ -415,17 +514,20 @@ let run_cell ?(faults_spec = "") (backend, n, lambda) =
     c_eps = (if wall > 0.0 then float_of_int messages /. wall else 0.0);
     c_minor_words_per_op = minor /. float_of_int (max 1 ops);
     c_peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    c_peak_live = 0;
     c_digest = Run_digest.of_run ~oplog:(Heap.oplog h) ~trace;
     c_ok = Heap.verify h = Ok ();
   }
 
 let row_to_json c =
   Printf.sprintf
-    "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"faults\": %S, \"ops\": %d, \"rounds\": %d, \
-     \"messages\": %d, \"total_bits\": %d, \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, \
-     \"minor_words_per_op\": %.1f, \"peak_heap_words\": %d, \"digest\": %S, \"semantics_ok\": %b}"
-    c.c_backend c.c_n c.c_lambda c.c_faults c.c_ops c.c_rounds c.c_messages c.c_total_bits c.c_wall
-    c.c_eps c.c_minor_words_per_op c.c_peak_heap_words c.c_digest c.c_ok
+    "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"mode\": %S, \"wl_rounds\": %d, \"faults\": %S, \
+     \"ops\": %d, \"rounds\": %d, \"messages\": %d, \"total_bits\": %d, \"wall_seconds\": %.6f, \
+     \"events_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \"peak_heap_words\": %d, \
+     \"peak_live\": %d, \"digest\": %S, \"semantics_ok\": %b}"
+    c.c_backend c.c_n c.c_lambda c.c_mode c.c_wl_rounds c.c_faults c.c_ops c.c_rounds c.c_messages
+    c.c_total_bits c.c_wall c.c_eps c.c_minor_words_per_op c.c_peak_heap_words c.c_peak_live
+    c.c_digest c.c_ok
 
 (* Minimal flat-JSON-object reader — just enough for our own rows (string /
    number / bool values, no nesting, no escapes), so the gate needs no JSON
@@ -519,10 +621,17 @@ let write_legacy_snapshot c file =
    faults, which read as noise on its events/sec — it was reliably the
    worst-measuring cell of the grid. *)
 let spinup () =
-  let wl = cell_workload ~n:16 ~lambda:2 in
+  let wl = cell_workload ~n:16 ~lambda:2 () in
   for _ = 1 to 3 do
     ignore (drive ~backend:(Dpq_types.Types.Skeap { num_prios = 4 }) ~n:16 wl)
   done
+
+let pp_row c =
+  Printf.printf "%-12s n=%-5d lambda=%-2d %-6s %9d msgs %9.4fs %8.2fM ev/s %8.1f w/op%s ok=%b\n%!"
+    c.c_backend c.c_n c.c_lambda c.c_mode c.c_messages c.c_wall (c.c_eps /. 1e6)
+    c.c_minor_words_per_op
+    (if c.c_mode = "stream" then Printf.sprintf " live<=%d" c.c_peak_live else "")
+    c.c_ok
 
 let record_grid ?faults_spec () =
   spinup ();
@@ -530,11 +639,19 @@ let record_grid ?faults_spec () =
     List.map
       (fun cell ->
         let c = run_cell ?faults_spec cell in
-        Printf.printf "%-12s n=%-3d lambda=%-2d %8d msgs %9.4fs %8.2fM ev/s %8.1f w/op ok=%b\n%!"
-          c.c_backend c.c_n c.c_lambda c.c_messages c.c_wall (c.c_eps /. 1e6)
-          c.c_minor_words_per_op c.c_ok;
+        pp_row c;
         c)
       grid
+  in
+  (* Stream cells last, ascending n (see the comment on [stream_grid]). *)
+  let rows =
+    rows
+    @ List.map
+        (fun cell ->
+          let c = run_stream_cell ?faults_spec cell in
+          pp_row c;
+          c)
+        stream_grid
   in
   let oc = open_out grid_file in
   List.iter (fun c -> output_string oc (row_to_json c ^ "\n")) rows;
@@ -557,34 +674,68 @@ let read_lines file =
   in
   go []
 
-let compare_grid ~tolerance ~out () =
+let compare_grid ~tolerance ~heap_tolerance ~max_n ~out () =
   if not (Sys.file_exists grid_file) then begin
     Printf.eprintf "bench --compare: no %s baseline; run `bench -- --record` first\n" grid_file;
     exit 2
   end;
   let baselines = List.map parse_flat_json (read_lines grid_file) in
   spinup ();
-  let failures = ref 0 in
+  let failures = ref 0 and skipped = ref 0 in
   let current =
-    List.map
+    List.filter_map
       (fun base ->
         let backend = backend_of_name (field base "backend") in
         let n = int_of_string (field base "n") in
         let lambda = int_of_string (field base "lambda") in
+        (* Pre-streaming baselines carry neither field: those rows are all
+           eager 4-round cells. *)
+        let mode = match List.assoc_opt "mode" base with Some m -> m | None -> "eager" in
+        let wl_rounds =
+          match List.assoc_opt "wl_rounds" base with Some r -> int_of_string r | None -> 4
+        in
         let faults_spec = field base "faults" in
-        let c = run_cell ~faults_spec (backend, n, lambda) in
-        let base_eps = float_of_string (field base "events_per_sec") in
-        let base_digest = field base "digest" in
-        let ratio = if base_eps > 0.0 then c.c_eps /. base_eps else infinity in
-        let digest_ok = String.equal base_digest c.c_digest in
-        let eps_ok = ratio >= 1.0 -. tolerance in
-        if not (digest_ok && eps_ok && c.c_ok) then incr failures;
-        Printf.printf "%-4s %-12s n=%-3d lambda=%-2d %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s\n%!"
-          (if digest_ok && eps_ok && c.c_ok then "ok" else "FAIL")
-          c.c_backend c.c_n c.c_lambda (c.c_eps /. 1e6) (base_eps /. 1e6) ratio
-          (if digest_ok then "unchanged" else Printf.sprintf "CHANGED (%s -> %s)" base_digest c.c_digest)
-          (if c.c_ok then "" else "  semantics BROKEN");
-        c)
+        if n > max_n then begin
+          incr skipped;
+          Printf.printf "skip %-12s n=%-5d lambda=%-2d %-6s (over --max-n %d)\n%!"
+            (field base "backend") n lambda mode max_n;
+          None
+        end
+        else begin
+          let c =
+            if mode = "stream" then run_stream_cell ~faults_spec (backend, n, lambda, wl_rounds)
+            else run_cell ~faults_spec ~wl_rounds (backend, n, lambda)
+          in
+          let base_eps = float_of_string (field base "events_per_sec") in
+          let base_digest = field base "digest" in
+          let ratio = if base_eps > 0.0 then c.c_eps /. base_eps else infinity in
+          let digest_ok = String.equal base_digest c.c_digest in
+          let eps_ok = ratio >= 1.0 -. tolerance in
+          (* The memory half of the gate, stream cells only: eager cells are
+             too small for top_heap_words to move, and a streamed run whose
+             peak heap grows past the ceiling has lost its O(live) bound. *)
+          let heap_ok, heap_note =
+            match (mode, List.assoc_opt "peak_heap_words" base) with
+            | "stream", Some w ->
+                let base_heap = int_of_string w in
+                let ceiling =
+                  int_of_float (float_of_int base_heap *. (1.0 +. heap_tolerance))
+                in
+                ( c.c_peak_heap_words <= ceiling,
+                  Printf.sprintf "  heap %dw (ceiling %dw)" c.c_peak_heap_words ceiling )
+            | _ -> (true, "")
+          in
+          if not (digest_ok && eps_ok && heap_ok && c.c_ok) then incr failures;
+          Printf.printf
+            "%-4s %-12s n=%-5d lambda=%-2d %-6s %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s%s\n%!"
+            (if digest_ok && eps_ok && heap_ok && c.c_ok then "ok" else "FAIL")
+            c.c_backend c.c_n c.c_lambda c.c_mode (c.c_eps /. 1e6) (base_eps /. 1e6) ratio
+            (if digest_ok then "unchanged"
+             else Printf.sprintf "CHANGED (%s -> %s)" base_digest c.c_digest)
+            (if heap_ok then heap_note else heap_note ^ "  peak heap OVER CEILING")
+            (if c.c_ok then "" else "  semantics BROKEN");
+          Some c
+        end)
       baselines
   in
   (match out with
@@ -600,8 +751,10 @@ let compare_grid ~tolerance ~out () =
     exit 1
   end
   else
-    Printf.printf "bench --compare: all %d cells within tolerance (%.0f%%), digests bit-identical\n"
+    Printf.printf
+      "bench --compare: all %d cells within tolerance (%.0f%%), digests bit-identical%s\n"
       (List.length current) (tolerance *. 100.0)
+      (if !skipped > 0 then Printf.sprintf " (%d skipped over --max-n)" !skipped else "")
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -626,7 +779,13 @@ let () =
     let tolerance =
       match opt_value "--tolerance" argv with None -> 0.4 | Some s -> float_of_string s
     in
-    compare_grid ~tolerance ~out:(opt_value "--out" argv) ();
+    let heap_tolerance =
+      match opt_value "--heap-tolerance" argv with None -> 0.5 | Some s -> float_of_string s
+    in
+    let max_n =
+      match opt_value "--max-n" argv with None -> max_int | Some s -> int_of_string s
+    in
+    compare_grid ~tolerance ~heap_tolerance ~max_n ~out:(opt_value "--out" argv) ();
     exit 0
   end;
   let instances = Instance.[ monotonic_clock ] in

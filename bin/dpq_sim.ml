@@ -98,8 +98,8 @@ let do_replay file =
       Printf.printf "  clause matches expectation : %b\n" rep.Explore.clause_matches;
       if rep.Explore.digest_matches && rep.Explore.clause_matches then exit 0 else exit 2
 
-let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file faults_spec drop dup
-    crash replay =
+let run protocol nodes rounds lambda prios dist insert_ratio seed stream trace_file faults_spec
+    drop dup crash replay =
   (match replay with Some file -> do_replay file | None -> ());
   let prio_dist =
     match dist with
@@ -117,9 +117,6 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file fau
         protocol;
       exit 1
   | _ -> ());
-  let wl =
-    W.generate ~rng:(Rng.create ~seed) ~n:nodes ~rounds ~lambda ~insert_ratio ~prio:prio_dist ()
-  in
   let backend =
     match protocol with
     | "skeap" -> Dpq_types.Types.Skeap { num_prios = prios }
@@ -132,9 +129,27 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file fau
   in
   let trace = Option.map (fun _ -> Trace.create ()) trace_file in
   let faults = make_faults ~seed:(seed + 271828) ~faults_spec ~drop ~dup ~crash in
-  let summary = R.run ~seed ?trace ?faults ~n:nodes backend wl in
-  Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)\n"
-    nodes rounds lambda (W.total_ops wl) (W.inserts wl) (W.deletes wl) dist;
+  let summary, ops, ins, del =
+    if stream then begin
+      (* never materialize the workload: rounds are generated on demand and
+         checked online, so memory stays O(live elements) even at n=65536 *)
+      let spec =
+        W.Gen.{ n = nodes; rounds; lambda; insert_ratio; dist = prio_dist; seed }
+      in
+      let s = R.run_gen ?trace ?faults ~seed ~n:nodes backend (W.Gen.create spec) in
+      (s, s.R.ops, s.R.inserted, s.R.got + s.R.empty)
+    end
+    else
+      let wl =
+        W.generate ~rng:(Rng.create ~seed) ~n:nodes ~rounds ~lambda ~insert_ratio ~prio:prio_dist
+          ()
+      in
+      let s = R.run ~seed ?trace ?faults ~n:nodes backend wl in
+      (s, W.total_ops wl, W.inserts wl, W.deletes wl)
+  in
+  Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)%s\n"
+    nodes rounds lambda ops ins del dist
+    (if stream then "  [streamed]" else "");
   Printf.printf "protocol : %s\n\n" (R.protocol_name summary);
   Printf.printf "  simulated rounds        %d\n" summary.R.rounds;
   Printf.printf "  messages                %d  (%d bits total)\n" summary.R.messages
@@ -147,7 +162,12 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed trace_file fau
     (R.effective_throughput summary);
   Printf.printf "  outcomes                %d inserted, %d matched deletes, %d ⊥\n"
     summary.R.inserted summary.R.got summary.R.empty;
+  Printf.printf "  peak live elements      %d  (online-checker state is O(this))\n"
+    summary.R.peak_live;
   Printf.printf "  semantics verified      %b\n" summary.R.semantics_ok;
+  (match summary.R.violation with
+  | None -> ()
+  | Some v -> Printf.printf "  violation               %s\n" (Checker.violation_to_string v));
   (match faults with
   | None -> ()
   | Some plan ->
@@ -217,6 +237,15 @@ let insert_ratio =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let stream =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Generate the workload on demand instead of materializing it: rounds come from a \
+           $(b,Workload.Gen) spec and semantics are checked online, so memory stays \
+           O(live elements).  Required territory for $(b,--nodes) in the thousands.")
+
 let trace_file =
   Arg.(
     value
@@ -256,7 +285,7 @@ let replay_file =
 
 let run_term =
   Term.(
-    const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
+    const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed $ stream
     $ trace_file $ faults_spec $ drop $ dup $ crash $ replay_file)
 
 let explore_cmd =

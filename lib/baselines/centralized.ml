@@ -187,3 +187,11 @@ let process t =
   { completions; report; coordinator_load = load }
 
 let oplog t = Oplog.of_list t.log
+
+let take_log t =
+  let l = t.log in
+  t.log <- [];
+  (* witnesses are assigned when an operation serializes, which can precede
+     the moment its record is logged (e.g. matched deletes complete after
+     the DHT round), so the retained list is not witness-sorted *)
+  List.sort (fun (a : Oplog.record) b -> Int.compare a.Oplog.witness b.Oplog.witness) l

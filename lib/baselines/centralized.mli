@@ -54,3 +54,7 @@ val process : t -> result
 
 val oplog : t -> Dpq_semantics.Oplog.t
 (** The baseline is honest: its log passes the same checkers. *)
+
+val take_log : t -> Dpq_semantics.Oplog.record list
+(** Drain the retained log: records completed since the previous take, in
+    witness order (see {!Dpq_skeap.Skeap.take_log}). *)

@@ -50,3 +50,7 @@ type result = {
 
 val process : t -> result
 val oplog : t -> Dpq_semantics.Oplog.t
+
+val take_log : t -> Dpq_semantics.Oplog.record list
+(** Drain the retained log: records completed since the previous take, in
+    witness order (see {!Dpq_skeap.Skeap.take_log}). *)

@@ -165,6 +165,22 @@ let oplog t =
   | I_centralized h -> Centralized_impl.oplog h
   | I_unbatched h -> Unbatched_impl.oplog h
 
+let take_oplog t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.take_log h
+  | I_seap h -> Seap_impl.take_log h
+  | I_centralized h -> Centralized_impl.take_log h
+  | I_unbatched h -> Unbatched_impl.take_log h
+
+let online_contract t =
+  match t.impl with
+  | I_seap _ -> Dpq_semantics.Checker.Online.Seap_contract
+  (* Both baselines serialize at a single point under synchronous delivery,
+     so they are held to the stronger (sequential-consistency) contract. *)
+  | I_skeap _ | I_centralized _ | I_unbatched _ -> Dpq_semantics.Checker.Online.Skeap_contract
+
+let online_checker t = Dpq_semantics.Checker.Online.create (online_contract t)
+
 let verify t =
   match t.impl with
   | I_skeap h -> Dpq_semantics.Checker.check_all_skeap (Skeap_impl.oplog h)

@@ -128,6 +128,21 @@ val verify : t -> (unit, string) Stdlib.result
     heap consistency for the rest. *)
 
 val oplog : t -> Dpq_semantics.Oplog.t
+
+val take_oplog : t -> Dpq_semantics.Oplog.record list
+(** Drain the backend's retained log: the records completed since the
+    previous take, in witness order.  The streaming runner drains after
+    every processed round and feeds the records to an online checker, so no
+    component ever holds the whole run.  Mixing {!take_oplog} with end-of-run
+    {!oplog}/{!verify} sees only the un-drained suffix. *)
+
+val online_contract : t -> Dpq_semantics.Checker.Online.contract
+(** The contract {!verify} holds this backend to, for online checking:
+    [Seap_contract] for Seap, [Skeap_contract] for everything else. *)
+
+val online_checker : t -> Dpq_semantics.Checker.Online.t
+(** Fresh online checker for this backend's contract. *)
+
 val stored_per_node : t -> int array
 (** Element count per node: DHT balance for Skeap/Seap/Unbatched, all-at-
     coordinator for Centralized. *)

@@ -20,6 +20,7 @@ type config = {
   faults : string option;
   corrupt : Corrupt.t option;
   workload : Workload.t;
+  gen : Workload.Gen.spec option;
 }
 
 type outcome = { digest : string; violation : Checker.violation option; ops : int }
@@ -115,12 +116,14 @@ let prio_for = function
   | Types.Skeap _ | Types.Unbatched _ -> Workload.Constant_set num_prios
   | Types.Seap | Types.Centralized -> Workload.Uniform (1, 50)
 
+let gen_spec ~seed ~n ~rounds ~lambda backend =
+  Workload.Gen.{ n; rounds; lambda; insert_ratio = 0.5; dist = prio_for backend; seed }
+
 let gen_workload ~seed ~n ~rounds ~lambda backend =
-  Workload.generate
-    ~rng:(Rng.named ~seed "workload")
-    ~n ~rounds ~lambda ~prio:(prio_for backend) ()
+  Workload.of_gen (gen_spec ~seed ~n ~rounds ~lambda backend)
 
 let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ~seed ~policy combo =
+  let spec = gen_spec ~seed ~n ~rounds ~lambda combo.backend in
   {
     seed;
     backend = combo.backend;
@@ -129,7 +132,8 @@ let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ~seed ~policy combo =
     sched = policy;
     faults = combo.faults;
     corrupt = None;
-    workload = gen_workload ~seed ~n ~rounds ~lambda combo.backend;
+    workload = Workload.of_gen spec;
+    gen = Some spec;
   }
 
 type failure = { config : config; violation : Checker.violation }
@@ -163,7 +167,9 @@ let violates_same clause cfg =
   | _ -> false
 
 let shrink_candidates cfg =
-  let with_workload w = { cfg with workload = w } in
+  (* a shrunk workload is no longer the generator's output, so the spec
+     provenance is dropped *)
+  let with_workload w = { cfg with workload = w; gen = None } in
   let workload_cands = List.map with_workload (Workload.shrink_candidates cfg.workload) in
   let sched_cands = if cfg.sched = Sched.Fifo then [] else [ { cfg with sched = Sched.Fifo } ] in
   let fault_cands = if cfg.faults = None then [] else [ { cfg with faults = None } ] in
@@ -261,7 +267,9 @@ let repro_to_string cfg (o : outcome) =
     (match o.violation with None -> "none" | Some v -> Checker.clause_name v.Checker.clause);
   line "expect-digest %s" o.digest;
   line "workload";
-  List.iter (fun r -> line "%s" (Workload.round_to_string r)) cfg.workload;
+  (match cfg.gen with
+  | Some spec -> line "gen: %s" (Workload.Gen.spec_to_string spec)
+  | None -> List.iter (fun r -> line "%s" (Workload.round_to_string r)) cfg.workload);
   Buffer.contents buf
 
 let repro_of_string text =
@@ -321,17 +329,29 @@ let repro_of_string text =
         if v = "none" then Ok None else Result.map Option.some (clause_of_string v)
       in
       let* expect_digest = field "expect-digest" in
-      let* workload =
-        List.fold_left
-          (fun acc line ->
-            let* acc = acc in
-            let* r = Workload.round_of_string line in
-            Ok (r :: acc))
-          (Ok []) round_lines
-        |> Result.map List.rev
+      let* workload, gen =
+        (* Two forms, both accepted by Workload.of_string: a [gen:] line
+           referencing a generator spec, or materialized round lines. *)
+        match round_lines with
+        | [ line ] when String.length line > 4 && String.sub line 0 4 = "gen:" ->
+            let* spec =
+              Workload.Gen.spec_of_string (String.sub line 4 (String.length line - 4))
+            in
+            Ok (Workload.of_gen spec, Some spec)
+        | _ ->
+            let* wl =
+              List.fold_left
+                (fun acc line ->
+                  let* acc = acc in
+                  let* r = Workload.round_of_string line in
+                  Ok (r :: acc))
+                (Ok []) round_lines
+              |> Result.map List.rev
+            in
+            Ok (wl, None)
       in
       Ok
-        ( { seed; backend; n; engine; sched; faults; corrupt; workload },
+        ( { seed; backend; n; engine; sched; faults; corrupt; workload; gen },
           { expect_clause; expect_digest } )
   | _ -> fail "Explore: not a %s file" magic
 

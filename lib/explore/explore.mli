@@ -39,6 +39,10 @@ type config = {
   faults : string option;  (** {!Dpq_simrt.Fault_plan.of_string} spec *)
   corrupt : Corrupt.t option;  (** planted post-hoc oplog corruption (tests) *)
   workload : Dpq_workloads.Workload.t;
+  gen : Dpq_workloads.Workload.Gen.spec option;
+      (** provenance: when the workload is a generator spec's
+          materialization, repro files store the one-line [gen:] spec
+          instead of the round dump.  Cleared by workload shrinking. *)
 }
 
 type outcome = {
@@ -75,11 +79,20 @@ val default_policies : Dpq_simrt.Sched.policy list
 (** Fifo, a shuffle with starvation, crossing pairs, and a channel bias
     onto node 0. *)
 
+val gen_spec :
+  seed:int ->
+  n:int ->
+  rounds:int ->
+  lambda:int ->
+  Dpq_types.Types.backend ->
+  Dpq_workloads.Workload.Gen.spec
+(** The sweep's workload as a serializable generator spec: drawn from the
+    seed's ["workload"] stream, priorities matched to the backend (constant
+    set for Skeap/Unbatched, wide range for Seap/Centralized). *)
+
 val gen_workload :
   seed:int -> n:int -> rounds:int -> lambda:int -> Dpq_types.Types.backend -> Dpq_workloads.Workload.t
-(** The sweep's workload generator: drawn from the seed's ["workload"]
-    stream, priorities matched to the backend (constant set for
-    Skeap/Unbatched, wide range for Seap/Centralized). *)
+(** [Workload.of_gen] of {!gen_spec}. *)
 
 val config_of_combo :
   ?n:int ->
@@ -125,9 +138,10 @@ val shrink : ?max_attempts:int -> config -> Dpq_semantics.Checker.clause -> conf
 
     Self-contained text files: header lines ([seed] / [backend] / [nodes] /
     [engine] / [sched] / [faults] / [corrupt] / [expect-clause] /
-    [expect-digest]) followed by a [workload] section, one round per line
-    ({!Dpq_workloads.Workload.round_to_string}).  Lines starting with [#]
-    are comments. *)
+    [expect-digest]) followed by a [workload] section — either one round
+    per line ({!Dpq_workloads.Workload.round_to_string}) or a single
+    [gen: <spec>] line ({!Dpq_workloads.Workload.Gen.spec_to_string}) that
+    materializes on read.  Lines starting with [#] are comments. *)
 
 type expectation = {
   expect_clause : Dpq_semantics.Checker.clause option;

@@ -13,7 +13,7 @@ let mix_string h s = String.fold_left (fun h c -> mix h (Char.code c)) h s
 let mix_elt h (e : Element.t) =
   mix (mix (mix h e.Element.prio) e.Element.origin) e.Element.seq
 
-let mix_oplog h log =
+let mix_records h rs =
   List.fold_left
     (fun h (r : Oplog.record) ->
       let h = mix (mix (mix (mix h 1) r.Oplog.node) r.Oplog.local_seq) r.Oplog.witness in
@@ -23,7 +23,9 @@ let mix_oplog h log =
         | Oplog.Delete_min -> mix h 3
       in
       match r.Oplog.result with None -> mix h 4 | Some e -> mix_elt (mix h 5) e)
-    h (Oplog.to_list log)
+    h rs
+
+let mix_oplog h log = mix_records h (Oplog.to_list log)
 
 (* The schedule-identity slice of the trace: delivery order, scheduler
    perturbations, fault injections and retransmissions.  Phase spans and
@@ -48,3 +50,15 @@ let to_hex = Printf.sprintf "%016Lx"
 
 let of_oplog log = to_hex (mix_oplog fnv_offset log)
 let of_run ~oplog ~trace = to_hex (mix_trace (mix_oplog fnv_offset oplog) trace)
+
+(* Streaming form: records are folded in as they are drained, the trace (if
+   any) is mixed once at the end — the same left fold [of_run] performs, so
+   a streamed run and a materialized run of the same execution digest
+   equal. *)
+type acc = { mutable h : int64 }
+
+let start () = { h = fnv_offset }
+let feed_records acc rs = acc.h <- mix_records acc.h rs
+
+let finish ?trace acc =
+  match trace with None -> to_hex acc.h | Some t -> to_hex (mix_trace acc.h t)

@@ -18,3 +18,21 @@ val of_oplog : Dpq_semantics.Oplog.t -> string
 val of_run : oplog:Dpq_semantics.Oplog.t -> trace:Dpq_obs.Trace.t -> string
 (** Digest of operations + delivery schedule: the identity of one
     execution. *)
+
+(** {2 Streaming accumulation}
+
+    Large-n runs drain their oplog round by round instead of materializing
+    it; the accumulator folds the drained records in as they arrive and
+    mixes the trace once at the end.  Feeding the same records in the same
+    (witness) order yields exactly {!of_run} / {!of_oplog}. *)
+
+type acc
+
+val start : unit -> acc
+
+val feed_records : acc -> Dpq_semantics.Oplog.record list -> unit
+(** Fold in the next drained batch; batches must arrive in witness order
+    (as {!Dpq.Dpq_heap.take_oplog} yields them). *)
+
+val finish : ?trace:Dpq_obs.Trace.t -> acc -> string
+(** The digest: {!of_run} when [trace] is given, {!of_oplog} otherwise. *)

@@ -100,6 +100,11 @@ val drain : ?dht_mode:dht_mode -> t -> round_result list
 (** Rounds until nothing is pending. *)
 
 val oplog : t -> Dpq_semantics.Oplog.t
+
+val take_log : t -> Dpq_semantics.Oplog.record list
+(** Drain the retained log: records completed since the previous take, in
+    witness order (see {!Dpq_skeap.Skeap.take_log}). *)
+
 val stored_per_node : t -> int array
 
 (** {2 Membership changes (paper Contribution 4)} — same contract as

@@ -306,17 +306,449 @@ let explain_all_sstack log =
   let* () = explain_local_consistency log in
   explain_lifo_stack log
 
+(* ------------------------------------------------------- online checking *)
+
+module Online = struct
+  (* An incremental re-statement of [explain_all_skeap]/[explain_all_seap]:
+     records are fed one at a time in witness order and four independent
+     machines update their state per record —
+
+       M1  well-formedness        (mirrors Oplog.check_well_formed)
+       M2  serializability replay (mirrors explain_serializability)
+       M3  local consistency      (mirrors explain_local_consistency)
+       M4  heap-consistency clauses (mirrors explain_heap_consistency_clauses)
+
+     Each machine latches its first violation (the batch checkers also stop
+     at the first offence, in witness order).  [finish] arbitrates latched
+     violations in the same order the batch composites consult the checkers
+     (wf, then serializability, then local, then clauses), so accept/reject
+     and the reported clause + culprit agree with the batch result.  Once a
+     machine latches, machines of lower arbitration priority stop being fed:
+     their verdict can no longer be consulted.
+
+     Memory is O(live elements), not O(total ops): a matched insert/delete
+     pair retires as soon as the delete is fed, and every auxiliary
+     structure that could grow with the log (clause-2 bottoms, clause-3
+     candidates) only accumulates on executions that are already doomed to
+     be rejected — on a correct run all of them stay empty (see DESIGN.md,
+     "Streaming semantics checking").
+
+     Two deliberate divergences from the batch checkers, both outside what
+     correct protocols or the planted corruptions produce (they require a
+     log that re-uses an element identity):
+     - an element returned twice is reported as [Serializability]
+       ("... not in the heap") rather than [Well_formedness], because
+       remembering every retired element would be O(total ops);
+     - duplicate-insert detection keys on [(origin, seq)] rather than the
+       full [(prio, origin, seq)], for the same reason (real backends never
+       reuse an [(origin, seq)] pair). *)
+
+  type contract = Skeap_contract | Seap_contract
+
+  (* Duplicate detection over an eventually-dense integer sequence in
+     O(watermark gap) space: everything below [mark] has been seen; the
+     out-of-order arrivals at or above it sit in [pending] until the
+     watermark sweeps past them. *)
+  module Dense = struct
+    type t = { mutable mark : int; pending : (int, unit) Hashtbl.t }
+
+    let create () = { mark = 0; pending = Hashtbl.create 8 }
+
+    let add t s =
+      if s < t.mark || Hashtbl.mem t.pending s then `Duplicate
+      else begin
+        Hashtbl.replace t.pending s ();
+        while Hashtbl.mem t.pending t.mark do
+          Hashtbl.remove t.pending t.mark;
+          t.mark <- t.mark + 1
+        done;
+        `Fresh
+      end
+  end
+
+  type elt_key = int * int * int
+
+  type live_info = { ins_ref : op_ref; prio : int }
+
+  type t = {
+    contract : contract;
+    mutable fed : int;
+    (* M1: well-formedness *)
+    mutable wf : violation option;
+    mutable last_witness : int;
+    node_seqs : (int, Dense.t) Hashtbl.t;
+    origin_ins_seqs : (int, Dense.t) Hashtbl.t;
+    (* M2: serializability replay on the reference heap *)
+    mutable ser : violation option;
+    by_prio : (int, (elt_key, Element.t) Hashtbl.t) Hashtbl.t;
+    ser_prios : int Binheap.t;
+    ser_enqueued : (int, unit) Hashtbl.t;
+    (* M3: local consistency *)
+    mutable local : violation option;
+    last_local : (int, Oplog.record) Hashtbl.t;
+    (* M4: heap-consistency clauses *)
+    live : (elt_key, live_info) Hashtbl.t;
+    live_prio_counts : (int, int) Hashtbl.t;
+    live_prios : int Binheap.t;
+    live_enqueued : (int, unit) Hashtbl.t;
+    awaiting_ins : (elt_key, Oplog.record) Hashtbl.t;
+    mutable clause1 : violation option;
+    mutable clause1_del_witness : int;
+    mutable clause2 : violation option;
+    mutable bottoms : op_ref list;  (** ⊥-deletes seen while live ≠ ∅, witness-descending *)
+    mutable clause3_cands : (op_ref * op_ref * int * int) list;
+        (** (ins, del, ins_prio, del_witness), discovery (= delete-witness) order, reversed *)
+    mutable peak_live : int;
+  }
+
+  let create contract =
+    {
+      contract;
+      fed = 0;
+      wf = None;
+      last_witness = min_int;
+      node_seqs = Hashtbl.create 64;
+      origin_ins_seqs = Hashtbl.create 64;
+      ser = None;
+      by_prio = Hashtbl.create 64;
+      ser_prios = Binheap.create ~cmp:Int.compare;
+      ser_enqueued = Hashtbl.create 16;
+      local = None;
+      last_local = Hashtbl.create 64;
+      live = Hashtbl.create 256;
+      live_prio_counts = Hashtbl.create 16;
+      live_prios = Binheap.create ~cmp:Int.compare;
+      live_enqueued = Hashtbl.create 16;
+      awaiting_ins = Hashtbl.create 8;
+      clause1 = None;
+      clause1_del_witness = max_int;
+      clause2 = None;
+      bottoms = [];
+      clause3_cands = [];
+      peak_live = 0;
+    }
+
+  let records_fed t = t.fed
+  let live_elements t = Hashtbl.length t.live
+  let peak_live t = t.peak_live
+  let elt_key (e : Element.t) = (e.Element.prio, e.Element.origin, e.Element.seq)
+
+  let dense_for tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some d -> d
+    | None ->
+        let d = Dense.create () in
+        Hashtbl.replace tbl key d;
+        d
+
+  let latch_wf t ?culprit ?partner fmt =
+    Printf.ksprintf
+      (fun detail ->
+        if t.wf = None then
+          t.wf <- Some { clause = Well_formedness; culprit; partner; detail })
+      fmt
+
+  (* --- M1: well-formedness.  Same per-record check order as
+     Oplog.check_well_formed: witness, local_seq, then kind-specific.  The
+     batch checker detects duplicate witnesses anywhere via a seen-set; we
+     rely on the feed contract (nondecreasing witness order, which
+     Oplog.to_list guarantees even for corrupted logs) to get the same
+     answer from one integer of state. *)
+  let feed_wf t (r : Oplog.record) =
+    if r.Oplog.witness <= t.last_witness then
+      latch_wf t "duplicate witness position %d" r.Oplog.witness
+    else begin
+      t.last_witness <- r.Oplog.witness;
+      match Dense.add (dense_for t.node_seqs r.Oplog.node) r.Oplog.local_seq with
+      | `Duplicate -> latch_wf t "duplicate local_seq %d at node %d" r.Oplog.local_seq r.Oplog.node
+      | `Fresh -> (
+          match r.Oplog.kind with
+          | Oplog.Insert e ->
+              if r.Oplog.result <> None then latch_wf t "insert with a result at node %d" r.Oplog.node
+              else if
+                Dense.add (dense_for t.origin_ins_seqs e.Element.origin) e.Element.seq
+                = `Duplicate
+              then latch_wf t "element %s inserted twice" (Element.to_string e)
+          | Oplog.Delete_min -> ())
+    end
+
+  (* --- M2: serializability replay.  Identical oracle to
+     [explain_serializability], with one memory refinement: the priority
+     heap holds each priority at most once (pushed on the 0→nonempty bucket
+     transition, lazily popped when its bucket drains), so it is bounded by
+     the number of distinct live priorities instead of total inserts. *)
+  let ser_bucket t p =
+    match Hashtbl.find_opt t.by_prio p with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 8 in
+        Hashtbl.replace t.by_prio p b;
+        b
+
+  let rec ser_min_prio t =
+    match Binheap.peek t.ser_prios with
+    | None -> None
+    | Some p ->
+        if Hashtbl.length (ser_bucket t p) = 0 then begin
+          ignore (Binheap.pop t.ser_prios);
+          Hashtbl.remove t.ser_enqueued p;
+          ser_min_prio t
+        end
+        else Some p
+
+  let feed_ser t (r : Oplog.record) =
+    let clause = Serializability in
+    let latch v = if t.ser = None then t.ser <- Some v in
+    let fail ?culprit ?partner fmt =
+      Printf.ksprintf (fun detail -> latch { clause; culprit; partner; detail }) fmt
+    in
+    match r.Oplog.kind with
+    | Oplog.Insert e ->
+        let p = Element.prio e in
+        Hashtbl.replace (ser_bucket t p) (elt_key e) e;
+        if not (Hashtbl.mem t.ser_enqueued p) then begin
+          Hashtbl.replace t.ser_enqueued p ();
+          Binheap.push t.ser_prios p
+        end
+    | Oplog.Delete_min -> (
+        match (ser_min_prio t, r.Oplog.result) with
+        | None, None -> ()
+        | None, Some got ->
+            fail ~culprit:(ref_of r) "delete at node %d (op %d) returned %s from an empty heap"
+              r.Oplog.node r.Oplog.local_seq (Element.to_string got)
+        | Some p, None ->
+            fail ~culprit:(ref_of r) "delete at node %d (op %d) returned ⊥ but priority %d is present"
+              r.Oplog.node r.Oplog.local_seq p
+        | Some p, Some got ->
+            if Element.prio got <> p then
+              fail ~culprit:(ref_of r)
+                "delete at node %d (op %d) returned priority %d but the minimum is %d"
+                r.Oplog.node r.Oplog.local_seq (Element.prio got) p
+            else
+              let b = ser_bucket t p in
+              if not (Hashtbl.mem b (elt_key got)) then
+                fail ~culprit:(ref_of r)
+                  "delete at node %d (op %d) returned %s which is not in the heap" r.Oplog.node
+                  r.Oplog.local_seq (Element.to_string got)
+              else Hashtbl.remove b (elt_key got))
+
+  (* --- M3: local consistency. *)
+  let feed_local t (r : Oplog.record) =
+    (match Hashtbl.find_opt t.last_local r.Oplog.node with
+    | Some prev when prev.Oplog.local_seq >= r.Oplog.local_seq ->
+        if t.local = None then
+          t.local <-
+            Some
+              {
+                clause = Local_consistency;
+                culprit = Some (ref_of r);
+                partner = Some (ref_of prev);
+                detail =
+                  Printf.sprintf "node %d: local op %d appears in ≺ after local op %d"
+                    r.Oplog.node r.Oplog.local_seq prev.Oplog.local_seq;
+              }
+    | _ -> ());
+    Hashtbl.replace t.last_local r.Oplog.node r
+
+  (* --- M4: heap-consistency clauses, with pair retirement.
+
+     Live = inserted, not yet returned.  A matched pair retires at its
+     delete; at that moment every record the batch clauses would compare it
+     against has either been seen (clauses 1 and 2 look strictly left of the
+     delete) or can be summarized (clause 3's "unmatched insert" set is a
+     subset of the elements live right now, confirmed against the final live
+     set at [finish]). *)
+  let live_add t key info =
+    Hashtbl.replace t.live key info;
+    let n = Hashtbl.length t.live in
+    if n > t.peak_live then t.peak_live <- n;
+    let p = info.prio in
+    Hashtbl.replace t.live_prio_counts p
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.live_prio_counts p));
+    if not (Hashtbl.mem t.live_enqueued p) then begin
+      Hashtbl.replace t.live_enqueued p ();
+      Binheap.push t.live_prios p
+    end
+
+  let live_remove t key info =
+    Hashtbl.remove t.live key;
+    let p = info.prio in
+    match Hashtbl.find_opt t.live_prio_counts p with
+    | Some 1 -> Hashtbl.remove t.live_prio_counts p
+    | Some c -> Hashtbl.replace t.live_prio_counts p (c - 1)
+    | None -> ()
+
+  let rec live_min_prio t =
+    match Binheap.peek t.live_prios with
+    | None -> None
+    | Some p ->
+        if Hashtbl.mem t.live_prio_counts p then Some p
+        else begin
+          ignore (Binheap.pop t.live_prios);
+          Hashtbl.remove t.live_enqueued p;
+          live_min_prio t
+        end
+
+  (* Earliest recorded ⊥-delete with witness > lo ([t.bottoms] is
+     witness-descending, so it is the last qualifying entry scanned). *)
+  let first_bottom_after t lo =
+    List.fold_left
+      (fun acc (b : op_ref) -> if b.witness > lo then Some b else acc)
+      None t.bottoms
+
+  let feed_clauses t (r : Oplog.record) =
+    match r.Oplog.kind with
+    | Oplog.Insert e -> (
+        let key = elt_key e in
+        match Hashtbl.find_opt t.awaiting_ins key with
+        | Some (del : Oplog.record) ->
+            (* the pair exists but the insert did not precede its delete:
+               clause 1.  Report the pair with the earliest delete, as the
+               batch clause-1 scan over the matching does. *)
+            Hashtbl.remove t.awaiting_ins key;
+            if del.Oplog.witness < t.clause1_del_witness then begin
+              t.clause1_del_witness <- del.Oplog.witness;
+              t.clause1 <-
+                Some
+                  {
+                    clause = Heap_clause_1;
+                    culprit = Some (ref_of del);
+                    partner = Some (ref_of r);
+                    detail =
+                      Printf.sprintf "matched insert #%d does not precede its delete #%d"
+                        r.Oplog.witness del.Oplog.witness;
+                  }
+            end
+        | None -> live_add t key { ins_ref = ref_of r; prio = Element.prio e })
+    | Oplog.Delete_min -> (
+        match r.Oplog.result with
+        | None ->
+            (* an element live right now would span this ⊥ if it is later
+               deleted — only then can this record violate clause 2, so on a
+               correct run nothing is retained *)
+            if Hashtbl.length t.live > 0 then t.bottoms <- ref_of r :: t.bottoms
+        | Some e -> (
+            let key = elt_key e in
+            match Hashtbl.find_opt t.live key with
+            | None ->
+                (* insert not seen yet: park the delete.  If the insert never
+                   arrives the batch matching would reject the log wholesale
+                   (and replay already latched a serializability violation),
+                   so unresolved entries are ignored at finish. *)
+                Hashtbl.replace t.awaiting_ins key r
+            | Some info ->
+                live_remove t key info;
+                (match first_bottom_after t info.ins_ref.witness with
+                | Some bottom when bottom.witness < r.Oplog.witness ->
+                    if t.clause2 = None then
+                      t.clause2 <-
+                        Some
+                          {
+                            clause = Heap_clause_2;
+                            culprit = Some bottom;
+                            partner = Some (ref_of r);
+                            detail =
+                              Printf.sprintf
+                                "an unmatched ⊥-delete (#%d) lies between matched insert #%d \
+                                 and delete #%d"
+                                bottom.witness info.ins_ref.witness r.Oplog.witness;
+                          }
+                | _ -> ());
+                (match live_min_prio t with
+                | Some m when m < info.prio ->
+                    (* some smaller element is live; if it is still live (=
+                       unmatched) at the end of the log this pair violates
+                       clause 3 — decided at [finish] *)
+                    t.clause3_cands <-
+                      (info.ins_ref, ref_of r, info.prio, r.Oplog.witness) :: t.clause3_cands
+                | _ -> ())))
+
+  (* Arbitration priority: a latched violation in machine i makes machines
+     > i unconsultable, exactly like the short-circuiting [let*] chains in
+     the batch composites. *)
+  let feed t (r : Oplog.record) =
+    t.fed <- t.fed + 1;
+    if t.wf = None then feed_wf t r;
+    if t.wf = None && t.ser = None then begin
+      feed_ser t r;
+      if t.ser = None then begin
+        (match t.contract with
+        | Skeap_contract -> if t.local = None then feed_local t r
+        | Seap_contract -> ());
+        if t.local = None then feed_clauses t r
+      end
+    end
+
+  let feed_all t rs = List.iter (feed t) rs
+
+  (* Clause-3 confirmation: the final live set is exactly the batch's
+     "unmatched inserts".  For the earliest candidate pair with a smaller
+     unmatched insert before its delete, pick the minimum-priority (then
+     earliest-witness) such insert — the batch scan's choice. *)
+  let clause3_violation t =
+    let confirm (_, del_ref, ins_prio, del_witness) =
+      Hashtbl.fold
+        (fun _ (info : live_info) best ->
+          if info.ins_ref.witness >= del_witness then best
+          else
+            match best with
+            | Some (bp, br) when (bp, br.witness) <= (info.prio, info.ins_ref.witness) -> best
+            | _ -> Some (info.prio, info.ins_ref))
+        t.live None
+      |> function
+      | Some (best, smaller) when best < ins_prio ->
+          Some
+            {
+              clause = Heap_clause_3;
+              culprit = Some del_ref;
+              partner = Some smaller;
+              detail =
+                Printf.sprintf
+                  "matched delete #%d returned priority %d while an unmatched insert of \
+                   priority %d precedes it"
+                  del_witness ins_prio best;
+            }
+      | _ -> None
+    in
+    List.fold_left
+      (fun acc cand -> match acc with Some _ -> acc | None -> confirm cand)
+      None
+      (List.rev t.clause3_cands)
+
+  let finish t =
+    let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+    let heap_clauses () =
+      t.clause1 <|> fun () ->
+      t.clause2 <|> fun () -> clause3_violation t
+    in
+    let v =
+      t.wf <|> fun () ->
+      t.ser <|> fun () ->
+      match t.contract with
+      | Skeap_contract -> t.local <|> heap_clauses
+      | Seap_contract -> heap_clauses ()
+    in
+    match v with Some v -> Error v | None -> Ok ()
+
+  let failed t =
+    t.wf <> None || t.ser <> None
+    || (t.contract = Skeap_contract && t.local <> None)
+    || t.clause1 <> None || t.clause2 <> None
+end
+
 (* ------------------------------------------------- string-result façade *)
 
+(* Every [check_*] is its [explain_*] counterpart composed with this one
+   wrapper — there is no second implementation to keep in sync. *)
 let stringify check log = Result.map_error violation_to_string (check log)
 
-let check_local_consistency log = stringify explain_local_consistency log
-let check_serializability log = stringify explain_serializability log
-let check_heap_consistency_clauses log = stringify explain_heap_consistency_clauses log
-let check_sequential_consistency log = stringify explain_sequential_consistency log
-let check_all_skeap log = stringify explain_all_skeap log
-let check_all_seap log = stringify explain_all_seap log
-let check_fifo_queue log = stringify explain_fifo_queue log
-let check_lifo_stack log = stringify explain_lifo_stack log
-let check_all_skueue log = stringify explain_all_skueue log
-let check_all_sstack log = stringify explain_all_sstack log
+let check_local_consistency = stringify explain_local_consistency
+let check_serializability = stringify explain_serializability
+let check_heap_consistency_clauses = stringify explain_heap_consistency_clauses
+let check_sequential_consistency = stringify explain_sequential_consistency
+let check_all_skeap = stringify explain_all_skeap
+let check_all_seap = stringify explain_all_seap
+let check_fifo_queue = stringify explain_fifo_queue
+let check_lifo_stack = stringify explain_lifo_stack
+let check_all_skueue = stringify explain_all_skueue
+let check_all_sstack = stringify explain_all_sstack

@@ -66,6 +66,72 @@ val explain_lifo_stack : Oplog.t -> (unit, violation) result
 val explain_all_skueue : Oplog.t -> (unit, violation) result
 val explain_all_sstack : Oplog.t -> (unit, violation) result
 
+(** {2 Online (incremental) checking}
+
+    At the scale frontier (n = 4096..65536, 10⁶+ ops) holding the whole
+    oplog before verifying is not an option.  {!Online} consumes records
+    {e as they complete}, in witness order, and maintains the reference
+    heap and the Definition 1.1/1.2 clause state incrementally.  A matched
+    insert/delete pair retires the moment the delete is fed, so memory is
+    O(live elements), not O(total ops).
+
+    [Online.finish] agrees with the batch composites —
+    {!explain_all_skeap} for the [Skeap_contract],
+    {!explain_all_seap} for the [Seap_contract] — on accept/reject and on
+    the reported clause, culprit, partner and detail, with two documented
+    exceptions requiring a log that re-uses an element identity (which no
+    backend and no planted corruption produces): a double-returned element
+    surfaces as [Serializability] rather than [Well_formedness], and
+    duplicate-insert detection keys on [(origin, seq)] rather than
+    [(prio, origin, seq)]. *)
+
+module Online : sig
+  type t
+
+  type contract =
+    | Skeap_contract
+        (** Theorem 3.2: well-formedness, serializability, local
+            consistency, heap clauses — also the contract for the
+            baselines. *)
+    | Seap_contract
+        (** Theorem 5.1: as above minus local consistency. *)
+
+  val create : contract -> t
+
+  val feed : t -> Oplog.record -> unit
+  (** Feed the next completed operation.  Records must arrive in
+      nondecreasing witness order (the order {!Oplog.to_list} yields, and
+      the order every backend completes operations in). *)
+
+  val feed_all : t -> Oplog.record list -> unit
+  (** [List.iter (feed t)]. *)
+
+  val finish : t -> (unit, violation) result
+  (** The verdict over everything fed so far.  May be called repeatedly;
+      feeding may continue afterwards (heap-clause-3 verdicts can appear or
+      change as inserts retire, everything else only latches). *)
+
+  val failed : t -> bool
+  (** A violation has already latched — the run is doomed regardless of
+      what is fed later (clause-3 candidates are not included: they stay
+      undecided until {!finish}). *)
+
+  val records_fed : t -> int
+
+  val live_elements : t -> int
+  (** Currently live (inserted, not yet returned) elements. *)
+
+  val peak_live : t -> int
+  (** High-water mark of {!live_elements} — the checker's state is O(this),
+      the observable for the bench's peak-heap ceiling. *)
+end
+
+(** {2 String-result façade}
+
+    Every [check_*] below is derived from its [explain_*] counterpart by
+    one shared wrapper ([Result.map_error violation_to_string]) — same
+    acceptance, the violation rendered to the historical string form. *)
+
 val check_local_consistency : Oplog.t -> (unit, string) result
 
 val check_serializability : Oplog.t -> (unit, string) result

@@ -317,6 +317,14 @@ let drain ?(dht_mode = Dht_sync) t =
   go []
 
 let oplog t = Oplog.of_list t.log
+
+let take_log t =
+  let l = t.log in
+  t.log <- [];
+  (* witnesses are assigned when an operation serializes, which can precede
+     the moment its record is logged (e.g. matched deletes complete after
+     the DHT round), so the retained list is not witness-sorted *)
+  List.sort (fun (a : Oplog.record) b -> Int.compare a.Oplog.witness b.Oplog.witness) l
 let stored_per_node t = Dht.stored_counts t.dht
 
 (* ------------------------------------------------- membership changes *)

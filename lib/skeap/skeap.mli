@@ -94,6 +94,12 @@ val drain : ?dht_mode:dht_mode -> t -> batch_result list
 val oplog : t -> Dpq_semantics.Oplog.t
 (** Everything completed so far, in witness (serialization) order. *)
 
+val take_log : t -> Dpq_semantics.Oplog.record list
+(** Drain the retained log: the records completed since the previous take,
+    in witness order.  Streaming callers drain after every processed batch
+    and feed an online checker, so the backend never holds more than one
+    batch worth of records. *)
+
 val stored_per_node : t -> int array
 (** DHT elements per node — fairness measure. *)
 

@@ -1,6 +1,7 @@
 module Phase = Dpq_aggtree.Phase
 module Heap = Dpq.Dpq_heap
 module Types = Dpq_types.Types
+module Checker = Dpq_semantics.Checker
 
 type summary = {
   backend : Types.backend;
@@ -16,68 +17,89 @@ type summary = {
   empty : int;
   inserted : int;
   semantics_ok : bool;
+  violation : Checker.violation option;
+  peak_live : int;
 }
 
 let protocol_name s = Types.backend_name s.backend
 
-let count_outcomes outcomes =
-  List.fold_left
-    (fun (g, e, i) o ->
-      match o with
-      | `Got _ -> (g + 1, e, i)
-      | `Empty -> (g, e + 1, i)
-      | `Inserted _ -> (g, e, i + 1))
-    (0, 0, 0) outcomes
-
-let run ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend workload =
+(* The streaming core every entry point funnels into: pull one round at a
+   time, inject it, process it, drain the completed records into the online
+   checker, and keep only counters.  Nothing here retains the workload, the
+   oplog or the outcome list, so memory is O(live elements) + one round. *)
+let run_stream ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend next =
   let h = Heap.create ~seed ?trace ?faults ?sched ~n backend in
-  let rounds = ref 0
+  let checker = Heap.online_checker h in
+  let ops = ref 0
+  and rounds = ref 0
   and messages = ref 0
   and max_congestion = ref 0
   and hotspot_load = ref 0
   and max_message_bits = ref 0
-  and total_bits = ref 0 in
-  let outcomes = ref [] in
-  List.iter
-    (fun round ->
-      List.iter
-        (fun (op : Workload.op) ->
-          match op.Workload.action with
-          | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
-          | `Del -> Heap.delete_min h ~node:op.Workload.node)
-        round;
-      let r = Heap.process ?dht_mode h in
-      rounds := !rounds + r.Heap.rounds;
-      messages := !messages + r.Heap.messages;
-      max_congestion := max !max_congestion r.Heap.max_congestion;
-      hotspot_load := !hotspot_load + r.Heap.hotspot_load;
-      max_message_bits := max !max_message_bits r.Heap.max_message_bits;
-      total_bits := !total_bits + r.Heap.total_bits;
-      List.iter (fun (c : Heap.completion) -> outcomes := c.outcome :: !outcomes) r.Heap.completions)
-    workload;
-  let got, empty, inserted = count_outcomes !outcomes in
+  and total_bits = ref 0
+  and got = ref 0
+  and empty = ref 0
+  and inserted = ref 0 in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some round ->
+        List.iter
+          (fun (op : Workload.op) ->
+            incr ops;
+            match op.Workload.action with
+            | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
+            | `Del -> Heap.delete_min h ~node:op.Workload.node)
+          round;
+        let r = Heap.process ?dht_mode h in
+        rounds := !rounds + r.Heap.rounds;
+        messages := !messages + r.Heap.messages;
+        max_congestion := max !max_congestion r.Heap.max_congestion;
+        hotspot_load := !hotspot_load + r.Heap.hotspot_load;
+        max_message_bits := max !max_message_bits r.Heap.max_message_bits;
+        total_bits := !total_bits + r.Heap.total_bits;
+        List.iter
+          (fun (c : Heap.completion) ->
+            match c.outcome with
+            | `Got _ -> incr got
+            | `Empty -> incr empty
+            | `Inserted _ -> incr inserted)
+          r.Heap.completions;
+        Checker.Online.feed_all checker (Heap.take_oplog h);
+        loop ()
+  in
+  loop ();
+  let verdict = Checker.Online.finish checker in
   {
     backend;
     n;
-    ops = Workload.total_ops workload;
+    ops = !ops;
     rounds = !rounds;
     messages = !messages;
     max_congestion = !max_congestion;
     hotspot_load = !hotspot_load;
     max_message_bits = !max_message_bits;
     total_bits = !total_bits;
-    got;
-    empty;
-    inserted;
-    semantics_ok = Heap.verify h = Ok ();
+    got = !got;
+    empty = !empty;
+    inserted = !inserted;
+    semantics_ok = verdict = Ok ();
+    violation = (match verdict with Ok () -> None | Error v -> Some v);
+    peak_live = Checker.Online.peak_live checker;
   }
 
-let run_skeap ?seed ~n ~num_prios workload = run ?seed ~n (Types.Skeap { num_prios }) workload
-let run_seap ?seed ~n workload = run ?seed ~n Types.Seap workload
-let run_centralized ?seed ~n workload = run ?seed ~n Types.Centralized workload
+let run ?seed ?trace ?faults ?sched ?dht_mode ~n backend workload =
+  let remaining = ref workload in
+  run_stream ?seed ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
+      match !remaining with
+      | [] -> None
+      | round :: rest ->
+          remaining := rest;
+          Some round)
 
-let run_unbatched ?seed ~n ~num_prios workload =
-  run ?seed ~n (Types.Unbatched { num_prios }) workload
+let run_gen ?seed ?trace ?faults ?sched ?dht_mode ~n backend gen =
+  run_stream ?seed ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
+      Workload.Gen.next gen)
 
 let throughput s = if s.rounds = 0 then 0.0 else float_of_int s.ops /. float_of_int s.rounds
 
@@ -87,6 +109,7 @@ let effective_throughput s =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "@[%s: n=%d ops=%d rounds=%d msgs=%d cong=%d hotspot=%d bits<=%d got=%d empty=%d ok=%b@]"
+    "@[%s: n=%d ops=%d rounds=%d msgs=%d cong=%d hotspot=%d bits<=%d got=%d empty=%d \
+     live<=%d ok=%b@]"
     (protocol_name s) s.n s.ops s.rounds s.messages s.max_congestion s.hotspot_load
-    s.max_message_bits s.got s.empty s.semantics_ok
+    s.max_message_bits s.got s.empty s.peak_live s.semantics_ok

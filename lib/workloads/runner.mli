@@ -2,7 +2,12 @@
     summary — the engine behind experiment T6 and the example programs.
 
     All runs go through the unified {!Dpq.Dpq_heap} facade: one code path,
-    four backends, the same cost accounting. *)
+    four backends, the same cost accounting.  Since the streaming redesign
+    the runner is single-pass and O(live elements): rounds are pulled on
+    demand, completed records are drained into a
+    {!Dpq_semantics.Checker.Online} checker after every processed round, and
+    only counters survive — which is what makes n = 4096..65536 with 10⁶+
+    operations feasible in one process. *)
 
 type summary = {
   backend : Dpq_types.Types.backend;
@@ -20,11 +25,40 @@ type summary = {
   got : int;  (** deletes answered with an element *)
   empty : int;  (** deletes answered ⊥ *)
   inserted : int;
-  semantics_ok : bool;  (** the backend-appropriate checker passed *)
+  semantics_ok : bool;  (** the backend-appropriate online checker passed *)
+  violation : Dpq_semantics.Checker.violation option;
+      (** the structured verdict behind [semantics_ok]: which clause failed,
+          on which operation(s) — [None] iff [semantics_ok] *)
+  peak_live : int;
+      (** high-water mark of live (inserted, not yet returned) elements:
+          the checker state is O(this) *)
 }
 
 val protocol_name : summary -> string
 (** {!Dpq_types.Types.backend_name} of the summary's backend. *)
+
+val run_stream :
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
+  ?dht_mode:Dpq_types.Types.dht_mode ->
+  n:int ->
+  Dpq_types.Types.backend ->
+  (unit -> Workload.round option) ->
+  summary
+(** The streaming core: pull rounds from the callback until it yields
+    [None]; inject each round, process it, feed the completed records to
+    the online checker, accumulate the cost measures.  Raises
+    [Invalid_argument] if the workload contains priorities the backend
+    rejects (outside [1..num_prios] for [Skeap]/[Unbatched]).  With
+    [trace], the entire run records structured events (see
+    {!Dpq_obs.Trace}).  With [faults], the whole run executes over the
+    faulty network with reliable delivery (see {!Dpq_simrt.Fault_plan}).
+    With [sched], every engine runs under the adversarial scheduler (see
+    {!Dpq_simrt.Sched}).  [dht_mode] selects synchronous or asynchronous
+    DHT delivery per {!Dpq.Dpq_heap.process} (asynchronous raises on the
+    baselines). *)
 
 val run :
   ?seed:int ->
@@ -36,28 +70,20 @@ val run :
   Dpq_types.Types.backend ->
   Workload.t ->
   summary
-(** Inject each workload round, process it, sum the cost measures, then
-    verify the whole run.  Raises [Invalid_argument] if the workload
-    contains priorities the backend rejects (outside [1..num_prios] for
-    [Skeap]/[Unbatched]).  With [trace], the entire run records structured
-    events (see {!Dpq_obs.Trace}).  With [faults], the whole run executes
-    over the faulty network with reliable delivery (see
-    {!Dpq_simrt.Fault_plan}).  With [sched], every engine runs under the
-    adversarial scheduler (see {!Dpq_simrt.Sched}).  [dht_mode] selects
-    synchronous or asynchronous DHT delivery per {!Dpq.Dpq_heap.process}
-    (asynchronous raises on the baselines). *)
+(** {!run_stream} over a materialized workload, one round at a time. *)
 
-val run_skeap : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
-(** Deprecated alias for [run (Skeap { num_prios })]. *)
-
-val run_seap : ?seed:int -> n:int -> Workload.t -> summary
-(** Deprecated alias for [run Seap]. *)
-
-val run_centralized : ?seed:int -> n:int -> Workload.t -> summary
-(** Deprecated alias for [run Centralized]. *)
-
-val run_unbatched : ?seed:int -> n:int -> num_prios:int -> Workload.t -> summary
-(** Deprecated alias for [run (Unbatched { num_prios })]. *)
+val run_gen :
+  ?seed:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
+  ?dht_mode:Dpq_types.Types.dht_mode ->
+  n:int ->
+  Dpq_types.Types.backend ->
+  Workload.Gen.t ->
+  summary
+(** {!run_stream} over a streaming generator: the workload is never
+    materialized.  [summary.ops] counts the operations actually produced. *)
 
 val throughput : summary -> float
 (** Completed operations per synchronous round. *)

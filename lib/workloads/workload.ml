@@ -20,15 +20,123 @@ let sample_prio rng = function
       incr increasing_counter;
       !increasing_counter
 
+(* One round of the λ-injection model.  Kept as the single definition both
+   the eager [generate] and the streaming [Gen] build on, so the two paths
+   consume the rng in exactly the same order and produce identical rounds
+   from identical generator state. *)
+let gen_round ~rng ~n ~lambda ~insert_ratio ~prio =
+  List.concat_map
+    (fun node ->
+      List.init lambda (fun _ ->
+          if Rng.bernoulli rng ~p:insert_ratio then
+            { node; action = `Ins (sample_prio rng prio) }
+          else { node; action = `Del }))
+    (List.init n (fun v -> v))
+
 let generate ~rng ~n ~rounds ~lambda ?(insert_ratio = 0.5) ~prio () =
-  List.init rounds (fun _ ->
-      List.concat_map
-        (fun node ->
-          List.init lambda (fun _ ->
-              if Rng.bernoulli rng ~p:insert_ratio then
-                { node; action = `Ins (sample_prio rng prio) }
-              else { node; action = `Del }))
-        (List.init n (fun v -> v)))
+  List.init rounds (fun _ -> gen_round ~rng ~n ~lambda ~insert_ratio ~prio)
+
+(* ------------------------------------------------------ streaming generator *)
+
+let dist_to_string = function
+  | Uniform (lo, hi) -> Printf.sprintf "uniform:%d:%d" lo hi
+  | Zipf { s; n } -> Printf.sprintf "zipf:%.17g:%d" s n
+  | Constant_set c -> Printf.sprintf "const:%d" c
+  | Increasing -> "increasing"
+
+let dist_of_string s =
+  let fail () = Error (Printf.sprintf "Workload.dist_of_string: bad distribution %S" s) in
+  match String.split_on_char ':' s with
+  | [ "uniform"; lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> Ok (Uniform (lo, hi))
+      | _ -> fail ())
+  | [ "zipf"; s'; n ] -> (
+      match (float_of_string_opt s', int_of_string_opt n) with
+      | Some s, Some n -> Ok (Zipf { s; n })
+      | _ -> fail ())
+  | [ "const"; c ] -> (
+      match int_of_string_opt c with Some c -> Ok (Constant_set c) | None -> fail ())
+  | [ "increasing" ] -> Ok Increasing
+  | _ -> fail ()
+
+module Gen = struct
+  type spec = {
+    n : int;
+    rounds : int;
+    lambda : int;
+    insert_ratio : float;
+    dist : prio_dist;
+    seed : int;
+  }
+
+  (* The rng is the same named stream the exploration harness draws its
+     workloads from, so a [gen:] line in a repro file reproduces the sweep's
+     workload bit for bit. *)
+  type t = { spec : spec; rng : Rng.t; mutable produced : int }
+
+  let create spec = { spec; rng = Rng.named ~seed:spec.seed "workload"; produced = 0 }
+  let spec t = t.spec
+  let produced t = t.produced
+  let total_ops spec = spec.n * spec.rounds * spec.lambda
+
+  let next t =
+    if t.produced >= t.spec.rounds then None
+    else begin
+      t.produced <- t.produced + 1;
+      Some
+        (gen_round ~rng:t.rng ~n:t.spec.n ~lambda:t.spec.lambda
+           ~insert_ratio:t.spec.insert_ratio ~prio:t.spec.dist)
+    end
+
+  let iter f t =
+    let rec go () = match next t with None -> () | Some r -> f r; go () in
+    go ()
+
+  let fold f acc t =
+    let rec go acc = match next t with None -> acc | Some r -> go (f acc r) in
+    go acc
+
+  let spec_to_string s =
+    Printf.sprintf "n=%d rounds=%d lambda=%d ratio=%.17g dist=%s seed=%d" s.n s.rounds
+      s.lambda s.insert_ratio (dist_to_string s.dist) s.seed
+
+  let spec_of_string str =
+    let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    let kvs =
+      String.split_on_char ' ' (String.trim str)
+      |> List.filter (fun tok -> tok <> "")
+      |> List.map (fun tok ->
+             match String.index_opt tok '=' with
+             | None -> (tok, "")
+             | Some i ->
+                 (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)))
+    in
+    let get k = List.assoc_opt k kvs in
+    let int_field k = Option.bind (get k) int_of_string_opt in
+    match (int_field "n", int_field "rounds", int_field "lambda", int_field "seed") with
+    | Some n, Some rounds, Some lambda, Some seed -> (
+        let ratio =
+          match get "ratio" with
+          | None -> Some 0.5
+          | Some r -> float_of_string_opt r
+        in
+        match (ratio, get "dist") with
+        | None, _ -> fail "Workload.Gen.spec_of_string: bad ratio in %S" str
+        | _, None -> fail "Workload.Gen.spec_of_string: missing dist in %S" str
+        | Some insert_ratio, Some d -> (
+            match dist_of_string d with
+            | Error e -> Error e
+            | Ok dist ->
+                if n <= 0 || rounds < 0 || lambda < 0 then
+                  fail "Workload.Gen.spec_of_string: out-of-range field in %S" str
+                else Ok { n; rounds; lambda; insert_ratio; dist; seed }))
+    | _ -> fail "Workload.Gen.spec_of_string: missing n/rounds/lambda/seed in %S" str
+end
+
+let of_gen spec =
+  let g = Gen.create spec in
+  List.rev (Gen.fold (fun acc r -> r :: acc) [] g)
 
 let sorting_workload ~rng ~n ~m ~prio =
   let insert_round =
@@ -110,9 +218,17 @@ let of_string s =
     | line :: rest -> (
         match round_of_string line with Ok r -> go (r :: acc) rest | Error _ as e -> e)
   in
-  go []
-    (String.split_on_char '\n' s
-    |> List.filter (fun l -> String.trim l <> ""))
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [ line ] when String.length line > 4 && String.sub line 0 4 = "gen:" ->
+      (* generator form: materialize the referenced spec *)
+      Result.map of_gen
+        (Gen.spec_of_string (String.sub line 4 (String.length line - 4)))
+  | _ -> go [] lines
 
 (* ------------------------------------------------------------- shrinking *)
 

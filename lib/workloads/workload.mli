@@ -32,6 +32,64 @@ val generate :
     per node per round, each an insert with probability [insert_ratio]
     (default 0.5). *)
 
+val dist_to_string : prio_dist -> string
+(** Compact textual form ([uniform:lo:hi], [zipf:s:n], [const:c],
+    [increasing]); round-trips with {!dist_of_string}. *)
+
+val dist_of_string : string -> (prio_dist, string) result
+
+(** {2 Streaming generation}
+
+    The scale frontier (n = 4096..65536, 10⁶+ ops) cannot afford a
+    materialized [round list]: a {!Gen.t} produces rounds on demand from a
+    serializable {!Gen.spec}, so the runner and benches hold one round at a
+    time.  A spec names the same RNG stream the exploration harness draws
+    workloads from ([Rng.named ~seed "workload"]), so materializing a spec
+    with {!of_gen} is bit-identical to the eager {!generate} call on that
+    stream — the eager path survives as a thin materialization for
+    explore/shrink. *)
+
+module Gen : sig
+  type spec = {
+    n : int;  (** nodes *)
+    rounds : int;
+    lambda : int;  (** injections per node per round *)
+    insert_ratio : float;
+    dist : prio_dist;
+    seed : int;  (** master seed; the stream is [Rng.named ~seed "workload"] *)
+  }
+
+  type t
+  (** A stateful round producer; single pass. *)
+
+  val create : spec -> t
+  val spec : t -> spec
+
+  val produced : t -> int
+  (** Rounds handed out so far. *)
+
+  val total_ops : spec -> int
+  (** [n * rounds * lambda] — every slot yields exactly one op. *)
+
+  val next : t -> round option
+  (** The next round, or [None] after [spec.rounds] rounds. *)
+
+  val iter : (round -> unit) -> t -> unit
+  val fold : ('a -> round -> 'a) -> 'a -> t -> 'a
+
+  val spec_to_string : spec -> string
+  (** Single-line [k=v] form, e.g.
+      [n=4096 rounds=256 lambda=1 ratio=0.5 dist=const:4 seed=3]; round-trips
+      with {!spec_of_string}. *)
+
+  val spec_of_string : string -> (spec, string) result
+end
+
+val of_gen : Gen.spec -> t
+(** Materialize a spec eagerly.  [of_gen spec] equals
+    [generate ~rng:(Dpq_util.Rng.named ~seed:spec.seed "workload") ...] with
+    the spec's parameters. *)
+
 val sorting_workload : rng:Dpq_util.Rng.t -> n:int -> m:int -> prio:prio_dist -> t
 (** Distributed sorting (§1's application): one round inserting [m] random
     elements spread over the nodes, then rounds of n deletes each until all
@@ -65,6 +123,9 @@ val to_string : t -> string
 (** Round-trips with {!of_string} up to blank lines. *)
 
 val of_string : string -> (t, string) result
+(** Accepts both the materialized round-per-line form and the generator form:
+    a single [gen: <spec>] line (see {!Gen.spec_of_string}), which
+    materializes via {!of_gen}. *)
 
 (** {2 Shrinking} *)
 

@@ -17,8 +17,8 @@ let checki = Alcotest.check Alcotest.int
 
 let base_config ?(backend = Types.Skeap { num_prios = 4 }) ?(engine = E.Sync)
     ?(sched = Sched.Fifo) ?faults ?corrupt ~seed () : E.config =
-  let workload = E.gen_workload ~seed ~n:5 ~rounds:2 ~lambda:2 backend in
-  { seed; backend; n = 5; engine; sched; faults; corrupt; workload }
+  let spec = E.gen_spec ~seed ~n:5 ~rounds:2 ~lambda:2 backend in
+  { seed; backend; n = 5; engine; sched; faults; corrupt; workload = W.of_gen spec; gen = Some spec }
 
 (* ------------------------------------------------------- Determinism *)
 
@@ -133,10 +133,17 @@ let test_repro_roundtrip_string () =
       ~faults:"drop=0.2,dup=0.05" ~corrupt:(Corrupt.Swap_matched_pair 1) ~seed:12 ()
   in
   let out = E.run cfg in
-  match E.repro_of_string (E.repro_to_string cfg out) with
+  let text = E.repro_to_string cfg out in
+  (* sweep configs carry their generator spec, so the workload section is
+     one "gen:" line, not a round-per-line dump *)
+  checkb "gen: line emitted" true
+    (String.split_on_char '\n' text
+    |> List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "gen:"));
+  match E.repro_of_string text with
   | Error e -> Alcotest.fail e
   | Ok (cfg', exp) ->
       checkb "config round-trips" true (cfg = cfg');
+      checkb "gen spec round-trips" true (cfg'.E.gen = cfg.E.gen && cfg.E.gen <> None);
       checks "digest round-trips" out.E.digest exp.E.expect_digest;
       checkb "clause round-trips" true
         (exp.E.expect_clause = Option.map (fun v -> v.Checker.clause) out.E.violation)

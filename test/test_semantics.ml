@@ -295,6 +295,159 @@ let prop_bottom_injection_detected =
           in
           C.check_serializability (O.of_list mutated) <> Ok ())
 
+(* ---------------------------------------- online vs batch differential *)
+
+module Corrupt = Dpq_explore.Corrupt
+
+let online_verdict contract log =
+  let t = C.Online.create contract in
+  C.Online.feed_all t (O.to_list log);
+  C.Online.finish t
+
+let verdicts_agree batch online =
+  match (batch, online) with
+  | Ok (), Ok () -> true
+  | Error (bv : C.violation), Error ov -> bv = ov
+  | _ -> false
+
+(* Same accept/reject AND the same clause, culprit, partner and detail,
+   under both contracts. *)
+let agree_both log =
+  verdicts_agree (C.explain_all_skeap log) (online_verdict C.Online.Skeap_contract log)
+  && verdicts_agree (C.explain_all_seap log) (online_verdict C.Online.Seap_contract log)
+
+(* A known-good multi-node log: witness order is issue order, per-node
+   local_seq and per-origin element seq counters advance densely. *)
+let good_log_multi ~seed ~nodes ~len =
+  let rng = Dpq_util.Rng.create ~seed in
+  let heap = Dpq_util.Binheap.create ~cmp:E.compare in
+  let seqs = Array.make nodes 0 and elts = Array.make nodes 0 in
+  let recs = ref [] in
+  for w = 0 to len - 1 do
+    let node = Dpq_util.Rng.int rng nodes in
+    let seq = seqs.(node) in
+    seqs.(node) <- seq + 1;
+    if Dpq_util.Rng.bool rng then begin
+      let es = elts.(node) in
+      elts.(node) <- es + 1;
+      let e = E.make ~prio:(1 + Dpq_util.Rng.int rng 5) ~origin:node ~seq:es () in
+      Dpq_util.Binheap.push heap e;
+      recs := ins ~w ~node ~seq e :: !recs
+    end
+    else recs := del ~w ~node ~seq (Dpq_util.Binheap.pop heap) :: !recs
+  done;
+  O.of_list !recs
+
+(* A seeded random corruption.  Only mutations that avoid re-using an
+   element identity (no double returns, no duplicate (origin, seq)
+   inserts): those are Online's two documented divergences from the batch
+   checkers. *)
+let mutate rng records =
+  let arr = Array.of_list records in
+  let len = Array.length arr in
+  if len = 0 then records
+  else begin
+    (match Dpq_util.Rng.int rng 4 with
+    | 0 ->
+        (* swap two records' witness positions *)
+        let i = Dpq_util.Rng.int rng len and j = Dpq_util.Rng.int rng len in
+        let wi = arr.(i).O.witness in
+        arr.(i) <- { (arr.(i)) with O.witness = arr.(j).O.witness };
+        arr.(j) <- { (arr.(j)) with O.witness = wi }
+    | 1 -> (
+        (* forge ⊥ on some matched delete *)
+        match
+          Array.to_list arr |> List.filter (fun (r : O.record) -> r.O.result <> None)
+        with
+        | [] -> ()
+        | answered ->
+            let victim = List.nth answered (Dpq_util.Rng.int rng (List.length answered)) in
+            Array.iteri
+              (fun k r -> if r.O.witness = victim.O.witness then arr.(k) <- { r with O.result = None })
+              arr)
+    | 2 ->
+        (* duplicate a witness position *)
+        let i = Dpq_util.Rng.int rng len and j = Dpq_util.Rng.int rng len in
+        arr.(i) <- { (arr.(i)) with O.witness = arr.(j).O.witness }
+    | _ -> (
+        (* substitute a matched delete's result with a never-returned
+           inserted element (of any priority) *)
+        let returned =
+          Array.to_list arr |> List.filter_map (fun (r : O.record) -> r.O.result)
+        in
+        let unreturned =
+          Array.to_list arr
+          |> List.filter_map (fun (r : O.record) ->
+                 match r.O.kind with
+                 | O.Insert e when not (List.exists (E.equal e) returned) -> Some e
+                 | _ -> None)
+        in
+        match
+          ( Array.to_list arr |> List.filter (fun (r : O.record) -> r.O.result <> None),
+            unreturned )
+        with
+        | victim :: _, sub :: _ ->
+            Array.iteri
+              (fun k r ->
+                if r.O.witness = victim.O.witness then arr.(k) <- { r with O.result = Some sub })
+              arr
+        | _ -> ()));
+    Array.to_list arr
+  end
+
+let prop_online_matches_batch =
+  QCheck.Test.make ~name:"online verdict = batch verdict (random and mutated logs)" ~count:300
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Dpq_util.Rng.create ~seed:(seed + 31337) in
+      let nodes = 1 + Dpq_util.Rng.int rng 4 in
+      let len = 10 + Dpq_util.Rng.int rng 70 in
+      let log = good_log_multi ~seed ~nodes ~len in
+      let mutated = O.of_list (mutate rng (O.to_list log)) in
+      agree_both log && agree_both mutated)
+
+let test_online_matches_batch_on_planted_bugs () =
+  (* Every planted Corrupt bug, over a spread of logs: the online checker
+     must reject exactly when the batch checkers do, with the identical
+     structured violation — and the corruptions must actually be caught. *)
+  let rejected = ref 0 in
+  List.iter
+    (fun bug ->
+      for seed = 1 to 10 do
+        let log = good_log_multi ~seed ~nodes:3 ~len:40 in
+        let bad = Corrupt.apply bug log in
+        checkb (Corrupt.to_string bug) true (agree_both bad);
+        if C.explain_all_skeap bad <> Ok () then incr rejected
+      done)
+    [
+      Corrupt.Swap_matched_pair 0;
+      Corrupt.Swap_matched_pair 2;
+      Corrupt.Forge_bottom 0;
+      Corrupt.Forge_bottom 1;
+      Corrupt.Dup_witness 3;
+    ];
+  checkb "corruptions caught" true (!rejected > 40)
+
+let test_online_incremental_properties () =
+  (* Feeding records one at a time matches feeding them all at once, the
+     run's memory observables are sane, and [failed] latches. *)
+  let log = good_log_multi ~seed:17 ~nodes:4 ~len:80 in
+  let records = O.to_list log in
+  let t = C.Online.create C.Online.Skeap_contract in
+  List.iter
+    (fun r ->
+      C.Online.feed t r;
+      checkb "good prefix never fails" false (C.Online.failed t))
+    records;
+  checkb "accepts" true (C.Online.finish t = Ok ());
+  Alcotest.check Alcotest.int "records fed" (List.length records) (C.Online.records_fed t);
+  checkb "peak >= final live" true (C.Online.peak_live t >= C.Online.live_elements t);
+  let bad = Corrupt.apply (Corrupt.Dup_witness 3) log in
+  let t' = C.Online.create C.Online.Skeap_contract in
+  C.Online.feed_all t' (O.to_list bad);
+  checkb "latched after corruption" true (C.Online.failed t');
+  checkb "rejects" true (C.Online.finish t' <> Ok ())
+
 (* qcheck: replaying a log generated BY a sequential heap always passes. *)
 let prop_sequential_heap_always_passes =
   let gen = QCheck.Gen.(list_size (0 -- 60) (option (1 -- 20))) in
@@ -348,5 +501,13 @@ let () =
           Alcotest.test_case "dropped insert detected" `Quick test_mutation_dropped_insert_detected;
           QCheck_alcotest.to_alcotest prop_reordering_matched_pair_detected;
           QCheck_alcotest.to_alcotest prop_bottom_injection_detected;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "planted bugs agree with batch" `Quick
+            test_online_matches_batch_on_planted_bugs;
+          Alcotest.test_case "incremental feeding properties" `Quick
+            test_online_incremental_properties;
+          QCheck_alcotest.to_alcotest prop_online_matches_batch;
         ] );
     ]

@@ -71,46 +71,113 @@ let test_burst () =
   checki "rounds" 6 (W.num_rounds wl);
   checki "last round is the burst" 40 (List.length (List.nth wl 5))
 
+(* ----------------------------------------------------------------- Gen *)
+
+let gen_spec : W.Gen.spec =
+  W.Gen.{ n = 6; rounds = 4; lambda = 3; insert_ratio = 0.5; dist = W.Constant_set 4; seed = 11 }
+
+let test_gen_matches_eager () =
+  (* The streaming generator draws from the same named RNG stream as the
+     sweep's eager path, so materializing it must be bit-for-bit the
+     workload [generate] builds. *)
+  let eager =
+    W.generate
+      ~rng:(Rng.named ~seed:11 "workload")
+      ~n:6 ~rounds:4 ~lambda:3 ~insert_ratio:0.5 ~prio:(W.Constant_set 4) ()
+  in
+  checkb "of_gen = generate" true (W.of_gen gen_spec = eager)
+
+let test_gen_next_exhaustion () =
+  let g = W.Gen.create gen_spec in
+  let rec drain k =
+    match W.Gen.next g with
+    | None -> k
+    | Some r ->
+        checki "round size" (6 * 3) (List.length r);
+        drain (k + 1)
+  in
+  checki "rounds produced" 4 (drain 0);
+  checkb "exhausted generator stays exhausted" true (W.Gen.next g = None);
+  checki "produced" 4 (W.Gen.produced g);
+  checki "total_ops" (6 * 4 * 3) (W.Gen.total_ops gen_spec)
+
+let test_gen_spec_roundtrip () =
+  List.iter
+    (fun dist ->
+      let s = { gen_spec with W.Gen.dist } in
+      match W.Gen.spec_of_string (W.Gen.spec_to_string s) with
+      | Ok s' -> checkb "spec round-trips" true (s = s')
+      | Error e -> Alcotest.fail e)
+    [ W.Constant_set 4; W.Uniform (3, 17); W.Zipf { s = 1.2; n = 100 }; W.Increasing ]
+
+let test_gen_workload_of_string () =
+  let line = "gen: " ^ W.Gen.spec_to_string gen_spec in
+  (match W.of_string line with
+  | Error e -> Alcotest.fail e
+  | Ok wl ->
+      checkb "gen: line materializes of_gen" true (wl = W.of_gen gen_spec);
+      (* the eager (round-per-line) serialization of the same workload still
+         round-trips *)
+      (match W.of_string (W.to_string wl) with
+      | Ok wl' -> checkb "eager form round-trips" true (wl = wl')
+      | Error e -> Alcotest.fail e));
+  match W.of_string "gen: n=0 rounds=1 lambda=1 dist=increasing seed=1" with
+  | Ok _ -> Alcotest.fail "invalid spec accepted"
+  | Error _ -> ()
+
 (* -------------------------------------------------------------- Runner *)
+
+module T = Dpq_types.Types
 
 let small_wl seed n =
   W.generate ~rng:(Rng.create ~seed) ~n ~rounds:2 ~lambda:2 ~prio:(W.Constant_set 3) ()
 
 let test_runner_skeap () =
-  let s = R.run_skeap ~n:8 ~num_prios:3 (small_wl 7 8) in
+  let s = R.run ~n:8 (T.Skeap { num_prios = 3 }) (small_wl 7 8) in
   checki "ops counted" 32 s.R.ops;
   checkb "semantics" true s.R.semantics_ok;
+  checkb "no violation" true (s.R.violation = None);
   checkb "rounds positive" true (s.R.rounds > 0);
   checki "completion balance" s.R.ops (s.R.got + s.R.empty + s.R.inserted)
 
 let test_runner_seap () =
-  let s = R.run_seap ~n:8 (small_wl 7 8) in
+  let s = R.run ~n:8 T.Seap (small_wl 7 8) in
   checkb "semantics" true s.R.semantics_ok;
   checki "completion balance" s.R.ops (s.R.got + s.R.empty + s.R.inserted)
 
 let test_runner_centralized () =
-  let s = R.run_centralized ~n:8 (small_wl 7 8) in
+  let s = R.run ~n:8 T.Centralized (small_wl 7 8) in
   checkb "semantics" true s.R.semantics_ok;
   checkb "hotspot recorded" true (s.R.hotspot_load > 0)
 
 let test_runner_unbatched () =
-  let s = R.run_unbatched ~n:8 ~num_prios:3 (small_wl 7 8) in
+  let s = R.run ~n:8 (T.Unbatched { num_prios = 3 }) (small_wl 7 8) in
   checkb "semantics" true s.R.semantics_ok;
   checki "completion balance" s.R.ops (s.R.got + s.R.empty + s.R.inserted)
 
 let test_throughput_metrics () =
-  let s = R.run_skeap ~n:8 ~num_prios:3 (small_wl 9 8) in
+  let s = R.run ~n:8 (T.Skeap { num_prios = 3 }) (small_wl 9 8) in
   checkb "throughput positive" true (R.throughput s > 0.0);
   checkb "effective <= raw" true (R.effective_throughput s <= R.throughput s +. 1e-9)
+
+let test_run_gen_matches_run () =
+  (* Streaming the generator and materializing it first must yield the
+     exact same summary — including the online checker's verdict and the
+     live-element high-water mark. *)
+  let s1 = R.run_gen ~n:6 (T.Skeap { num_prios = 4 }) (W.Gen.create gen_spec) in
+  let s2 = R.run ~n:6 (T.Skeap { num_prios = 4 }) (W.of_gen gen_spec) in
+  checkb "streamed summary = materialized summary" true (s1 = s2);
+  checkb "semantics" true s1.R.semantics_ok;
+  checkb "peak live positive" true (s1.R.peak_live > 0)
 
 let test_all_runners_same_matched_count () =
   (* Same workload, same per-node issue orders: the number of non-⊥ deletes
      must agree across all implementations (they serialize per-node order
      identically at batch granularity). *)
   let wl = small_wl 11 6 in
-  let a = R.run_skeap ~n:6 ~num_prios:3 wl in
-  let c = R.run_centralized ~n:6 wl in
-  let u = R.run_unbatched ~n:6 ~num_prios:3 wl in
+  let a = R.run ~n:6 (T.Skeap { num_prios = 3 }) wl in
+  let c = R.run ~n:6 T.Centralized wl in
+  let u = R.run ~n:6 (T.Unbatched { num_prios = 3 }) wl in
   checkb "insert counts equal" true (a.R.inserted = c.R.inserted && c.R.inserted = u.R.inserted)
 
 let () =
@@ -125,12 +192,20 @@ let () =
           Alcotest.test_case "producer consumer" `Quick test_producer_consumer;
           Alcotest.test_case "burst" `Quick test_burst;
         ] );
+      ( "gen",
+        [
+          Alcotest.test_case "matches eager generate" `Quick test_gen_matches_eager;
+          Alcotest.test_case "next / exhaustion" `Quick test_gen_next_exhaustion;
+          Alcotest.test_case "spec round-trip" `Quick test_gen_spec_roundtrip;
+          Alcotest.test_case "gen: workload line" `Quick test_gen_workload_of_string;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "skeap" `Quick test_runner_skeap;
           Alcotest.test_case "seap" `Quick test_runner_seap;
           Alcotest.test_case "centralized" `Quick test_runner_centralized;
           Alcotest.test_case "unbatched" `Quick test_runner_unbatched;
+          Alcotest.test_case "run_gen = run" `Quick test_run_gen_matches_run;
           Alcotest.test_case "throughput metrics" `Quick test_throughput_metrics;
           Alcotest.test_case "insert counts agree" `Quick test_all_runners_same_matched_count;
         ] );
