@@ -99,7 +99,7 @@ let bench_t5_dht_storm =
   Test.make ~name:"t5/dht-batch/n=64,ops=256"
     (Staged.stage @@ fun () ->
      let ldb = Ldb.build ~n:64 ~seed:1 in
-     let dht = Dpq_dht.Dht.create ~ldb ~seed:2 in
+     let dht = Dpq_dht.Dht.create ~ldb ~seed:2 () in
      let ops =
        List.init 256 (fun k ->
            Dpq_dht.Dht.Put

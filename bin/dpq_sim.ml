@@ -14,7 +14,9 @@
 
    Faults: --drop/--dup/--crash (or a full --faults SPEC) run the whole
    simulation over a lossy network with ack/retransmit reliable delivery;
-   semantics still verify, costs grow.
+   semantics still verify, costs grow.  A SPEC can also schedule permanent
+   node loss (kill=NODE@TICK); pair it with --replication K so the DHT
+   keeps K copies of every key and anti-entropy repair covers the loss.
 
    Schedule exploration:
 
@@ -98,8 +100,8 @@ let do_replay file =
       Printf.printf "  clause matches expectation : %b\n" rep.Explore.clause_matches;
       if rep.Explore.digest_matches && rep.Explore.clause_matches then exit 0 else exit 2
 
-let run protocol nodes rounds lambda prios dist insert_ratio seed stream trace_file faults_spec
-    drop dup crash replay =
+let run protocol nodes rounds lambda prios dist insert_ratio seed replication stream trace_file
+    faults_spec drop dup crash replay =
   (match replay with Some file -> do_replay file | None -> ());
   let prio_dist =
     match dist with
@@ -136,7 +138,7 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed stream trace_f
       let spec =
         W.Gen.{ n = nodes; rounds; lambda; insert_ratio; dist = prio_dist; seed }
       in
-      let s = R.run_gen ?trace ?faults ~seed ~n:nodes backend (W.Gen.create spec) in
+      let s = R.run_gen ?trace ?faults ~seed ~replication ~n:nodes backend (W.Gen.create spec) in
       (s, s.R.ops, s.R.inserted, s.R.got + s.R.empty)
     end
     else
@@ -144,7 +146,7 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed stream trace_f
         W.generate ~rng:(Rng.create ~seed) ~n:nodes ~rounds ~lambda ~insert_ratio ~prio:prio_dist
           ()
       in
-      let s = R.run ~seed ?trace ?faults ~n:nodes backend wl in
+      let s = R.run ~seed ~replication ?trace ?faults ~n:nodes backend wl in
       (s, W.total_ops wl, W.inserts wl, W.deletes wl)
   in
   Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)%s\n"
@@ -162,6 +164,8 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed stream trace_f
     (R.effective_throughput summary);
   Printf.printf "  outcomes                %d inserted, %d matched deletes, %d ⊥\n"
     summary.R.inserted summary.R.got summary.R.empty;
+  if summary.R.lost_ops > 0 then
+    Printf.printf "  ops lost to dead nodes  %d\n" summary.R.lost_ops;
   Printf.printf "  peak live elements      %d  (online-checker state is O(this))\n"
     summary.R.peak_live;
   Printf.printf "  semantics verified      %b\n" summary.R.semantics_ok;
@@ -172,9 +176,19 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed stream trace_f
   | None -> ()
   | Some plan ->
       let st = Dpq_simrt.Fault_plan.stats plan in
-      Printf.printf "  faults injected         %d drops, %d dups, %d crash drops\n"
+      Printf.printf "  faults injected         %d drops, %d dups, %d crash drops, %d dead letters\n"
         st.Dpq_simrt.Fault_plan.drops st.Dpq_simrt.Fault_plan.duplicates
-        st.Dpq_simrt.Fault_plan.crash_drops;
+        st.Dpq_simrt.Fault_plan.crash_drops st.Dpq_simrt.Fault_plan.dead_letters;
+      (match Dpq_simrt.Fault_plan.kills plan with
+      | [] -> ()
+      | kills ->
+          Printf.printf "  nodes killed            %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (k : Dpq_simrt.Fault_plan.kill) ->
+                    Printf.sprintf "%d@%d" k.Dpq_simrt.Fault_plan.node
+                      k.Dpq_simrt.Fault_plan.at_tick)
+                  kills)));
       Printf.printf "  reliable layer          %d retransmits, %d acks, %d dups suppressed\n"
         st.Dpq_simrt.Fault_plan.retransmits st.Dpq_simrt.Fault_plan.acks_sent
         st.Dpq_simrt.Fault_plan.dups_suppressed);
@@ -237,6 +251,16 @@ let insert_ratio =
 
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let replication =
+  Arg.(
+    value & opt int 1
+    & info [ "replication"; "k" ] ~docv:"K"
+        ~doc:
+          "DHT replica degree (skeap/seap only). With $(docv) > 1 every key's elements are \
+           stored at $(docv) successor points of the hash ring, and the heap survives \
+           permanent $(b,kill=) losses of up to $(docv)-1 replicas of any key: lost copies \
+           are rebuilt by Merkle anti-entropy repair.")
+
 let stream =
   Arg.(
     value & flag
@@ -258,7 +282,13 @@ let faults_spec =
     & opt (some string) None
     & info [ "faults" ] ~docv:"SPEC"
         ~doc:
-          "Fault plan, e.g. $(b,drop=0.2,dup=0.05,spike=0.1x8,crash=3\\@100-200). Overrides \
+          "Fault plan: comma-separated key=value items. $(b,drop=P) / $(b,dup=P) lose or \
+           duplicate transmissions, $(b,spike=PxF) multiplies async delays, \
+           $(b,crash=NODE@FROM-UNTIL) keeps NODE deaf during ticks [FROM,UNTIL) \
+           (stall-and-recover: its state survives), and $(b,kill=NODE@TICK) destroys NODE \
+           and its stored state permanently at the first batch boundary at or after TICK \
+           (pair with $(b,--replication)). Example: \
+           $(b,drop=0.2,dup=0.05,spike=0.1x8,crash=3@100-200,kill=1@50). Overrides \
            $(b,--drop)/$(b,--dup)/$(b,--crash).")
 
 let drop =
@@ -285,8 +315,8 @@ let replay_file =
 
 let run_term =
   Term.(
-    const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed $ stream
-    $ trace_file $ faults_spec $ drop $ dup $ crash $ replay_file)
+    const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
+    $ replication $ stream $ trace_file $ faults_spec $ drop $ dup $ crash $ replay_file)
 
 let explore_cmd =
   let num_seeds =

@@ -1,0 +1,92 @@
+(* Permanent node loss: a node dies mid-run, taking its stored state with
+   it — and the heap does not lose a single element.
+
+   Run with:  dune exec examples/permanent_loss.exe
+
+   With replication degree k the DHT keeps every key's entries at k
+   successor points of the hash ring.  A [kill=NODE@TICK] schedule in the
+   fault plan destroys one node permanently at the next batch boundary:
+   its copies are gone, its key range falls to the surviving replicas, and
+   Merkle anti-entropy repair rebuilds the lost copies by shipping only
+   the entries that actually diverged.  The trace records the repair as
+   [Repair_start] / [Repair_session] / [Repair_end] events, and the online
+   semantics verdict is the same as on a fault-free run. *)
+
+module H = Dpq.Dpq_heap
+module Rng = Dpq_util.Rng
+module Trace = Dpq_obs.Trace
+module Fault_plan = Dpq_simrt.Fault_plan
+module Checker = Dpq_semantics.Checker
+
+let () =
+  let n = 8 and kill_node = 3 in
+  let trace = Trace.create () in
+  (* Node 3 dies permanently once the fault clock reaches tick 40 —
+     roughly two batches in. *)
+  let faults = Fault_plan.of_string ~seed:11 (Printf.sprintf "kill=%d@40" kill_node) in
+  let h = H.create ~seed:2026 ~replication:3 ~trace ~faults ~n (H.Skeap { num_prios = 8 }) in
+  let checker = H.online_checker h in
+  let rng = Rng.create ~seed:7 in
+  let inserted = ref 0 and got = ref 0 and empty = ref 0 and lost = ref 0 in
+  print_endline "== Skeap, n=8, replication k=3, node 3 scheduled to die ==";
+  for round = 1 to 6 do
+    for _ = 1 to 24 do
+      let node = Rng.int rng n in
+      if not (H.live h ~node) then incr lost
+      else if Rng.int rng 3 < 2 then ignore (H.insert h ~node ~prio:(1 + Rng.int rng 8))
+      else H.delete_min h ~node
+    done;
+    let r = H.process h in
+    List.iter
+      (fun (c : H.completion) ->
+        match c.H.outcome with
+        | `Inserted _ -> incr inserted
+        | `Got _ -> incr got
+        | `Empty -> incr empty)
+      r.H.completions;
+    Checker.Online.feed_all checker (H.take_oplog h);
+    Printf.printf "round %d: live nodes issue ops, heap=%d%s\n" round (H.heap_size h)
+      (if not (H.live h ~node:kill_node) then "  [node 3 is dead]" else "")
+  done;
+  (* drain what is left so every insert meets a delete or stays counted *)
+  List.iter
+    (fun (r : H.result) ->
+      List.iter
+        (fun (c : H.completion) ->
+          match c.H.outcome with
+          | `Inserted _ -> incr inserted
+          | `Got _ -> incr got
+          | `Empty -> incr empty)
+        r.H.completions)
+    (H.drain h);
+  Checker.Online.feed_all checker (H.take_oplog h);
+  print_newline ();
+  print_endline "== what the kill did ==";
+  List.iter
+    (function
+      | Trace.Repair_start { node; reason; entries_lost; _ } ->
+          Printf.printf "node %d lost (%s): %d stored entries destroyed with it\n" node reason
+            entries_lost
+      | Trace.Repair_session { src; dst; keys_pulled; elements_shipped; _ } ->
+          Printf.printf "  repair session: node %d pulled %d keys (%d elements) from node %d\n"
+            dst keys_pulled elements_shipped src
+      | Trace.Repair_end { sessions; keys_pulled; elements_shipped; _ } ->
+          Printf.printf
+            "repair done: %d sessions, %d keys re-replicated, %d elements shipped, %d msgs / %d \
+             bits on the wire\n"
+            sessions keys_pulled elements_shipped (Trace.repair_messages trace)
+            (Trace.repair_bits trace)
+      | _ -> ())
+    (Trace.events trace);
+  print_newline ();
+  Printf.printf "completions: %d inserted, %d got, %d empty (%d ops lost with the node)\n"
+    !inserted !got !empty !lost;
+  (* No element loss: every element the survivors inserted was eventually
+     deleted or is still accounted for in the heap. *)
+  let balance = !inserted - !got - H.heap_size h in
+  Printf.printf "element balance (inserted - got - still stored) = %d\n" balance;
+  let verdict = Checker.Online.finish checker in
+  Printf.printf "semantics: %s\n"
+    (match verdict with Ok () -> "OK" | Error v -> "VIOLATION: " ^ Checker.violation_to_string v);
+  if balance <> 0 || verdict <> Ok () then exit 1;
+  print_endline "no element loss, verdict clean — replication covered the kill."

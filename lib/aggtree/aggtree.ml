@@ -22,7 +22,12 @@ let compute_parent ldb root v =
 let of_ldb ldb =
   let nv = 3 * Ldb.n ldb in
   let root = Ldb.min_vnode ldb in
-  let parent = Array.init nv (fun v -> compute_parent ldb root v) in
+  (* Removed nodes' vnodes are not on the cycle: they get no parent, no
+     children and keep depth -1 (the membership test). *)
+  let parent =
+    Array.init nv (fun v ->
+        if Ldb.is_present ldb ~id:(Ldb.owner v) then compute_parent ldb root v else None)
+  in
   let children = Array.make nv [] in
   Array.iteri
     (fun v p ->
@@ -64,6 +69,7 @@ let children t v = t.children.(v)
 let is_leaf t v = t.children.(v) = []
 let leaves t = List.filter (is_leaf t) (Array.to_list (Ldb.vnodes_in_cycle_order t.ldb))
 let depth t v = t.depth.(v)
+let in_tree t v = t.depth.(v) >= 0
 let height t = t.height
 let vnodes t = Array.init (3 * Ldb.n t.ldb) (fun v -> v)
 let bottom_up_order t = t.bottom_up
@@ -74,13 +80,14 @@ let check_invariants t =
   let nv = 3 * Ldb.n t.ldb in
   let problems = ref None in
   let fail e = if !problems = None then problems := Some e in
-  (* Exactly one root. *)
+  let present v = Ldb.is_present t.ldb ~id:(Ldb.owner v) in
+  (* Exactly one root among the live vnodes. *)
   let roots = ref 0 in
   for v = 0 to nv - 1 do
-    if t.parent.(v) = None then incr roots
+    if present v && t.parent.(v) = None then incr roots
   done;
   if !roots <> 1 then fail (Printf.sprintf "expected 1 root, found %d" !roots);
-  (* Parent/child consistency, <=2 children, reachability. *)
+  (* Parent/child consistency, <=2 children, reachability of live vnodes. *)
   for v = 0 to nv - 1 do
     (match t.parent.(v) with
     | None -> ()
@@ -89,6 +96,9 @@ let check_invariants t =
           fail (Printf.sprintf "vnode %d missing from children of its parent %d" v p));
     if List.length t.children.(v) > 2 then
       fail (Printf.sprintf "vnode %d has %d > 2 children" v (List.length t.children.(v)));
-    if t.depth.(v) < 0 then fail (Printf.sprintf "vnode %d unreachable from root" v)
+    if present v && t.depth.(v) < 0 then
+      fail (Printf.sprintf "vnode %d unreachable from root" v);
+    if (not (present v)) && (t.parent.(v) <> None || t.children.(v) <> []) then
+      fail (Printf.sprintf "removed vnode %d still linked into the tree" v)
   done;
   match !problems with None -> Ok () | Some e -> err "%s" e

@@ -29,7 +29,11 @@ val is_leaf : t -> Dpq_overlay.Ldb.vnode -> bool
 val leaves : t -> Dpq_overlay.Ldb.vnode list
 
 val depth : t -> Dpq_overlay.Ldb.vnode -> int
-(** Root has depth 0. *)
+(** Root has depth 0; -1 for vnodes of removed nodes (not in the tree). *)
+
+val in_tree : t -> Dpq_overlay.Ldb.vnode -> bool
+(** Is [v] part of the tree?  False exactly for vnodes of nodes removed
+    from the overlay ({!Dpq_overlay.Ldb.remove}). *)
 
 val height : t -> int
 (** Maximum depth. *)

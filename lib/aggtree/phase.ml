@@ -110,9 +110,11 @@ let up ?trace ?faults ?sched ~tree ~local ~combine ~size_bits () =
       ~size_bits:(fun m -> header + size_bits m.value)
       ~handler ?trace ?faults ?sched ()
   in
-  (* Kick off: leaves complete immediately. *)
+  (* Kick off: leaves complete immediately.  Vnodes of removed nodes also
+     have no children but are not in the tree — skipping them keeps the
+     root's result the only one written. *)
   for v = 0 to nv - 1 do
-    if expected.(v) = 0 then on_complete eng v
+    if expected.(v) = 0 && Aggtree.in_tree tree v then on_complete eng v
   done;
   let rounds = Sync.run_to_quiescence eng in
   let value =

@@ -33,14 +33,24 @@ type t = {
   impl : impl;
 }
 
-let create ?(seed = 1) ?trace ?faults ?sched ~n backend =
+let create ?(seed = 1) ?(replication = 1) ?trace ?faults ?sched ~n backend =
+  if replication < 1 then invalid_arg "Dpq_heap.create: replication must be >= 1";
+  let no_replication () =
+    if replication > 1 then
+      invalid_arg
+        (Printf.sprintf "Dpq_heap.create: %s backend does not support replication"
+           (backend_name backend))
+  in
   let impl =
     match backend with
     | Skeap { num_prios } ->
-        I_skeap (Skeap_impl.create ~seed ?trace ?faults ?sched ~n ~num_prios ())
-    | Seap -> I_seap (Seap_impl.create ~seed ?trace ?faults ?sched ~n ())
-    | Centralized -> I_centralized (Centralized_impl.create ~seed ?trace ?faults ?sched ~n ())
+        I_skeap (Skeap_impl.create ~seed ~replication ?trace ?faults ?sched ~n ~num_prios ())
+    | Seap -> I_seap (Seap_impl.create ~seed ~replication ?trace ?faults ?sched ~n ())
+    | Centralized ->
+        no_replication ();
+        I_centralized (Centralized_impl.create ~seed ?trace ?faults ?sched ~n ())
     | Unbatched { num_prios } ->
+        no_replication ();
         I_unbatched (Unbatched_impl.create ~seed ?trace ?faults ?sched ~n ~num_prios ())
   in
   { backend; trace; faults; sched; impl }
@@ -56,6 +66,19 @@ let n t =
   | I_seap h -> Seap_impl.n h
   | I_centralized h -> Centralized_impl.n h
   | I_unbatched h -> Unbatched_impl.n h
+
+let replication t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.replication h
+  | I_seap h -> Seap_impl.replication h
+  | I_centralized _ | I_unbatched _ -> 1
+
+let live t ~node =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.live h ~node
+  | I_seap h -> Seap_impl.live h ~node
+  | I_centralized h -> node >= 0 && node < Centralized_impl.n h
+  | I_unbatched h -> node >= 0 && node < Unbatched_impl.n h
 
 let insert t ~node ~prio =
   match t.impl with

@@ -53,6 +53,7 @@ type t
 
 val create :
   ?seed:int ->
+  ?replication:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -69,13 +70,28 @@ val create :
     completes with unchanged semantics and {!verify} still passes — only
     the costs grow.  With [sched], every engine runs under that adversarial
     delivery scheduler ({!Dpq_simrt.Sched}) — the exploration harness's
-    lever for hunting semantics-breaking interleavings. *)
+    lever for hunting semantics-breaking interleavings.  [replication] is
+    the DHT replica degree [k] (default 1 = off; Skeap/Seap only, the
+    baselines raise [Invalid_argument] when [> 1]): with [k > 1] the heap
+    survives permanent node kills ([kill=NODE\@TICK] in the fault plan) of
+    up to [k - 1] replicas of any key with unchanged semantics — lost
+    copies are rebuilt by Merkle anti-entropy repair at the next iteration
+    boundary. *)
 
 val backend : t -> backend
 val trace : t -> Dpq_obs.Trace.t option
 val faults : t -> Dpq_simrt.Fault_plan.t option
 val sched : t -> Dpq_simrt.Sched.t option
 val n : t -> int
+
+val replication : t -> int
+(** The DHT replica degree [k] (1 on the baselines). *)
+
+val live : t -> node:int -> bool
+(** Whether [node] is a valid id that has not been permanently killed.
+    Buffering an operation at a dead node raises [Invalid_argument]; a
+    workload driver consults this before injecting (kills commit at
+    iteration boundaries). *)
 
 val insert : t -> node:int -> prio:int -> Element.t
 val delete_min : t -> node:int -> unit

@@ -12,19 +12,35 @@
     Batches of operations can be executed on the synchronous engine (for
     round/congestion measurements) or on the asynchronous engine (for
     semantics tests under arbitrary message reordering).  Storage persists
-    across batches; the engines only carry the in-flight traffic. *)
+    across batches; the engines only carry the in-flight traffic.
+
+    With replication degree [k > 1] every key's entries are kept at [k]
+    successor points [h(x) + r/k (mod 1)], [r = 0 .. k-1].  Replica 0 is
+    the primary every rendezvous decision is made on (so [k = 1] runs are
+    bit-identical to the unreplicated DHT); the primary maintains the
+    backup copies with replica-update messages inside each batch.  After a
+    permanent node loss ({!kill_node}) the dead node's copies are rebuilt
+    on the survivors by Merkle anti-entropy {!repair}. *)
 
 module Element = Dpq_util.Element
 
 type t
 
-val create : ldb:Dpq_overlay.Ldb.t -> seed:int -> t
-(** [seed] keys the key-to-point hash (independent from the label hash). *)
+val create : ?k:int -> ldb:Dpq_overlay.Ldb.t -> seed:int -> unit -> t
+(** [seed] keys the key-to-point hash (independent from the label hash).
+    [k] is the replication degree (default 1 = off; must be >= 1). *)
 
 val ldb : t -> Dpq_overlay.Ldb.t
 
+val replication : t -> int
+(** The replication degree [k]. *)
+
 val key_point : t -> int -> float
 (** Where a key lives in [\[0,1)]. *)
+
+val replica_point : t -> int -> int -> float
+(** [replica_point t r key]: where replica [r] of [key] lives;
+    [replica_point t 0 key = key_point t key] exactly. *)
 
 val manager_of_key : t -> int -> Dpq_overlay.Ldb.vnode
 
@@ -96,4 +112,43 @@ val take_matching : t -> node:int -> f:(Element.t -> bool) -> Element.t list
 (** Remove and return all elements stored at [node] that satisfy [f]:
     Seap's DeleteMin phase uses this to pull the k smallest elements out of
     their random-key homes before re-storing them under position keys
-    (§5.2).  Purely local to [node]. *)
+    (§5.2).  Purely local to [node].  Replica copies drop the same
+    identities (free local bookkeeping, like the call itself). *)
+
+(** {2 Permanent loss and anti-entropy repair} *)
+
+type repair_stats = {
+  sessions : int;  (** reconciliation sessions run (including clean ones) *)
+  keys_pulled : int;  (** keys whose content changed at a puller *)
+  elements_shipped : int;  (** elements copied to close divergences *)
+  repair_messages : int;  (** protocol messages (Merkle sigs + shipments) *)
+  repair_bits : int;  (** protocol traffic — the O(δ log m) bound's subject *)
+}
+
+type kill_report = { destroyed : int; repair : repair_stats }
+
+val repair : ?trace:Dpq_obs.Trace.t -> t -> repair_stats
+(** Reconcile the [k] replica copies to their union with the Merkle
+    anti-entropy protocol (modeled on Scalaris's rr_recon): for each
+    directed replica pair, per-(owner, owner) sessions exchange compressed
+    hash-trie signatures top-down and ship only the entries of differing
+    leaf ranges.  Correct because replica divergence is one-sided (copies
+    can only miss entries, never hold stale ones).  Runs on a fresh
+    synchronous engine (reliable control plane); with [trace] it opens a
+    ["repair"] span, emits [Repair_session] events for productive sessions
+    and one [Repair_end], so the derived repair metrics in
+    {!Dpq_obs.Trace} measure exactly this traffic.  No-op at [k = 1]. *)
+
+val kill_node : ?trace:Dpq_obs.Trace.t -> t -> node:int -> kill_report
+(** Permanent node loss: destroy every replica copy stored at [node],
+    remove it from the overlay ({!Dpq_overlay.Ldb.remove} — survivors keep
+    their ids; the dead range falls to the cycle predecessors) and run
+    {!repair} to rebuild the lost copies from the surviving replicas.
+    Emits [Repair_start] with the destroyed-entry count.  Must only be
+    called between batches (nothing in flight).  Raises
+    [Invalid_argument] if [node] is already gone or the last live node. *)
+
+val drop_replica_entries : t -> r:int -> f:(key:int -> bool) -> int
+(** Testing hook: silently delete replica [r]'s entries for keys selected
+    by [f], returning how many entries were dropped — used to plant a
+    divergence of known size δ for the repair-traffic bound experiment. *)

@@ -15,6 +15,7 @@ type config = {
   seed : int;
   backend : Types.backend;
   n : int;
+  replication : int;
   engine : engine;
   sched : Sched.policy;
   faults : string option;
@@ -57,7 +58,10 @@ let run cfg =
   let sched =
     match cfg.sched with Sched.Fifo -> None | p -> Some (Sched.create ~seed:cfg.seed p)
   in
-  let h = Heap.create ~seed:cfg.seed ~trace ?faults ?sched ~n:cfg.n cfg.backend in
+  let h =
+    Heap.create ~seed:cfg.seed ~replication:cfg.replication ~trace ?faults ?sched ~n:cfg.n
+      cfg.backend
+  in
   let dht_mode =
     match cfg.engine with
     | Sync -> Types.Dht_sync
@@ -67,9 +71,11 @@ let run cfg =
     (fun round ->
       List.iter
         (fun (op : Workload.op) ->
-          match op.Workload.action with
-          | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
-          | `Del -> Heap.delete_min h ~node:op.Workload.node)
+          (* a permanently killed node issues nothing *)
+          if Heap.live h ~node:op.Workload.node then
+            match op.Workload.action with
+            | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
+            | `Del -> Heap.delete_min h ~node:op.Workload.node)
         round;
       ignore (Heap.process ~dht_mode h))
     cfg.workload;
@@ -83,10 +89,16 @@ let run cfg =
 
 (* ---------------------------------------------------------------- sweep *)
 
-type combo = { backend : Types.backend; engine : engine; faults : string option }
+type combo = {
+  backend : Types.backend;
+  engine : engine;
+  faults : string option;
+  replication : int;
+}
 
 let num_prios = 4
 let drop_dup_spec = "drop=0.2,dup=0.05"
+let kill_spec = "kill=1@8"
 
 let default_combos =
   let backends =
@@ -94,15 +106,29 @@ let default_combos =
   in
   let engines = [ Sync; Async (Async.Uniform (1.0, 10.0)) ] in
   let faultss = [ None; Some drop_dup_spec ] in
-  List.concat_map
-    (fun backend ->
-      List.concat_map
-        (fun engine ->
-          match (backend, engine) with
-          | (Types.Centralized | Types.Unbatched _), Async _ -> []
-          | _ -> List.map (fun faults -> { backend; engine; faults }) faultss)
-        engines)
-    backends
+  let base =
+    List.concat_map
+      (fun backend ->
+        List.concat_map
+          (fun engine ->
+            match (backend, engine) with
+            | (Types.Centralized | Types.Unbatched _), Async _ -> []
+            | _ -> List.map (fun faults -> { backend; engine; faults; replication = 1 }) faultss)
+          engines)
+      backends
+  in
+  (* Replicated permanent-loss cells: a kill mid-run with k = 3 must leave
+     the verdict as clean as the fault-free cells (the loss is <= k - 1
+     replicas of every key). *)
+  let killed =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun faults -> { backend; engine = Sync; faults = Some faults; replication = 3 })
+          [ kill_spec; drop_dup_spec ^ "," ^ kill_spec ])
+      [ Types.Skeap { num_prios }; Types.Seap ]
+  in
+  base @ killed
 
 let default_policies =
   [
@@ -128,6 +154,7 @@ let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ~seed ~policy combo =
     seed;
     backend = combo.backend;
     n;
+    replication = combo.replication;
     engine = combo.engine;
     sched = policy;
     faults = combo.faults;
@@ -173,8 +200,9 @@ let shrink_candidates cfg =
   let workload_cands = List.map with_workload (Workload.shrink_candidates cfg.workload) in
   let sched_cands = if cfg.sched = Sched.Fifo then [] else [ { cfg with sched = Sched.Fifo } ] in
   let fault_cands = if cfg.faults = None then [] else [ { cfg with faults = None } ] in
+  let repl_cands = if cfg.replication = 1 then [] else [ { cfg with replication = 1 } ] in
   (* Axis simplifications first: they cut the most replay state at once. *)
-  sched_cands @ fault_cands @ workload_cands
+  sched_cands @ fault_cands @ repl_cands @ workload_cands
 
 let shrink ?(max_attempts = 400) cfg clause =
   let attempts = ref 0 in
@@ -259,6 +287,7 @@ let repro_to_string cfg (o : outcome) =
   line "seed %d" cfg.seed;
   line "backend %s" (backend_to_string cfg.backend);
   line "nodes %d" cfg.n;
+  line "replication %d" cfg.replication;
   line "engine %s" (engine_to_string cfg.engine);
   line "sched %s" (Sched.policy_to_string cfg.sched);
   line "faults %s" (match cfg.faults with None -> "none" | Some s -> s);
@@ -307,6 +336,15 @@ let repro_of_string text =
       in
       let* seed = int_field "seed" in
       let* n = int_field "nodes" in
+      (* absent in repro files written before replication existed *)
+      let* replication =
+        match List.assoc_opt "replication" header with
+        | None -> Ok 1
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some k when k >= 1 -> Ok k
+            | _ -> fail "Explore: bad replication %S" v)
+      in
       let* backend = Result.bind (field "backend") backend_of_string in
       let* engine = Result.bind (field "engine") engine_of_string in
       let* sched = Result.bind (field "sched") Sched.policy_of_string in
@@ -351,7 +389,7 @@ let repro_of_string text =
             Ok (wl, None)
       in
       Ok
-        ( { seed; backend; n; engine; sched; faults; corrupt; workload; gen },
+        ( { seed; backend; n; replication; engine; sched; faults; corrupt; workload; gen },
           { expect_clause; expect_digest } )
   | _ -> fail "Explore: not a %s file" magic
 

@@ -34,6 +34,7 @@ type config = {
   seed : int;  (** master seed; all streams derive from it *)
   backend : Dpq_types.Types.backend;
   n : int;  (** node count *)
+  replication : int;  (** DHT replica degree (1 = off; Skeap/Seap only) *)
   engine : engine;
   sched : Dpq_simrt.Sched.policy;
   faults : string option;  (** {!Dpq_simrt.Fault_plan.of_string} spec *)
@@ -69,11 +70,14 @@ type combo = {
   backend : Dpq_types.Types.backend;
   engine : engine;
   faults : string option;
+  replication : int;
 }
 
 val default_combos : combo list
 (** {Skeap, Seap, Centralized, Unbatched} × {sync, async} × {no faults,
-    drop+dup}, minus the invalid baseline×async cells — 12 combos. *)
+    drop+dup}, minus the invalid baseline×async cells (12 combos), plus
+    replicated permanent-loss cells: {Skeap, Seap} × sync × {kill,
+    drop+dup+kill} at replication 3 (4 more). *)
 
 val default_policies : Dpq_simrt.Sched.policy list
 (** Fifo, a shuffle with starvation, crossing pairs, and a channel bias

@@ -23,6 +23,9 @@ type event =
   | Retransmit of { span : span; src : int; dst : int; attempt : int }
   | Node_crashed of { node : int; kind : string; at : int }
   | Sched_perturbed of { span : span; kind : string; src : int; dst : int }
+  | Repair_start of { span : span; node : int; reason : string; entries_lost : int }
+  | Repair_session of { span : span; src : int; dst : int; keys_pulled : int; elements_shipped : int }
+  | Repair_end of { span : span; sessions : int; keys_pulled : int; elements_shipped : int }
 
 type t = {
   mutable rev_events : event list;
@@ -122,6 +125,22 @@ let sched_perturbed topt ~kind ~src ~dst =
   | None -> ()
   | Some t -> push t (Sched_perturbed { span = current_span t; kind; src; dst })
 
+let repair_start topt ~node ~reason ~entries_lost =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Repair_start { span = current_span t; node; reason; entries_lost })
+
+let repair_session topt ~src ~dst ~keys_pulled ~elements_shipped =
+  match topt with
+  | None -> ()
+  | Some t ->
+      push t (Repair_session { span = current_span t; src; dst; keys_pulled; elements_shipped })
+
+let repair_end topt ~sessions ~keys_pulled ~elements_shipped =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Repair_end { span = current_span t; sessions; keys_pulled; elements_shipped })
+
 (* ------------------------------------------------------ derived metrics *)
 
 let rounds t =
@@ -191,6 +210,44 @@ let crash_windows t =
   List.rev !windows
 
 let recovery_latencies t = List.map (fun (_, a, b) -> b - a) (crash_windows t)
+
+let repair_sessions t =
+  List.fold_left
+    (fun acc ev -> match ev with Repair_session _ -> acc + 1 | _ -> acc)
+    0 (events t)
+
+let repair_keys_pulled t =
+  List.fold_left
+    (fun acc ev -> match ev with Repair_end r -> acc + r.keys_pulled | _ -> acc)
+    0 (events t)
+
+let repair_elements_shipped t =
+  List.fold_left
+    (fun acc ev -> match ev with Repair_end r -> acc + r.elements_shipped | _ -> acc)
+    0 (events t)
+
+(* Message/bit volume inside repair spans — the "repair traffic" the
+   O(δ log m) experiment measures.  A span counts as repair from its
+   [Phase_start "repair"] to the matching [Phase_end]; spans never
+   interleave within one trace (engines are sequential), so a set of open
+   repair spans is enough. *)
+let repair_traffic t =
+  let open_repairs = Hashtbl.create 4 in
+  List.fold_left
+    (fun (msgs, bits) ev ->
+      match ev with
+      | Phase_start { span; name } when name = "repair" ->
+          Hashtbl.replace open_repairs span ();
+          (msgs, bits)
+      | Phase_end { span; _ } ->
+          Hashtbl.remove open_repairs span;
+          (msgs, bits)
+      | Msg_delivered m when Hashtbl.mem open_repairs m.span -> (msgs + 1, bits + m.bits)
+      | _ -> (msgs, bits))
+    (0, 0) (events t)
+
+let repair_messages t = fst (repair_traffic t)
+let repair_bits t = snd (repair_traffic t)
 
 (* Deliveries per (span, round, dst) cell — the unit congestion is measured
    over.  Spans run on fresh engines, so cells of different spans are
@@ -376,7 +433,26 @@ let event_to_json ev =
       buf_kv_int b "span" span;
       buf_kv_str b "kind" kind;
       buf_kv_int b "src" src;
-      buf_kv_int b "dst" dst);
+      buf_kv_int b "dst" dst
+  | Repair_start { span; node; reason; entries_lost } ->
+      tag "repair_start";
+      buf_kv_int b "span" span;
+      buf_kv_int b "node" node;
+      buf_kv_str b "reason" reason;
+      buf_kv_int b "entries_lost" entries_lost
+  | Repair_session { span; src; dst; keys_pulled; elements_shipped } ->
+      tag "repair_session";
+      buf_kv_int b "span" span;
+      buf_kv_int b "src" src;
+      buf_kv_int b "dst" dst;
+      buf_kv_int b "keys_pulled" keys_pulled;
+      buf_kv_int b "elements_shipped" elements_shipped
+  | Repair_end { span; sessions; keys_pulled; elements_shipped } ->
+      tag "repair_end";
+      buf_kv_int b "span" span;
+      buf_kv_int b "sessions" sessions;
+      buf_kv_int b "keys_pulled" keys_pulled;
+      buf_kv_int b "elements_shipped" elements_shipped);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -508,6 +584,26 @@ let event_of_json line =
       | "node_crash" -> Node_crashed { node = fint "node"; kind = fstr "kind"; at = fint "at" }
       | "sched" ->
           Sched_perturbed { span = fint "span"; kind = fstr "kind"; src = fint "src"; dst = fint "dst" }
+      | "repair_start" ->
+          Repair_start
+            { span = fint "span"; node = fint "node"; reason = fstr "reason"; entries_lost = fint "entries_lost" }
+      | "repair_session" ->
+          Repair_session
+            {
+              span = fint "span";
+              src = fint "src";
+              dst = fint "dst";
+              keys_pulled = fint "keys_pulled";
+              elements_shipped = fint "elements_shipped";
+            }
+      | "repair_end" ->
+          Repair_end
+            {
+              span = fint "span";
+              sessions = fint "sessions";
+              keys_pulled = fint "keys_pulled";
+              elements_shipped = fint "elements_shipped";
+            }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev

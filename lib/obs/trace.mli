@@ -71,6 +71,15 @@ type event =
           delivery for one message: ["defer"] (postponed a round), ["swap"]
           (crossed with its pair), ["bias"] (slow-link delay), or
           ["starve"] (long random delay). *)
+  | Repair_start of { span : span; node : int; reason : string; entries_lost : int }
+      (** Anti-entropy repair began: [node] was lost (reason ["kill"]) and
+          [entries_lost] stored entries were destroyed with it. *)
+  | Repair_session of { span : span; src : int; dst : int; keys_pulled : int; elements_shipped : int }
+      (** One Merkle reconciliation session completed: [dst] pulled
+          [keys_pulled] diverged keys ([elements_shipped] elements) from
+          offerer [src]. *)
+  | Repair_end of { span : span; sessions : int; keys_pulled : int; elements_shipped : int }
+      (** Repair finished; totals over the sessions of this repair pass. *)
 
 type t
 
@@ -117,6 +126,10 @@ val fault_injected : t option -> kind:string -> src:int -> dst:int -> unit
 val retransmit : t option -> src:int -> dst:int -> attempt:int -> unit
 val node_crashed : t option -> node:int -> kind:string -> at:int -> unit
 val sched_perturbed : t option -> kind:string -> src:int -> dst:int -> unit
+val repair_start : t option -> node:int -> reason:string -> entries_lost:int -> unit
+val repair_session :
+  t option -> src:int -> dst:int -> keys_pulled:int -> elements_shipped:int -> unit
+val repair_end : t option -> sessions:int -> keys_pulled:int -> elements_shipped:int -> unit
 
 (** {2 Derived metrics}
 
@@ -167,6 +180,24 @@ val crash_windows : t -> (int * int * int) list
 
 val recovery_latencies : t -> int list
 (** Window lengths of {!crash_windows}, in fault-plan ticks. *)
+
+val repair_sessions : t -> int
+(** Number of [Repair_session] events. *)
+
+val repair_keys_pulled : t -> int
+(** Sum of [Repair_end] key totals: diverged keys re-replicated. *)
+
+val repair_elements_shipped : t -> int
+(** Sum of [Repair_end] element totals: elements copied to close the
+    divergence. *)
+
+val repair_messages : t -> int
+(** Deliveries inside ["repair"] spans — the message count of the
+    anti-entropy protocol (Merkle exchange + shipped entries). *)
+
+val repair_bits : t -> int
+(** Bits delivered inside ["repair"] spans — the repair traffic the
+    O(δ log m) bound is measured on. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Compact one-paragraph text summary of the whole trace. *)

@@ -4,9 +4,10 @@ type vnode = int
 type t = {
   n : int;
   seed : int;
+  present : bool array; (* indexed by node id; false once removed *)
   labels : float array; (* indexed by vnode id = owner*3 + kind *)
-  cycle : vnode array; (* all vnodes sorted by label *)
-  cycle_pos : int array; (* inverse of [cycle] *)
+  cycle : vnode array; (* the present nodes' vnodes sorted by label *)
+  cycle_pos : int array; (* inverse of [cycle]; -1 for absent vnodes *)
   d : int; (* emulated de Bruijn dimension *)
   pidx : int array; (* bucket index for [manager_of_point]: greatest cycle
                        position whose label <= b/256, or -1 *)
@@ -32,8 +33,18 @@ let n t = t.n
 let seed t = t.seed
 let label t v = t.labels.(v)
 
-let build_from_middles ~seed middles =
+let build_from_middles ?present ~seed middles =
   let n = Array.length middles in
+  let present =
+    match present with
+    | None -> Array.make n true
+    | Some p ->
+        if Array.length p <> n then
+          invalid_arg "Ldb.build_from_middles: present mask length mismatch";
+        if not (Array.exists Fun.id p) then
+          invalid_arg "Ldb.build_from_middles: all nodes absent";
+        Array.copy p
+  in
   let labels = Array.make (3 * n) 0.0 in
   Array.iteri
     (fun i m ->
@@ -41,9 +52,16 @@ let build_from_middles ~seed middles =
       labels.((i * 3) + 1) <- m;
       labels.((i * 3) + 2) <- (m +. 1.0) /. 2.0)
     middles;
-  let cycle = Array.init (3 * n) (fun v -> v) in
+  (* Only present nodes contribute vnodes to the cycle; absent vnodes keep
+     their labels (ids stay stable) but take no part in routing. *)
+  let cycle =
+    Array.init (3 * n) (fun v -> v)
+    |> Array.to_list
+    |> List.filter (fun v -> present.(v / 3))
+    |> Array.of_list
+  in
   Array.sort (fun a b -> Float.compare labels.(a) labels.(b)) cycle;
-  let cycle_pos = Array.make (3 * n) 0 in
+  let cycle_pos = Array.make (3 * n) (-1) in
   Array.iteri (fun pos v -> cycle_pos.(v) <- pos) cycle;
   let d = Dpq_util.Bitsize.log2_ceil (max 2 n) + 2 in
   let len = Array.length cycle in
@@ -54,7 +72,7 @@ let build_from_middles ~seed middles =
     while !pos + 1 < len && labels.(cycle.(!pos + 1)) <= lim do incr pos done;
     pidx.(b) <- !pos
   done;
-  { n; seed; labels; cycle; cycle_pos; d; pidx; scratch = Array.make 64 0 }
+  { n; seed; present; labels; cycle; cycle_pos; d; pidx; scratch = Array.make 64 0 }
 
 let middle_label ~seed id =
   let h = Dpq_util.Hashing.create ~seed in
@@ -323,17 +341,39 @@ let route_message_hops t ~src ~point =
 
 let middles t = Array.init t.n (fun id -> t.labels.((id * 3) + 1))
 
+let is_present t ~id =
+  if id < 0 || id >= t.n then invalid_arg "Ldb.is_present: id out of range";
+  t.present.(id)
+
+let live_count t = Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 t.present
+
 let join t =
   let ms = middles t in
   let fresh = middle_label ~seed:t.seed t.n in
-  build_from_middles ~seed:t.seed (Array.append ms [| fresh |])
+  build_from_middles
+    ~present:(Array.append t.present [| true |])
+    ~seed:t.seed
+    (Array.append ms [| fresh |])
 
 let leave t ~id =
   if t.n = 1 then invalid_arg "Ldb.leave: cannot empty the network";
   if id < 0 || id >= t.n then invalid_arg "Ldb.leave: id out of range";
   let ms = middles t in
-  let remaining = Array.of_list (List.filteri (fun i _ -> i <> id) (Array.to_list ms)) in
-  build_from_middles ~seed:t.seed remaining
+  let keep i _ = i <> id in
+  let remaining = Array.of_list (List.filteri keep (Array.to_list ms)) in
+  let present = Array.of_list (List.filteri keep (Array.to_list t.present)) in
+  build_from_middles ~present ~seed:t.seed remaining
+
+(* Unlike [leave], which densely re-indexes the survivors, [remove] keeps
+   every node id stable — required by the permanent-loss fault mode, where
+   DHT state, trace events and fault plans all name nodes by id. *)
+let remove t ~id =
+  if id < 0 || id >= t.n then invalid_arg "Ldb.remove: id out of range";
+  if not t.present.(id) then invalid_arg "Ldb.remove: node already removed";
+  if live_count t = 1 then invalid_arg "Ldb.remove: cannot empty the network";
+  let present = Array.copy t.present in
+  present.(id) <- false;
+  build_from_middles ~present ~seed:t.seed (middles t)
 
 let join_cost_hops t =
   (* The joining node contacts an arbitrary gateway (node 0's middle node),

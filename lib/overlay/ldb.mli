@@ -104,6 +104,20 @@ val leave : t -> id:int -> t
 (** Remove real node [id]; remaining nodes are re-indexed densely.
     Raises [Invalid_argument] if [n = 1] or [id] out of range. *)
 
+val remove : t -> id:int -> t
+(** Remove real node [id] {e keeping every id stable}: the node's three
+    vnodes leave the cycle (its key-range falls to the cycle predecessor)
+    but survivors keep their ids and labels — the overlay counterpart of
+    permanent node loss, where DHT state, traces and fault plans all name
+    nodes by id.  Raises [Invalid_argument] if [id] is out of range,
+    already removed, or the last live node. *)
+
+val is_present : t -> id:int -> bool
+(** Has real node [id] not been {!remove}d? *)
+
+val live_count : t -> int
+(** Number of present real nodes. *)
+
 val join_cost_hops : t -> int
 (** Messages needed for a single join: route to the new label's position
     (O(log n) w.h.p.) plus constant relinking. *)

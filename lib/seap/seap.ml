@@ -37,7 +37,8 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ?(consistency = Serializable) ?trace ?faults ?sched ~n () =
+let create ?(seed = 1) ?(replication = 1) ?(consistency = Serializable) ?trace ?faults ?sched ~n
+    () =
   if n < 1 then invalid_arg "Seap.create: need n >= 1";
   let ldb = Ldb.build ~n ~seed in
   {
@@ -49,7 +50,7 @@ let create ?(seed = 1) ?(consistency = Serializable) ?trace ?faults ?sched ~n ()
     sched;
     ldb;
     tree = Aggtree.of_ldb ldb;
-    dht = Dht.create ~ldb ~seed:(seed + 7919);
+    dht = Dht.create ~k:replication ~ldb ~seed:(seed + 7919) ();
     ins_key_hash = Hashing.create ~seed:(seed + 104729);
     pos_key_hash = Hashing.create ~seed:(seed + 1299709);
     buffers = Array.init n (fun _ -> Queue.create ());
@@ -66,9 +67,13 @@ let n t = t.n
 let tree t = t.tree
 let consistency t = t.consistency
 let heap_size t = t.m
+let replication t = Dht.replication t.dht
+let live t ~node = node >= 0 && node < t.n && Ldb.is_present t.ldb ~id:node
 
 let check_node t node =
-  if node < 0 || node >= t.n then invalid_arg (Printf.sprintf "Seap: node %d out of range" node)
+  if node < 0 || node >= t.n then invalid_arg (Printf.sprintf "Seap: node %d out of range" node);
+  if not (Ldb.is_present t.ldb ~id:node) then
+    invalid_arg (Printf.sprintf "Seap: node %d was permanently lost" node)
 
 let insert t ~node ~prio =
   check_node t node;
@@ -433,7 +438,32 @@ let delete_phase t ~dht_mode =
   end;
   (!completions, !report, !kselect_diag)
 
+(* Kills commit at round boundaries (quiescent points): destroy the dead
+   node's copies, drop its buffered operations, re-home its key range and
+   repair, then resynchronize the anchor's element count m with what
+   actually survived (identical when k > kills so far; smaller only when
+   replication could not cover the loss). *)
+let commit_kills t =
+  match t.faults with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun node ->
+          if node >= t.n then
+            invalid_arg
+              (Printf.sprintf "Seap: fault plan kills node %d but the heap has %d nodes" node t.n);
+          if Ldb.is_present t.ldb ~id:node then begin
+            Queue.clear t.buffers.(node);
+            ignore (Dht.kill_node ?trace:t.trace t.dht ~node);
+            t.ldb <- Dht.ldb t.dht;
+            t.tree <- Aggtree.of_ldb t.ldb;
+            t.m <- Dht.size t.dht
+          end;
+          Dpq_simrt.Fault_plan.commit_kill plan t.trace ~node)
+        (Dpq_simrt.Fault_plan.pending_kills plan)
+
 let process_round ?(dht_mode = Dht_sync) t =
+  commit_kills t;
   let ins_cs, ins_r = insert_phase t ~dht_mode in
   let del_cs, del_r, kdiag = delete_phase t ~dht_mode in
   let completions =

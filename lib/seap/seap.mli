@@ -44,6 +44,7 @@ type consistency = Serializable | Sequential
 
 val create :
   ?seed:int ->
+  ?replication:int ->
   ?consistency:consistency ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
@@ -56,12 +57,21 @@ val create :
     membership change records structured events (see {!Dpq_obs.Trace}).
     With [faults], every engine the protocol spawns runs over the faulty
     network with reliable ack/retransmit delivery — semantics are
-    unchanged, costs grow. *)
+    unchanged, costs grow.  [replication] is the DHT replica degree [k]
+    (default 1 = off); with [k > 1] the heap survives permanent node loss
+    of up to [k - 1] replicas of any key with unchanged semantics (see
+    {!Dpq_skeap.Skeap.create}). *)
 
 val consistency : t -> consistency
 
 val n : t -> int
 val tree : t -> Dpq_aggtree.Aggtree.t
+
+val replication : t -> int
+(** The DHT replica degree [k]. *)
+
+val live : t -> node:int -> bool
+(** Whether [node] is a valid id that has not been permanently lost. *)
 
 val insert : t -> node:int -> prio:int -> Element.t
 (** Buffer an [Insert]; priorities only need to be >= 1. *)

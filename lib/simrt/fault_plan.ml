@@ -2,6 +2,7 @@ module Rng = Dpq_util.Rng
 module Trace = Dpq_obs.Trace
 
 type crash_window = { node : int; from_tick : int; until_tick : int }
+type kill = { node : int; at_tick : int }
 
 type stats = {
   mutable drops : int;
@@ -11,6 +12,7 @@ type stats = {
   mutable retransmits : int;
   mutable acks_sent : int;
   mutable dups_suppressed : int;
+  mutable dead_letters : int;
 }
 
 let empty_stats () =
@@ -22,6 +24,7 @@ let empty_stats () =
     retransmits = 0;
     acks_sent = 0;
     dups_suppressed = 0;
+    dead_letters = 0;
   }
 
 type t = {
@@ -30,11 +33,14 @@ type t = {
   delay_spike : float;
   delay_factor : float;
   crashes : crash_window list;
+  kills : kill list;
   rng : Rng.t;
   stats : stats;
   mutable tick : int;
   (* nodes currently inside a crash window, for edge-triggered trace events *)
   down_now : (int, unit) Hashtbl.t;
+  (* kills the host has acted on: state destroyed, node permanently dead *)
+  killed : (int, unit) Hashtbl.t;
 }
 
 let check_prob name p =
@@ -42,41 +48,75 @@ let check_prob name p =
     invalid_arg (Printf.sprintf "Fault_plan: %s probability %g outside [0,1]" name p)
 
 let create ?(drop = 0.0) ?(duplicate = 0.0) ?(delay_spike = 0.0) ?(delay_factor = 8.0)
-    ?(crashes = []) ~seed () =
+    ?(crashes = []) ?(kills = []) ~seed () =
   check_prob "drop" drop;
   check_prob "duplicate" duplicate;
   check_prob "delay_spike" delay_spike;
   if delay_factor < 1.0 then invalid_arg "Fault_plan: delay_factor must be >= 1";
   List.iter
-    (fun w ->
+    (fun (w : crash_window) ->
       if w.node < 0 then invalid_arg "Fault_plan: crash window names a negative node";
       if w.until_tick <= w.from_tick then
         invalid_arg "Fault_plan: crash window must satisfy from_tick < until_tick")
     crashes;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (k : kill) ->
+      if k.node < 0 then invalid_arg "Fault_plan: kill names a negative node";
+      if k.at_tick < 0 then invalid_arg "Fault_plan: kill names a negative tick";
+      if Hashtbl.mem seen k.node then
+        invalid_arg (Printf.sprintf "Fault_plan: node %d is killed twice" k.node);
+      Hashtbl.replace seen k.node ())
+    kills;
   {
     drop;
     duplicate;
     delay_spike;
     delay_factor;
     crashes;
+    kills;
     rng = Rng.create ~seed;
     stats = empty_stats ();
     tick = 0;
     down_now = Hashtbl.create 4;
+    killed = Hashtbl.create 4;
   }
 
 let stats t = t.stats
 let tick_count t = t.tick
+let drop t = t.drop
+let duplicate t = t.duplicate
+let delay_spike t = t.delay_spike
+let delay_factor t = t.delay_factor
+let crash_windows t = t.crashes
+let kills t = t.kills
 
 let scheduled_down t node =
-  List.exists (fun w -> w.node = node && w.from_tick <= t.tick && t.tick < w.until_tick) t.crashes
+  List.exists (fun (w : crash_window) -> w.node = node && w.from_tick <= t.tick && t.tick < w.until_tick) t.crashes
 
-let is_down t ~node = scheduled_down t node
+let is_killed t ~node = Hashtbl.mem t.killed node
+let is_down t ~node = Hashtbl.mem t.killed node || scheduled_down t node
+
+(* Kills whose tick has arrived but which the host has not yet committed,
+   in plan order (deterministic). *)
+let pending_kills t =
+  List.filter_map
+    (fun (k : kill) ->
+      if k.at_tick <= t.tick && not (Hashtbl.mem t.killed k.node) then Some k.node else None)
+    t.kills
+
+let commit_kill t trace ~node =
+  if not (List.exists (fun (k : kill) -> k.node = node) t.kills) then
+    invalid_arg (Printf.sprintf "Fault_plan.commit_kill: node %d has no scheduled kill" node);
+  if not (Hashtbl.mem t.killed node) then begin
+    Hashtbl.replace t.killed node ();
+    Trace.node_crashed trace ~node ~kind:"killed" ~at:t.tick
+  end
 
 let crashed_nodes t =
   List.sort_uniq Int.compare
     (List.filter_map
-       (fun w -> if w.from_tick <= t.tick && t.tick < w.until_tick then Some w.node else None)
+       (fun (w : crash_window) -> if w.from_tick <= t.tick && t.tick < w.until_tick then Some w.node else None)
        t.crashes)
 
 (* Advance the global fault clock one step and emit edge-triggered
@@ -126,23 +166,29 @@ let note_crash_drop t trace ~src ~dst =
   t.stats.crash_drops <- t.stats.crash_drops + 1;
   Trace.fault_injected trace ~kind:"crash_drop" ~src ~dst
 
+let note_dead_letter t trace ~src ~dst =
+  t.stats.dead_letters <- t.stats.dead_letters + 1;
+  Trace.fault_injected trace ~kind:"dead_letter" ~src ~dst
+
 let note_retransmit t = t.stats.retransmits <- t.stats.retransmits + 1
 let note_ack t = t.stats.acks_sent <- t.stats.acks_sent + 1
 let note_dup_suppressed t = t.stats.dups_suppressed <- t.stats.dups_suppressed + 1
 
 let total_injected t =
   t.stats.drops + t.stats.duplicates + t.stats.delay_spikes + t.stats.crash_drops
+  + t.stats.dead_letters
 
 (* ----------------------------------------------------------- spec parsing *)
 
-(* "drop=0.2,dup=0.05,spike=0.1x8,crash=3@100-200" — comma-separated
-   key=value items; crash may repeat. *)
+(* "drop=0.2,dup=0.05,spike=0.1x8,crash=3@100-200,kill=2@40" —
+   comma-separated key=value items; crash and kill may repeat. *)
 let of_string ~seed spec =
   let drop = ref 0.0
   and dup = ref 0.0
   and spike = ref 0.0
   and factor = ref 8.0
-  and crashes = ref [] in
+  and crashes = ref []
+  and kills = ref [] in
   let fail item reason =
     invalid_arg (Printf.sprintf "Fault_plan.of_string: bad item %S (%s)" item reason)
   in
@@ -184,12 +230,48 @@ let of_string ~seed spec =
                        in
                        crashes := { node; from_tick; until_tick } :: !crashes
                    | _ -> fail item "expected crash=NODE@FROM-UNTIL")
-               | _ -> fail item "unknown key (drop|dup|spike|crash)"))
+               | "kill" -> (
+                   match String.index_opt v '@' with
+                   | Some a ->
+                       let node = parse_int item (String.sub v 0 a) in
+                       let at_tick = parse_int item (String.sub v (a + 1) (String.length v - a - 1)) in
+                       kills := { node; at_tick } :: !kills
+                   | None -> fail item "expected kill=NODE@TICK")
+               | _ -> fail item "unknown key (drop|dup|spike|crash|kill)"))
   |> ignore;
-  create ~drop:!drop ~duplicate:!dup ~delay_spike:!spike ~delay_factor:!factor
-    ~crashes:(List.rev !crashes) ~seed ()
+  match
+    create ~drop:!drop ~duplicate:!dup ~delay_spike:!spike ~delay_factor:!factor
+      ~crashes:(List.rev !crashes) ~kills:(List.rev !kills) ~seed ()
+  with
+  | t -> t
+  | exception Invalid_argument m ->
+      invalid_arg (Printf.sprintf "Fault_plan.of_string: %S (%s)" spec m)
+
+(* Shortest float literal that reads back exactly. *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* Canonical spec: omitted defaults, fields in a fixed order, so
+   [of_string (to_string t)] rebuilds an equivalent plan. *)
+let to_string t =
+  let items = ref [] in
+  let add s = items := s :: !items in
+  if t.drop > 0.0 then add (Printf.sprintf "drop=%s" (float_repr t.drop));
+  if t.duplicate > 0.0 then add (Printf.sprintf "dup=%s" (float_repr t.duplicate));
+  if t.delay_spike > 0.0 then
+    if t.delay_factor = 8.0 then add (Printf.sprintf "spike=%s" (float_repr t.delay_spike))
+    else
+      add (Printf.sprintf "spike=%sx%s" (float_repr t.delay_spike) (float_repr t.delay_factor));
+  List.iter
+    (fun (w : crash_window) -> add (Printf.sprintf "crash=%d@%d-%d" w.node w.from_tick w.until_tick))
+    t.crashes;
+  List.iter (fun (k : kill) -> add (Printf.sprintf "kill=%d@%d" k.node k.at_tick)) t.kills;
+  String.concat "," (List.rev !items)
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "{drops=%d dups=%d spikes=%d crash_drops=%d retransmits=%d acks=%d suppressed=%d}" s.drops
-    s.duplicates s.delay_spikes s.crash_drops s.retransmits s.acks_sent s.dups_suppressed
+    "{drops=%d dups=%d spikes=%d crash_drops=%d retransmits=%d acks=%d suppressed=%d \
+     dead_letters=%d}"
+    s.drops s.duplicates s.delay_spikes s.crash_drops s.retransmits s.acks_sent s.dups_suppressed
+    s.dead_letters

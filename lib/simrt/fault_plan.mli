@@ -9,14 +9,21 @@
       delay is multiplied by [delay_factor]),
     - keep whole nodes {b down} during scheduled crash windows: every
       delivery to a down node is lost ("stall-and-recover" — the node's
-      state survives, it just stops receiving until the window closes).
+      state survives, it just stops receiving until the window closes),
+    - {b kill} nodes permanently: once the host commits a scheduled kill
+      the node's stored state is destroyed and it never comes back.  The
+      plan only schedules kills; destroying state and re-homing the dead
+      node's key-range is the host's job (see {!Dpq_dht.Dht.kill_node}),
+      which is why kills go through an explicit
+      {!pending_kills}/{!commit_kill} handshake instead of firing on
+      {!tick}.
 
     All decisions flow from one seeded {!Dpq_util.Rng}, so a faulty run is
     exactly reproducible.  The plan keeps a global {e tick} clock advanced
     by the engines (one tick per synchronous round / per asynchronous
-    delivery) — crash windows are expressed in ticks and therefore span
-    engine instances: a window can begin in one protocol phase and end in
-    a later one.
+    delivery) — crash windows and kills are expressed in ticks and
+    therefore span engine instances: a window can begin in one protocol
+    phase and end in a later one.
 
     The plan also owns the {!stats} counters the reliable-delivery layer
     ({!Reliable}) and the engines increment, so one record aggregates the
@@ -27,6 +34,10 @@
 type crash_window = { node : int; from_tick : int; until_tick : int }
 (** Node [node] is down for ticks [t] with [from_tick <= t < until_tick]. *)
 
+type kill = { node : int; at_tick : int }
+(** Node [node] dies permanently at the first commit point at or after
+    tick [at_tick]; its stored state is destroyed. *)
+
 type stats = {
   mutable drops : int;  (** transmissions lost to the drop probability *)
   mutable duplicates : int;  (** transmissions enqueued twice *)
@@ -35,6 +46,8 @@ type stats = {
   mutable retransmits : int;  (** reliable-layer re-sends *)
   mutable acks_sent : int;  (** reliable-layer acknowledgements *)
   mutable dups_suppressed : int;  (** duplicate data deliveries discarded *)
+  mutable dead_letters : int;
+      (** reliable-layer sends abandoned because the peer was killed *)
 }
 
 type t
@@ -45,26 +58,35 @@ val create :
   ?delay_spike:float ->
   ?delay_factor:float ->
   ?crashes:crash_window list ->
+  ?kills:kill list ->
   seed:int ->
   unit ->
   t
 (** All probabilities default to 0 (and must lie in [0,1]);
     [delay_factor] defaults to 8 and must be >= 1.  Raises
-    [Invalid_argument] on malformed windows ([until_tick <= from_tick]). *)
+    [Invalid_argument] on malformed windows ([until_tick <= from_tick]),
+    negative kill nodes/ticks, or a node killed twice. *)
 
 val of_string : seed:int -> string -> t
 (** Parse a plan spec: comma-separated [key=value] items with keys
     [drop=P], [dup=P], [spike=PxF] (or [spike=P] with the default factor),
-    and repeatable [crash=NODE\@FROM-UNTIL].  Example:
-    ["drop=0.2,dup=0.05,crash=3\@100-200"].  Raises [Invalid_argument] on
+    repeatable [crash=NODE\@FROM-UNTIL] (stall-and-recover window) and
+    repeatable [kill=NODE\@TICK] (permanent loss).  Example:
+    ["drop=0.2,dup=0.05,crash=3\@100-200,kill=1\@50"].  Raises
+    [Invalid_argument] with a message naming the offending item on
     malformed input. *)
+
+val to_string : t -> string
+(** Canonical spec string: fields in a fixed order, defaults omitted,
+    floats printed so they read back exactly.  [of_string (to_string t)]
+    rebuilds an equivalent plan (same knobs; RNG state is not captured). *)
 
 val stats : t -> stats
 (** The live counter record (shared, mutable). *)
 
 val total_injected : t -> int
-(** drops + duplicates + delay spikes + crash drops — the number of
-    [Fault_injected] trace events a traced run emits. *)
+(** drops + duplicates + delay spikes + crash drops + dead letters — the
+    number of [Fault_injected] trace events a traced run emits. *)
 
 val tick : t -> Dpq_obs.Trace.t option -> unit
 (** Advance the global fault clock; emits edge-triggered [Node_crashed]
@@ -72,8 +94,32 @@ val tick : t -> Dpq_obs.Trace.t option -> unit
 
 val tick_count : t -> int
 
+(** {2 Plan introspection} — the knobs [create] was given, for canonical
+    printing and round-trip tests. *)
+
+val drop : t -> float
+val duplicate : t -> float
+val delay_spike : t -> float
+val delay_factor : t -> float
+val crash_windows : t -> crash_window list
+val kills : t -> kill list
+
 val is_down : t -> node:int -> bool
-(** Is [node] inside a crash window at the current tick? *)
+(** Is [node] inside a crash window at the current tick, or killed? *)
+
+val is_killed : t -> node:int -> bool
+(** Has the host committed a kill of [node]? *)
+
+val pending_kills : t -> int list
+(** Scheduled kills whose tick has arrived ([at_tick <= tick_count]) but
+    which the host has not yet committed, in plan order.  The host calls
+    {!commit_kill} after destroying the node's state. *)
+
+val commit_kill : t -> Dpq_obs.Trace.t option -> node:int -> unit
+(** Mark a scheduled kill as executed: the node is now permanently down
+    ({!is_killed}) and a [Node_crashed] event of kind ["killed"] is
+    emitted.  Raises [Invalid_argument] if [node] has no scheduled kill;
+    idempotent once committed. *)
 
 val transmit_copies : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> int
 (** Consult the plan for one transmission: 0 (dropped), 1, or 2
@@ -86,6 +132,10 @@ val delay_multiplier : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> floa
 val note_crash_drop : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> unit
 (** Record a delivery lost to a down receiver (counted and traced as kind
     ["crash_drop"]). *)
+
+val note_dead_letter : t -> Dpq_obs.Trace.t option -> src:int -> dst:int -> unit
+(** Record a reliable-layer send abandoned because the peer was killed
+    (counted and traced as kind ["dead_letter"]). *)
 
 val note_retransmit : t -> unit
 val note_ack : t -> unit

@@ -94,7 +94,28 @@ let next_deadline t =
 
 exception Delivery_failed of string
 
+(* A killed peer never acks: retransmitting at it forever would end in
+   [Delivery_failed].  Abandon every outstanding packet on a channel whose
+   endpoint is dead, counting each as a dead letter. *)
+let reap_dead t trace =
+  Hashtbl.iter
+    (fun (src, dst) ch ->
+      if
+        Hashtbl.length ch.unacked > 0
+        && (Fault_plan.is_killed t.plan ~node:dst || Fault_plan.is_killed t.plan ~node:src)
+      then begin
+        let sns = Hashtbl.fold (fun sn _ acc -> sn :: acc) ch.unacked [] in
+        List.iter
+          (fun sn ->
+            Hashtbl.remove ch.unacked sn;
+            t.unacked_total <- t.unacked_total - 1;
+            Fault_plan.note_dead_letter t.plan trace ~src ~dst)
+          (List.sort Int.compare sns)
+      end)
+    t.channels
+
 let due t ~now trace =
+  reap_dead t trace;
   let out = ref [] in
   Hashtbl.iter
     (fun (src, dst) ch ->

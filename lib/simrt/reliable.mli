@@ -57,7 +57,10 @@ val due : 'msg t -> now:float -> Dpq_obs.Trace.t option -> (int * int * 'msg pac
     [(src, dst, packet)] — each gets its attempt count bumped, its deadline
     pushed back (exponential backoff), a [Retransmit] trace event, and a
     tally on the plan's stats.  Raises {!Delivery_failed} when a packet
-    exhausts [max_attempts]. *)
+    exhausts [max_attempts].  Packets on a channel whose endpoint has been
+    permanently killed ({!Fault_plan.is_killed}) are abandoned instead of
+    retransmitted: each is counted as a dead letter, and no
+    [Delivery_failed] is raised for them. *)
 
 val unacked : 'msg t -> int
 (** Outstanding (sent but unacknowledged) packets across all channels.

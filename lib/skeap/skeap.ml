@@ -34,7 +34,9 @@ type t = {
 
 let compute_preorder_ranks tree n =
   (* DFS pre-order: own first, then children in label order — the exact
-     order up-combine folds and down-split decomposes. *)
+     order up-combine folds and down-split decomposes.  Killed nodes are
+     not in the tree and keep rank -1; they never issue operations. *)
+  let ldb = Aggtree.ldb tree in
   let rank = Array.make n (-1) in
   let counter = ref 0 in
   let rec dfs v =
@@ -44,10 +46,14 @@ let compute_preorder_ranks tree n =
     List.iter dfs (Aggtree.children tree v)
   in
   dfs (Aggtree.root tree);
-  Array.iteri (fun i r -> if r < 0 then failwith (Printf.sprintf "node %d missing preorder rank" i)) rank;
+  Array.iteri
+    (fun i r ->
+      if r < 0 && Ldb.is_present ldb ~id:i then
+        failwith (Printf.sprintf "node %d missing preorder rank" i))
+    rank;
   rank
 
-let create ?(seed = 1) ?trace ?faults ?sched ~n ~num_prios () =
+let create ?(seed = 1) ?(replication = 1) ?trace ?faults ?sched ~n ~num_prios () =
   if n < 1 then invalid_arg "Skeap.create: need n >= 1";
   if num_prios < 1 then invalid_arg "Skeap.create: need num_prios >= 1";
   let ldb = Ldb.build ~n ~seed in
@@ -61,7 +67,7 @@ let create ?(seed = 1) ?trace ?faults ?sched ~n ~num_prios () =
     sched;
     ldb;
     tree;
-    dht = Dht.create ~ldb ~seed:(seed + 7919);
+    dht = Dht.create ~k:replication ~ldb ~seed:(seed + 7919) ();
     key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
     buffers = Array.init n (fun _ -> Queue.create ());
     seq_counters = Array.make n 0;
@@ -77,9 +83,13 @@ let create ?(seed = 1) ?trace ?faults ?sched ~n ~num_prios () =
 let n t = t.n
 let num_prios t = t.num_prios
 let tree t = t.tree
+let replication t = Dht.replication t.dht
+let live t ~node = node >= 0 && node < t.n && Ldb.is_present t.ldb ~id:node
 
 let check_node t node =
-  if node < 0 || node >= t.n then invalid_arg (Printf.sprintf "Skeap: node %d out of range" node)
+  if node < 0 || node >= t.n then invalid_arg (Printf.sprintf "Skeap: node %d out of range" node);
+  if not (Ldb.is_present t.ldb ~id:node) then
+    invalid_arg (Printf.sprintf "Skeap: node %d was permanently lost" node)
 
 let insert t ~node ~prio =
   check_node t node;
@@ -128,7 +138,32 @@ let dht_key t prio pos = Dpq_util.Hashing.pair t.key_hash prio pos
    ascending priority then position), 2 = ⊥ deletes (node, local order). *)
 type wkey = int * int * int * int
 
+(* Kills commit at batch boundaries — the only quiescent points, so no
+   in-flight traffic references the dead node.  The host destroys the
+   node's replica copies, drops its buffered operations, re-homes its key
+   range (Ldb.remove keeps survivor ids stable) and runs anti-entropy
+   repair; only then is the plan told the kill happened. *)
+let commit_kills t =
+  match t.faults with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun node ->
+          if node >= t.n then
+            invalid_arg
+              (Printf.sprintf "Skeap: fault plan kills node %d but the heap has %d nodes" node t.n);
+          if Ldb.is_present t.ldb ~id:node then begin
+            Queue.clear t.buffers.(node);
+            ignore (Dht.kill_node ?trace:t.trace t.dht ~node);
+            t.ldb <- Dht.ldb t.dht;
+            t.tree <- Aggtree.of_ldb t.ldb;
+            t.preorder_rank <- compute_preorder_ranks t.tree t.n
+          end;
+          Dpq_simrt.Fault_plan.commit_kill plan t.trace ~node)
+        (Dpq_simrt.Fault_plan.pending_kills plan)
+
 let process_batch ?(dht_mode = Dht_sync) t =
+  commit_kills t;
   (* ---- snapshot buffers ---------------------------------------------- *)
   let node_ops =
     Array.init t.n (fun v ->

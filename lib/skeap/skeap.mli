@@ -27,6 +27,7 @@ type t
 
 val create :
   ?seed:int ->
+  ?replication:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -40,11 +41,23 @@ val create :
     structured events into the sink (see {!Dpq_obs.Trace}).  With [faults],
     every engine the protocol spawns runs over the faulty network with
     reliable ack/retransmit delivery — semantics are unchanged, costs
-    grow. *)
+    grow.  [replication] is the DHT's replica degree [k] (default 1 = off):
+    with [k > 1] every stored element lives at [k] successor points, and
+    the heap survives the permanent loss of up to [k - 1] replicas of any
+    key with unchanged semantics (kills scheduled in the fault plan commit
+    at batch boundaries; see {!Dpq_simrt.Fault_plan} and
+    {!Dpq_dht.Dht.kill_node}). *)
 
 val n : t -> int
 val num_prios : t -> int
 val tree : t -> Dpq_aggtree.Aggtree.t
+
+val replication : t -> int
+(** The DHT replica degree [k]. *)
+
+val live : t -> node:int -> bool
+(** Whether [node] is a valid id that has not been permanently lost.
+    Operations on a killed node raise [Invalid_argument]. *)
 
 val insert : t -> node:int -> prio:int -> Element.t
 (** Buffer an [Insert] at [node]; returns the element that will be inserted

@@ -49,7 +49,7 @@ let create ?(seed = 1) ~n () =
     n;
     ldb;
     tree;
-    dht = Dht.create ~ldb ~seed:(seed + 7919);
+    dht = Dht.create ~ldb ~seed:(seed + 7919) ();
     key_hash = Dpq_util.Hashing.create ~seed:(seed + 104729);
     buffers = Array.init n (fun _ -> Queue.create ());
     seq_counters = Array.make n 0;

@@ -7,6 +7,7 @@ type summary = {
   backend : Types.backend;
   n : int;
   ops : int;
+  lost_ops : int;
   rounds : int;
   messages : int;
   max_congestion : int;
@@ -27,10 +28,11 @@ let protocol_name s = Types.backend_name s.backend
    time, inject it, process it, drain the completed records into the online
    checker, and keep only counters.  Nothing here retains the workload, the
    oplog or the outcome list, so memory is O(live elements) + one round. *)
-let run_stream ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend next =
-  let h = Heap.create ~seed ?trace ?faults ?sched ~n backend in
+let run_stream ?(seed = 1) ?replication ?trace ?faults ?sched ?dht_mode ~n backend next =
+  let h = Heap.create ~seed ?replication ?trace ?faults ?sched ~n backend in
   let checker = Heap.online_checker h in
   let ops = ref 0
+  and lost_ops = ref 0
   and rounds = ref 0
   and messages = ref 0
   and max_congestion = ref 0
@@ -47,9 +49,13 @@ let run_stream ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend next =
         List.iter
           (fun (op : Workload.op) ->
             incr ops;
-            match op.Workload.action with
-            | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
-            | `Del -> Heap.delete_min h ~node:op.Workload.node)
+            (* A permanently killed node issues nothing: its share of the
+               workload is counted as lost, not injected. *)
+            if not (Heap.live h ~node:op.Workload.node) then incr lost_ops
+            else
+              match op.Workload.action with
+              | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
+              | `Del -> Heap.delete_min h ~node:op.Workload.node)
           round;
         let r = Heap.process ?dht_mode h in
         rounds := !rounds + r.Heap.rounds;
@@ -74,6 +80,7 @@ let run_stream ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend next =
     backend;
     n;
     ops = !ops;
+    lost_ops = !lost_ops;
     rounds = !rounds;
     messages = !messages;
     max_congestion = !max_congestion;
@@ -88,17 +95,17 @@ let run_stream ?(seed = 1) ?trace ?faults ?sched ?dht_mode ~n backend next =
     peak_live = Checker.Online.peak_live checker;
   }
 
-let run ?seed ?trace ?faults ?sched ?dht_mode ~n backend workload =
+let run ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend workload =
   let remaining = ref workload in
-  run_stream ?seed ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
+  run_stream ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
       match !remaining with
       | [] -> None
       | round :: rest ->
           remaining := rest;
           Some round)
 
-let run_gen ?seed ?trace ?faults ?sched ?dht_mode ~n backend gen =
-  run_stream ?seed ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
+let run_gen ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend gen =
+  run_stream ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
       Workload.Gen.next gen)
 
 let throughput s = if s.rounds = 0 then 0.0 else float_of_int s.ops /. float_of_int s.rounds
@@ -109,7 +116,9 @@ let effective_throughput s =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "@[%s: n=%d ops=%d rounds=%d msgs=%d cong=%d hotspot=%d bits<=%d got=%d empty=%d \
+    "@[%s: n=%d ops=%d%s rounds=%d msgs=%d cong=%d hotspot=%d bits<=%d got=%d empty=%d \
      live<=%d ok=%b@]"
-    (protocol_name s) s.n s.ops s.rounds s.messages s.max_congestion s.hotspot_load
-    s.max_message_bits s.got s.empty s.peak_live s.semantics_ok
+    (protocol_name s) s.n s.ops
+    (if s.lost_ops > 0 then Printf.sprintf " lost=%d" s.lost_ops else "")
+    s.rounds s.messages s.max_congestion s.hotspot_load s.max_message_bits s.got s.empty
+    s.peak_live s.semantics_ok

@@ -13,6 +13,9 @@ type summary = {
   backend : Dpq_types.Types.backend;
   n : int;
   ops : int;
+  lost_ops : int;
+      (** operations the workload addressed to a permanently killed node —
+          never injected (also counted in [ops]) *)
   rounds : int;  (** total synchronous rounds across all processing *)
   messages : int;
   max_congestion : int;
@@ -39,6 +42,7 @@ val protocol_name : summary -> string
 
 val run_stream :
   ?seed:int ->
+  ?replication:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -58,10 +62,15 @@ val run_stream :
     With [sched], every engine runs under the adversarial scheduler (see
     {!Dpq_simrt.Sched}).  [dht_mode] selects synchronous or asynchronous
     DHT delivery per {!Dpq.Dpq_heap.process} (asynchronous raises on the
-    baselines). *)
+    baselines).  [replication] is the DHT replica degree (Skeap/Seap only,
+    default 1): under a fault plan with [kill=] schedules, operations the
+    workload addresses to a dead node are skipped and counted in
+    [lost_ops], and with [replication > kills] the online verdict matches
+    the fault-free run. *)
 
 val run :
   ?seed:int ->
+  ?replication:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -74,6 +83,7 @@ val run :
 
 val run_gen :
   ?seed:int ->
+  ?replication:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->

@@ -5,7 +5,7 @@ module Element = Dpq_util.Element
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
 
-let mk_dht ~n ~seed = Dht.create ~ldb:(Ldb.build ~n ~seed) ~seed:(seed + 1000)
+let mk_dht ~n ~seed = Dht.create ~ldb:(Ldb.build ~n ~seed) ~seed:(seed + 1000) ()
 let elt ?(prio = 1) ?(origin = 0) ?(seq = 0) () = Element.make ~prio ~origin ~seq ()
 
 let test_put_then_get () =
@@ -155,7 +155,7 @@ let test_async_matches_sync_results () =
 let test_set_topology_counts_moves () =
   let n = 16 in
   let ldb = Ldb.build ~n ~seed:21 in
-  let dht = Dht.create ~ldb ~seed:22 in
+  let dht = Dht.create ~ldb ~seed:22 () in
   let m = 800 in
   let ops = List.init m (fun k -> Dht.Put { origin = k mod n; key = k; elt = elt ~seq:k (); confirm = false }) in
   ignore (Dht.run_batch_sync dht ops);
@@ -178,6 +178,132 @@ let test_single_node_dht () =
   in
   checki "both completions" 2 (List.length cs)
 
+(* --- replication, permanent loss and anti-entropy repair --- *)
+
+let mk_repl ~n ~k ~seed = Dht.create ~k ~ldb:(Ldb.build ~n ~seed) ~seed:(seed + 1000) ()
+
+let test_replica_zero_is_legacy_placement () =
+  (* Replica 0 is the primary every rendezvous decision is made on: its
+     placement must be bit-identical to the unreplicated DHT. *)
+  let d1 = mk_dht ~n:16 ~seed:31 in
+  let d3 = mk_repl ~n:16 ~k:3 ~seed:31 in
+  for key = 0 to 63 do
+    checkb "primary point unchanged" true (Dht.replica_point d3 0 key = Dht.key_point d1 key);
+    checki "manager unchanged" (Dht.manager_of_key d1 key) (Dht.manager_of_key d3 key)
+  done
+
+let test_parked_get_survives_crash_window () =
+  let dht = mk_dht ~n:8 ~seed:41 in
+  let key = 42 in
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Get { origin = 1; key } ] in
+  checki "no completion yet" 0 (List.length cs);
+  checki "parked" 1 (Dht.pending_gets dht);
+  (* The manager stalls for a window covering the start of the next batch;
+     reliable delivery retransmits around the outage, so the parked get
+     still meets its put once the node recovers. *)
+  let mgr = Ldb.owner (Dht.manager_of_key dht key) in
+  let faults = Dpq_simrt.Fault_plan.of_string ~seed:5 (Printf.sprintf "crash=%d@0-40" mgr) in
+  let cs, _ =
+    Dht.run_batch_sync ~faults dht [ Dht.Put { origin = 0; key; elt = elt (); confirm = false } ]
+  in
+  checki "late rendezvous across the crash" 1 (List.length cs);
+  checki "unparked" 0 (Dht.pending_gets dht)
+
+let test_parked_get_rehomed_on_kill () =
+  let n = 10 in
+  let dht = mk_repl ~n ~k:3 ~seed:51 in
+  let key = 7 in
+  let victim = Ldb.owner (Dht.manager_of_key dht key) in
+  let requester = (victim + 1) mod n in
+  ignore (Dht.run_batch_sync dht [ Dht.Get { origin = requester; key } ]);
+  checki "parked at the primary" 1 (Dht.pending_gets dht);
+  let report = Dht.kill_node dht ~node:victim in
+  checkb "the kill destroyed stored state" true (report.Dht.destroyed > 0);
+  checki "the park survived the kill" 1 (Dht.pending_gets dht);
+  checkb "key re-homed off the dead node" true
+    (Ldb.owner (Dht.manager_of_key dht key) <> victim);
+  let origin = (victim + 2) mod n in
+  let cs, _ = Dht.run_batch_sync dht [ Dht.Put { origin; key; elt = elt (); confirm = false } ] in
+  (match cs with
+  | [ Dht.Got { origin = o; key = k'; _ } ] ->
+      checki "delivered to the original requester" requester o;
+      checki "for the original key" key k'
+  | _ -> Alcotest.fail "expected the re-homed parked get to complete");
+  checki "unparked" 0 (Dht.pending_gets dht)
+
+let test_kill_preserves_every_element () =
+  let n = 12 in
+  let dht = mk_repl ~n ~k:3 ~seed:61 in
+  let m = 200 in
+  let ops =
+    List.init m (fun k -> Dht.Put { origin = k mod n; key = k; elt = elt ~seq:k (); confirm = false })
+  in
+  ignore (Dht.run_batch_sync dht ops);
+  checki "all stored" m (Dht.size dht);
+  let report = Dht.kill_node dht ~node:4 in
+  checkb "state destroyed with the node" true (report.Dht.destroyed > 0);
+  checki "size restored by repair" m (Dht.size dht);
+  let alive o = if o = 4 then 5 else o in
+  let gets = List.init m (fun k -> Dht.Get { origin = alive ((k + 1) mod n); key = k }) in
+  let cs, _ = Dht.run_batch_sync dht gets in
+  checki "every element retrieved from the survivors" m
+    (List.length (List.filter (function Dht.Got _ -> true | _ -> false) cs));
+  checki "emptied" 0 (Dht.size dht)
+
+let test_repair_clean_ships_nothing () =
+  let n = 8 in
+  let dht = mk_repl ~n ~k:3 ~seed:71 in
+  let ops =
+    List.init 100 (fun k -> Dht.Put { origin = k mod n; key = k; elt = elt ~seq:k (); confirm = false })
+  in
+  ignore (Dht.run_batch_sync dht ops);
+  let st = Dht.repair dht in
+  checkb "sessions ran" true (st.Dht.sessions > 0);
+  checki "nothing pulled" 0 st.Dht.keys_pulled;
+  checki "nothing shipped" 0 st.Dht.elements_shipped
+
+let test_repair_traffic_delta_log_m () =
+  (* ISSUE acceptance: plant a divergence of exactly δ entries in one
+     replica and check the repair traffic beyond the δ=0 session baseline
+     stays within O(δ log m) bits. *)
+  let n = 16 and m = 512 in
+  let dht = mk_repl ~n ~k:3 ~seed:81 in
+  let ops =
+    List.init m (fun i ->
+        Dht.Put
+          {
+            origin = i mod n;
+            key = 10_000 + i;
+            elt = elt ~prio:(1 + (i mod 7)) ~origin:(i mod n) ~seq:i ();
+            confirm = false;
+          })
+  in
+  ignore (Dht.run_batch_sync dht ops);
+  let log2m = int_of_float (ceil (log (float_of_int m) /. log 2.0)) in
+  let bits_for delta =
+    let dropped = Dht.drop_replica_entries dht ~r:1 ~f:(fun ~key -> key < 10_000 + delta) in
+    checki "planted divergence has the requested size" delta dropped;
+    let trace = Dpq_obs.Trace.create () in
+    let st = Dht.repair ~trace dht in
+    (* Shipping granularity is a whole differing leaf range, so a leaf
+       co-resident can ride along redundantly — but the set of keys whose
+       content actually changed is exactly the planted divergence. *)
+    checki "repair closes exactly the planted divergence" delta st.Dht.keys_pulled;
+    checkb "ships at least the missing entries" true (st.Dht.elements_shipped >= delta);
+    checki "trace-derived repair bits agree with the stats" st.Dht.repair_bits
+      (Dpq_obs.Trace.repair_bits trace);
+    st.Dht.repair_bits
+  in
+  let base = bits_for 0 in
+  List.iter
+    (fun delta ->
+      let bits = bits_for delta in
+      checkb
+        (Printf.sprintf "delta=%d: traffic increment within O(delta log m)" delta)
+        true
+        (bits - base <= 80 * delta * log2m))
+    [ 4; 16; 64; 256 ]
+
 let () =
   Alcotest.run "dpq_dht"
     [
@@ -195,5 +321,17 @@ let () =
           Alcotest.test_case "async = sync matching" `Quick test_async_matches_sync_results;
           Alcotest.test_case "set_topology" `Quick test_set_topology_counts_moves;
           Alcotest.test_case "single node" `Quick test_single_node_dht;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "replica 0 = legacy placement" `Quick
+            test_replica_zero_is_legacy_placement;
+          Alcotest.test_case "parked get survives crash window" `Quick
+            test_parked_get_survives_crash_window;
+          Alcotest.test_case "parked get re-homed on kill" `Quick test_parked_get_rehomed_on_kill;
+          Alcotest.test_case "kill preserves every element" `Quick test_kill_preserves_every_element;
+          Alcotest.test_case "clean repair ships nothing" `Quick test_repair_clean_ships_nothing;
+          Alcotest.test_case "repair traffic O(delta log m)" `Quick
+            test_repair_traffic_delta_log_m;
         ] );
     ]

@@ -18,7 +18,18 @@ let checki = Alcotest.check Alcotest.int
 let base_config ?(backend = Types.Skeap { num_prios = 4 }) ?(engine = E.Sync)
     ?(sched = Sched.Fifo) ?faults ?corrupt ~seed () : E.config =
   let spec = E.gen_spec ~seed ~n:5 ~rounds:2 ~lambda:2 backend in
-  { seed; backend; n = 5; engine; sched; faults; corrupt; workload = W.of_gen spec; gen = Some spec }
+  {
+    seed;
+    backend;
+    n = 5;
+    replication = 1;
+    engine;
+    sched;
+    faults;
+    corrupt;
+    workload = W.of_gen spec;
+    gen = Some spec;
+  }
 
 (* ------------------------------------------------------- Determinism *)
 
@@ -58,7 +69,7 @@ let skeap_seap_combos : E.combo list =
       List.concat_map
         (fun engine ->
           List.map
-            (fun faults -> { E.backend; engine; faults })
+            (fun faults -> { E.backend; engine; faults; replication = 1 })
             [ None; Some "drop=0.2,dup=0.05" ])
         [ E.Sync; E.Async (Dpq_simrt.Async_engine.Exponential 2.0) ])
     [ Types.Skeap { num_prios = 4 }; Types.Seap ]

@@ -306,6 +306,102 @@ let test_zero_probability_plan () =
   checki "no faults injected" 0 (Fault_plan.total_injected plan);
   checki "no retransmits" 0 (Trace.retransmits trace)
 
+(* ------------------------------------------- plan spec round-trip (qcheck) *)
+
+(* Generator over Fault_plan.create's whole knob space: probabilities mix
+   the omitted-default 0 with arbitrary values in [0,1], the spike factor
+   mixes the omitted default 8 with values in [1,16], and kills get
+   distinct nodes (create rejects a node killed twice). *)
+let plan_knobs_gen =
+  let open QCheck.Gen in
+  let prob = oneof [ return 0.0; float_bound_inclusive 1.0 ] in
+  let factor = oneof [ return 8.0; float_range 1.0 16.0 ] in
+  let window =
+    map
+      (fun (node, from_tick, len) ->
+        Fault_plan.{ node; from_tick; until_tick = from_tick + len })
+      (triple (int_bound 7) (int_bound 100) (int_range 1 50))
+  in
+  let kills =
+    map
+      (fun ticks -> List.mapi (fun node at_tick -> Fault_plan.{ node; at_tick }) ticks)
+      (list_size (int_bound 4) (int_bound 200))
+  in
+  pair (triple prob prob prob) (triple factor (list_size (int_bound 4) window) kills)
+
+let plan_knobs_print ((drop, dup, spike), (factor, windows, kills)) =
+  Fault_plan.to_string
+    (Fault_plan.create ~drop ~duplicate:dup ~delay_spike:spike ~delay_factor:factor
+       ~crashes:windows ~kills ~seed:1 ())
+  |> Printf.sprintf "%S"
+
+let plan_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"to_string |> of_string preserves every knob"
+    (QCheck.make ~print:plan_knobs_print plan_knobs_gen)
+    (fun ((drop, dup, spike), (factor, windows, kills)) ->
+      let plan =
+        Fault_plan.create ~drop ~duplicate:dup ~delay_spike:spike ~delay_factor:factor
+          ~crashes:windows ~kills ~seed:3 ()
+      in
+      let s = Fault_plan.to_string plan in
+      let p = Fault_plan.of_string ~seed:4 s in
+      Fault_plan.drop p = drop
+      && Fault_plan.duplicate p = dup
+      && Fault_plan.delay_spike p = spike
+      (* the factor is only printed (and only meaningful) with a spike *)
+      && (spike = 0.0 || Fault_plan.delay_factor p = factor)
+      && Fault_plan.crash_windows p = windows
+      && Fault_plan.kills p = kills
+      && Fault_plan.to_string p = s)
+
+let expect_invalid spec expected =
+  match Fault_plan.of_string ~seed:1 spec with
+  | exception Invalid_argument m -> Alcotest.(check string) spec expected m
+  | _ -> Alcotest.fail (Printf.sprintf "%S: accepted" spec)
+
+let test_plan_error_messages () =
+  expect_invalid "drop=bogus" "Fault_plan.of_string: bad item \"drop=bogus\" (expected a number)";
+  expect_invalid "crash=1@5"
+    "Fault_plan.of_string: bad item \"crash=1@5\" (expected crash=NODE@FROM-UNTIL)";
+  expect_invalid "crash=x@5-9"
+    "Fault_plan.of_string: bad item \"crash=x@5-9\" (expected an integer)";
+  expect_invalid "kill=1" "Fault_plan.of_string: bad item \"kill=1\" (expected kill=NODE@TICK)";
+  expect_invalid "nonsense" "Fault_plan.of_string: bad item \"nonsense\" (expected key=value)";
+  expect_invalid "boom=1"
+    "Fault_plan.of_string: bad item \"boom=1\" (unknown key (drop|dup|spike|crash|kill))";
+  expect_invalid "kill=2@5,kill=2@9"
+    "Fault_plan.of_string: \"kill=2@5,kill=2@9\" (Fault_plan: node 2 is killed twice)";
+  expect_invalid "kill=1@-5"
+    "Fault_plan.of_string: \"kill=1@-5\" (Fault_plan: kill names a negative tick)";
+  expect_invalid "kill=-1@5"
+    "Fault_plan.of_string: \"kill=-1@5\" (Fault_plan: kill names a negative node)";
+  expect_invalid "crash=3@20-10"
+    "Fault_plan.of_string: \"crash=3@20-10\" (Fault_plan: crash window must satisfy from_tick < \
+     until_tick)";
+  expect_invalid "drop=1.5"
+    "Fault_plan.of_string: \"drop=1.5\" (Fault_plan: drop probability 1.5 outside [0,1])"
+
+(* --------------------------------------- permanent loss, end to end (k=3) *)
+
+(* ISSUE acceptance: a run that loses <= k-1 replicas per key completes
+   with the same online-checker verdict as the fault-free run. *)
+let test_kill_verdict_matches_fault_free backend () =
+  let n = 6 and seed = 97 in
+  let wl =
+    Dpq_workloads.Workload.generate
+      ~rng:(Dpq_util.Rng.create ~seed:31)
+      ~n ~rounds:8 ~lambda:5 ~prio:(Dpq_workloads.Workload.Constant_set 6) ()
+  in
+  let clean = Dpq_workloads.Runner.run ~seed ~replication:3 ~n backend wl in
+  let faults = Fault_plan.of_string ~seed:7 "kill=2@25" in
+  let killed = Dpq_workloads.Runner.run ~seed ~replication:3 ~faults ~n backend wl in
+  checkb "fault-free run verifies" true clean.Dpq_workloads.Runner.semantics_ok;
+  checkb "killed run verifies" true killed.Dpq_workloads.Runner.semantics_ok;
+  checkb "identical verdicts" true
+    (clean.Dpq_workloads.Runner.violation = killed.Dpq_workloads.Runner.violation);
+  checkb "the kill actually cost ops" true (killed.Dpq_workloads.Runner.lost_ops > 0);
+  checki "fault-free run loses nothing" 0 clean.Dpq_workloads.Runner.lost_ops
+
 let () =
   Alcotest.run "dpq_faults"
     [
@@ -314,6 +410,9 @@ let () =
           Alcotest.test_case "of_string parses and validates" `Quick test_plan_of_string;
           Alcotest.test_case "seeded determinism" `Quick test_plan_determinism;
           Alcotest.test_case "crash windows tick open/closed" `Quick test_crash_window_ticks;
+          QCheck_alcotest.to_alcotest plan_roundtrip;
+          Alcotest.test_case "of_string error messages are precise" `Quick
+            test_plan_error_messages;
         ] );
       ( "reliable",
         [
@@ -338,5 +437,9 @@ let () =
           Alcotest.test_case "adversarial lifo seap" `Quick test_adversarial_lifo_seap;
           Alcotest.test_case "adversarial lifo skeap" `Quick test_adversarial_lifo_skeap;
           Alcotest.test_case "zero-probability plan is benign" `Quick test_zero_probability_plan;
+          Alcotest.test_case "skeap k=3 kill: verdict = fault-free" `Quick
+            (test_kill_verdict_matches_fault_free (Heap.Skeap { num_prios = 6 }));
+          Alcotest.test_case "seap k=3 kill: verdict = fault-free" `Quick
+            (test_kill_verdict_matches_fault_free Heap.Seap);
         ] );
     ]
