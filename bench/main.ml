@@ -28,6 +28,12 @@
                        1.5x ceiling).
      --max-n N         with --compare, skip cells with n > N (CI smoke
                        caps at 4096 to bound wall-clock).
+     --domains N       with --compare, re-run every cell on N OCaml domains
+                       instead of the recorded value; digests must still
+                       match bit-for-bit — the cross-domain-count identity
+                       gate (DESIGN.md §9).  The recorded grid itself also
+                       carries explicit domains=4 stream cells whose digests
+                       equal their domains=1 twins.
      --out FILE        with --compare, also write the freshly measured rows
                        to FILE (CI uploads them as an artifact).
      --faults SPEC     with --record, run the grid over the faulty network
@@ -344,9 +350,12 @@ let grid =
    process-global and monotonic, so each cell's reading is only meaningful
    if nothing larger ran before it. *)
 let stream_grid =
+  (* domains > 1 cells sit next to their domains = 1 twin at the same n so
+     the ascending-n ordering (and thus the top_heap_words reading) holds;
+     their digests must equal the twin's bit-for-bit. *)
   List.map
-    (fun (n, wl_rounds) -> (Dpq_types.Types.Skeap { num_prios = 4 }, n, 1, wl_rounds))
-    [ (4096, 256); (16384, 64); (65536, 16) ]
+    (fun (n, wl_rounds, domains) -> (Dpq_types.Types.Skeap { num_prios = 4 }, n, 1, wl_rounds, domains))
+    [ (4096, 256, 1); (4096, 256, 4); (16384, 64, 1); (65536, 16, 1); (65536, 16, 4) ]
 
 let cell_workload ?(wl_rounds = 4) ~n ~lambda () =
   W.generate ~rng:(Rng.create ~seed:3) ~n ~rounds:wl_rounds ~lambda ~prio:(W.Constant_set 4) ()
@@ -361,6 +370,7 @@ type cell_stats = {
   c_lambda : int;
   c_mode : string; (* "eager" | "stream" *)
   c_wl_rounds : int; (* injection rounds of the cell's workload *)
+  c_domains : int; (* OCaml domains the cell ran on (1 = sequential) *)
   c_faults : string; (* fault-plan spec, "" when fault-free *)
   c_ops : int;
   c_rounds : int;
@@ -369,7 +379,7 @@ type cell_stats = {
   c_wall : float; (* best of the timed repetitions, protocol only *)
   c_eps : float; (* delivered messages ("events") per second *)
   c_minor_words_per_op : float;
-  c_peak_heap_words : int; (* Gc.quick_stat top_heap_words after the run *)
+  c_peak_heap_words : int; (* max top_heap_words over all domains after the run *)
   c_peak_live : int; (* online checker's live-element high-water mark; 0 for eager *)
   c_digest : string;
   c_ok : bool;
@@ -378,8 +388,8 @@ type cell_stats = {
 (* One full workload pass through the facade: inject each round, process,
    accumulate cost counters.  This is Runner.run minus the final semantics
    check, so the timed region is protocol work only. *)
-let drive ?trace ?faults ~backend ~n wl =
-  let h = Heap.create ~seed:1 ?trace ?faults ~n backend in
+let drive ?trace ?faults ?domains ~backend ~n wl =
+  let h = Heap.create ~seed:1 ?domains ?trace ?faults ~n backend in
   let rounds = ref 0 and messages = ref 0 and total_bits = ref 0 in
   List.iter
     (fun round ->
@@ -400,8 +410,8 @@ let drive ?trace ?faults ~backend ~n wl =
    demand, and after every processed round the completed records are drained
    into the incremental digest and the online checker — nothing O(total ops)
    is ever held, which is what makes the n=65536 cell fit in one process. *)
-let drive_stream ?faults ~backend ~n spec =
-  let h = Heap.create ~seed:1 ?faults ~n backend in
+let drive_stream ?faults ?domains ~backend ~n spec =
+  let h = Heap.create ~seed:1 ?domains ?faults ~n backend in
   let checker = Heap.online_checker h in
   let acc = Run_digest.start () in
   let gen = W.Gen.create spec in
@@ -430,7 +440,7 @@ let drive_stream ?faults ~backend ~n spec =
   let peak_live = Dpq_semantics.Checker.Online.peak_live checker in
   (!rounds, !messages, !total_bits, Run_digest.finish acc, ok, peak_live)
 
-let run_stream_cell ?(faults_spec = "") (backend, n, lambda, wl_rounds) =
+let run_stream_cell ?(faults_spec = "") ?(domains = 1) (backend, n, lambda, wl_rounds) =
   let spec = stream_spec ~n ~lambda ~wl_rounds in
   let faults =
     if faults_spec = "" then None
@@ -442,7 +452,7 @@ let run_stream_cell ?(faults_spec = "") (backend, n, lambda, wl_rounds) =
   let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let rounds, messages, total_bits, digest, ok, peak_live =
-    drive_stream ?faults ~backend ~n spec
+    drive_stream ?faults ~domains ~backend ~n spec
   in
   let wall = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. m0 in
@@ -452,6 +462,7 @@ let run_stream_cell ?(faults_spec = "") (backend, n, lambda, wl_rounds) =
     c_lambda = lambda;
     c_mode = "stream";
     c_wl_rounds = wl_rounds;
+    c_domains = domains;
     c_faults = faults_spec;
     c_ops = ops;
     c_rounds = rounds;
@@ -460,13 +471,15 @@ let run_stream_cell ?(faults_spec = "") (backend, n, lambda, wl_rounds) =
     c_wall = wall;
     c_eps = (if wall > 0.0 then float_of_int messages /. wall else 0.0);
     c_minor_words_per_op = minor /. float_of_int (max 1 ops);
-    c_peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    (* max over every domain's major heap, not just the coordinator's: a
+       worker ballooning its own heap must not slip past the gate *)
+    c_peak_heap_words = Dpq_simrt.Domain_pool.peak_heap_words ();
     c_peak_live = peak_live;
     c_digest = digest;
     c_ok = ok;
   }
 
-let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
+let run_cell ?(faults_spec = "") ?(wl_rounds = 4) ?(domains = 1) (backend, n, lambda) =
   let wl = cell_workload ~wl_rounds ~n ~lambda () in
   let plan () =
     if faults_spec = "" then None
@@ -476,7 +489,7 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
     let faults = plan () in
     let m0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
-    let _, rounds, messages, total_bits = drive ?faults ~backend ~n wl in
+    let _, rounds, messages, total_bits = drive ?faults ~domains ~backend ~n wl in
     let wall = Unix.gettimeofday () -. t0 in
     (wall, rounds, messages, total_bits, Gc.minor_words () -. m0)
   in
@@ -496,7 +509,7 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
   (* A separate traced run pins the schedule identity: the digest must be
      bit-for-bit stable across any engine optimisation. *)
   let trace = Dpq_obs.Trace.create () in
-  let h, rounds, messages', total_bits' = drive ~trace ?faults:(plan ()) ~backend ~n wl in
+  let h, rounds, messages', total_bits' = drive ~trace ?faults:(plan ()) ~domains ~backend ~n wl in
   assert (messages' = messages && total_bits' = total_bits);
   let ops = W.total_ops wl in
   {
@@ -505,6 +518,7 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
     c_lambda = lambda;
     c_mode = "eager";
     c_wl_rounds = wl_rounds;
+    c_domains = domains;
     c_faults = faults_spec;
     c_ops = ops;
     c_rounds = rounds;
@@ -513,7 +527,7 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
     c_wall = wall;
     c_eps = (if wall > 0.0 then float_of_int messages /. wall else 0.0);
     c_minor_words_per_op = minor /. float_of_int (max 1 ops);
-    c_peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
+    c_peak_heap_words = Dpq_simrt.Domain_pool.peak_heap_words ();
     c_peak_live = 0;
     c_digest = Run_digest.of_run ~oplog:(Heap.oplog h) ~trace;
     c_ok = Heap.verify h = Ok ();
@@ -521,13 +535,13 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) (backend, n, lambda) =
 
 let row_to_json c =
   Printf.sprintf
-    "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"mode\": %S, \"wl_rounds\": %d, \"faults\": %S, \
-     \"ops\": %d, \"rounds\": %d, \"messages\": %d, \"total_bits\": %d, \"wall_seconds\": %.6f, \
-     \"events_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \"peak_heap_words\": %d, \
-     \"peak_live\": %d, \"digest\": %S, \"semantics_ok\": %b}"
-    c.c_backend c.c_n c.c_lambda c.c_mode c.c_wl_rounds c.c_faults c.c_ops c.c_rounds c.c_messages
-    c.c_total_bits c.c_wall c.c_eps c.c_minor_words_per_op c.c_peak_heap_words c.c_peak_live
-    c.c_digest c.c_ok
+    "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"mode\": %S, \"wl_rounds\": %d, \"domains\": %d, \
+     \"faults\": %S, \"ops\": %d, \"rounds\": %d, \"messages\": %d, \"total_bits\": %d, \
+     \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \
+     \"peak_heap_words\": %d, \"peak_live\": %d, \"digest\": %S, \"semantics_ok\": %b}"
+    c.c_backend c.c_n c.c_lambda c.c_mode c.c_wl_rounds c.c_domains c.c_faults c.c_ops c.c_rounds
+    c.c_messages c.c_total_bits c.c_wall c.c_eps c.c_minor_words_per_op c.c_peak_heap_words
+    c.c_peak_live c.c_digest c.c_ok
 
 (* Minimal flat-JSON-object reader — just enough for our own rows (string /
    number / bool values, no nesting, no escapes), so the gate needs no JSON
@@ -627,9 +641,10 @@ let spinup () =
   done
 
 let pp_row c =
-  Printf.printf "%-12s n=%-5d lambda=%-2d %-6s %9d msgs %9.4fs %8.2fM ev/s %8.1f w/op%s ok=%b\n%!"
-    c.c_backend c.c_n c.c_lambda c.c_mode c.c_messages c.c_wall (c.c_eps /. 1e6)
-    c.c_minor_words_per_op
+  Printf.printf "%-12s n=%-5d lambda=%-2d %-6s%s %9d msgs %9.4fs %8.2fM ev/s %8.1f w/op%s ok=%b\n%!"
+    c.c_backend c.c_n c.c_lambda c.c_mode
+    (if c.c_domains > 1 then Printf.sprintf " d=%d" c.c_domains else "")
+    c.c_messages c.c_wall (c.c_eps /. 1e6) c.c_minor_words_per_op
     (if c.c_mode = "stream" then Printf.sprintf " live<=%d" c.c_peak_live else "")
     c.c_ok
 
@@ -647,8 +662,8 @@ let record_grid ?faults_spec () =
   let rows =
     rows
     @ List.map
-        (fun cell ->
-          let c = run_stream_cell ?faults_spec cell in
+        (fun (backend, n, lambda, wl_rounds, domains) ->
+          let c = run_stream_cell ?faults_spec ~domains (backend, n, lambda, wl_rounds) in
           pp_row c;
           c)
         stream_grid
@@ -674,7 +689,7 @@ let read_lines file =
   in
   go []
 
-let compare_grid ~tolerance ~heap_tolerance ~max_n ~out () =
+let compare_grid ~tolerance ~heap_tolerance ~max_n ~domains_override ~out () =
   if not (Sys.file_exists grid_file) then begin
     Printf.eprintf "bench --compare: no %s baseline; run `bench -- --record` first\n" grid_file;
     exit 2
@@ -694,6 +709,19 @@ let compare_grid ~tolerance ~heap_tolerance ~max_n ~out () =
         let wl_rounds =
           match List.assoc_opt "wl_rounds" base with Some r -> int_of_string r | None -> 4
         in
+        (* Pre-parallelism baselines carry no domains field: all sequential.
+           --domains overrides every cell — digests must still match, which
+           is exactly the cross-domain-count identity check CI leans on. *)
+        let recorded_domains =
+          match List.assoc_opt "domains" base with Some d -> int_of_string d | None -> 1
+        in
+        let domains = Option.value domains_override ~default:recorded_domains in
+        (* A cell re-run on a different domain count than its baseline is a
+           different configuration: its digest, heap ceiling and semantics
+           still gate, but its wall clock does not — on few-core hosts the
+           barrier overhead would fail every cell for a reason the gate is
+           not about. *)
+        let same_config = domains = recorded_domains in
         let faults_spec = field base "faults" in
         if n > max_n then begin
           incr skipped;
@@ -703,14 +731,15 @@ let compare_grid ~tolerance ~heap_tolerance ~max_n ~out () =
         end
         else begin
           let c =
-            if mode = "stream" then run_stream_cell ~faults_spec (backend, n, lambda, wl_rounds)
-            else run_cell ~faults_spec ~wl_rounds (backend, n, lambda)
+            if mode = "stream" then
+              run_stream_cell ~faults_spec ~domains (backend, n, lambda, wl_rounds)
+            else run_cell ~faults_spec ~wl_rounds ~domains (backend, n, lambda)
           in
           let base_eps = float_of_string (field base "events_per_sec") in
           let base_digest = field base "digest" in
           let ratio = if base_eps > 0.0 then c.c_eps /. base_eps else infinity in
           let digest_ok = String.equal base_digest c.c_digest in
-          let eps_ok = ratio >= 1.0 -. tolerance in
+          let eps_ok = (not same_config) || ratio >= 1.0 -. tolerance in
           (* The memory half of the gate, stream cells only: eager cells are
              too small for top_heap_words to move, and a streamed run whose
              peak heap grows past the ceiling has lost its O(live) bound. *)
@@ -727,9 +756,11 @@ let compare_grid ~tolerance ~heap_tolerance ~max_n ~out () =
           in
           if not (digest_ok && eps_ok && heap_ok && c.c_ok) then incr failures;
           Printf.printf
-            "%-4s %-12s n=%-5d lambda=%-2d %-6s %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s%s\n%!"
+            "%-4s %-12s n=%-5d lambda=%-2d %-6s%s %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s%s\n%!"
             (if digest_ok && eps_ok && heap_ok && c.c_ok then "ok" else "FAIL")
-            c.c_backend c.c_n c.c_lambda c.c_mode (c.c_eps /. 1e6) (base_eps /. 1e6) ratio
+            c.c_backend c.c_n c.c_lambda c.c_mode
+            (if c.c_domains > 1 then Printf.sprintf " d=%d" c.c_domains else "")
+            (c.c_eps /. 1e6) (base_eps /. 1e6) ratio
             (if digest_ok then "unchanged"
              else Printf.sprintf "CHANGED (%s -> %s)" base_digest c.c_digest)
             (if heap_ok then heap_note else heap_note ^ "  peak heap OVER CEILING")
@@ -785,7 +816,9 @@ let () =
     let max_n =
       match opt_value "--max-n" argv with None -> max_int | Some s -> int_of_string s
     in
-    compare_grid ~tolerance ~heap_tolerance ~max_n ~out:(opt_value "--out" argv) ();
+    let domains_override = Option.map int_of_string (opt_value "--domains" argv) in
+    compare_grid ~tolerance ~heap_tolerance ~max_n ~domains_override ~out:(opt_value "--out" argv)
+      ();
     exit 0
   end;
   let instances = Instance.[ monotonic_clock ] in

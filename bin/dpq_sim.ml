@@ -100,8 +100,8 @@ let do_replay file =
       Printf.printf "  clause matches expectation : %b\n" rep.Explore.clause_matches;
       if rep.Explore.digest_matches && rep.Explore.clause_matches then exit 0 else exit 2
 
-let run protocol nodes rounds lambda prios dist insert_ratio seed replication stream trace_file
-    faults_spec drop dup crash replay =
+let run protocol nodes rounds lambda prios dist insert_ratio seed replication domains stream
+    trace_file faults_spec drop dup crash replay =
   (match replay with Some file -> do_replay file | None -> ());
   let prio_dist =
     match dist with
@@ -138,7 +138,9 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed replication st
       let spec =
         W.Gen.{ n = nodes; rounds; lambda; insert_ratio; dist = prio_dist; seed }
       in
-      let s = R.run_gen ?trace ?faults ~seed ~replication ~n:nodes backend (W.Gen.create spec) in
+      let s =
+        R.run_gen ?trace ?faults ~seed ~replication ~domains ~n:nodes backend (W.Gen.create spec)
+      in
       (s, s.R.ops, s.R.inserted, s.R.got + s.R.empty)
     end
     else
@@ -146,7 +148,7 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed replication st
         W.generate ~rng:(Rng.create ~seed) ~n:nodes ~rounds ~lambda ~insert_ratio ~prio:prio_dist
           ()
       in
-      let s = R.run ~seed ~replication ?trace ?faults ~n:nodes backend wl in
+      let s = R.run ~seed ~replication ~domains ?trace ?faults ~n:nodes backend wl in
       (s, W.total_ops wl, W.inserts wl, W.deletes wl)
   in
   Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)%s\n"
@@ -200,12 +202,15 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed replication st
   | _ -> ());
   if not summary.R.semantics_ok then exit 2
 
-let explore_run num_seeds start nodes rounds lambda repro_dir no_shrink =
+let explore_run num_seeds start nodes rounds lambda domains repro_dir no_shrink =
   let seeds = List.init num_seeds (fun i -> start + i) in
-  let res = Explore.sweep ~n:nodes ~rounds ~lambda ~seeds () in
+  let res = Explore.sweep ~n:nodes ~rounds ~lambda ~domains ~seeds () in
   Printf.printf "explored  : %d runs over %d combos x %d scheduler policies\n" res.Explore.runs
     (List.length Explore.default_combos)
     (List.length Explore.default_policies);
+  (* One line pinning every run's (digest, verdict, ops): byte-identical
+     across --domains values, which the CI domains matrix diffs. *)
+  Printf.printf "sweep digest: %s\n" res.Explore.digest;
   match res.Explore.failures with
   | [] ->
       Printf.printf "violations: none\n";
@@ -313,10 +318,18 @@ let replay_file =
           "Re-execute the repro file $(docv) written by $(b,explore) and verify that the run \
            digests and violates identically. Exits 0 on an exact match, 2 otherwise.")
 
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run skeap's tree phases on $(docv) OCaml domains, sharded by node id. Digests,            traces and cost metrics are bit-identical to $(docv)=1 at every value (the            differential test layer proves it); runs under a fault plan or adversarial            scheduler fall back to sequential delivery. Seap and the baselines accept and            ignore the flag.")
+
 let run_term =
   Term.(
     const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
-    $ replication $ stream $ trace_file $ faults_spec $ drop $ dup $ crash $ replay_file)
+    $ replication $ domains $ stream $ trace_file $ faults_spec $ drop $ dup $ crash
+    $ replay_file)
 
 let explore_cmd =
   let num_seeds =
@@ -335,11 +348,18 @@ let explore_cmd =
   let no_shrink =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Write failing configs without minimizing them.")
   in
+  let ex_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run every sweep cell at $(docv) OCaml domains. Outcomes must be identical to              $(docv)=1 — CI sweeps the same seeds at 1, 2 and 4 domains.")
+  in
   let doc = "Sweep seeded adversarial schedules over the protocol grid and check semantics" in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
-      const explore_run $ num_seeds $ start $ ex_nodes $ ex_rounds $ ex_lambda $ repro_dir
-      $ no_shrink)
+      const explore_run $ num_seeds $ start $ ex_nodes $ ex_rounds $ ex_lambda $ ex_domains
+      $ repro_dir $ no_shrink)
 
 let cmd =
   let doc = "Simulate a distributed priority queue under a configurable workload" in

@@ -33,8 +33,9 @@ type t = {
   impl : impl;
 }
 
-let create ?(seed = 1) ?(replication = 1) ?trace ?faults ?sched ~n backend =
+let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ~n backend =
   if replication < 1 then invalid_arg "Dpq_heap.create: replication must be >= 1";
+  if domains < 1 then invalid_arg "Dpq_heap.create: domains must be >= 1";
   let no_replication () =
     if replication > 1 then
       invalid_arg
@@ -44,8 +45,8 @@ let create ?(seed = 1) ?(replication = 1) ?trace ?faults ?sched ~n backend =
   let impl =
     match backend with
     | Skeap { num_prios } ->
-        I_skeap (Skeap_impl.create ~seed ~replication ?trace ?faults ?sched ~n ~num_prios ())
-    | Seap -> I_seap (Seap_impl.create ~seed ~replication ?trace ?faults ?sched ~n ())
+        I_skeap (Skeap_impl.create ~seed ~replication ~domains ?trace ?faults ?sched ~n ~num_prios ())
+    | Seap -> I_seap (Seap_impl.create ~seed ~replication ~domains ?trace ?faults ?sched ~n ())
     | Centralized ->
         no_replication ();
         I_centralized (Centralized_impl.create ~seed ?trace ?faults ?sched ~n ())

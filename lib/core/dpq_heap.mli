@@ -54,6 +54,7 @@ type t
 val create :
   ?seed:int ->
   ?replication:int ->
+  ?domains:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -76,7 +77,9 @@ val create :
     survives permanent node kills ([kill=NODE\@TICK] in the fault plan) of
     up to [k - 1] replicas of any key with unchanged semantics — lost
     copies are rebuilt by Merkle anti-entropy repair at the next iteration
-    boundary. *)
+    boundary.  [domains] (default 1) runs Skeap's tree phases on that many
+    OCaml domains with bit-identical digests/traces/metrics (DESIGN.md §9);
+    Seap and the baselines accept and ignore it. *)
 
 val backend : t -> backend
 val trace : t -> Dpq_obs.Trace.t option

@@ -45,14 +45,32 @@ let ldb t = t.ldb
 let replication t = t.k
 let key_point t k = Dpq_util.Hashing.to_unit_interval t.hash k
 
-(* Successor points: replica r of a key lives at h(x) + r/k (mod 1).
-   Replica 0 is exactly the unreplicated placement, so k = 1 runs are
-   bit-identical to the historical behavior. *)
-let replica_point t r key =
+(* Successor points: replica r of a key starts at h(x) + r/k (mod 1), then
+   walks forward one managed arc at a time past every node that already
+   holds a lower replica of the same key.  The walk is what makes the
+   guarantee "any k - 1 copies of a key can be lost" literal rather than
+   probabilistic: a real node's three virtual arcs are scattered around the
+   circle, so with fixed offsets alone all k points can land on arcs of ONE
+   node — a single kill then destroys every copy and anti-entropy has
+   nothing left to pull from (seen in the wild at n = 5, k = 3).  Placement
+   is recomputed against the current overlay on every use, so copies
+   re-spread automatically after a kill re-homes the circle.  Replica 0 is
+   exactly the unreplicated placement, so k = 1 runs are bit-identical to
+   the historical behavior. *)
+let rec replica_point t r key =
   if r = 0 then key_point t key
   else begin
     let p = key_point t key +. (float_of_int r /. float_of_int t.k) in
-    if p >= 1.0 then p -. 1.0 else p
+    let p = if p >= 1.0 then p -. 1.0 else p in
+    let used = List.init r (fun r' -> Ldb.owner (Ldb.manager_of_point t.ldb (replica_point t r' key))) in
+    (* Cap the walk at one full lap: with fewer live nodes than replicas a
+       fresh owner does not exist, and the base point is the honest answer. *)
+    let rec walk p steps =
+      let m = Ldb.manager_of_point t.ldb p in
+      if steps > 3 * Ldb.n t.ldb || not (List.mem (Ldb.owner m) used) then p
+      else walk (Ldb.label t.ldb (Ldb.succ t.ldb m)) (steps + 1)
+    in
+    walk p 0
   end
 
 let manager_of_key t k = Ldb.manager_of_point t.ldb (key_point t k)

@@ -16,6 +16,7 @@ type config = {
   backend : Types.backend;
   n : int;
   replication : int;
+  domains : int;
   engine : engine;
   sched : Sched.policy;
   faults : string option;
@@ -59,8 +60,8 @@ let run cfg =
     match cfg.sched with Sched.Fifo -> None | p -> Some (Sched.create ~seed:cfg.seed p)
   in
   let h =
-    Heap.create ~seed:cfg.seed ~replication:cfg.replication ~trace ?faults ?sched ~n:cfg.n
-      cfg.backend
+    Heap.create ~seed:cfg.seed ~replication:cfg.replication ~domains:cfg.domains ~trace ?faults
+      ?sched ~n:cfg.n cfg.backend
   in
   let dht_mode =
     match cfg.engine with
@@ -148,13 +149,14 @@ let gen_spec ~seed ~n ~rounds ~lambda backend =
 let gen_workload ~seed ~n ~rounds ~lambda backend =
   Workload.of_gen (gen_spec ~seed ~n ~rounds ~lambda backend)
 
-let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ~seed ~policy combo =
+let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ?(domains = 1) ~seed ~policy combo =
   let spec = gen_spec ~seed ~n ~rounds ~lambda combo.backend in
   {
     seed;
     backend = combo.backend;
     n;
     replication = combo.replication;
+    domains;
     engine = combo.engine;
     sched = policy;
     faults = combo.faults;
@@ -164,27 +166,39 @@ let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ~seed ~policy combo =
   }
 
 type failure = { config : config; violation : Checker.violation }
-type sweep_result = { runs : int; failures : failure list }
+type sweep_result = { runs : int; failures : failure list; digest : string }
 
-let sweep ?n ?rounds ?lambda ?(combos = default_combos) ?(policies = default_policies)
+let sweep ?n ?rounds ?lambda ?domains ?(combos = default_combos) ?(policies = default_policies)
     ~seeds () =
   if combos = [] then invalid_arg "Explore.sweep: empty combo list";
   if policies = [] then invalid_arg "Explore.sweep: empty policy list";
   let ncombos = List.length combos and npolicies = List.length policies in
   let runs = ref 0 and failures = ref [] in
+  let fp = Buffer.create 4096 in
   List.iteri
     (fun i seed ->
       (* Round-robin the grid over the seed list with coprime-ish strides so
          consecutive seeds hit different (combo, policy) cells. *)
       let combo = List.nth combos (i mod ncombos) in
       let policy = List.nth policies (i / ncombos mod npolicies) in
-      let cfg = config_of_combo ?n ?rounds ?lambda ~seed ~policy combo in
+      let cfg = config_of_combo ?n ?rounds ?lambda ?domains ~seed ~policy combo in
       incr runs;
-      match (run cfg).violation with
+      let out = run cfg in
+      Buffer.add_string fp
+        (Printf.sprintf "%s %s %d\n" out.digest
+           (match out.violation with
+           | None -> "ok"
+           | Some v -> Checker.clause_name v.Checker.clause)
+           out.ops);
+      match out.violation with
       | None -> ()
       | Some violation -> failures := { config = cfg; violation } :: !failures)
     seeds;
-  { runs = !runs; failures = List.rev !failures }
+  {
+    runs = !runs;
+    failures = List.rev !failures;
+    digest = Digest.to_hex (Digest.string (Buffer.contents fp));
+  }
 
 (* --------------------------------------------------------------- shrink *)
 
@@ -201,8 +215,11 @@ let shrink_candidates cfg =
   let sched_cands = if cfg.sched = Sched.Fifo then [] else [ { cfg with sched = Sched.Fifo } ] in
   let fault_cands = if cfg.faults = None then [] else [ { cfg with faults = None } ] in
   let repl_cands = if cfg.replication = 1 then [] else [ { cfg with replication = 1 } ] in
+  (* domains never changes the digest, but a 1-domain replay is easier to
+     step through; shrink it away like any other axis *)
+  let dom_cands = if cfg.domains = 1 then [] else [ { cfg with domains = 1 } ] in
   (* Axis simplifications first: they cut the most replay state at once. *)
-  sched_cands @ fault_cands @ repl_cands @ workload_cands
+  sched_cands @ fault_cands @ repl_cands @ dom_cands @ workload_cands
 
 let shrink ?(max_attempts = 400) cfg clause =
   let attempts = ref 0 in
@@ -288,6 +305,7 @@ let repro_to_string cfg (o : outcome) =
   line "backend %s" (backend_to_string cfg.backend);
   line "nodes %d" cfg.n;
   line "replication %d" cfg.replication;
+  line "domains %d" cfg.domains;
   line "engine %s" (engine_to_string cfg.engine);
   line "sched %s" (Sched.policy_to_string cfg.sched);
   line "faults %s" (match cfg.faults with None -> "none" | Some s -> s);
@@ -345,6 +363,16 @@ let repro_of_string text =
             | Some k when k >= 1 -> Ok k
             | _ -> fail "Explore: bad replication %S" v)
       in
+      (* absent in repro files written before domain parallelism existed;
+         never affects the expected digest either way *)
+      let* domains =
+        match List.assoc_opt "domains" header with
+        | None -> Ok 1
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some d when d >= 1 -> Ok d
+            | _ -> fail "Explore: bad domains %S" v)
+      in
       let* backend = Result.bind (field "backend") backend_of_string in
       let* engine = Result.bind (field "engine") engine_of_string in
       let* sched = Result.bind (field "sched") Sched.policy_of_string in
@@ -389,7 +417,7 @@ let repro_of_string text =
             Ok (wl, None)
       in
       Ok
-        ( { seed; backend; n; replication; engine; sched; faults; corrupt; workload; gen },
+        ( { seed; backend; n; replication; domains; engine; sched; faults; corrupt; workload; gen },
           { expect_clause; expect_digest } )
   | _ -> fail "Explore: not a %s file" magic
 

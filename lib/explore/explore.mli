@@ -35,6 +35,10 @@ type config = {
   backend : Dpq_types.Types.backend;
   n : int;  (** node count *)
   replication : int;  (** DHT replica degree (1 = off; Skeap/Seap only) *)
+  domains : int;
+      (** OCaml domains for Skeap's tree phases (1 = sequential).  Never
+          affects the outcome — digests are bit-identical at every value
+          (DESIGN.md §9); present so sweeps can cross-check that claim. *)
   engine : engine;
   sched : Dpq_simrt.Sched.policy;
   faults : string option;  (** {!Dpq_simrt.Fault_plan.of_string} spec *)
@@ -102,19 +106,30 @@ val config_of_combo :
   ?n:int ->
   ?rounds:int ->
   ?lambda:int ->
+  ?domains:int ->
   seed:int ->
   policy:Dpq_simrt.Sched.policy ->
   combo ->
   config
-(** Defaults: [n = 6], [rounds = 2], [lambda = 2]. *)
+(** Defaults: [n = 6], [rounds = 2], [lambda = 2], [domains = 1]. *)
 
 type failure = { config : config; violation : Dpq_semantics.Checker.violation }
-type sweep_result = { runs : int; failures : failure list }
+
+type sweep_result = {
+  runs : int;
+  failures : failure list;
+  digest : string;
+      (** MD5 over every run's (digest, verdict, ops) in sweep order: one
+          line that pins the whole sweep's observable behaviour.  The CI
+          domains matrix diffs it across [--domains] values (DESIGN.md
+          §9). *)
+}
 
 val sweep :
   ?n:int ->
   ?rounds:int ->
   ?lambda:int ->
+  ?domains:int ->
   ?combos:combo list ->
   ?policies:Dpq_simrt.Sched.policy list ->
   seeds:int list ->

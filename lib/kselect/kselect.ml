@@ -381,8 +381,17 @@ let phase1_iteration st =
      Neutral for P_min (it holds at most ⌊k/n⌋−1 elements below anything, so
      the counting argument of Lemma 4.3 still applies), but a node with
      fewer than ⌈k/n⌉ candidates must poison P_max — without its report the
-     other nodes' ⌈k/n⌉-th elements no longer account for k elements. *)
-  let k_lo = k / n and k_hi = (k + n - 1) / n in
+     other nodes' ⌈k/n⌉-th elements no longer account for k elements.
+
+     Both quantile indices divide by the number of nodes that actually
+     report a local bound — the LIVE count.  After a kill [Ldb.n] still
+     counts the dead slot, and dividing by it inflates the per-node
+     guarantee: with k = m, n = 6 but only 5 survivors, ⌈k/n⌉ = 1 lets
+     every survivor vote its minimum for P_max, the five votes only
+     account for 5 < k elements, and a top-k element gets pruned — k then
+     exceeds the survivor count and Phase 3 indexes past its array. *)
+  let live = Ldb.live_count st.ldb in
+  let k_lo = k / live and k_hi = (k + live - 1) / live in
   let local_minmax node =
     let sorted = List.sort Element.compare st.cands.(node) in
     let len = List.length sorted in

@@ -37,8 +37,12 @@ type t = {
   mutable log : Oplog.record list;
 }
 
-let create ?(seed = 1) ?(replication = 1) ?(consistency = Serializable) ?trace ?faults ?sched ~n
-    () =
+let create ?(seed = 1) ?(replication = 1) ?(consistency = Serializable) ?domains:_ ?trace ?faults
+    ?sched ~n () =
+  (* [domains] is accepted for interface parity with Skeap but ignored:
+     Seap's KSelect rounds are cross-shard-heavy (every node talks to the
+     whole tree every round), so the batch-barrier sharding of DESIGN.md §9
+     buys nothing — Seap always runs sequentially. *)
   if n < 1 then invalid_arg "Seap.create: need n >= 1";
   let ldb = Ldb.build ~n ~seed in
   {

@@ -34,7 +34,16 @@ type t = {
   delay_factor : float;
   crashes : crash_window list;
   kills : kill list;
-  rng : Rng.t;
+  seed : int;
+  (* Fault draws are pinned to message identity, not draw order: the k-th
+     transmission on channel (src, dst) always sees the same randomness, no
+     matter how deliveries interleave with other channels.  A shared
+     sequential stream would make every fault decision depend on the global
+     delivery order — poison for any engine (parallel or optimized) that
+     wants to reproduce a run bit-for-bit while processing it in a
+     different internal order.  One counter per (channel, purpose). *)
+  transmit_counts : (int, int) Hashtbl.t;
+  delay_counts : (int, int) Hashtbl.t;
   stats : stats;
   mutable tick : int;
   (* nodes currently inside a crash window, for edge-triggered trace events *)
@@ -75,7 +84,9 @@ let create ?(drop = 0.0) ?(duplicate = 0.0) ?(delay_spike = 0.0) ?(delay_factor 
     delay_factor;
     crashes;
     kills;
-    rng = Rng.create ~seed;
+    seed;
+    transmit_counts = Hashtbl.create 64;
+    delay_counts = Hashtbl.create 16;
     stats = empty_stats ();
     tick = 0;
     down_now = Hashtbl.create 4;
@@ -141,21 +152,43 @@ let tick t trace =
       (Hashtbl.copy t.down_now)
   end
 
+(* A fresh single-use SplitMix64 stream for one fault decision, keyed by
+   (master seed, purpose salt, channel, per-channel event count).  The
+   xor-multiply fold spreads the identity over the seed; Rng's own
+   finalizer does the avalanche on every draw. *)
+let channel_rng t counters ~salt ~src ~dst =
+  let chan = (src lsl 24) lor dst in
+  let count = match Hashtbl.find_opt counters chan with Some c -> c | None -> 0 in
+  Hashtbl.replace counters chan (count + 1);
+  let h = ref (t.seed lxor (salt * 0x9E3779B9)) in
+  let fold x = h := (!h lxor x) * 0x2545F4914F6CDD1D in
+  fold src;
+  fold dst;
+  fold count;
+  Rng.create ~seed:!h
+
 let transmit_copies t trace ~src ~dst =
-  if t.drop > 0.0 && Rng.bernoulli t.rng ~p:t.drop then begin
-    t.stats.drops <- t.stats.drops + 1;
-    Trace.fault_injected trace ~kind:"drop" ~src ~dst;
-    0
-  end
-  else if t.duplicate > 0.0 && Rng.bernoulli t.rng ~p:t.duplicate then begin
-    t.stats.duplicates <- t.stats.duplicates + 1;
-    Trace.fault_injected trace ~kind:"dup" ~src ~dst;
-    2
+  if t.drop > 0.0 || t.duplicate > 0.0 then begin
+    let rng = channel_rng t t.transmit_counts ~salt:1 ~src ~dst in
+    if t.drop > 0.0 && Rng.bernoulli rng ~p:t.drop then begin
+      t.stats.drops <- t.stats.drops + 1;
+      Trace.fault_injected trace ~kind:"drop" ~src ~dst;
+      0
+    end
+    else if t.duplicate > 0.0 && Rng.bernoulli rng ~p:t.duplicate then begin
+      t.stats.duplicates <- t.stats.duplicates + 1;
+      Trace.fault_injected trace ~kind:"dup" ~src ~dst;
+      2
+    end
+    else 1
   end
   else 1
 
 let delay_multiplier t trace ~src ~dst =
-  if t.delay_spike > 0.0 && Rng.bernoulli t.rng ~p:t.delay_spike then begin
+  if
+    t.delay_spike > 0.0
+    && Rng.bernoulli (channel_rng t t.delay_counts ~salt:2 ~src ~dst) ~p:t.delay_spike
+  then begin
     t.stats.delay_spikes <- t.stats.delay_spikes + 1;
     Trace.fault_injected trace ~kind:"delay" ~src ~dst;
     t.delay_factor

@@ -18,8 +18,14 @@
       {!pending_kills}/{!commit_kill} handshake instead of firing on
       {!tick}.
 
-    All decisions flow from one seeded {!Dpq_util.Rng}, so a faulty run is
-    exactly reproducible.  The plan keeps a global {e tick} clock advanced
+    All randomness derives from the plan's seed and the {e identity} of the
+    decision — the channel [(src, dst)] plus a per-channel event counter —
+    never from a shared sequential stream.  A faulty run is therefore not
+    just reproducible but order-robust: the k-th transmission on a channel
+    draws the same fate regardless of how deliveries on other channels
+    interleave with it, so engine-internal reorderings (parallel rounds,
+    delivery-loop optimisations) cannot silently reshuffle every subsequent
+    fault decision.  The plan keeps a global {e tick} clock advanced
     by the engines (one tick per synchronous round / per asynchronous
     delivery) — crash windows and kills are expressed in ticks and
     therefore span engine instances: a window can begin in one protocol

@@ -50,6 +50,7 @@ let record_delivery t ~round ~dst ~bits =
   t.cur_counts.(dst) <- t.cur_counts.(dst) + 1
 
 let record_local t = t.local_deliveries <- t.local_deliveries + 1
+let record_locals t ~count = t.local_deliveries <- t.local_deliveries + count
 
 let rounds t = t.rounds
 let total_messages t = t.total_messages

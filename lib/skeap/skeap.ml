@@ -15,6 +15,8 @@ type t = {
   trace : Dpq_obs.Trace.t option;
   faults : Dpq_simrt.Fault_plan.t option;
   sched : Dpq_simrt.Sched.t option;
+  par : Dpq_simrt.Domain_pool.par option;
+      (* domain-parallel tree phases (DESIGN.md §9); DHT stays sequential *)
   mutable ldb : Ldb.t;
   mutable tree : Aggtree.t;
   dht : Dht.t;
@@ -53,9 +55,10 @@ let compute_preorder_ranks tree n =
     rank;
   rank
 
-let create ?(seed = 1) ?(replication = 1) ?trace ?faults ?sched ~n ~num_prios () =
+let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ~n ~num_prios () =
   if n < 1 then invalid_arg "Skeap.create: need n >= 1";
   if num_prios < 1 then invalid_arg "Skeap.create: need num_prios >= 1";
+  if domains < 1 then invalid_arg "Skeap.create: need domains >= 1";
   let ldb = Ldb.build ~n ~seed in
   let tree = Aggtree.of_ldb ldb in
   {
@@ -65,6 +68,14 @@ let create ?(seed = 1) ?(replication = 1) ?trace ?faults ?sched ~n ~num_prios ()
     trace;
     faults;
     sched;
+    par =
+      (if domains > 1 then
+         Some
+           {
+             Dpq_simrt.Domain_pool.pool = Dpq_simrt.Domain_pool.get ~domains;
+             shards = domains;
+           }
+       else None);
     ldb;
     tree;
     dht = Dht.create ~k:replication ~ldb ~seed:(seed + 7919) ();
@@ -181,7 +192,7 @@ let process_batch ?(dht_mode = Dht_sync) t =
     | _ -> Batch.empty ~num_prios:t.num_prios
   in
   let combined, memo, up_report =
-    Phase.up ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~local ~combine:Batch.combine
+    Phase.up ?trace:t.trace ?faults:t.faults ?sched:t.sched ?par:t.par ~tree:t.tree ~local ~combine:Batch.combine
       ~size_bits:Batch.encoded_bits ()
   in
   (* ---- Phase 2: anchor assigns position intervals (local) ------------- *)
@@ -191,13 +202,13 @@ let process_batch ?(dht_mode = Dht_sync) t =
     ~heap_size:(Anchor.total_occupied t.anchor);
   (* ---- Phase 3: decompose intervals down the tree --------------------- *)
   let retained, down_report =
-    Phase.down ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~memo ~root_payload:assignment
+    Phase.down ?trace:t.trace ?faults:t.faults ?sched:t.sched ?par:t.par ~tree:t.tree ~memo ~root_payload:assignment
       ~split:(fun ~parts a -> Anchor.split ~num_prios:t.num_prios a ~parts)
       ~size_bits:Anchor.assignment_bits ()
   in
   (* Announce the phase switch (anchor-driven broadcast). *)
   let announce_report =
-    Phase.broadcast ?trace:t.trace ?faults:t.faults ?sched:t.sched ~tree:t.tree ~payload:()
+    Phase.broadcast ?trace:t.trace ?faults:t.faults ?sched:t.sched ?par:t.par ~tree:t.tree ~payload:()
       ~size_bits:(fun () -> 1) ()
   in
   (* ---- Phase 4: map positions to ops, run the DHT --------------------- *)

@@ -28,6 +28,7 @@ type t
 val create :
   ?seed:int ->
   ?replication:int ->
+  ?domains:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -46,7 +47,11 @@ val create :
     the heap survives the permanent loss of up to [k - 1] replicas of any
     key with unchanged semantics (kills scheduled in the fault plan commit
     at batch boundaries; see {!Dpq_simrt.Fault_plan} and
-    {!Dpq_dht.Dht.kill_node}). *)
+    {!Dpq_dht.Dht.kill_node}).  [domains] (default 1) runs the three tree
+    phases of every batch on [domains] OCaml domains, sharded by node id —
+    digests, traces and metrics are bit-identical to [domains = 1] (see
+    DESIGN.md §9); the DHT phase stays sequential.  Runs under a fault
+    plan or scheduler automatically fall back to sequential delivery. *)
 
 val n : t -> int
 val num_prios : t -> int

@@ -28,8 +28,8 @@ let protocol_name s = Types.backend_name s.backend
    time, inject it, process it, drain the completed records into the online
    checker, and keep only counters.  Nothing here retains the workload, the
    oplog or the outcome list, so memory is O(live elements) + one round. *)
-let run_stream ?(seed = 1) ?replication ?trace ?faults ?sched ?dht_mode ~n backend next =
-  let h = Heap.create ~seed ?replication ?trace ?faults ?sched ~n backend in
+let run_stream ?(seed = 1) ?replication ?domains ?trace ?faults ?sched ?dht_mode ~n backend next =
+  let h = Heap.create ~seed ?replication ?domains ?trace ?faults ?sched ~n backend in
   let checker = Heap.online_checker h in
   let ops = ref 0
   and lost_ops = ref 0
@@ -95,17 +95,17 @@ let run_stream ?(seed = 1) ?replication ?trace ?faults ?sched ?dht_mode ~n backe
     peak_live = Checker.Online.peak_live checker;
   }
 
-let run ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend workload =
+let run ?seed ?replication ?domains ?trace ?faults ?sched ?dht_mode ~n backend workload =
   let remaining = ref workload in
-  run_stream ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
+  run_stream ?seed ?replication ?domains ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
       match !remaining with
       | [] -> None
       | round :: rest ->
           remaining := rest;
           Some round)
 
-let run_gen ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend gen =
-  run_stream ?seed ?replication ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
+let run_gen ?seed ?replication ?domains ?trace ?faults ?sched ?dht_mode ~n backend gen =
+  run_stream ?seed ?replication ?domains ?trace ?faults ?sched ?dht_mode ~n backend (fun () ->
       Workload.Gen.next gen)
 
 let throughput s = if s.rounds = 0 then 0.0 else float_of_int s.ops /. float_of_int s.rounds

@@ -43,6 +43,7 @@ val protocol_name : summary -> string
 val run_stream :
   ?seed:int ->
   ?replication:int ->
+  ?domains:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -66,11 +67,14 @@ val run_stream :
     default 1): under a fault plan with [kill=] schedules, operations the
     workload addresses to a dead node are skipped and counted in
     [lost_ops], and with [replication > kills] the online verdict matches
-    the fault-free run. *)
+    the fault-free run.  [domains] (default 1) is the domain-parallel
+    execution knob of {!Dpq.Dpq_heap.create}: summaries — including the
+    run digest — are bit-identical at every value (DESIGN.md §9). *)
 
 val run :
   ?seed:int ->
   ?replication:int ->
+  ?domains:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -84,6 +88,7 @@ val run :
 val run_gen :
   ?seed:int ->
   ?replication:int ->
+  ?domains:int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->

@@ -1,0 +1,222 @@
+(* Differential test layer for domain-parallel execution (DESIGN.md §9).
+
+   The parallel engine's whole contract is observational equivalence: at any
+   shard count the delivery schedule, trace, cost metrics — and therefore
+   every run digest — must be bit-identical to the sequential engine.  This
+   file checks that contract three ways: a qcheck differential over the
+   exploration grid at domains 1/2/4, direct engine runs under adversarial
+   shard assignments, and a planted determinism bug that the differential
+   must catch (a comparison that cannot fail proves nothing). *)
+
+module E = Dpq_explore.Explore
+module Sync = Dpq_simrt.Sync_engine
+module Pool = Dpq_simrt.Domain_pool
+module Metrics = Dpq_simrt.Metrics
+module Trace = Dpq_obs.Trace
+module Sched = Dpq_simrt.Sched
+module Types = Dpq_types.Types
+module Checker = Dpq_semantics.Checker
+
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+let par ~domains = { Pool.pool = Pool.get ~domains; shards = domains }
+
+(* ------------------------------------------------ differential sweep *)
+
+(* Everything an exploration run observes, flattened for comparison. *)
+let fingerprint (o : E.outcome) =
+  ( o.E.digest,
+    (match o.E.violation with
+    | None -> "none"
+    | Some v -> Checker.clause_name v.Checker.clause),
+    o.E.ops )
+
+let combos = Array.of_list E.default_combos
+let policies = Array.of_list E.default_policies
+
+let prop_domains_differential =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun c p seed -> (c, p, seed))
+        (int_bound (Array.length combos - 1))
+        (int_bound (Array.length policies - 1))
+        (int_bound 9999))
+  in
+  let print (c, p, seed) =
+    Printf.sprintf "combo=%d (%s) policy=%s seed=%d" c
+      (E.backend_to_string combos.(c).E.backend)
+      (Sched.policy_to_string policies.(p))
+      seed
+  in
+  (* backend x engine x faults x replication come from the sweep's own combo
+     grid; the scheduler policy and seed are drawn independently.  Faulty or
+     scheduled cells serialize internally — they must *still* be identical
+     across domain counts, which is exactly what pins the fallback path. *)
+  QCheck.Test.make ~name:"outcomes identical at domains 1/2/4" ~count:40
+    (QCheck.make ~print gen) (fun (c, p, seed) ->
+      let combo = combos.(c) and policy = policies.(p) in
+      let run domains =
+        (* an exception is an outcome too: it must be the same at every
+           domain count, and a raising cell must fail the property with a
+           printable counterexample instead of aborting the qcheck run *)
+        try
+          `Outcome
+            (fingerprint
+               (E.run (E.config_of_combo ~n:6 ~rounds:2 ~lambda:2 ~domains ~seed ~policy combo)))
+        with e -> `Raised (Printexc.to_string e)
+      in
+      match run 1 with
+      | `Raised e -> QCheck.Test.fail_reportf "sequential run raised: %s" e
+      | `Outcome _ as base -> run 2 = base && run 4 = base)
+
+(* ------------------------------------------------ barrier stress *)
+
+(* A hop-forwarding protocol on a bare engine.  Every wire delivery mixes
+   into the destination's accumulator (dst-local state), echoes a free
+   local message to itself (exercising the per-shard local counter and the
+   nested inline delivery path), and forwards with one hop fewer at a
+   per-message stride — so rounds stay cross-shard-heavy under any shard
+   map.  Returns every observable: accumulators, rounds, the full trace
+   event list, and the cost metrics. *)
+let run_hopnet ~n ?par ?shard_of () =
+  let acc = Array.make n 0 in
+  let mix d x = acc.(d) <- (acc.(d) * 1000003) lxor x in
+  let handler eng ~dst ~src (hops, stride) =
+    mix dst ((src * 65599) + (hops * 193) + stride);
+    if src <> dst then begin
+      Sync.send eng ~src:dst ~dst (hops, stride);
+      if hops > 0 then Sync.send eng ~src:dst ~dst:((dst + stride) mod n) (hops - 1, stride)
+    end
+  in
+  let activate eng i =
+    if Sync.round eng < 2 then begin
+      Sync.send eng ~src:i ~dst:((i + 1) mod n) (3, 1 + (i mod 3));
+      if i mod 2 = 0 then Sync.send eng ~src:i ~dst:((i + 7) mod n) (2, 2)
+    end
+  in
+  let trace = Trace.create () in
+  let eng = Sync.create ~n ~size_bits:(fun _ -> 32) ~handler ~activate ~trace ?par ?shard_of () in
+  (* seed round 0 by hand: run_to_quiescence never steps an empty queue,
+     and activations only fire inside a step *)
+  for i = 0 to n - 1 do
+    Sync.send eng ~src:i ~dst:((i + 1) mod n) (3, 1 + (i mod 3))
+  done;
+  let rounds = Sync.run_to_quiescence eng in
+  let m = Sync.metrics eng in
+  ( Array.to_list acc,
+    rounds,
+    Trace.events trace,
+    ( Metrics.total_messages m,
+      Metrics.total_bits m,
+      Metrics.local_deliveries m,
+      Metrics.max_congestion m,
+      Metrics.rounds m ) )
+
+let test_adversarial_shard_maps () =
+  let seq = run_hopnet ~n:8 () in
+  let same name obs = checkb name true (obs = seq) in
+  (* contiguous default map *)
+  same "contiguous 2-shard run identical" (run_hopnet ~n:8 ~par:(par ~domains:2) ());
+  same "contiguous 4-shard run identical" (run_hopnet ~n:8 ~par:(par ~domains:4) ());
+  (* all nodes on one shard: the other workers spin empty *)
+  same "all-on-shard-0 run identical" (run_hopnet ~n:8 ~par:(par ~domains:4) ~shard_of:(fun _ -> 0) ());
+  (* striped map: every +1 hop crosses a shard boundary *)
+  same "striped (id mod 4) run identical"
+    (run_hopnet ~n:8 ~par:(par ~domains:4) ~shard_of:(fun id -> id mod 4) ());
+  (* one node per shard *)
+  let seq4 = run_hopnet ~n:4 () in
+  checkb "one-node-per-shard run identical" true
+    (run_hopnet ~n:4 ~par:(par ~domains:4) ~shard_of:(fun id -> id) () = seq4)
+
+let test_more_domains_than_nodes () =
+  let seq = run_hopnet ~n:3 () in
+  (* shards clamp to n; the spare workers never receive a job *)
+  checkb "domains > n clamps and stays identical" true
+    (run_hopnet ~n:3 ~par:(par ~domains:4) () = seq)
+
+(* ------------------------------------------------ planted bug *)
+
+let with_perturbed_merge f =
+  Sync.unsafe_perturb_parallel_merge := true;
+  Fun.protect ~finally:(fun () -> Sync.unsafe_perturb_parallel_merge := false) f
+
+let test_planted_bug_engine () =
+  let seq = run_hopnet ~n:8 () in
+  let clean = run_hopnet ~n:8 ~par:(par ~domains:2) () in
+  checkb "clean parallel run identical" true (clean = seq);
+  (* Reverse-concatenating the shard outboxes instead of merging them by
+     generating-delivery key is a real determinism bug; the differential
+     must see it.  This also proves the parallel path actually executed —
+     a silent fallback to sequential delivery would shrug the flag off. *)
+  with_perturbed_merge (fun () ->
+      let bad = run_hopnet ~n:8 ~par:(par ~domains:2) () in
+      checkb "perturbed merge changes the observable schedule" true (bad <> seq));
+  (* and with the flag down everything heals *)
+  checkb "flag reset restores identity" true (run_hopnet ~n:8 ~par:(par ~domains:2) () = seq)
+
+let skeap_combo =
+  { E.backend = Types.Skeap { num_prios = 4 }; engine = E.Sync; faults = None; replication = 1 }
+
+let test_planted_bug_caught_by_digest () =
+  (* n matters here: small LDB trees degenerate to near-chains whose rounds
+     carry one message each, and reversing a one-element merge is the
+     identity.  n = 16 gives every phase multi-shard rounds. *)
+  let outcome domains =
+    E.run (E.config_of_combo ~n:16 ~rounds:2 ~lambda:2 ~domains ~seed:42 ~policy:Sched.Fifo skeap_combo)
+  in
+  let base = (outcome 1).E.digest in
+  checks "clean parallel digest matches" base (outcome 2).E.digest;
+  with_perturbed_merge (fun () ->
+      checkb "run digest catches the planted merge bug" true ((outcome 2).E.digest <> base));
+  checks "digest identity restored after reset" base (outcome 2).E.digest
+
+(* ------------------------------------------------ kills at domains > 1 *)
+
+(* Kills commit at batch boundaries — with domains > 1 that boundary is the
+   round barrier of a parallel batch.  The kill grid pins nodes in shard 0
+   and in a non-zero shard (contiguous map over n = 6 at 2/4 shards puts
+   node 4 in the last shard), with and without wire noise.  Replication 3
+   keeps the verdict clean, so these cells check full outcome equality AND
+   that the parallel run still heals the loss. *)
+let test_kills_during_parallel_batches () =
+  List.iter
+    (fun (backend, spec) ->
+      let combo = { E.backend; engine = E.Sync; faults = Some spec; replication = 3 } in
+      let run domains =
+        fingerprint (E.run (E.config_of_combo ~n:6 ~rounds:3 ~lambda:2 ~domains ~seed:7 ~policy:Sched.Fifo combo))
+      in
+      let ((_, verdict, _) as base) = run 1 in
+      let name d = Printf.sprintf "%s %s: domains=%d outcome" (Types.backend_name backend) spec d in
+      checkb (name 2) true (run 2 = base);
+      checkb (name 4) true (run 4 = base);
+      checks (Printf.sprintf "%s %s: verdict clean" (Types.backend_name backend) spec) "none" verdict)
+    [
+      (Types.Skeap { num_prios = 4 }, "kill=1@8");
+      (Types.Skeap { num_prios = 4 }, "kill=4@8");
+      (Types.Skeap { num_prios = 4 }, "drop=0.2,dup=0.05,kill=4@8");
+      (Types.Seap, "kill=4@8");
+    ]
+
+let () =
+  Alcotest.run "dpq_domains"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_domains_differential;
+          Alcotest.test_case "digest catches planted merge bug" `Quick
+            test_planted_bug_caught_by_digest;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "adversarial shard maps" `Quick test_adversarial_shard_maps;
+          Alcotest.test_case "more domains than nodes" `Quick test_more_domains_than_nodes;
+          Alcotest.test_case "planted merge bug visible" `Quick test_planted_bug_engine;
+        ] );
+      ( "kills",
+        [
+          Alcotest.test_case "kills during parallel batches" `Quick
+            test_kills_during_parallel_batches;
+        ] );
+    ]

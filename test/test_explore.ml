@@ -23,6 +23,7 @@ let base_config ?(backend = Types.Skeap { num_prios = 4 }) ?(engine = E.Sync)
     backend;
     n = 5;
     replication = 1;
+    domains = 1;
     engine;
     sched;
     faults;
