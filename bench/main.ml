@@ -38,7 +38,13 @@
                        to FILE (CI uploads them as an artifact).
      --faults SPEC     with --record, run the grid over the faulty network
                        (e.g. "drop=0.1,dup=0.05"); the spec is stored per
-                       row and replayed by --compare. *)
+                       row and replayed by --compare.
+     --record-open     append only the open-loop cells (mode "open": burst /
+                       diurnal arrivals x fixed windows + the adaptive
+                       gossip-fed controller, EXPERIMENTS.md §S6) to an
+                       existing BENCH_grid.jsonl; every pre-existing row is
+                       left byte-for-byte untouched.  --record includes the
+                       same cells when rewriting the whole grid. *)
 
 open Bechamel
 open Toolkit
@@ -53,6 +59,7 @@ module Seap = Dpq_seap.Seap
 module K = Dpq_kselect.Kselect
 module W = Dpq_workloads.Workload
 module R = Dpq_workloads.Runner
+module Batch_ctl = Dpq_gossip.Batch_ctl
 
 (* T1: one Skeap batch (one op per node). *)
 let bench_t1_skeap_batch n =
@@ -362,13 +369,38 @@ let cell_workload ?(wl_rounds = 4) ~n ~lambda () =
 
 let stream_spec ~n ~lambda ~wl_rounds =
   W.Gen.
-    { n; rounds = wl_rounds; lambda; insert_ratio = 0.5; dist = W.Constant_set 4; seed = 3 }
+    {
+      n;
+      rounds = wl_rounds;
+      lambda;
+      insert_ratio = 0.5;
+      dist = W.Constant_set 4;
+      seed = 3;
+      arrival = W.Closed;
+    }
+
+(* The open-loop frontier cells (EXPERIMENTS.md §S6): skeap under burst and
+   diurnal arrivals at every fixed window plus the adaptive controller, and
+   one seap adaptive cell — these are the digest-gated raw rows behind the
+   adaptive-vs-fixed latency/throughput table.  Each tuple is
+   (backend, n, ticks, arrival spec, window spec) where the window spec is
+   either "fixed:W" or a Batch_ctl spec ("on", "on:...").  *)
+let open_grid =
+  let burst = "burst:5:15:3:0.2" and diurnal = "diurnal:32:3:0.3" in
+  let windows = [ "fixed:1"; "fixed:4"; "fixed:16"; "fixed:32"; "on" ] in
+  List.concat_map
+    (fun arrival ->
+      List.map
+        (fun w -> (Dpq_types.Types.Skeap { num_prios = 4 }, 16, 192, arrival, w))
+        windows)
+    [ burst; diurnal ]
+  @ [ (Dpq_types.Types.Seap, 16, 192, burst, "on") ]
 
 type cell_stats = {
   c_backend : string;
   c_n : int;
   c_lambda : int;
-  c_mode : string; (* "eager" | "stream" *)
+  c_mode : string; (* "eager" | "stream" | "open" *)
   c_wl_rounds : int; (* injection rounds of the cell's workload *)
   c_domains : int; (* OCaml domains the cell ran on (1 = sequential) *)
   c_faults : string; (* fault-plan spec, "" when fault-free *)
@@ -383,6 +415,14 @@ type cell_stats = {
   c_peak_live : int; (* online checker's live-element high-water mark; 0 for eager *)
   c_digest : string;
   c_ok : bool;
+  (* open-loop cells only (zero / "" elsewhere) *)
+  c_arrival : string; (* arrival-process spec *)
+  c_window : string; (* "fixed:W" or a Batch_ctl spec *)
+  c_p50 : int;
+  c_p99 : int;
+  c_p999 : int;
+  c_makespan : int;
+  c_ops_per_tick : float;
 }
 
 (* One full workload pass through the facade: inject each round, process,
@@ -477,6 +517,78 @@ let run_stream_cell ?(faults_spec = "") ?(domains = 1) (backend, n, lambda, wl_r
     c_peak_live = peak_live;
     c_digest = digest;
     c_ok = ok;
+    c_arrival = "";
+    c_window = "";
+    c_p50 = 0;
+    c_p99 = 0;
+    c_p999 = 0;
+    c_makespan = 0;
+    c_ops_per_tick = 0.0;
+  }
+
+let parse_window window_s =
+  if String.length window_s > 6 && String.sub window_s 0 6 = "fixed:" then
+    match int_of_string_opt (String.sub window_s 6 (String.length window_s - 6)) with
+    | Some w when w >= 1 -> R.Fixed w
+    | _ -> failwith (Printf.sprintf "bench: bad window spec %S" window_s)
+  else
+    match Batch_ctl.spec_of_string window_s with
+    | Ok (Batch_ctl.On c) -> R.Adaptive c
+    | Ok Batch_ctl.Off | Error _ -> failwith (Printf.sprintf "bench: bad window spec %S" window_s)
+
+(* One open-loop pass: the generator's tick stream against a batch window,
+   oplog records digested incrementally through the sink, latency
+   percentiles straight from the summary.  Single timed pass like the
+   stream cells — the digest, not the clock, is the hard gate here. *)
+let run_open_cell ?(faults_spec = "") ?(domains = 1) (backend, n, ticks, arrival_s, window_s) =
+  let arrival =
+    match W.arrival_of_string arrival_s with Ok a -> a | Error e -> failwith ("bench: " ^ e)
+  in
+  let window = parse_window window_s in
+  let spec =
+    W.Gen.
+      { n; rounds = ticks; lambda = 2; insert_ratio = 0.5; dist = W.Constant_set 4; seed = 3; arrival }
+  in
+  let faults =
+    if faults_spec = "" then None
+    else Some (Dpq_simrt.Fault_plan.of_string ~seed:faults_seed faults_spec)
+  in
+  let trace = Dpq_obs.Trace.create () in
+  let acc = Run_digest.start () in
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let s =
+    R.run_open ~seed:1 ?faults ~domains ~trace ~sink:(Run_digest.feed_records acc) ~window ~n
+      backend (W.Gen.create spec)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. m0 in
+  {
+    c_backend = Dpq_types.Types.backend_name backend;
+    c_n = n;
+    c_lambda = spec.W.Gen.lambda;
+    c_mode = "open";
+    c_wl_rounds = ticks;
+    c_domains = domains;
+    c_faults = faults_spec;
+    c_ops = s.R.ops;
+    c_rounds = s.R.rounds;
+    c_messages = s.R.messages;
+    c_total_bits = s.R.total_bits;
+    c_wall = wall;
+    c_eps = (if wall > 0.0 then float_of_int s.R.messages /. wall else 0.0);
+    c_minor_words_per_op = minor /. float_of_int (max 1 s.R.ops);
+    c_peak_heap_words = Dpq_simrt.Domain_pool.peak_heap_words ();
+    c_peak_live = s.R.peak_live;
+    c_digest = Run_digest.finish ~trace acc;
+    c_ok = s.R.semantics_ok;
+    c_arrival = arrival_s;
+    c_window = window_s;
+    c_p50 = s.R.p50_latency;
+    c_p99 = s.R.p99_latency;
+    c_p999 = s.R.p999_latency;
+    c_makespan = s.R.makespan;
+    c_ops_per_tick = R.open_throughput s;
   }
 
 let run_cell ?(faults_spec = "") ?(wl_rounds = 4) ?(domains = 1) (backend, n, lambda) =
@@ -531,17 +643,34 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) ?(domains = 1) (backend, n, la
     c_peak_live = 0;
     c_digest = Run_digest.of_run ~oplog:(Heap.oplog h) ~trace;
     c_ok = Heap.verify h = Ok ();
+    c_arrival = "";
+    c_window = "";
+    c_p50 = 0;
+    c_p99 = 0;
+    c_p999 = 0;
+    c_makespan = 0;
+    c_ops_per_tick = 0.0;
   }
 
 let row_to_json c =
+  (* Open-loop fields are emitted only for open cells, so eager/stream rows
+     keep the exact byte layout every recorded baseline already has. *)
+  let open_fields =
+    if c.c_mode <> "open" then ""
+    else
+      Printf.sprintf
+        ", \"arrival\": %S, \"window\": %S, \"p50_latency\": %d, \"p99_latency\": %d, \
+         \"p999_latency\": %d, \"makespan\": %d, \"ops_per_tick\": %.4f"
+        c.c_arrival c.c_window c.c_p50 c.c_p99 c.c_p999 c.c_makespan c.c_ops_per_tick
+  in
   Printf.sprintf
     "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"mode\": %S, \"wl_rounds\": %d, \"domains\": %d, \
      \"faults\": %S, \"ops\": %d, \"rounds\": %d, \"messages\": %d, \"total_bits\": %d, \
      \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \
-     \"peak_heap_words\": %d, \"peak_live\": %d, \"digest\": %S, \"semantics_ok\": %b}"
+     \"peak_heap_words\": %d, \"peak_live\": %d%s, \"digest\": %S, \"semantics_ok\": %b}"
     c.c_backend c.c_n c.c_lambda c.c_mode c.c_wl_rounds c.c_domains c.c_faults c.c_ops c.c_rounds
     c.c_messages c.c_total_bits c.c_wall c.c_eps c.c_minor_words_per_op c.c_peak_heap_words
-    c.c_peak_live c.c_digest c.c_ok
+    c.c_peak_live open_fields c.c_digest c.c_ok
 
 (* Minimal flat-JSON-object reader — just enough for our own rows (string /
    number / bool values, no nesting, no escapes), so the gate needs no JSON
@@ -645,7 +774,11 @@ let pp_row c =
     c.c_backend c.c_n c.c_lambda c.c_mode
     (if c.c_domains > 1 then Printf.sprintf " d=%d" c.c_domains else "")
     c.c_messages c.c_wall (c.c_eps /. 1e6) c.c_minor_words_per_op
-    (if c.c_mode = "stream" then Printf.sprintf " live<=%d" c.c_peak_live else "")
+    (match c.c_mode with
+    | "stream" -> Printf.sprintf " live<=%d" c.c_peak_live
+    | "open" ->
+        Printf.sprintf " %s w=%s p99=%d tp=%.2f" c.c_arrival c.c_window c.c_p99 c.c_ops_per_tick
+    | _ -> "")
     c.c_ok
 
 let record_grid ?faults_spec () =
@@ -657,6 +790,17 @@ let record_grid ?faults_spec () =
         pp_row c;
         c)
       grid
+  in
+  (* Open-loop cells next: still small (n = 16), so they cannot disturb the
+     stream cells' ascending top_heap_words readings. *)
+  let rows =
+    rows
+    @ List.map
+        (fun cell ->
+          let c = run_open_cell ?faults_spec cell in
+          pp_row c;
+          c)
+        open_grid
   in
   (* Stream cells last, ascending n (see the comment on [stream_grid]). *)
   let rows =
@@ -733,13 +877,19 @@ let compare_grid ~tolerance ~heap_tolerance ~max_n ~domains_override ~out () =
           let c =
             if mode = "stream" then
               run_stream_cell ~faults_spec ~domains (backend, n, lambda, wl_rounds)
+            else if mode = "open" then
+              run_open_cell ~faults_spec ~domains
+                (backend, n, wl_rounds, field base "arrival", field base "window")
             else run_cell ~faults_spec ~wl_rounds ~domains (backend, n, lambda)
           in
           let base_eps = float_of_string (field base "events_per_sec") in
           let base_digest = field base "digest" in
           let ratio = if base_eps > 0.0 then c.c_eps /. base_eps else infinity in
           let digest_ok = String.equal base_digest c.c_digest in
-          let eps_ok = (not same_config) || ratio >= 1.0 -. tolerance in
+          (* Open-loop cells are single ~tens-of-ms passes recorded without
+             warmup or repetition: their wall clock is scheduler noise, so
+             they gate on digest and semantics only. *)
+          let eps_ok = (not same_config) || mode = "open" || ratio >= 1.0 -. tolerance in
           (* The memory half of the gate, stream cells only: eager cells are
              too small for top_heap_words to move, and a streamed run whose
              peak heap grows past the ceiling has lost its O(live) bound. *)
@@ -804,6 +954,30 @@ let () =
   Option.iter (fun s -> ignore (Dpq_simrt.Fault_plan.of_string ~seed:0 s)) faults_spec;
   if List.mem "--record" argv || List.mem "--json-only" argv then begin
     record_grid ?faults_spec ();
+    exit 0
+  end;
+  if List.mem "--record-open" argv then begin
+    (* Append ONLY the open-loop cells to an existing grid: every
+       pre-existing row (and its digest) is preserved byte-for-byte, which
+       is the --adaptive off compatibility invariant. *)
+    if not (Sys.file_exists grid_file) then begin
+      Printf.eprintf "bench --record-open: no %s baseline; run `bench -- --record` first\n"
+        grid_file;
+      exit 2
+    end;
+    spinup ();
+    let rows =
+      List.map
+        (fun cell ->
+          let c = run_open_cell ?faults_spec cell in
+          pp_row c;
+          c)
+        open_grid
+    in
+    let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 grid_file in
+    List.iter (fun c -> output_string oc (row_to_json c ^ "\n")) rows;
+    close_out oc;
+    Printf.printf "appended %d open-loop cells to %s\n" (List.length rows) grid_file;
     exit 0
   end;
   if List.mem "--compare" argv then begin

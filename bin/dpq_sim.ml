@@ -30,6 +30,7 @@
 
 module W = Dpq_workloads.Workload
 module R = Dpq_workloads.Runner
+module Batch_ctl = Dpq_gossip.Batch_ctl
 module Rng = Dpq_util.Rng
 module Trace = Dpq_obs.Trace
 module Explore = Dpq_explore.Explore
@@ -101,8 +102,30 @@ let do_replay file =
       if rep.Explore.digest_matches && rep.Explore.clause_matches then exit 0 else exit 2
 
 let run protocol nodes rounds lambda prios dist insert_ratio seed replication domains stream
-    trace_file faults_spec drop dup crash replay =
+    trace_file faults_spec drop dup crash arrival_spec adaptive_spec window replay =
   (match replay with Some file -> do_replay file | None -> ());
+  let arrival =
+    match W.arrival_of_string arrival_spec with
+    | Ok a -> a
+    | Error e ->
+        Printf.eprintf "--arrival: %s\n" e;
+        exit 1
+  in
+  let adaptive =
+    match Batch_ctl.spec_of_string adaptive_spec with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "--adaptive: %s\n" e;
+        exit 1
+  in
+  (match window with
+  | Some w when w < 1 ->
+      Printf.eprintf "--window must be >= 1\n";
+      exit 1
+  | _ -> ());
+  (* any open-loop knob switches to the open-loop driver; with all three at
+     their defaults the run takes the legacy closed-loop path bit-for-bit *)
+  let open_mode = arrival <> W.Closed || adaptive <> Batch_ctl.Off || window <> None in
   let prio_dist =
     match dist with
     | "const" -> W.Constant_set prios
@@ -129,14 +152,39 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed replication do
         Printf.eprintf "unknown protocol %S (skeap|seap|centralized|unbatched)\n" other;
         exit 1
   in
-  let trace = Option.map (fun _ -> Trace.create ()) trace_file in
+  (* adaptive runs always record a trace so the window trajectory can be
+     reported, whether or not it is written to a file *)
+  let trace =
+    if trace_file <> None || adaptive <> Batch_ctl.Off then Some (Trace.create ()) else None
+  in
   let faults = make_faults ~seed:(seed + 271828) ~faults_spec ~drop ~dup ~crash in
   let summary, ops, ins, del =
-    if stream then begin
+    if open_mode then begin
+      (match (backend, adaptive) with
+      | (Dpq_types.Types.Centralized | Dpq_types.Types.Unbatched _), Batch_ctl.On _ ->
+          Printf.eprintf "--adaptive needs a gossip-capable protocol (skeap|seap)\n";
+          exit 1
+      | _ -> ());
+      let spec =
+        W.Gen.{ n = nodes; rounds; lambda; insert_ratio; dist = prio_dist; seed; arrival }
+      in
+      let wdw =
+        match adaptive with
+        | Batch_ctl.On c -> R.Adaptive c
+        | Batch_ctl.Off -> R.Fixed (Option.value window ~default:1)
+      in
+      let s =
+        R.run_open ?trace ?faults ~seed ~replication ~domains ~window:wdw ~n:nodes backend
+          (W.Gen.create spec)
+      in
+      (s, s.R.ops, s.R.inserted, s.R.got + s.R.empty)
+    end
+    else if stream then begin
       (* never materialize the workload: rounds are generated on demand and
          checked online, so memory stays O(live elements) even at n=65536 *)
       let spec =
-        W.Gen.{ n = nodes; rounds; lambda; insert_ratio; dist = prio_dist; seed }
+        W.Gen.
+          { n = nodes; rounds; lambda; insert_ratio; dist = prio_dist; seed; arrival = W.Closed }
       in
       let s =
         R.run_gen ?trace ?faults ~seed ~replication ~domains ~n:nodes backend (W.Gen.create spec)
@@ -153,7 +201,7 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed replication do
   in
   Printf.printf "workload : %d nodes x %d rounds x Λ=%d  (%d ops: %d ins / %d del, %s priorities)%s\n"
     nodes rounds lambda ops ins del dist
-    (if stream then "  [streamed]" else "");
+    (if open_mode then "  [open-loop]" else if stream then "  [streamed]" else "");
   Printf.printf "protocol : %s\n\n" (R.protocol_name summary);
   Printf.printf "  simulated rounds        %d\n" summary.R.rounds;
   Printf.printf "  messages                %d  (%d bits total)\n" summary.R.messages
@@ -164,6 +212,25 @@ let run protocol nodes rounds lambda prios dist insert_ratio seed replication do
   Printf.printf "  throughput              %.2f ops/round (%.2f bandwidth-honest)\n"
     (R.throughput summary)
     (R.effective_throughput summary);
+  if open_mode then begin
+    Printf.printf "  arrival                 %s, batch window %s\n" (W.arrival_to_string arrival)
+      (match adaptive with
+      | Batch_ctl.On c -> Printf.sprintf "adaptive [%d..%d]" c.Batch_ctl.w_min c.Batch_ctl.w_max
+      | Batch_ctl.Off -> Printf.sprintf "fixed %d" (Option.value window ~default:1));
+    Printf.printf "  completion latency      p50=%d p99=%d p999=%d rounds\n" summary.R.p50_latency
+      summary.R.p99_latency summary.R.p999_latency;
+    Printf.printf "  makespan                %d ticks  (%.2f ops/tick)\n" summary.R.makespan
+      (R.open_throughput summary);
+    match (adaptive, trace) with
+    | Batch_ctl.On c, Some tr ->
+        Printf.printf "  gossip exchanges        %d\n" (Trace.gossip_exchanges tr);
+        let trajectory =
+          string_of_int c.Batch_ctl.w_min
+          :: List.map (fun (_, w) -> string_of_int w) (Trace.window_changes tr)
+        in
+        Printf.printf "  window trajectory       %s\n" (String.concat " -> " trajectory)
+    | _ -> ()
+  end;
   Printf.printf "  outcomes                %d inserted, %d matched deletes, %d ⊥\n"
     summary.R.inserted summary.R.got summary.R.empty;
   if summary.R.lost_ops > 0 then
@@ -309,6 +376,40 @@ let crash =
     & info [ "crash" ] ~docv:"NODE@FROM-UNTIL"
         ~doc:"Crash window: the node receives nothing during ticks [FROM,UNTIL). Repeatable.")
 
+let arrival_spec =
+  Arg.(
+    value & opt string "closed"
+    & info [ "arrival" ] ~docv:"SPEC"
+        ~doc:
+          "Arrival process: $(b,closed) (the paper's exact-Λ per-round model), or an \
+           open-loop process — $(b,poisson:R) (stationary Poisson(R) per node per tick), \
+           $(b,burst:ON:OFF:HIGH:LOW) (on/off bursts), or $(b,diurnal:PERIOD:PEAK:BASE) \
+           (sinusoidal day curve). Anything but $(b,closed) drives the open-loop runner: \
+           ops buffer at their arrival tick and batches fire per $(b,--window) or \
+           $(b,--adaptive), so the summary gains completion-latency percentiles.")
+
+let adaptive_spec =
+  Arg.(
+    value & opt string "off"
+    & info [ "adaptive" ] ~docv:"SPEC"
+        ~doc:
+          "Adaptive batch windows: $(b,off), $(b,on), or \
+           $(b,on:WMIN:WMAX:HEADROOM:HYSTERESIS). When on, a push-sum gossip layer \
+           piggybacked on batch delivery estimates the global injection rate and a \
+           controller re-sizes the batch window from it (skeap/seap only); the run is \
+           still seeded-deterministic. $(b,off) leaves every closed-loop digest \
+           bit-identical to builds without the feature.")
+
+let window =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"W"
+        ~doc:
+          "Fixed open-loop batch window: fire a batch every $(docv) ticks (when ops are \
+           pending). Implies the open-loop runner even with $(b,--arrival closed). \
+           Ignored when $(b,--adaptive) is on.")
+
 let replay_file =
   Arg.(
     value
@@ -329,7 +430,7 @@ let run_term =
   Term.(
     const run $ protocol $ nodes $ rounds $ lambda $ prios $ dist $ insert_ratio $ seed
     $ replication $ domains $ stream $ trace_file $ faults_spec $ drop $ dup $ crash
-    $ replay_file)
+    $ arrival_spec $ adaptive_spec $ window $ replay_file)
 
 let explore_cmd =
   let num_seeds =

@@ -33,7 +33,7 @@ type t = {
   impl : impl;
 }
 
-let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ~n backend =
+let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ?gossip ~n backend =
   if replication < 1 then invalid_arg "Dpq_heap.create: replication must be >= 1";
   if domains < 1 then invalid_arg "Dpq_heap.create: domains must be >= 1";
   let no_replication () =
@@ -42,16 +42,27 @@ let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ~
         (Printf.sprintf "Dpq_heap.create: %s backend does not support replication"
            (backend_name backend))
   in
+  let no_gossip () =
+    if gossip <> None then
+      invalid_arg
+        (Printf.sprintf "Dpq_heap.create: %s backend does not support gossip load estimation"
+           (backend_name backend))
+  in
   let impl =
     match backend with
     | Skeap { num_prios } ->
-        I_skeap (Skeap_impl.create ~seed ~replication ~domains ?trace ?faults ?sched ~n ~num_prios ())
-    | Seap -> I_seap (Seap_impl.create ~seed ~replication ~domains ?trace ?faults ?sched ~n ())
+        I_skeap
+          (Skeap_impl.create ~seed ~replication ~domains ?trace ?faults ?sched ?gossip ~n ~num_prios
+             ())
+    | Seap ->
+        I_seap (Seap_impl.create ~seed ~replication ~domains ?trace ?faults ?sched ?gossip ~n ())
     | Centralized ->
         no_replication ();
+        no_gossip ();
         I_centralized (Centralized_impl.create ~seed ?trace ?faults ?sched ~n ())
     | Unbatched { num_prios } ->
         no_replication ();
+        no_gossip ();
         I_unbatched (Unbatched_impl.create ~seed ?trace ?faults ?sched ~n ~num_prios ())
   in
   { backend; trace; faults; sched; impl }
@@ -108,6 +119,12 @@ let heap_size t =
   | I_seap h -> Seap_impl.heap_size h
   | I_centralized h -> Centralized_impl.heap_size h
   | I_unbatched h -> Unbatched_impl.heap_size h
+
+let load_estimate t =
+  match t.impl with
+  | I_skeap h -> Skeap_impl.load_estimate h
+  | I_seap h -> Seap_impl.load_estimate h
+  | I_centralized _ | I_unbatched _ -> None
 
 type outcome = [ `Inserted of Element.t | `Got of Element.t | `Empty ]
 type completion = Types.completion = { node : int; local_seq : int; outcome : outcome }

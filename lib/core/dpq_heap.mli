@@ -58,6 +58,7 @@ val create :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
+  ?gossip:Dpq_gossip.Gossip.config ->
   n:int ->
   backend ->
   t
@@ -79,7 +80,11 @@ val create :
     copies are rebuilt by Merkle anti-entropy repair at the next iteration
     boundary.  [domains] (default 1) runs Skeap's tree phases on that many
     OCaml domains with bit-identical digests/traces/metrics (DESIGN.md §9);
-    Seap and the baselines accept and ignore it. *)
+    Seap and the baselines accept and ignore it.  With [gossip]
+    (Skeap/Seap only; the baselines raise [Invalid_argument]), every
+    {!process} ends with a push-sum load-estimation exchange
+    ({!Dpq_gossip.Gossip}) feeding {!load_estimate}; omitting it keeps
+    behavior and costs bit-identical to the pre-gossip protocol. *)
 
 val backend : t -> backend
 val trace : t -> Dpq_obs.Trace.t option
@@ -100,6 +105,11 @@ val insert : t -> node:int -> prio:int -> Element.t
 val delete_min : t -> node:int -> unit
 val pending_ops : t -> int
 val heap_size : t -> int
+
+val load_estimate : t -> float option
+(** The anchor node's gossip estimate Λ̂ (injected ops per node per
+    processed batch), or [None] when gossip is off, no exchange has run
+    yet, or the backend has no estimator (baselines). *)
 
 type outcome = [ `Inserted of Element.t | `Got of Element.t | `Empty ]
 

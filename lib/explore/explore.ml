@@ -7,6 +7,8 @@ module Trace = Dpq_obs.Trace
 module Oplog = Dpq_semantics.Oplog
 module Checker = Dpq_semantics.Checker
 module Workload = Dpq_workloads.Workload
+module Runner = Dpq_workloads.Runner
+module Batch_ctl = Dpq_gossip.Batch_ctl
 module Heap = Dpq.Dpq_heap
 
 type engine = Sync | Async of Async.delay_policy
@@ -21,6 +23,7 @@ type config = {
   sched : Sched.policy;
   faults : string option;
   corrupt : Corrupt.t option;
+  adaptive : Batch_ctl.spec;
   workload : Workload.t;
   gen : Workload.Gen.spec option;
 }
@@ -59,30 +62,50 @@ let run cfg =
   let sched =
     match cfg.sched with Sched.Fifo -> None | p -> Some (Sched.create ~seed:cfg.seed p)
   in
-  let h =
-    Heap.create ~seed:cfg.seed ~replication:cfg.replication ~domains:cfg.domains ~trace ?faults
-      ?sched ~n:cfg.n cfg.backend
-  in
   let dht_mode =
     match cfg.engine with
     | Sync -> Types.Dht_sync
     | Async policy -> Types.Dht_async { seed = sub_seed cfg.seed "delay"; policy }
   in
-  List.iter
-    (fun round ->
-      List.iter
-        (fun (op : Workload.op) ->
-          (* a permanently killed node issues nothing *)
-          if Heap.live h ~node:op.Workload.node then
-            match op.Workload.action with
-            | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
-            | `Del -> Heap.delete_min h ~node:op.Workload.node)
-        round;
-      ignore (Heap.process ~dht_mode h))
-    cfg.workload;
   let log =
-    match cfg.corrupt with None -> Heap.oplog h | Some c -> Corrupt.apply c (Heap.oplog h)
+    match cfg.adaptive with
+    | Batch_ctl.Off ->
+        let h =
+          Heap.create ~seed:cfg.seed ~replication:cfg.replication ~domains:cfg.domains ~trace
+            ?faults ?sched ~n:cfg.n cfg.backend
+        in
+        List.iter
+          (fun round ->
+            List.iter
+              (fun (op : Workload.op) ->
+                (* a permanently killed node issues nothing *)
+                if Heap.live h ~node:op.Workload.node then
+                  match op.Workload.action with
+                  | `Ins p -> ignore (Heap.insert h ~node:op.Workload.node ~prio:p)
+                  | `Del -> Heap.delete_min h ~node:op.Workload.node)
+              round;
+            ignore (Heap.process ~dht_mode h))
+          cfg.workload;
+        Heap.oplog h
+    | Batch_ctl.On ctl ->
+        (* Adaptive runs are open-loop: the gossip-fed controller needs the
+           tick stream, so only generator-spec workloads qualify (a
+           materialized round dump has no arrival process attached). *)
+        let spec =
+          match cfg.gen with
+          | Some spec -> spec
+          | None -> invalid_arg "Explore.run: adaptive configs need a generator-spec workload"
+        in
+        let chunks = ref [] in
+        let sink records = chunks := List.rev_append records !chunks in
+        ignore
+          (Runner.run_open ~seed:cfg.seed ~replication:cfg.replication ~domains:cfg.domains
+             ~trace ?faults ?sched ~dht_mode ~sink ~window:(Runner.Adaptive ctl) ~n:cfg.n
+             cfg.backend (Workload.Gen.create spec)
+            : Runner.summary);
+        Oplog.of_list (List.rev !chunks)
   in
+  let log = match cfg.corrupt with None -> log | Some c -> Corrupt.apply c log in
   let violation =
     match explain ~sched:cfg.sched cfg.backend log with Ok () -> None | Error v -> Some v
   in
@@ -95,6 +118,7 @@ type combo = {
   engine : engine;
   faults : string option;
   replication : int;
+  adaptive : Batch_ctl.spec;
 }
 
 let num_prios = 4
@@ -114,7 +138,11 @@ let default_combos =
           (fun engine ->
             match (backend, engine) with
             | (Types.Centralized | Types.Unbatched _), Async _ -> []
-            | _ -> List.map (fun faults -> { backend; engine; faults; replication = 1 }) faultss)
+            | _ ->
+                List.map
+                  (fun faults ->
+                    { backend; engine; faults; replication = 1; adaptive = Batch_ctl.Off })
+                  faultss)
           engines)
       backends
   in
@@ -125,11 +153,36 @@ let default_combos =
     List.concat_map
       (fun backend ->
         List.map
-          (fun faults -> { backend; engine = Sync; faults = Some faults; replication = 3 })
+          (fun faults ->
+            {
+              backend;
+              engine = Sync;
+              faults = Some faults;
+              replication = 3;
+              adaptive = Batch_ctl.Off;
+            })
           [ kill_spec; drop_dup_spec ^ "," ^ kill_spec ])
       [ Types.Skeap { num_prios }; Types.Seap ]
   in
-  base @ killed
+  (* Adaptive open-loop cells: the gossip-fed batch controller under bursty
+     arrivals, clean and under drop+dup, for both gossip-capable backends.
+     Semantics must hold batch-for-batch no matter how the window moves. *)
+  let adaptive =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun faults ->
+            {
+              backend;
+              engine = Sync;
+              faults;
+              replication = 1;
+              adaptive = Batch_ctl.On Batch_ctl.default_config;
+            })
+          [ None; Some drop_dup_spec ])
+      [ Types.Skeap { num_prios }; Types.Seap ]
+  in
+  base @ killed @ adaptive
 
 let default_policies =
   [
@@ -144,13 +197,34 @@ let prio_for = function
   | Types.Seap | Types.Centralized -> Workload.Uniform (1, 50)
 
 let gen_spec ~seed ~n ~rounds ~lambda backend =
-  Workload.Gen.{ n; rounds; lambda; insert_ratio = 0.5; dist = prio_for backend; seed }
+  Workload.Gen.
+    {
+      n;
+      rounds;
+      lambda;
+      insert_ratio = 0.5;
+      dist = prio_for backend;
+      seed;
+      arrival = Workload.Closed;
+    }
 
 let gen_workload ~seed ~n ~rounds ~lambda backend =
   Workload.of_gen (gen_spec ~seed ~n ~rounds ~lambda backend)
 
 let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ?(domains = 1) ~seed ~policy combo =
   let spec = gen_spec ~seed ~n ~rounds ~lambda combo.backend in
+  let spec =
+    (* Adaptive cells drive the open loop under an on/off burst so the
+       controller actually sees a load swing within the sweep's short runs. *)
+    match combo.adaptive with
+    | Batch_ctl.Off -> spec
+    | Batch_ctl.On _ ->
+        {
+          spec with
+          Workload.Gen.arrival =
+            Workload.Burst { on = 3; off = 5; high = 2.0 *. float_of_int lambda; low = 0.25 };
+        }
+  in
   {
     seed;
     backend = combo.backend;
@@ -161,6 +235,7 @@ let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ?(domains = 1) ~seed ~p
     sched = policy;
     faults = combo.faults;
     corrupt = None;
+    adaptive = combo.adaptive;
     workload = Workload.of_gen spec;
     gen = Some spec;
   }
@@ -211,7 +286,15 @@ let shrink_candidates cfg =
   (* a shrunk workload is no longer the generator's output, so the spec
      provenance is dropped *)
   let with_workload w = { cfg with workload = w; gen = None } in
-  let workload_cands = List.map with_workload (Workload.shrink_candidates cfg.workload) in
+  (* an adaptive run consumes the generator spec's tick stream, so round-dump
+     workload shrinks only apply once the controller has been shrunk away *)
+  let workload_cands =
+    if cfg.adaptive <> Batch_ctl.Off then []
+    else List.map with_workload (Workload.shrink_candidates cfg.workload)
+  in
+  let adaptive_cands =
+    if cfg.adaptive = Batch_ctl.Off then [] else [ { cfg with adaptive = Batch_ctl.Off } ]
+  in
   let sched_cands = if cfg.sched = Sched.Fifo then [] else [ { cfg with sched = Sched.Fifo } ] in
   let fault_cands = if cfg.faults = None then [] else [ { cfg with faults = None } ] in
   let repl_cands = if cfg.replication = 1 then [] else [ { cfg with replication = 1 } ] in
@@ -219,7 +302,7 @@ let shrink_candidates cfg =
      step through; shrink it away like any other axis *)
   let dom_cands = if cfg.domains = 1 then [] else [ { cfg with domains = 1 } ] in
   (* Axis simplifications first: they cut the most replay state at once. *)
-  sched_cands @ fault_cands @ repl_cands @ dom_cands @ workload_cands
+  adaptive_cands @ sched_cands @ fault_cands @ repl_cands @ dom_cands @ workload_cands
 
 let shrink ?(max_attempts = 400) cfg clause =
   let attempts = ref 0 in
@@ -310,6 +393,11 @@ let repro_to_string cfg (o : outcome) =
   line "sched %s" (Sched.policy_to_string cfg.sched);
   line "faults %s" (match cfg.faults with None -> "none" | Some s -> s);
   line "corrupt %s" (match cfg.corrupt with None -> "none" | Some c -> Corrupt.to_string c);
+  (* only emitted when on: files written by non-adaptive runs stay
+     byte-identical to the pre-gossip format *)
+  (match cfg.adaptive with
+  | Batch_ctl.Off -> ()
+  | spec -> line "adaptive %s" (Batch_ctl.spec_to_string spec));
   line "expect-clause %s"
     (match o.violation with None -> "none" | Some v -> Checker.clause_name v.Checker.clause);
   line "expect-digest %s" o.digest;
@@ -319,105 +407,156 @@ let repro_to_string cfg (o : outcome) =
   | None -> List.iter (fun r -> line "%s" (Workload.round_to_string r)) cfg.workload);
   Buffer.contents buf
 
+(* Every header key the v1 format has ever used.  The parser is strict:
+   a key outside this list (or a line that isn't "key value") is a hard
+   error with its line number, so a file from a *newer* format revision —
+   say one with extra fields — fails loudly instead of silently dropping
+   the lines this revision doesn't know about. *)
+let known_keys =
+  [
+    "seed";
+    "backend";
+    "nodes";
+    "replication";
+    "domains";
+    "engine";
+    "sched";
+    "faults";
+    "corrupt";
+    "adaptive";
+    "expect-clause";
+    "expect-digest";
+  ]
+
 let repro_of_string text =
   let ( let* ) = Result.bind in
+  (* Keep 1-based source line numbers through the blank/comment filter so
+     every rejection can point at the offending line. *)
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let at ln = Result.map_error (fun e -> Printf.sprintf "Explore: line %d: %s" ln e) in
   match lines with
-  | m :: rest when m = magic ->
-      (* Header is a fixed sequence of "key value" lines up to "workload";
+  | (_, m) :: rest when m = magic ->
+      (* Header is a sequence of "key value" lines up to "workload";
          everything after is round lines. *)
       let rec split_header acc = function
-        | "workload" :: rounds -> Ok (List.rev acc, rounds)
-        | kv :: rest -> (
+        | (_, "workload") :: rounds -> Ok (List.rev acc, rounds)
+        | (ln, kv) :: rest -> (
             match String.index_opt kv ' ' with
-            | None -> fail "Explore: bad repro line %S" kv
+            | None -> fail "Explore: line %d: malformed repro line %S (want \"key value\")" ln kv
             | Some i ->
-                split_header
-                  ((String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1)) :: acc)
-                  rest)
+                let k = String.sub kv 0 i in
+                let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                if not (List.mem k known_keys) then
+                  fail "Explore: line %d: unknown repro key %S" ln k
+                else if List.exists (fun (k', _) -> k' = k) acc then
+                  fail "Explore: line %d: duplicate repro key %S" ln k
+                else split_header ((k, (ln, v)) :: acc) rest)
         | [] -> fail "Explore: repro file has no workload section"
       in
       let* header, round_lines = split_header [] rest in
       let field k =
         match List.assoc_opt k header with
-        | Some v -> Ok v
+        | Some lv -> Ok lv
         | None -> fail "Explore: repro file missing %S" k
       in
       let int_field k =
-        let* v = field k in
-        match int_of_string_opt v with Some i -> Ok i | None -> fail "Explore: bad %s %S" k v
+        let* ln, v = field k in
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> fail "Explore: line %d: bad %s %S" ln k v
+      in
+      (* keys absent from files written before their feature existed parse
+         to that feature's "off" value *)
+      let opt_field k ~default parse =
+        match List.assoc_opt k header with
+        | None -> Ok default
+        | Some (ln, v) -> at ln (parse v)
+      in
+      let pos_int_field k ~default =
+        opt_field k ~default (fun v ->
+            match int_of_string_opt v with
+            | Some i when i >= 1 -> Ok i
+            | _ -> fail "bad %s %S" k v)
+      in
+      let sub_parse k parse =
+        let* ln, v = field k in
+        at ln (parse v)
       in
       let* seed = int_field "seed" in
       let* n = int_field "nodes" in
-      (* absent in repro files written before replication existed *)
-      let* replication =
-        match List.assoc_opt "replication" header with
-        | None -> Ok 1
-        | Some v -> (
-            match int_of_string_opt v with
-            | Some k when k >= 1 -> Ok k
-            | _ -> fail "Explore: bad replication %S" v)
-      in
-      (* absent in repro files written before domain parallelism existed;
-         never affects the expected digest either way *)
-      let* domains =
-        match List.assoc_opt "domains" header with
-        | None -> Ok 1
-        | Some v -> (
-            match int_of_string_opt v with
-            | Some d when d >= 1 -> Ok d
-            | _ -> fail "Explore: bad domains %S" v)
-      in
-      let* backend = Result.bind (field "backend") backend_of_string in
-      let* engine = Result.bind (field "engine") engine_of_string in
-      let* sched = Result.bind (field "sched") Sched.policy_of_string in
+      let* replication = pos_int_field "replication" ~default:1 in
+      (* domains never affects the expected digest either way *)
+      let* domains = pos_int_field "domains" ~default:1 in
+      let* backend = sub_parse "backend" backend_of_string in
+      let* engine = sub_parse "engine" engine_of_string in
+      let* sched = sub_parse "sched" Sched.policy_of_string in
       let* faults =
-        let* v = field "faults" in
-        if v = "none" then Ok None
-        else begin
-          (* Validate eagerly so a bad spec fails at parse, not mid-replay. *)
-          match Fault_plan.of_string ~seed:0 v with
-          | (_ : Fault_plan.t) -> Ok (Some v)
-          | exception Invalid_argument m -> Error m
-        end
+        sub_parse "faults" (fun v ->
+            if v = "none" then Ok None
+            else begin
+              (* Validate eagerly so a bad spec fails at parse, not
+                 mid-replay. *)
+              match Fault_plan.of_string ~seed:0 v with
+              | (_ : Fault_plan.t) -> Ok (Some v)
+              | exception Invalid_argument m -> Error m
+            end)
       in
       let* corrupt =
-        let* v = field "corrupt" in
-        if v = "none" then Ok None else Result.map Option.some (Corrupt.of_string v)
+        sub_parse "corrupt" (fun v ->
+            if v = "none" then Ok None else Result.map Option.some (Corrupt.of_string v))
       in
+      let* adaptive = opt_field "adaptive" ~default:Batch_ctl.Off Batch_ctl.spec_of_string in
       let* expect_clause =
-        let* v = field "expect-clause" in
-        if v = "none" then Ok None else Result.map Option.some (clause_of_string v)
+        sub_parse "expect-clause" (fun v ->
+            if v = "none" then Ok None else Result.map Option.some (clause_of_string v))
       in
-      let* expect_digest = field "expect-digest" in
+      let* _, expect_digest = field "expect-digest" in
       let* workload, gen =
         (* Two forms, both accepted by Workload.of_string: a [gen:] line
            referencing a generator spec, or materialized round lines. *)
         match round_lines with
-        | [ line ] when String.length line > 4 && String.sub line 0 4 = "gen:" ->
+        | [ (ln, line) ] when String.length line > 4 && String.sub line 0 4 = "gen:" ->
             let* spec =
-              Workload.Gen.spec_of_string (String.sub line 4 (String.length line - 4))
+              at ln (Workload.Gen.spec_of_string (String.sub line 4 (String.length line - 4)))
             in
             Ok (Workload.of_gen spec, Some spec)
         | _ ->
             let* wl =
               List.fold_left
-                (fun acc line ->
+                (fun acc (ln, line) ->
                   let* acc = acc in
-                  let* r = Workload.round_of_string line in
+                  let* r = at ln (Workload.round_of_string line) in
                   Ok (r :: acc))
                 (Ok []) round_lines
               |> Result.map List.rev
             in
             Ok (wl, None)
       in
+      let* () =
+        if adaptive <> Batch_ctl.Off && gen = None then
+          fail "Explore: adaptive repro files need a gen: workload line"
+        else Ok ()
+      in
       Ok
-        ( { seed; backend; n; replication; domains; engine; sched; faults; corrupt; workload; gen },
+        ( {
+            seed;
+            backend;
+            n;
+            replication;
+            domains;
+            engine;
+            sched;
+            faults;
+            corrupt;
+            adaptive;
+            workload;
+            gen;
+          },
           { expect_clause; expect_digest } )
   | _ -> fail "Explore: not a %s file" magic
 

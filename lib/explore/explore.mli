@@ -43,6 +43,12 @@ type config = {
   sched : Dpq_simrt.Sched.policy;
   faults : string option;  (** {!Dpq_simrt.Fault_plan.of_string} spec *)
   corrupt : Corrupt.t option;  (** planted post-hoc oplog corruption (tests) *)
+  adaptive : Dpq_gossip.Batch_ctl.spec;
+      (** [On _] runs the config open-loop through
+          {!Dpq_workloads.Runner.run_open} with the gossip-fed adaptive
+          batch controller; requires a generator-spec workload ([gen])
+          and a gossip-capable backend (Skeap/Seap).  The collected oplog
+          is checked and digested exactly like a closed run. *)
   workload : Dpq_workloads.Workload.t;
   gen : Dpq_workloads.Workload.Gen.spec option;
       (** provenance: when the workload is a generator spec's
@@ -75,13 +81,17 @@ type combo = {
   engine : engine;
   faults : string option;
   replication : int;
+  adaptive : Dpq_gossip.Batch_ctl.spec;
 }
 
 val default_combos : combo list
 (** {Skeap, Seap, Centralized, Unbatched} × {sync, async} × {no faults,
     drop+dup}, minus the invalid baseline×async cells (12 combos), plus
     replicated permanent-loss cells: {Skeap, Seap} × sync × {kill,
-    drop+dup+kill} at replication 3 (4 more). *)
+    drop+dup+kill} at replication 3 (4 more), plus adaptive open-loop
+    cells: {Skeap, Seap} × sync × {no faults, drop+dup} under a burst
+    arrival with the default {!Dpq_gossip.Batch_ctl} controller (4
+    more). *)
 
 val default_policies : Dpq_simrt.Sched.policy list
 (** Fifo, a shuffle with starvation, crossing pairs, and a channel bias
@@ -156,11 +166,19 @@ val shrink : ?max_attempts:int -> config -> Dpq_semantics.Checker.clause -> conf
 (** {2 Repro files}
 
     Self-contained text files: header lines ([seed] / [backend] / [nodes] /
-    [engine] / [sched] / [faults] / [corrupt] / [expect-clause] /
-    [expect-digest]) followed by a [workload] section — either one round
-    per line ({!Dpq_workloads.Workload.round_to_string}) or a single
-    [gen: <spec>] line ({!Dpq_workloads.Workload.Gen.spec_to_string}) that
-    materializes on read.  Lines starting with [#] are comments. *)
+    [engine] / [sched] / [faults] / [corrupt] / [adaptive] /
+    [expect-clause] / [expect-digest]) followed by a [workload] section —
+    either one round per line ({!Dpq_workloads.Workload.round_to_string})
+    or a single [gen: <spec>] line
+    ({!Dpq_workloads.Workload.Gen.spec_to_string}) that materializes on
+    read.  Lines starting with [#] are comments.
+
+    The parser is strict: an unknown or duplicate header key, or a header
+    line that isn't ["key value"], is rejected with its line number —
+    fields a parser doesn't understand are never silently dropped.
+    Optional keys ([replication], [domains], [adaptive]) may be absent,
+    which parses to the feature's off value, so files written before a
+    feature existed still replay. *)
 
 type expectation = {
   expect_clause : Dpq_semantics.Checker.clause option;

@@ -26,6 +26,8 @@ type event =
   | Repair_start of { span : span; node : int; reason : string; entries_lost : int }
   | Repair_session of { span : span; src : int; dst : int; keys_pulled : int; elements_shipped : int }
   | Repair_end of { span : span; sessions : int; keys_pulled : int; elements_shipped : int }
+  | Gossip_round of { span : span; exchange : int; rounds : int; messages : int; est_milli : int }
+  | Window_change of { at_batch : int; window : int; est_milli : int }
 
 type t = {
   mutable rev_events : event list;
@@ -141,6 +143,16 @@ let repair_end topt ~sessions ~keys_pulled ~elements_shipped =
   | None -> ()
   | Some t -> push t (Repair_end { span = current_span t; sessions; keys_pulled; elements_shipped })
 
+let gossip_round topt ~exchange ~rounds ~messages ~est_milli =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Gossip_round { span = current_span t; exchange; rounds; messages; est_milli })
+
+let window_change topt ~at_batch ~window ~est_milli =
+  match topt with
+  | None -> ()
+  | Some t -> push t (Window_change { at_batch; window; est_milli })
+
 (* ------------------------------------------------------ derived metrics *)
 
 let rounds t =
@@ -225,6 +237,19 @@ let repair_elements_shipped t =
   List.fold_left
     (fun acc ev -> match ev with Repair_end r -> acc + r.elements_shipped | _ -> acc)
     0 (events t)
+
+let gossip_exchanges t =
+  List.fold_left
+    (fun acc ev -> match ev with Gossip_round _ -> acc + 1 | _ -> acc)
+    0 (events t)
+
+let window_changes t =
+  List.filter_map
+    (fun ev ->
+      match ev with
+      | Window_change { at_batch; window; _ } -> Some (at_batch, window)
+      | _ -> None)
+    (events t)
 
 (* Message/bit volume inside repair spans — the "repair traffic" the
    O(δ log m) experiment measures.  A span counts as repair from its
@@ -452,7 +477,19 @@ let event_to_json ev =
       buf_kv_int b "span" span;
       buf_kv_int b "sessions" sessions;
       buf_kv_int b "keys_pulled" keys_pulled;
-      buf_kv_int b "elements_shipped" elements_shipped);
+      buf_kv_int b "elements_shipped" elements_shipped
+  | Gossip_round { span; exchange; rounds; messages; est_milli } ->
+      tag "gossip_round";
+      buf_kv_int b "span" span;
+      buf_kv_int b "exchange" exchange;
+      buf_kv_int b "rounds" rounds;
+      buf_kv_int b "messages" messages;
+      buf_kv_int b "est_milli" est_milli
+  | Window_change { at_batch; window; est_milli } ->
+      tag "window_change";
+      buf_kv_int b "at_batch" at_batch;
+      buf_kv_int b "window" window;
+      buf_kv_int b "est_milli" est_milli);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -604,6 +641,18 @@ let event_of_json line =
               keys_pulled = fint "keys_pulled";
               elements_shipped = fint "elements_shipped";
             }
+      | "gossip_round" ->
+          Gossip_round
+            {
+              span = fint "span";
+              exchange = fint "exchange";
+              rounds = fint "rounds";
+              messages = fint "messages";
+              est_milli = fint "est_milli";
+            }
+      | "window_change" ->
+          Window_change
+            { at_batch = fint "at_batch"; window = fint "window"; est_milli = fint "est_milli" }
       | other -> raise (Bad (Printf.sprintf "unknown event kind %S" other))
     in
     Ok ev

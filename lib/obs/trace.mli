@@ -80,6 +80,16 @@ type event =
           offerer [src]. *)
   | Repair_end of { span : span; sessions : int; keys_pulled : int; elements_shipped : int }
       (** Repair finished; totals over the sessions of this repair pass. *)
+  | Gossip_round of { span : span; exchange : int; rounds : int; messages : int; est_milli : int }
+      (** One push-sum gossip exchange completed (piggybacked on batch
+          delivery, so [rounds] is 0 in the cost model while [messages]
+          counts the real wire traffic).  [est_milli] is the anchor node's
+          load estimate Λ̂ in milli-ops-per-node-per-batch — traces carry
+          only integers, so estimates are fixed-point. *)
+  | Window_change of { at_batch : int; window : int; est_milli : int }
+      (** The adaptive batch controller adopted a new window after batch
+          [at_batch]; [est_milli] is the Λ̂ (milli-ops/node/tick) that drove
+          the decision. *)
 
 type t
 
@@ -130,6 +140,8 @@ val repair_start : t option -> node:int -> reason:string -> entries_lost:int -> 
 val repair_session :
   t option -> src:int -> dst:int -> keys_pulled:int -> elements_shipped:int -> unit
 val repair_end : t option -> sessions:int -> keys_pulled:int -> elements_shipped:int -> unit
+val gossip_round : t option -> exchange:int -> rounds:int -> messages:int -> est_milli:int -> unit
+val window_change : t option -> at_batch:int -> window:int -> est_milli:int -> unit
 
 (** {2 Derived metrics}
 
@@ -198,6 +210,13 @@ val repair_messages : t -> int
 val repair_bits : t -> int
 (** Bits delivered inside ["repair"] spans — the repair traffic the
     O(δ log m) bound is measured on. *)
+
+val gossip_exchanges : t -> int
+(** Number of [Gossip_round] events. *)
+
+val window_changes : t -> (int * int) list
+(** [(at_batch, window)] per [Window_change], in trace order — the adaptive
+    controller's window trajectory. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** Compact one-paragraph text summary of the whole trace. *)

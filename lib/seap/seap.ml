@@ -8,6 +8,7 @@ module Phase = Dpq_aggtree.Phase
 module Dht = Dpq_dht.Dht
 module Kselect = Dpq_kselect.Kselect
 module Oplog = Dpq_semantics.Oplog
+module Gossip = Dpq_gossip.Gossip
 
 type pending = { local_seq : int; kind : [ `Ins of Element.t | `Del ] }
 
@@ -35,10 +36,11 @@ type t = {
   retired : (int, int * int) Hashtbl.t;
   mutable witness_counter : int;
   mutable log : Oplog.record list;
+  gossip : Gossip.t option; (* load estimator; exchanges after every round *)
 }
 
 let create ?(seed = 1) ?(replication = 1) ?(consistency = Serializable) ?domains:_ ?trace ?faults
-    ?sched ~n () =
+    ?sched ?gossip ~n () =
   (* [domains] is accepted for interface parity with Skeap but ignored:
      Seap's KSelect rounds are cross-shard-heavy (every node talks to the
      whole tree every round), so the batch-barrier sharding of DESIGN.md §9
@@ -65,6 +67,7 @@ let create ?(seed = 1) ?(replication = 1) ?(consistency = Serializable) ?domains
     retired = Hashtbl.create 4;
     witness_counter = 0;
     log = [];
+    gossip = Option.map (fun config -> Gossip.create ~config ~seed ~n ()) gossip;
   }
 
 let n t = t.n
@@ -98,6 +101,11 @@ let delete_min t ~node =
 
 let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
 let trace t = t.trace
+
+let load_estimate t =
+  match t.gossip with
+  | None -> None
+  | Some g -> Gossip.estimate g ~node:(Ldb.owner (Aggtree.root t.tree))
 
 type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync
@@ -470,6 +478,19 @@ let process_round ?(dht_mode = Dht_sync) t =
   commit_kills t;
   let ins_cs, ins_r = insert_phase t ~dht_mode in
   let del_cs, del_r, kdiag = delete_phase t ~dht_mode in
+  (* Gossip exchange at the round boundary.  The local observation diffs
+     the monotone per-node issue counters, so operations still buffered
+     (Sequential mode retains unserviced deletes) count once, when issued. *)
+  let gossip_r =
+    match t.gossip with
+    | None -> Phase.empty_report
+    | Some g ->
+        Gossip.exchange ?trace:t.trace ?faults:t.faults ?sched:t.sched g
+          ~live:(fun v -> v < t.n && Ldb.is_present t.ldb ~id:v)
+          ~cumulative:(fun v -> t.seq_counters.(v))
+          ~anchor:(Ldb.owner (Aggtree.root t.tree))
+          ()
+  in
   let completions =
     List.sort
       (fun a b ->
@@ -477,7 +498,7 @@ let process_round ?(dht_mode = Dht_sync) t =
         if c <> 0 then c else Int.compare a.local_seq b.local_seq)
       (ins_cs @ del_cs)
   in
-  { completions; report = Phase.add_report ins_r del_r; kselect = kdiag }
+  { completions; report = Phase.add_report (Phase.add_report ins_r del_r) gossip_r; kselect = kdiag }
 
 let drain ?(dht_mode = Dht_sync) t =
   let rec go acc =
@@ -520,6 +541,7 @@ let add_node t =
   in
   t.seq_counters <- grow_array t.seq_counters t.n seq0;
   t.elt_counters <- grow_array t.elt_counters t.n elt0;
+  Option.iter (fun g -> Gossip.grow g t.n) t.gossip;
   Dpq_obs.Trace.churn t.trace ~kind:"join" ~n:t.n ~join_messages ~moved_elements;
   { join_messages; moved_elements }
 

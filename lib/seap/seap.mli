@@ -50,6 +50,7 @@ val create :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
+  ?gossip:Dpq_gossip.Gossip.config ->
   n:int ->
   unit ->
   t
@@ -87,6 +88,11 @@ val heap_size : t -> int
 
 val trace : t -> Dpq_obs.Trace.t option
 (** The trace sink passed at {!create}, if any. *)
+
+val load_estimate : t -> float option
+(** The anchor node's gossip estimate Λ̂ (issued ops per node per round),
+    or [None] when gossip is off ([?gossip] not passed at {!create}) or no
+    exchange has completed yet. *)
 
 type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync

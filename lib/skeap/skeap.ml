@@ -5,6 +5,7 @@ module Aggtree = Dpq_aggtree.Aggtree
 module Phase = Dpq_aggtree.Phase
 module Dht = Dpq_dht.Dht
 module Oplog = Dpq_semantics.Oplog
+module Gossip = Dpq_gossip.Gossip
 
 type pending = { local_seq : int; op : Batch.op; elt : Element.t option }
 
@@ -32,6 +33,7 @@ type t = {
   mutable witness_counter : int;
   mutable batches_processed : int;
   mutable log : Oplog.record list;
+  gossip : Gossip.t option; (* load estimator; exchanges after every batch *)
 }
 
 let compute_preorder_ranks tree n =
@@ -55,7 +57,7 @@ let compute_preorder_ranks tree n =
     rank;
   rank
 
-let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ~n ~num_prios () =
+let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ?gossip ~n ~num_prios () =
   if n < 1 then invalid_arg "Skeap.create: need n >= 1";
   if num_prios < 1 then invalid_arg "Skeap.create: need num_prios >= 1";
   if domains < 1 then invalid_arg "Skeap.create: need domains >= 1";
@@ -89,6 +91,7 @@ let create ?(seed = 1) ?(replication = 1) ?(domains = 1) ?trace ?faults ?sched ~
     witness_counter = 0;
     batches_processed = 0;
     log = [];
+    gossip = Option.map (fun config -> Gossip.create ~config ~seed ~n ()) gossip;
   }
 
 let n t = t.n
@@ -123,6 +126,11 @@ let delete_min t ~node =
 let pending_ops t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.buffers
 let heap_size t = Anchor.total_occupied t.anchor
 let trace t = t.trace
+
+let load_estimate t =
+  match t.gossip with
+  | None -> None
+  | Some g -> Gossip.estimate g ~node:(Ldb.owner (Aggtree.root t.tree))
 
 type dht_mode = Dpq_types.Types.dht_mode =
   | Dht_sync
@@ -342,9 +350,20 @@ let process_batch ?(dht_mode = Dht_sync) t =
       t.log <- { r with Oplog.witness = w } :: t.log)
     sorted;
   t.batches_processed <- t.batches_processed + 1;
+  (* ---- gossip exchange: load estimation rides the batch boundary ------- *)
+  let gossip_report =
+    match t.gossip with
+    | None -> Phase.empty_report
+    | Some g ->
+        Gossip.exchange ?trace:t.trace ?faults:t.faults ?sched:t.sched ?par:t.par g
+          ~live:(fun v -> v < t.n && Ldb.is_present t.ldb ~id:v)
+          ~cumulative:(fun v -> t.seq_counters.(v))
+          ~anchor:(Ldb.owner (Aggtree.root t.tree))
+          ()
+  in
   let report =
     List.fold_left Phase.add_report Phase.empty_report
-      [ up_report; down_report; announce_report; dht_report ]
+      [ up_report; down_report; announce_report; dht_report; gossip_report ]
   in
   let completions =
     List.sort
@@ -397,6 +416,7 @@ let add_node t =
   in
   t.seq_counters <- grow_array t.seq_counters t.n seq0;
   t.elt_counters <- grow_array t.elt_counters t.n elt0;
+  Option.iter (fun g -> Gossip.grow g t.n) t.gossip;
   Dpq_obs.Trace.churn t.trace ~kind:"join" ~n:t.n ~join_messages ~moved_elements;
   { join_messages; moved_elements }
 

@@ -32,6 +32,7 @@ val create :
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
+  ?gossip:Dpq_gossip.Gossip.config ->
   n:int ->
   num_prios:int ->
   unit ->
@@ -51,7 +52,11 @@ val create :
     phases of every batch on [domains] OCaml domains, sharded by node id —
     digests, traces and metrics are bit-identical to [domains = 1] (see
     DESIGN.md §9); the DHT phase stays sequential.  Runs under a fault
-    plan or scheduler automatically fall back to sequential delivery. *)
+    plan or scheduler automatically fall back to sequential delivery.
+    With [gossip], every batch boundary runs one push-sum load-estimation
+    exchange ({!Dpq_gossip.Gossip}) whose traffic is added to the batch
+    report (zero rounds — it piggybacks on batch delivery); without it,
+    behavior and costs are bit-identical to before the estimator existed. *)
 
 val n : t -> int
 val num_prios : t -> int
@@ -80,6 +85,10 @@ val heap_size : t -> int
 
 val trace : t -> Dpq_obs.Trace.t option
 (** The trace sink passed at {!create}, if any. *)
+
+val load_estimate : t -> float option
+(** The anchor node's gossip estimate Λ̂ (injected ops per node per batch),
+    or [None] when gossip is off or no exchange has completed yet. *)
 
 (** How Phase 4's DHT traffic is delivered (= {!Dpq_types.Types.dht_mode}). *)
 type dht_mode = Dpq_types.Types.dht_mode =

@@ -95,6 +95,26 @@ let sample_without_replacement t ~k ~n =
   done;
   !acc
 
+let rec poisson t ~mean =
+  if mean < 0.0 then invalid_arg "Rng.poisson: mean must be non-negative";
+  if mean = 0.0 then 0
+  else if mean > 30.0 then
+    (* Poisson(a+b) = Poisson(a) + Poisson(b): split large means so Knuth's
+       product of uniforms below never underflows exp(-mean). *)
+    let half = mean /. 2.0 in
+    poisson t ~mean:half + poisson t ~mean:half
+  else begin
+    (* Knuth: count uniforms until their product drops below e^-mean. *)
+    let l = exp (-.mean) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      p := !p *. float t;
+      if !p <= l then continue := false else incr k
+    done;
+    !k
+  end
+
 let exponential t ~mean =
   if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
   -.mean *. log1p (-.(float t))

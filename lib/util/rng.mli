@@ -65,6 +65,12 @@ val sample_without_replacement : t -> k:int -> n:int -> int list
 val exponential : t -> mean:float -> float
 (** Exponentially distributed with the given mean (> 0). *)
 
+val poisson : t -> mean:float -> int
+(** Poisson-distributed count with the given mean (>= 0).  Knuth's product
+    of uniforms; means above 30 are split recursively
+    (Poisson(a+b) = Poisson(a) + Poisson(b)), so large means neither
+    underflow nor bias. *)
+
 val zipf : t -> s:float -> n:int -> int
 (** [zipf t ~s ~n] samples from a Zipf distribution with exponent [s] over
     ranks [1..n] (returned value is in [1, n]).  Uses inverse-CDF over a

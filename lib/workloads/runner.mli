@@ -35,6 +35,16 @@ type summary = {
   peak_live : int;
       (** high-water mark of live (inserted, not yet returned) elements:
           the checker state is O(this) *)
+  p50_latency : int;
+      (** median completion latency in rounds.  Closed loop: the round cost
+          of the batch each op completed in.  Open loop ({!run_open}):
+          virtual-time ticks from an op's arrival to its batch finishing
+          service — queueing delay included. *)
+  p99_latency : int;  (** 99th-percentile completion latency (nearest rank) *)
+  p999_latency : int;  (** 99.9th-percentile completion latency *)
+  makespan : int;
+      (** when the last batch finished: total protocol rounds in closed
+          loop, the last service completion tick in open loop *)
 }
 
 val protocol_name : summary -> string
@@ -100,8 +110,56 @@ val run_gen :
 (** {!run_stream} over a streaming generator: the workload is never
     materialized.  [summary.ops] counts the operations actually produced. *)
 
+(** {2 Open-loop driving}
+
+    Closed-loop runs process one batch per workload round — offered load
+    and service are locked together.  {!run_open} decouples them: each
+    generator round is one {e tick} of virtual time, ops buffer at their
+    arrival tick, and a batch fires only when a full batch window has
+    elapsed since the previous fire (and ops are pending — empty windows
+    cost nothing).  Service serializes: a batch fired at tick [t] starts at
+    [max t busy_until] and occupies the server for its reported round cost,
+    so overload shows up as queueing delay in the latency percentiles. *)
+
+type window =
+  | Fixed of int  (** fire every [w] ticks (>= 1) *)
+  | Adaptive of Dpq_gossip.Batch_ctl.config
+      (** gossip-fed controller picks the window; implies the backend's
+          gossip estimator (default config unless [?gossip] overrides) *)
+
+val run_open :
+  ?seed:int ->
+  ?replication:int ->
+  ?domains:int ->
+  ?trace:Dpq_obs.Trace.t ->
+  ?faults:Dpq_simrt.Fault_plan.t ->
+  ?sched:Dpq_simrt.Sched.t ->
+  ?dht_mode:Dpq_types.Types.dht_mode ->
+  ?gossip:Dpq_gossip.Gossip.config ->
+  ?sink:(Dpq_semantics.Oplog.record list -> unit) ->
+  window:window ->
+  n:int ->
+  Dpq_types.Types.backend ->
+  Workload.Gen.t ->
+  summary
+(** Drive an open-loop arrival stream (a generator whose spec carries a
+    non-[Closed] arrival — closed specs also work, their ticks simply all
+    carry λ ops/node) against a batch window.  With [Adaptive], every
+    processed batch ends with a gossip exchange, the controller refits its
+    batch-cost model, and adopted window changes emit [Window_change]
+    trace events; everything is seeded-deterministic, so two identical
+    adaptive runs produce identical summaries, traces and digests.
+    [sink], when given, receives every drained oplog batch (in addition to
+    the online checker) — the hook digest/replay callers use.  After the
+    arrival stream ends, one final batch drains whatever is still
+    buffered. *)
+
 val throughput : summary -> float
 (** Completed operations per synchronous round. *)
+
+val open_throughput : summary -> float
+(** Injected (non-lost) operations per virtual-time tick of makespan — the
+    open-loop throughput measure ({!run_open} only; 0 on an empty run). *)
 
 val effective_throughput : summary -> float
 (** Operations per round when each node can also only {e process} one

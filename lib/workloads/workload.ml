@@ -36,6 +36,74 @@ let gen_round ~rng ~n ~lambda ~insert_ratio ~prio =
 let generate ~rng ~n ~rounds ~lambda ?(insert_ratio = 0.5) ~prio () =
   List.init rounds (fun _ -> gen_round ~rng ~n ~lambda ~insert_ratio ~prio)
 
+(* ----------------------------------------------------- open-loop arrivals *)
+
+type arrival =
+  | Closed
+  | Poisson_rate of float
+  | Burst of { on : int; off : int; high : float; low : float }
+  | Diurnal of { period : int; peak : float; base : float }
+
+let pi = 4.0 *. atan 1.0
+
+let arrival_rate arrival ~tick =
+  match arrival with
+  | Closed -> invalid_arg "Workload.arrival_rate: closed-loop arrivals have no rate"
+  | Poisson_rate r -> r
+  | Burst { on; off; high; low } -> if tick mod (on + off) < on then high else low
+  | Diurnal { period; peak; base } ->
+      base
+      +. (peak -. base)
+         *. (1.0 -. cos (2.0 *. pi *. float_of_int (tick mod period) /. float_of_int period))
+         /. 2.0
+
+(* One tick of an open-loop arrival process: each node's op count is drawn
+   Poisson(λ(tick)) instead of being exactly [lambda].  The per-op draws are
+   the same two the closed-loop [gen_round] makes, in the same order. *)
+let gen_round_open ~rng ~n ~arrival ~tick ~insert_ratio ~prio =
+  let rate = arrival_rate arrival ~tick in
+  List.concat_map
+    (fun node ->
+      let k = Rng.poisson rng ~mean:rate in
+      List.init k (fun _ ->
+          if Rng.bernoulli rng ~p:insert_ratio then
+            { node; action = `Ins (sample_prio rng prio) }
+          else { node; action = `Del }))
+    (List.init n (fun v -> v))
+
+let arrival_to_string = function
+  | Closed -> "closed"
+  | Poisson_rate r -> Printf.sprintf "poisson:%.17g" r
+  | Burst { on; off; high; low } -> Printf.sprintf "burst:%d:%d:%.17g:%.17g" on off high low
+  | Diurnal { period; peak; base } -> Printf.sprintf "diurnal:%d:%.17g:%.17g" period peak base
+
+let arrival_of_string s =
+  let fail () = Error (Printf.sprintf "Workload.arrival_of_string: bad arrival %S" s) in
+  let non_neg f = match f with Some v when v >= 0.0 -> f | _ -> None in
+  match String.split_on_char ':' s with
+  | [ "closed" ] -> Ok Closed
+  | [ "poisson"; r ] -> (
+      match non_neg (float_of_string_opt r) with
+      | Some r -> Ok (Poisson_rate r)
+      | None -> fail ())
+  | [ "burst"; on; off; high; low ] -> (
+      match
+        ( int_of_string_opt on,
+          int_of_string_opt off,
+          non_neg (float_of_string_opt high),
+          non_neg (float_of_string_opt low) )
+      with
+      | Some on, Some off, Some high, Some low when on > 0 && off >= 0 ->
+          Ok (Burst { on; off; high; low })
+      | _ -> fail ())
+  | [ "diurnal"; period; peak; base ] -> (
+      match
+        (int_of_string_opt period, non_neg (float_of_string_opt peak), non_neg (float_of_string_opt base))
+      with
+      | Some period, Some peak, Some base when period > 0 -> Ok (Diurnal { period; peak; base })
+      | _ -> fail ())
+  | _ -> fail ()
+
 (* ------------------------------------------------------ streaming generator *)
 
 let dist_to_string = function
@@ -68,6 +136,7 @@ module Gen = struct
     insert_ratio : float;
     dist : prio_dist;
     seed : int;
+    arrival : arrival;
   }
 
   (* The rng is the same named stream the exploration harness draws its
@@ -78,15 +147,31 @@ module Gen = struct
   let create spec = { spec; rng = Rng.named ~seed:spec.seed "workload"; produced = 0 }
   let spec t = t.spec
   let produced t = t.produced
-  let total_ops spec = spec.n * spec.rounds * spec.lambda
+
+  (* Exact for closed-loop specs; the expectation for stochastic arrivals. *)
+  let total_ops spec =
+    match spec.arrival with
+    | Closed -> spec.n * spec.rounds * spec.lambda
+    | arrival ->
+        let mean = ref 0.0 in
+        for tick = 0 to spec.rounds - 1 do
+          mean := !mean +. arrival_rate arrival ~tick
+        done;
+        int_of_float (Float.round (float_of_int spec.n *. !mean))
 
   let next t =
     if t.produced >= t.spec.rounds then None
     else begin
+      let tick = t.produced in
       t.produced <- t.produced + 1;
       Some
-        (gen_round ~rng:t.rng ~n:t.spec.n ~lambda:t.spec.lambda
-           ~insert_ratio:t.spec.insert_ratio ~prio:t.spec.dist)
+        (match t.spec.arrival with
+        | Closed ->
+            gen_round ~rng:t.rng ~n:t.spec.n ~lambda:t.spec.lambda
+              ~insert_ratio:t.spec.insert_ratio ~prio:t.spec.dist
+        | arrival ->
+            gen_round_open ~rng:t.rng ~n:t.spec.n ~arrival ~tick
+              ~insert_ratio:t.spec.insert_ratio ~prio:t.spec.dist)
     end
 
   let iter f t =
@@ -97,9 +182,15 @@ module Gen = struct
     let rec go acc = match next t with None -> acc | Some r -> go (f acc r) in
     go acc
 
+  (* The [arrival=] key is emitted only for open-loop specs, so every spec
+     string (and [gen:] repro line) written before arrivals existed parses
+     and round-trips unchanged. *)
   let spec_to_string s =
-    Printf.sprintf "n=%d rounds=%d lambda=%d ratio=%.17g dist=%s seed=%d" s.n s.rounds
+    Printf.sprintf "n=%d rounds=%d lambda=%d ratio=%.17g dist=%s seed=%d%s" s.n s.rounds
       s.lambda s.insert_ratio (dist_to_string s.dist) s.seed
+      (match s.arrival with
+      | Closed -> ""
+      | a -> " arrival=" ^ arrival_to_string a)
 
   let spec_of_string str =
     let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -121,16 +212,20 @@ module Gen = struct
           | None -> Some 0.5
           | Some r -> float_of_string_opt r
         in
-        match (ratio, get "dist") with
-        | None, _ -> fail "Workload.Gen.spec_of_string: bad ratio in %S" str
-        | _, None -> fail "Workload.Gen.spec_of_string: missing dist in %S" str
-        | Some insert_ratio, Some d -> (
+        let arrival =
+          match get "arrival" with None -> Ok Closed | Some a -> arrival_of_string a
+        in
+        match (ratio, get "dist", arrival) with
+        | None, _, _ -> fail "Workload.Gen.spec_of_string: bad ratio in %S" str
+        | _, None, _ -> fail "Workload.Gen.spec_of_string: missing dist in %S" str
+        | _, _, Error e -> Error e
+        | Some insert_ratio, Some d, Ok arrival -> (
             match dist_of_string d with
             | Error e -> Error e
             | Ok dist ->
                 if n <= 0 || rounds < 0 || lambda < 0 then
                   fail "Workload.Gen.spec_of_string: out-of-range field in %S" str
-                else Ok { n; rounds; lambda; insert_ratio; dist; seed }))
+                else Ok { n; rounds; lambda; insert_ratio; dist; seed; arrival }))
     | _ -> fail "Workload.Gen.spec_of_string: missing n/rounds/lambda/seed in %S" str
 end
 

@@ -38,6 +38,35 @@ val dist_to_string : prio_dist -> string
 
 val dist_of_string : string -> (prio_dist, string) result
 
+(** {2 Open-loop arrival processes}
+
+    Closed-loop generation (the paper's model) injects exactly λ ops per
+    node per round.  Open-loop arrivals decouple offered load from service:
+    each generator round is one {e tick} of virtual time, and every node's
+    op count in tick [t] is drawn Poisson(λ(t)) from a time-varying rate
+    schedule.  {!Runner.run_open} consumes these ticks against a batch
+    window to measure completion-latency percentiles. *)
+
+type arrival =
+  | Closed  (** the legacy exact-λ closed-loop model *)
+  | Poisson_rate of float  (** stationary: each node injects Poisson(r) per tick *)
+  | Burst of { on : int; off : int; high : float; low : float }
+      (** on/off process: rate [high] for [on] ticks, then [low] for [off]
+          ticks, repeating *)
+  | Diurnal of { period : int; peak : float; base : float }
+      (** sinusoidal day curve: rate [base] at tick 0 rising to [peak] at
+          half-period *)
+
+val arrival_rate : arrival -> tick:int -> float
+(** The per-node expected injection rate at [tick]; raises
+    [Invalid_argument] on [Closed]. *)
+
+val arrival_to_string : arrival -> string
+(** Compact textual form ([closed], [poisson:r], [burst:on:off:high:low],
+    [diurnal:period:peak:base]); round-trips with {!arrival_of_string}. *)
+
+val arrival_of_string : string -> (arrival, string) result
+
 (** {2 Streaming generation}
 
     The scale frontier (n = 4096..65536, 10⁶+ ops) cannot afford a
@@ -57,6 +86,10 @@ module Gen : sig
     insert_ratio : float;
     dist : prio_dist;
     seed : int;  (** master seed; the stream is [Rng.named ~seed "workload"] *)
+    arrival : arrival;
+        (** [Closed] reproduces the exact-λ model (and its RNG stream)
+            bit for bit; anything else draws per-node Poisson(λ(tick))
+            counts *)
   }
 
   type t
@@ -69,7 +102,8 @@ module Gen : sig
   (** Rounds handed out so far. *)
 
   val total_ops : spec -> int
-  (** [n * rounds * lambda] — every slot yields exactly one op. *)
+  (** [n * rounds * lambda] for closed-loop specs (every slot yields exactly
+      one op); the rounded expected op count for open-loop arrivals. *)
 
   val next : t -> round option
   (** The next round, or [None] after [spec.rounds] rounds. *)
@@ -80,7 +114,9 @@ module Gen : sig
   val spec_to_string : spec -> string
   (** Single-line [k=v] form, e.g.
       [n=4096 rounds=256 lambda=1 ratio=0.5 dist=const:4 seed=3]; round-trips
-      with {!spec_of_string}. *)
+      with {!spec_of_string}.  The [arrival=] key is only emitted for
+      open-loop specs, so pre-arrival spec strings are reproduced
+      byte-identically. *)
 
   val spec_of_string : string -> (spec, string) result
 end

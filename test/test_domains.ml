@@ -157,7 +157,13 @@ let test_planted_bug_engine () =
   checkb "flag reset restores identity" true (run_hopnet ~n:8 ~par:(par ~domains:2) () = seq)
 
 let skeap_combo =
-  { E.backend = Types.Skeap { num_prios = 4 }; engine = E.Sync; faults = None; replication = 1 }
+  {
+    E.backend = Types.Skeap { num_prios = 4 };
+    engine = E.Sync;
+    faults = None;
+    replication = 1;
+    adaptive = Dpq_gossip.Batch_ctl.Off;
+  }
 
 let test_planted_bug_caught_by_digest () =
   (* n matters here: small LDB trees degenerate to near-chains whose rounds
@@ -183,7 +189,15 @@ let test_planted_bug_caught_by_digest () =
 let test_kills_during_parallel_batches () =
   List.iter
     (fun (backend, spec) ->
-      let combo = { E.backend; engine = E.Sync; faults = Some spec; replication = 3 } in
+      let combo =
+        {
+          E.backend;
+          engine = E.Sync;
+          faults = Some spec;
+          replication = 3;
+          adaptive = Dpq_gossip.Batch_ctl.Off;
+        }
+      in
       let run domains =
         fingerprint (E.run (E.config_of_combo ~n:6 ~rounds:3 ~lambda:2 ~domains ~seed:7 ~policy:Sched.Fifo combo))
       in

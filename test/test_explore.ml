@@ -28,6 +28,7 @@ let base_config ?(backend = Types.Skeap { num_prios = 4 }) ?(engine = E.Sync)
     sched;
     faults;
     corrupt;
+    adaptive = Dpq_gossip.Batch_ctl.Off;
     workload = W.of_gen spec;
     gen = Some spec;
   }
@@ -70,7 +71,8 @@ let skeap_seap_combos : E.combo list =
       List.concat_map
         (fun engine ->
           List.map
-            (fun faults -> { E.backend; engine; faults; replication = 1 })
+            (fun faults ->
+              { E.backend; engine; faults; replication = 1; adaptive = Dpq_gossip.Batch_ctl.Off })
             [ None; Some "drop=0.2,dup=0.05" ])
         [ E.Sync; E.Async (Dpq_simrt.Async_engine.Exponential 2.0) ])
     [ Types.Skeap { num_prios = 4 }; Types.Seap ]
@@ -179,6 +181,84 @@ let test_repro_rejects_garbage () =
     (Result.is_error
        (E.repro_of_string "dpq-repro v1\nseed 1\nbackend warp\nworkload\n.\n"))
 
+(* Satellite regression: the v1 parser is strict.  Unknown keys, malformed
+   header lines and duplicates are rejected with the 1-based line number of
+   the offense — a file from a newer format revision can't be replayed with
+   its extra fields silently dropped. *)
+let test_repro_strict_parser () =
+  let valid =
+    let cfg = base_config ~seed:5 () in
+    E.repro_to_string cfg (E.run cfg)
+  in
+  checkb "valid file still parses" true (Result.is_ok (E.repro_of_string valid));
+  let expect_error name ~line text =
+    match E.repro_of_string text with
+    | Ok _ -> Alcotest.fail (name ^ ": parser accepted a malformed file")
+    | Error e ->
+        let want = Printf.sprintf "line %d" line in
+        let mem needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        checkb (Printf.sprintf "%s: error %S names %s" name e want) true (mem want e)
+  in
+  (* an "arrival"-style key from a hypothetical newer revision, spliced in
+     after the magic line (line 1) and the seed line (line 2) *)
+  expect_error "unknown key" ~line:3
+    "dpq-repro v1\nseed 1\nfuture-knob 7\nbackend seap\nworkload\n.\n";
+  expect_error "malformed line" ~line:4 "dpq-repro v1\nseed 1\nbackend seap\nsquiggle\nworkload\n.\n";
+  expect_error "duplicate key" ~line:3 "dpq-repro v1\nseed 1\nseed 2\nbackend seap\nworkload\n.\n";
+  (* comments and blanks keep their source positions *)
+  expect_error "position survives comments" ~line:5
+    "dpq-repro v1\n# comment\n\nseed 1\nfuture-knob 7\nworkload\n.\n";
+  (* bad round lines are positional too *)
+  expect_error "bad round line" ~line:13
+    "dpq-repro v1\nseed 1\nnodes 4\nbackend seap\nengine sync\nsched fifo\nfaults none\n\
+     corrupt none\nexpect-clause none\nexpect-digest deadbeef\nworkload\n.\ngarbage!!\n"
+
+(* Adaptive configs serialize (an [adaptive] header line), replay to the
+   same digest, and old-style files without the key parse as Off. *)
+let adaptive_combo : E.combo =
+  {
+    E.backend = Types.Skeap { num_prios = 4 };
+    engine = E.Sync;
+    faults = None;
+    replication = 1;
+    adaptive = Dpq_gossip.Batch_ctl.On Dpq_gossip.Batch_ctl.default_config;
+  }
+
+let test_repro_adaptive_roundtrip () =
+  let cfg = E.config_of_combo ~n:6 ~rounds:24 ~lambda:2 ~seed:11 ~policy:Sched.Fifo adaptive_combo in
+  let out = E.run cfg in
+  checkb "adaptive run is clean" true (out.E.violation = None);
+  checkb "adaptive run logged ops" true (out.E.ops > 0);
+  let text = E.repro_to_string cfg out in
+  checkb "adaptive line emitted" true
+    (String.split_on_char '\n' text |> List.exists (fun l -> l = "adaptive on"));
+  (match E.repro_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (cfg', exp) ->
+      checkb "adaptive config round-trips" true (cfg' = cfg);
+      checks "expected digest round-trips" out.E.digest exp.E.expect_digest);
+  with_temp_file (fun path ->
+      E.write_repro ~path cfg out;
+      match E.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok rep ->
+          checkb "adaptive replay digest matches" true rep.E.digest_matches;
+          checkb "adaptive replay clause matches" true rep.E.clause_matches)
+
+let test_repro_absent_adaptive_defaults_off () =
+  let cfg = base_config ~seed:5 () in
+  let text = E.repro_to_string cfg (E.run cfg) in
+  checkb "non-adaptive files carry no adaptive line" true
+    (String.split_on_char '\n' text
+    |> List.for_all (fun l -> not (String.length l >= 8 && String.sub l 0 8 = "adaptive")));
+  match E.repro_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (cfg', _) -> checkb "absent key parses as Off" true (cfg'.E.adaptive = Dpq_gossip.Batch_ctl.Off)
+
 (* --------------------------- Seap under adversarial delivery and drops *)
 
 (* Satellite regression: Seap on Adversarial_lifo with 20% drops still
@@ -256,6 +336,10 @@ let () =
           Alcotest.test_case "string round-trip" `Quick test_repro_roundtrip_string;
           Alcotest.test_case "replays bit-for-bit" `Quick test_repro_replays_bit_for_bit;
           Alcotest.test_case "rejects garbage" `Quick test_repro_rejects_garbage;
+          Alcotest.test_case "strict parser positions errors" `Quick test_repro_strict_parser;
+          Alcotest.test_case "adaptive round-trip and replay" `Quick test_repro_adaptive_roundtrip;
+          Alcotest.test_case "absent adaptive key means off" `Quick
+            test_repro_absent_adaptive_defaults_off;
         ] );
       ( "regressions",
         [

@@ -74,7 +74,16 @@ let test_burst () =
 (* ----------------------------------------------------------------- Gen *)
 
 let gen_spec : W.Gen.spec =
-  W.Gen.{ n = 6; rounds = 4; lambda = 3; insert_ratio = 0.5; dist = W.Constant_set 4; seed = 11 }
+  W.Gen.
+    {
+      n = 6;
+      rounds = 4;
+      lambda = 3;
+      insert_ratio = 0.5;
+      dist = W.Constant_set 4;
+      seed = 11;
+      arrival = W.Closed;
+    }
 
 let test_gen_matches_eager () =
   (* The streaming generator draws from the same named RNG stream as the
