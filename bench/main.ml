@@ -22,10 +22,13 @@
                        Gc top_heap_words is process-global and monotonic.
      --compare         re-run every cell recorded in BENCH_grid.jsonl and
                        fail (exit 1) if any digest changed, throughput
-                       regressed more than --tolerance (default 0.4), or a
+                       regressed more than --tolerance (default 0.4), a
                        stream cell's peak heap exceeded the recorded value
                        by more than --heap-tolerance (default 0.5, i.e. a
-                       1.5x ceiling).
+                       1.5x ceiling), or messages_per_op grew past the
+                       recorded value by more than --msg-tolerance (default
+                       0.25) — the message gate is what pins stream cells,
+                       whose oplog-only digests cannot see wire traffic.
      --max-n N         with --compare, skip cells with n > N (CI smoke
                        caps at 4096 to bound wall-clock).
      --domains N       with --compare, re-run every cell on N OCaml domains
@@ -359,10 +362,20 @@ let grid =
 let stream_grid =
   (* domains > 1 cells sit next to their domains = 1 twin at the same n so
      the ascending-n ordering (and thus the top_heap_words reading) holds;
-     their digests must equal the twin's bit-for-bit. *)
-  List.map
-    (fun (n, wl_rounds, domains) -> (Dpq_types.Types.Skeap { num_prios = 4 }, n, 1, wl_rounds, domains))
-    [ (4096, 256, 1); (4096, 256, 4); (16384, 64, 1); (65536, 16, 1); (65536, 16, 4) ]
+     their digests must equal the twin's bit-for-bit.  The seap cells are
+     2^18 ops each (vs skeap's 2^20): a Seap round costs a KSelect run plus
+     two DHT storms, so op-for-op parity would put minutes-long cells into
+     the smoke gate for no added coverage. *)
+  let skeap = Dpq_types.Types.Skeap { num_prios = 4 } in
+  [
+    (skeap, 4096, 1, 256, 1);
+    (skeap, 4096, 1, 256, 4);
+    (Dpq_types.Types.Seap, 4096, 1, 64, 1);
+    (skeap, 16384, 1, 64, 1);
+    (Dpq_types.Types.Seap, 16384, 1, 16, 1);
+    (skeap, 65536, 1, 16, 1);
+    (skeap, 65536, 1, 16, 4);
+  ]
 
 let cell_workload ?(wl_rounds = 4) ~n ~lambda () =
   W.generate ~rng:(Rng.create ~seed:3) ~n ~rounds:wl_rounds ~lambda ~prio:(W.Constant_set 4) ()
@@ -652,9 +665,12 @@ let run_cell ?(faults_spec = "") ?(wl_rounds = 4) ?(domains = 1) (backend, n, la
     c_ops_per_tick = 0.0;
   }
 
+let messages_per_op c = float_of_int c.c_messages /. float_of_int (max 1 c.c_ops)
+
 let row_to_json c =
-  (* Open-loop fields are emitted only for open cells, so eager/stream rows
-     keep the exact byte layout every recorded baseline already has. *)
+  (* Open-loop fields are emitted only for open cells; messages_per_op is
+     derived (messages / ops) but recorded explicitly so the gate and any
+     external tooling read the same number the gate enforces. *)
   let open_fields =
     if c.c_mode <> "open" then ""
     else
@@ -665,12 +681,13 @@ let row_to_json c =
   in
   Printf.sprintf
     "{\"backend\": %S, \"n\": %d, \"lambda\": %d, \"mode\": %S, \"wl_rounds\": %d, \"domains\": %d, \
-     \"faults\": %S, \"ops\": %d, \"rounds\": %d, \"messages\": %d, \"total_bits\": %d, \
+     \"faults\": %S, \"ops\": %d, \"rounds\": %d, \"messages\": %d, \"messages_per_op\": %.2f, \
+     \"total_bits\": %d, \
      \"wall_seconds\": %.6f, \"events_per_sec\": %.1f, \"minor_words_per_op\": %.1f, \
      \"peak_heap_words\": %d, \"peak_live\": %d%s, \"digest\": %S, \"semantics_ok\": %b}"
     c.c_backend c.c_n c.c_lambda c.c_mode c.c_wl_rounds c.c_domains c.c_faults c.c_ops c.c_rounds
-    c.c_messages c.c_total_bits c.c_wall c.c_eps c.c_minor_words_per_op c.c_peak_heap_words
-    c.c_peak_live open_fields c.c_digest c.c_ok
+    c.c_messages (messages_per_op c) c.c_total_bits c.c_wall c.c_eps c.c_minor_words_per_op
+    c.c_peak_heap_words c.c_peak_live open_fields c.c_digest c.c_ok
 
 (* Minimal flat-JSON-object reader — just enough for our own rows (string /
    number / bool values, no nesting, no escapes), so the gate needs no JSON
@@ -833,7 +850,7 @@ let read_lines file =
   in
   go []
 
-let compare_grid ~tolerance ~heap_tolerance ~max_n ~domains_override ~out () =
+let compare_grid ~tolerance ~heap_tolerance ~msg_tolerance ~max_n ~domains_override ~out () =
   if not (Sys.file_exists grid_file) then begin
     Printf.eprintf "bench --compare: no %s baseline; run `bench -- --record` first\n" grid_file;
     exit 2
@@ -904,16 +921,38 @@ let compare_grid ~tolerance ~heap_tolerance ~max_n ~domains_override ~out () =
                   Printf.sprintf "  heap %dw (ceiling %dw)" c.c_peak_heap_words ceiling )
             | _ -> (true, "")
           in
-          if not (digest_ok && eps_ok && heap_ok && c.c_ok) then incr failures;
+          (* The message-count half of the gate.  Eager and open cells pin
+             their message schedule through the digest already; stream
+             digests are oplog-only, so without this gate a message-count
+             regression there would ride through unnoticed.  Old baselines
+             lack the explicit field but always carried messages and ops,
+             so the ratio is derivable for every row ever recorded. *)
+          let msg_ok, msg_note =
+            let base_mpo =
+              match List.assoc_opt "messages_per_op" base with
+              | Some v -> float_of_string v
+              | None ->
+                  float_of_string (field base "messages")
+                  /. float_of_int (max 1 (int_of_string (field base "ops")))
+            in
+            if base_mpo <= 0.0 then (true, "")
+            else
+              let cur = messages_per_op c in
+              let ceiling = base_mpo *. (1.0 +. msg_tolerance) in
+              ( cur <= ceiling,
+                Printf.sprintf "  %.1f msg/op (ceiling %.1f)" cur ceiling )
+          in
+          if not (digest_ok && eps_ok && heap_ok && msg_ok && c.c_ok) then incr failures;
           Printf.printf
-            "%-4s %-12s n=%-5d lambda=%-2d %-6s%s %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s%s\n%!"
-            (if digest_ok && eps_ok && heap_ok && c.c_ok then "ok" else "FAIL")
+            "%-4s %-12s n=%-5d lambda=%-2d %-6s%s %8.2fM ev/s vs %8.2fM baseline (%.2fx)  digest %s%s%s%s\n%!"
+            (if digest_ok && eps_ok && heap_ok && msg_ok && c.c_ok then "ok" else "FAIL")
             c.c_backend c.c_n c.c_lambda c.c_mode
             (if c.c_domains > 1 then Printf.sprintf " d=%d" c.c_domains else "")
             (c.c_eps /. 1e6) (base_eps /. 1e6) ratio
             (if digest_ok then "unchanged"
              else Printf.sprintf "CHANGED (%s -> %s)" base_digest c.c_digest)
             (if heap_ok then heap_note else heap_note ^ "  peak heap OVER CEILING")
+            (if msg_ok then msg_note else msg_note ^ "  messages OVER CEILING")
             (if c.c_ok then "" else "  semantics BROKEN");
           Some c
         end)
@@ -987,12 +1026,15 @@ let () =
     let heap_tolerance =
       match opt_value "--heap-tolerance" argv with None -> 0.5 | Some s -> float_of_string s
     in
+    let msg_tolerance =
+      match opt_value "--msg-tolerance" argv with None -> 0.25 | Some s -> float_of_string s
+    in
     let max_n =
       match opt_value "--max-n" argv with None -> max_int | Some s -> int_of_string s
     in
     let domains_override = Option.map int_of_string (opt_value "--domains" argv) in
-    compare_grid ~tolerance ~heap_tolerance ~max_n ~domains_override ~out:(opt_value "--out" argv)
-      ();
+    compare_grid ~tolerance ~heap_tolerance ~msg_tolerance ~max_n ~domains_override
+      ~out:(opt_value "--out" argv) ();
     exit 0
   end;
   let instances = Instance.[ monotonic_clock ] in

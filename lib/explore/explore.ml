@@ -119,6 +119,7 @@ type combo = {
   faults : string option;
   replication : int;
   adaptive : Batch_ctl.spec;
+  n_override : int option;
 }
 
 let num_prios = 4
@@ -141,7 +142,14 @@ let default_combos =
             | _ ->
                 List.map
                   (fun faults ->
-                    { backend; engine; faults; replication = 1; adaptive = Batch_ctl.Off })
+                    {
+                      backend;
+                      engine;
+                      faults;
+                      replication = 1;
+                      adaptive = Batch_ctl.Off;
+                      n_override = None;
+                    })
                   faultss)
           engines)
       backends
@@ -160,6 +168,7 @@ let default_combos =
               faults = Some faults;
               replication = 3;
               adaptive = Batch_ctl.Off;
+              n_override = None;
             })
           [ kill_spec; drop_dup_spec ^ "," ^ kill_spec ])
       [ Types.Skeap { num_prios }; Types.Seap ]
@@ -178,11 +187,30 @@ let default_combos =
               faults;
               replication = 1;
               adaptive = Batch_ctl.On Batch_ctl.default_config;
+              n_override = None;
             })
           [ None; Some drop_dup_spec ])
       [ Types.Skeap { num_prios }; Types.Seap ]
   in
-  base @ killed @ adaptive
+  (* Large-n Seap cells: the aggregated KSelect path only differs from the
+     pairwise one in routing volume, so the sweep must exercise it where the
+     comparison-vector batching actually multiplexes (n >> the default 6).
+     Fault-free and sync — the point is arbitrary-priority semantics at
+     scale, not fault interleavings (those are covered at small n above). *)
+  let seap_large =
+    List.map
+      (fun n ->
+        {
+          backend = Types.Seap;
+          engine = Sync;
+          faults = None;
+          replication = 1;
+          adaptive = Batch_ctl.Off;
+          n_override = Some n;
+        })
+      [ 128; 256 ]
+  in
+  base @ killed @ adaptive @ seap_large
 
 let default_policies =
   [
@@ -212,6 +240,7 @@ let gen_workload ~seed ~n ~rounds ~lambda backend =
   Workload.of_gen (gen_spec ~seed ~n ~rounds ~lambda backend)
 
 let config_of_combo ?(n = 6) ?(rounds = 2) ?(lambda = 2) ?(domains = 1) ~seed ~policy combo =
+  let n = match combo.n_override with Some n' -> n' | None -> n in
   let spec = gen_spec ~seed ~n ~rounds ~lambda combo.backend in
   let spec =
     (* Adaptive cells drive the open loop under an on/off burst so the

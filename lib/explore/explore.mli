@@ -82,6 +82,10 @@ type combo = {
   faults : string option;
   replication : int;
   adaptive : Dpq_gossip.Batch_ctl.spec;
+  n_override : int option;
+      (** When [Some n], {!config_of_combo} uses [n] for this combo
+          regardless of its [?n] argument — lets the default grid carry
+          large-n cells next to the small fault grids. *)
 }
 
 val default_combos : combo list
@@ -91,7 +95,8 @@ val default_combos : combo list
     drop+dup+kill} at replication 3 (4 more), plus adaptive open-loop
     cells: {Skeap, Seap} × sync × {no faults, drop+dup} under a burst
     arrival with the default {!Dpq_gossip.Batch_ctl} controller (4
-    more). *)
+    more), plus fault-free large-n Seap cells at n = 128 and n = 256
+    exercising the aggregated KSelect routing path (2 more). *)
 
 val default_policies : Dpq_simrt.Sched.policy list
 (** Fifo, a shuffle with starvation, crossing pairs, and a channel bias
@@ -121,7 +126,8 @@ val config_of_combo :
   policy:Dpq_simrt.Sched.policy ->
   combo ->
   config
-(** Defaults: [n = 6], [rounds = 2], [lambda = 2], [domains = 1]. *)
+(** Defaults: [n = 6], [rounds = 2], [lambda = 2], [domains = 1].  A
+    combo's [n_override] beats the [?n] argument. *)
 
 type failure = { config : config; violation : Dpq_semantics.Checker.violation }
 

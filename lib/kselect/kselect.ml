@@ -6,12 +6,14 @@ module Rng = Dpq_util.Rng
 module Ldb = Dpq_overlay.Ldb
 module Aggtree = Dpq_aggtree.Aggtree
 module Phase = Dpq_aggtree.Phase
+module Route_table = Dpq_dht.Route_table
 module Sync = Dpq_simrt.Sync_engine
 module Metrics = Dpq_simrt.Metrics
 
 type diagnostics = {
   initial_candidates : int;
   phase1_iterations : int;
+  phase1_skipped : bool;
   phase1_candidates : int list;
   phase2_candidates : int list;
   phase2_rep_counts : int list;
@@ -19,11 +21,19 @@ type diagnostics = {
   phase3_candidates : int;
 }
 
+type impl = [ `Aggregated | `Pairwise ]
+
 type result = {
   element : Element.t;
   report : Phase.report;
   diagnostics : diagnostics;
+  phase1_window : (int * int) option;
 }
+
+(* Test-only: corrupt the first vote of every multi-item aggregated message
+   (smaller/larger swapped) — a planted wrong-aggregation bug the
+   differential test layer must catch.  Never set outside tests. *)
+let unsafe_misaggregate_votes = ref false
 
 let select_seq elements ~k =
   let sorted = List.sort Element.compare elements in
@@ -62,6 +72,15 @@ type spayload =
    of the sorting storm. *)
 type smsg = { path : Ldb.vnode list; pbits : int; payload : spayload }
 
+(* Aggregated wire format: ONE engine message per (src, dst, round) carrying
+   every sorting-stage payload crossing that edge this round.  [adest] is
+   the target virtual node each payload is addressed to (resolved through
+   the per-batch route table at posting time), so the message needs no hop
+   forwarding at all. *)
+type aitem = { adest : Ldb.vnode; apay : spayload }
+type amsg = { aitems : aitem list; abits : int }
+type acell = { mutable citems : aitem list; mutable cbits : int }
+
 type tnode = {
   t_i : int;
   t_mid : int;
@@ -93,11 +112,45 @@ let spayload_bits ldb p =
       Bitsize.bits_of_int c.i + Bitsize.bits_of_int c.parent_mid + Bitsize.bits_of_int c.smaller
       + Bitsize.bits_of_int c.larger
 
+let report_of_engine rounds m =
+  Phase.
+    {
+      rounds;
+      messages = Metrics.total_messages m;
+      max_congestion = Metrics.max_congestion m;
+      max_message_bits = Metrics.max_message_bits m;
+      total_bits = Metrics.total_bits m;
+      local_deliveries = Metrics.local_deliveries m;
+      busiest_node_load = Array.fold_left max 0 (Metrics.node_load m);
+    }
+
+let orders_to_array ~n' ~elt_of_pos orders =
+  if Hashtbl.length orders <> n' then
+    failwith
+      (Printf.sprintf "Kselect.sorting_stage: got %d orders for %d representatives"
+         (Hashtbl.length orders) n');
+  let by_order = Array.make (n' + 1) None in
+  Hashtbl.iter
+    (fun i order ->
+      if order < 1 || order > n' then failwith "Kselect.sorting_stage: order out of range";
+      (match by_order.(order) with
+      | Some _ -> failwith "Kselect.sorting_stage: duplicate order"
+      | None -> ());
+      by_order.(order) <- Some (Hashtbl.find elt_of_pos i))
+    orders;
+  Array.map Option.get (Array.sub by_order 1 n')
+
 (* [reps]: for each real node, the (position, element) pairs it contributed.
    Returns the element of each order (index 1..n') plus the number of
-   (node, tree) participations, and adds the engine costs to [reports]. *)
-let sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos ~hash_pair ~(reps : (int * Element.t) list array) ~n'
-    ~(add_report : Phase.report -> unit) =
+   (node, tree) participations, and adds the engine costs to [reports].
+
+   The pre-optimization protocol: every copy-tree edge is a de Bruijn hop,
+   every rendezvous and vote is routed hop-by-hop to the hashed pair point,
+   and every payload is its own wire message.  Kept executable as the
+   reference the differential test layer runs the aggregated rewrite
+   against. *)
+let sorting_stage_pairwise ~trace ~faults ~sched ~ldb ~hash_pos ~hash_pair
+    ~(reps : (int * Element.t) list array) ~n' ~(add_report : Phase.report -> unit) =
   let span = Dpq_obs.Trace.phase_start trace "kselect-sort" in
   let n = Ldb.n ldb in
   let d' = max 1 (Bitsize.log2_ceil (max 2 n')) in
@@ -290,40 +343,238 @@ let sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos ~hash_pair ~(reps : (int 
         pairs)
     reps;
   let rounds = Sync.run_to_quiescence ~max_rounds:200_000 eng in
-  let m = Sync.metrics eng in
-  let stage_report =
-    Phase.
-      {
-        rounds;
-        messages = Metrics.total_messages m;
-        max_congestion = Metrics.max_congestion m;
-        max_message_bits = Metrics.max_message_bits m;
-        total_bits = Metrics.total_bits m;
-        local_deliveries = Metrics.local_deliveries m;
-        busiest_node_load = Array.fold_left max 0 (Metrics.node_load m);
-      }
-  in
+  let stage_report = report_of_engine rounds (Sync.metrics eng) in
   add_report stage_report;
   Dpq_obs.Trace.phase_end trace ~span ~name:"kselect-sort"
     ~rounds:stage_report.Phase.rounds ~messages:stage_report.Phase.messages
     ~max_congestion:stage_report.Phase.max_congestion
     ~max_message_bits:stage_report.Phase.max_message_bits
     ~total_bits:stage_report.Phase.total_bits;
-  if Hashtbl.length orders <> n' then
-    failwith
-      (Printf.sprintf "Kselect.sorting_stage: got %d orders for %d representatives"
-         (Hashtbl.length orders) n');
-  let by_order = Array.make (n' + 1) None in
-  Hashtbl.iter
-    (fun i order ->
-      if order < 1 || order > n' then failwith "Kselect.sorting_stage: order out of range";
-      (match by_order.(order) with
-      | Some _ -> failwith "Kselect.sorting_stage: duplicate order"
-      | None -> ());
-      by_order.(order) <- Some (Hashtbl.find elt_of_pos i))
-    orders;
-  let by_order = Array.map Option.get (Array.sub by_order 1 n') in
-  (by_order, Hashtbl.length participations)
+  (orders_to_array ~n' ~elt_of_pos orders, Hashtbl.length participations)
+
+(* The aggregated sorting stage: same copy trees, same hashed pair points,
+   same vote algebra — but every payload is addressed directly to its
+   destination's manager (resolved through the per-batch route table) and
+   buffered in a per-node outbox; each node's activation flushes ONE
+   combined vector message per destination per round.  Messages per stage
+   drop from Θ(n'² log n) wire words to the number of busy (src, dst)
+   edges per round, while every O(log n)-bit payload invariant survives:
+   a combined message carries the per-node constant number of comparisons
+   that previously travelled as separate words. *)
+let sorting_stage_aggregated ~trace ~faults ~sched ~rt ~hash_pos ~hash_pair
+    ~(reps : (int * Element.t) list array) ~n' ~(add_report : Phase.report -> unit) =
+  let span = Dpq_obs.Trace.phase_start trace "kselect-sort" in
+  let ldb = Route_table.ldb rt in
+  let n = Ldb.n ldb in
+  let d' = max 1 (Bitsize.log2_ceil (max 2 n')) in
+  let point_of_bits x = float_of_int x /. float_of_int (1 lsl d') in
+  let pos_point i = Hashing.to_unit_interval hash_pos i in
+  let pair_point i j = Hashing.pair_to_unit_interval hash_pair (min i j) (max i j) in
+  let tnodes : (int * int, tnode) Hashtbl.t = Hashtbl.create (4 * n') in
+  let rendez : (int * int, int * Element.t * float) Hashtbl.t = Hashtbl.create (n' * n' / 2) in
+  let orders : (int, int) Hashtbl.t = Hashtbl.create n' in
+  let participations : (int * int, unit) Hashtbl.t = Hashtbl.create (4 * n') in
+  let elt_of_pos = Hashtbl.create n' in
+  Array.iter (List.iter (fun (pos, elt) -> Hashtbl.replace elt_of_pos pos elt)) reps;
+  let point_bits = 2 * Bitsize.log2_ceil (max 2 n) in
+  let routing_header = point_bits + Bitsize.log2_ceil (max 2 n) in
+  (* Each item additionally ships its destination vnode address. *)
+  let item_bits payload = spayload_bits ldb payload + point_bits + 2 in
+  let boxes : (int, acell) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 8) in
+  let boxed = ref 0 in
+  (* full (src,dst) cells awaiting a flush *)
+  let post eng ~src ~point payload =
+    let dest = Route_table.manager rt ~point in
+    let dst = Ldb.owner dest in
+    let it = { adest = dest; apay = payload } in
+    if dst = src then
+      (* Free virtual edge: deliver within the same activation. *)
+      Sync.send eng ~src ~dst { aitems = [ it ]; abits = routing_header + item_bits payload }
+    else begin
+      let buf = boxes.(src) in
+      match Hashtbl.find_opt buf dst with
+      | Some cell ->
+          cell.citems <- it :: cell.citems;
+          cell.cbits <- cell.cbits + item_bits payload
+      | None ->
+          Hashtbl.replace buf dst { citems = [ it ]; cbits = item_bits payload };
+          incr boxed
+    end
+  in
+  let try_complete eng post tn =
+    if (not tn.t_done) && tn.t_has_own_vote && tn.t_child_sums = tn.t_expected_children then begin
+      tn.t_done <- true;
+      if tn.t_parent_point < 0.0 then Hashtbl.replace orders tn.t_i (tn.t_smaller + 1)
+      else
+        post eng ~src:(Ldb.owner tn.t_vnode) ~point:tn.t_parent_point
+          (Child_sum
+             {
+               i = tn.t_i;
+               parent_mid = tn.t_parent_mid;
+               smaller = tn.t_smaller;
+               larger = tn.t_larger;
+             })
+    end
+  in
+  let handle_payload eng final payload =
+    let self = Ldb.owner final in
+    match payload with
+    | Disseminate d ->
+        let x =
+          if d.x >= 0 then d.x
+          else
+            min ((1 lsl d') - 1) (int_of_float (Ldb.label ldb final *. float_of_int (1 lsl d')))
+        in
+        let mid = (d.a + d.b) / 2 in
+        let left = d.a <= mid - 1 and right = mid + 1 <= d.b in
+        let tn =
+          {
+            t_i = d.i;
+            t_mid = mid;
+            t_elt = d.elt;
+            t_vnode = final;
+            t_point = d.point;
+            t_parent_point = d.parent_point;
+            t_parent_mid = d.parent_mid;
+            t_expected_children = (if left then 1 else 0) + (if right then 1 else 0);
+            t_smaller = 0;
+            t_larger = 0;
+            t_has_own_vote = false;
+            t_child_sums = 0;
+            t_done = false;
+          }
+        in
+        Hashtbl.replace tnodes (d.i, mid) tn;
+        Hashtbl.replace participations (self, d.i) ();
+        let shifted = x lsr 1 in
+        let hi = 1 lsl (d' - 1) in
+        if left then begin
+          let xl = shifted in
+          post eng ~src:self ~point:(point_of_bits xl)
+            (Disseminate
+               {
+                 i = d.i;
+                 a = d.a;
+                 b = mid - 1;
+                 x = xl;
+                 point = point_of_bits xl;
+                 parent_point = d.point;
+                 parent_mid = mid;
+                 elt = d.elt;
+               })
+        end;
+        if right then begin
+          let xr = shifted lor hi in
+          post eng ~src:self ~point:(point_of_bits xr)
+            (Disseminate
+               {
+                 i = d.i;
+                 a = mid + 1;
+                 b = d.b;
+                 x = xr;
+                 point = point_of_bits xr;
+                 parent_point = d.point;
+                 parent_mid = mid;
+                 elt = d.elt;
+               })
+        end;
+        post eng ~src:self ~point:(pair_point d.i mid)
+          (Rendezvous { i = d.i; j = mid; elt = d.elt; return_point = d.point })
+    | Rendezvous r ->
+        if r.i = r.j then
+          post eng ~src:self ~point:r.return_point
+            (Vote { i = r.i; j = r.j; smaller = 0; larger = 0 })
+        else begin
+          let key = (min r.i r.j, max r.i r.j) in
+          match Hashtbl.find_opt rendez key with
+          | None -> Hashtbl.replace rendez key (r.i, r.elt, r.return_point)
+          | Some (i0, elt0, rp0) ->
+              Hashtbl.remove rendez key;
+              let first_smaller = Element.compare elt0 r.elt < 0 in
+              let s0, l0 = if first_smaller then (0, 1) else (1, 0) in
+              let s1, l1 = if first_smaller then (1, 0) else (0, 1) in
+              post eng ~src:self ~point:rp0 (Vote { i = i0; j = r.i; smaller = s0; larger = l0 });
+              post eng ~src:self ~point:r.return_point
+                (Vote { i = r.i; j = i0; smaller = s1; larger = l1 })
+        end
+    | Vote v -> (
+        match Hashtbl.find_opt tnodes (v.i, v.j) with
+        | None -> failwith "Kselect.sorting_stage: vote for unknown tree node"
+        | Some tn ->
+            tn.t_smaller <- tn.t_smaller + v.smaller;
+            tn.t_larger <- tn.t_larger + v.larger;
+            tn.t_has_own_vote <- true;
+            try_complete eng post tn)
+    | Child_sum c -> (
+        match Hashtbl.find_opt tnodes (c.i, c.parent_mid) with
+        | None -> failwith "Kselect.sorting_stage: child sum for unknown tree node"
+        | Some tn ->
+            tn.t_smaller <- tn.t_smaller + c.smaller;
+            tn.t_larger <- tn.t_larger + c.larger;
+            tn.t_child_sums <- tn.t_child_sums + 1;
+            try_complete eng post tn)
+  in
+  let handler eng ~dst:_ ~src:_ msg = List.iter (fun it -> handle_payload eng it.adest it.apay) msg.aitems in
+  let activate eng node =
+    let buf = boxes.(node) in
+    if Hashtbl.length buf > 0 then begin
+      let cells = Hashtbl.fold (fun dst cell acc -> (dst, cell) :: acc) buf [] in
+      let cells = List.sort (fun (a, _) (b, _) -> Int.compare a b) cells in
+      Hashtbl.reset buf;
+      List.iter
+        (fun (dst, cell) ->
+          decr boxed;
+          let items = List.rev cell.citems in
+          let items =
+            if !unsafe_misaggregate_votes then
+              match items with
+              | { adest; apay = Vote { i; j; smaller; larger } } :: (_ :: _ as rest) ->
+                  { adest; apay = Vote { i; j; smaller = larger; larger = smaller } } :: rest
+              | _ -> items
+            else items
+          in
+          Sync.send eng ~src:node ~dst { aitems = items; abits = routing_header + cell.cbits })
+        cells
+    end
+  in
+  let eng =
+    Sync.create ~n ~size_bits:(fun m -> m.abits) ~handler ~activate ?trace ?faults ?sched ()
+  in
+  Array.iteri
+    (fun node pairs ->
+      List.iter
+        (fun (pos, elt) ->
+          post eng ~src:node ~point:(pos_point pos)
+            (Disseminate
+               {
+                 i = pos;
+                 a = 1;
+                 b = n';
+                 x = -1;
+                 point = pos_point pos;
+                 parent_point = -1.0;
+                 parent_mid = -1;
+                 elt;
+               }))
+        pairs)
+    reps;
+  (* [run_to_quiescence] would stop while combined messages still sit in the
+     outboxes (they are not in flight until an activation flushes them), so
+     the stage drives rounds itself. *)
+  let rounds = ref 0 in
+  while !boxed > 0 || Sync.pending eng > 0 || Sync.unacked eng > 0 do
+    if !rounds >= 200_000 then failwith "Kselect.sorting_stage: exceeded round budget";
+    Sync.step eng;
+    incr rounds
+  done;
+  let stage_report = report_of_engine !rounds (Sync.metrics eng) in
+  add_report stage_report;
+  Dpq_obs.Trace.phase_end trace ~span ~name:"kselect-sort"
+    ~rounds:stage_report.Phase.rounds ~messages:stage_report.Phase.messages
+    ~max_congestion:stage_report.Phase.max_congestion
+    ~max_message_bits:stage_report.Phase.max_message_bits
+    ~total_bits:stage_report.Phase.total_bits;
+  (orders_to_array ~n' ~elt_of_pos orders, Hashtbl.length participations)
 
 (* ------------------------------------------------------------------------ *)
 (* The full protocol.                                                        *)
@@ -444,7 +695,59 @@ let phase1_iteration st =
       ~size_bits:(fun _ -> 2 * int_bits (max 1 st.n_remaining))
   in
   st.k <- st.k - !removed_below;
-  st.n_remaining <- st.n_remaining - !removed_below - !removed_above
+  st.n_remaining <- st.n_remaining - !removed_below - !removed_above;
+  (pmin, pmax)
+
+(* Sample reuse (the cross-batch hint): the caller ships the [lo, hi]
+   priority window a previous full Phase 1 converged to.  One broadcast +
+   one exact count aggregation verify it against the CURRENT candidate
+   multiset with the same unconditional safety guards the phase-2 pruning
+   uses: prune below [lo] only if fewer than k candidates sit strictly
+   under it, accept the window at all only if it still covers the k-th
+   candidate (count(≤ hi) ≥ k).  A stale window therefore costs two tree
+   traversals and falls back to the full Phase 1 — it can never select the
+   wrong element. *)
+let apply_hint st ~lo ~hi =
+  bcast st (int_bits (max 1 lo) + int_bits (max 1 hi));
+  let local node =
+    List.fold_left
+      (fun (bl, bh) e ->
+        let p = Element.prio e in
+        ((if p < lo then bl + 1 else bl), (if p <= hi then bh + 1 else bh)))
+      (0, 0) st.cands.(node)
+  in
+  let (below_lo, upto_hi), _ =
+    up st
+      ~local:(fun v -> match Ldb.kind v with Ldb.Middle -> local (Ldb.owner v) | _ -> (0, 0))
+      ~combine:(fun (a, b) (c, d) -> (a + c, b + d))
+      ~size_bits:(fun _ -> 2 * int_bits (max 1 st.n_remaining))
+  in
+  if upto_hi < st.k then false
+  else begin
+    let prune_below = below_lo > 0 && below_lo < st.k in
+    let prune_above = upto_hi < st.n_remaining in
+    bcast st 2;
+    let removed_below = ref 0 and removed_above = ref 0 in
+    if prune_below || prune_above then
+      Array.iteri
+        (fun node cs ->
+          let keep =
+            List.filter
+              (fun e ->
+                let p = Element.prio e in
+                let below = prune_below && p < lo in
+                let above = prune_above && p > hi in
+                if below then incr removed_below;
+                if above then incr removed_above;
+                (not below) && not above)
+              cs
+          in
+          st.cands.(node) <- keep)
+        st.cands;
+    st.k <- st.k - !removed_below;
+    st.n_remaining <- st.n_remaining - !removed_below - !removed_above;
+    true
+  end
 
 (* -------------------------------------------------------------- Phase 2 *)
 
@@ -524,7 +827,8 @@ let prune_between st ~c_l ~c_r ~prune_below ~prune_above =
 
 (* -------------------------------------------------------------- select  *)
 
-let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults ?sched ~tree ~elements ~k () =
+let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?(impl : impl = `Aggregated)
+    ?phase1_hint ?trace ?faults ?sched ~tree ~elements ~k () =
   let ldb = Aggtree.ldb tree in
   let n = Ldb.n ldb in
   if Array.length elements <> n then
@@ -548,71 +852,108 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
       sched;
     }
   in
+  let aggregated = impl = `Aggregated in
+  let rt = Route_table.create ldb in
+  let sorting_stage ~reps ~n' =
+    if aggregated then
+      sorting_stage_aggregated ~trace ~faults ~sched ~rt ~hash_pos:st.hash_pos
+        ~hash_pair:st.hash_pair ~reps ~n' ~add_report:(add_report st)
+    else
+      sorting_stage_pairwise ~trace ~faults ~sched ~ldb ~hash_pos:st.hash_pos
+        ~hash_pair:st.hash_pair ~reps ~n' ~add_report:(add_report st)
+  in
   let diag_p1 = ref [] and diag_p2 = ref [] and diag_reps = ref [] in
   let participations = ref 0 and stages = ref 0 in
-  (* ---------------- Phase 1: log(q)+1 sampling iterations -------------- *)
-  let q =
-    if n < 2 then 1
-    else max 1 (int_of_float (ceil (log (float_of_int (max 2 m)) /. log (float_of_int n))))
-  in
-  let iters1 = Bitsize.log2_ceil (max 1 q) + 1 in
-  for i = 1 to iters1 do
-    phase1_iteration st;
-    diag_p1 := st.n_remaining :: !diag_p1;
-    Dpq_obs.Trace.kselect_round trace ~stage:"phase1" ~iteration:i ~candidates:st.n_remaining
-  done;
-  (* ---------------- Phase 2: shrink to ~sqrt(n) candidates ------------- *)
+  let msgs () = st.report.Phase.messages in
   (* Stop shrinking once everything fits into one exact sorting stage of
      the size Phase 2 would sample anyway (n' ≈ 4√n). *)
   let threshold = max (int_of_float (rep_factor *. sqrt (float_of_int n))) 32 in
-  (* δ = Θ(√(log n) · n^{1/4}) (Lemma 4.6).  The constant is 1 rather than
-     the proof's larger c: the exact-rank guards below make pruning safe
-     unconditionally, so a tighter δ only trades a little failure
-     probability for much faster shrinkage at moderate n. *)
-  let delta =
-    max 1
-      (int_of_float
-         (delta_factor *. sqrt (log (float_of_int (max 2 n))) *. (float_of_int (max 2 n) ** 0.25)))
-  in
-  let no_progress = ref 0 in
-  let iter2 = ref 0 in
-  while st.n_remaining > threshold && !no_progress < 3 && !iter2 < 30 do
-    incr iter2;
-    let before = st.n_remaining in
-    bcast st (2 * int_bits (max n st.n_remaining));
-    (* n' = Θ(√n) representatives; the constant 4 keeps n' comfortably above
-       δ at practical n (the paper's asymptotics assume n' ≫ δ, which for
-       √n vs n^{1/4}·√log n only holds at very large n). *)
-    let prob = rep_factor *. sqrt (float_of_int n) /. float_of_int st.n_remaining in
-    let prob = min 1.0 prob in
-    let n', reps = draw_representatives st ~prob in
-    if n' >= 2 then begin
-      diag_reps := n' :: !diag_reps;
-      let by_order, parts =
-        sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
-          ~add_report:(add_report st)
+  (* Small batches skip straight to the Phase 3 exact sort: the whole
+     candidate set is no bigger than the sample Phase 2 would draw, so the
+     sampling iterations could not reduce the sorting work they precede. *)
+  let skip_direct = aggregated && m <= threshold in
+  let window = ref None in
+  let iters1_run = ref 0 in
+  let hint_used = ref false in
+  if not skip_direct then begin
+    (match phase1_hint with
+    | Some (lo, hi) when aggregated ->
+        if apply_hint st ~lo ~hi then begin
+          hint_used := true;
+          diag_p1 := [ st.n_remaining ];
+          Dpq_obs.Trace.kselect_round trace ~stage:"phase1-hint" ~iteration:0
+            ~candidates:st.n_remaining ~messages:(msgs ())
+        end
+    | _ -> ());
+    if not !hint_used then begin
+      (* ---------------- Phase 1: log(q)+1 sampling iterations ---------- *)
+      let q =
+        if n < 2 then 1
+        else max 1 (int_of_float (ceil (log (float_of_int (max 2 m)) /. log (float_of_int n))))
       in
-      participations := !participations + parts;
-      incr stages;
-      let ideal = float_of_int st.k *. float_of_int n' /. float_of_int st.n_remaining in
-      let l = max 1 (min n' (int_of_float (floor (ideal -. float_of_int delta)))) in
-      let r = max 1 (min n' (int_of_float (ceil (ideal +. float_of_int delta)))) in
-      let c_l = by_order.(l - 1) and c_r = by_order.(max l r - 1) in
-      (* One aggregation for the exact ranks, then prune with the safety
-         guards: below only if rank(c_l) < k, above only if rank(c_r) >= k. *)
-      let rank_l, rank_r = exact_ranks st c_l c_r in
-      let prune_below = rank_l < st.k in
-      let prune_above = rank_r >= st.k in
-      if prune_below || prune_above then
-        prune_between st ~c_l ~c_r ~prune_below ~prune_above
+      let iters1 = Bitsize.log2_ceil (max 1 q) + 1 in
+      iters1_run := iters1;
+      for i = 1 to iters1 do
+        let pmin, pmax = phase1_iteration st in
+        (match pmax with
+        | B hi ->
+            let lo = match pmin with B p -> p | _ -> 0 in
+            window := Some (lo, hi)
+        | _ -> ());
+        diag_p1 := st.n_remaining :: !diag_p1;
+        Dpq_obs.Trace.kselect_round trace ~stage:"phase1" ~iteration:i
+          ~candidates:st.n_remaining ~messages:(msgs ())
+      done
     end;
-    diag_p2 := st.n_remaining :: !diag_p2;
-    Dpq_obs.Trace.kselect_round trace ~stage:"phase2" ~iteration:!iter2 ~candidates:st.n_remaining;
-    if st.n_remaining >= before then incr no_progress else no_progress := 0
-  done;
+    (* ---------------- Phase 2: shrink to ~sqrt(n) candidates ----------- *)
+    (* δ = Θ(√(log n) · n^{1/4}) (Lemma 4.6).  The constant is 1 rather than
+       the proof's larger c: the exact-rank guards below make pruning safe
+       unconditionally, so a tighter δ only trades a little failure
+       probability for much faster shrinkage at moderate n. *)
+    let delta =
+      max 1
+        (int_of_float
+           (delta_factor *. sqrt (log (float_of_int (max 2 n))) *. (float_of_int (max 2 n) ** 0.25)))
+    in
+    let no_progress = ref 0 in
+    let iter2 = ref 0 in
+    while st.n_remaining > threshold && !no_progress < 3 && !iter2 < 30 do
+      incr iter2;
+      let before = st.n_remaining in
+      bcast st (2 * int_bits (max n st.n_remaining));
+      (* n' = Θ(√n) representatives; the constant 4 keeps n' comfortably above
+         δ at practical n (the paper's asymptotics assume n' ≫ δ, which for
+         √n vs n^{1/4}·√log n only holds at very large n). *)
+      let prob = rep_factor *. sqrt (float_of_int n) /. float_of_int st.n_remaining in
+      let prob = min 1.0 prob in
+      let n', reps = draw_representatives st ~prob in
+      if n' >= 2 then begin
+        diag_reps := n' :: !diag_reps;
+        let by_order, parts = sorting_stage ~reps ~n' in
+        participations := !participations + parts;
+        incr stages;
+        let ideal = float_of_int st.k *. float_of_int n' /. float_of_int st.n_remaining in
+        let l = max 1 (min n' (int_of_float (floor (ideal -. float_of_int delta)))) in
+        let r = max 1 (min n' (int_of_float (ceil (ideal +. float_of_int delta)))) in
+        let c_l = by_order.(l - 1) and c_r = by_order.(max l r - 1) in
+        (* One aggregation for the exact ranks, then prune with the safety
+           guards: below only if rank(c_l) < k, above only if rank(c_r) >= k. *)
+        let rank_l, rank_r = exact_ranks st c_l c_r in
+        let prune_below = rank_l < st.k in
+        let prune_above = rank_r >= st.k in
+        if prune_below || prune_above then
+          prune_between st ~c_l ~c_r ~prune_below ~prune_above
+      end;
+      diag_p2 := st.n_remaining :: !diag_p2;
+      Dpq_obs.Trace.kselect_round trace ~stage:"phase2" ~iteration:!iter2
+        ~candidates:st.n_remaining ~messages:(msgs ());
+      if st.n_remaining >= before then incr no_progress else no_progress := 0
+    done
+  end;
   (* ---------------- Phase 3: exact computation ------------------------- *)
   let phase3_n = st.n_remaining in
-  Dpq_obs.Trace.kselect_round trace ~stage:"phase3" ~iteration:0 ~candidates:phase3_n;
+  Dpq_obs.Trace.kselect_round trace ~stage:"phase3" ~iteration:0 ~candidates:phase3_n
+    ~messages:(msgs ());
   let element =
     if phase3_n = 1 then (
       (* route the single survivor to the anchor *)
@@ -628,10 +969,7 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
     else begin
       let n', reps = draw_representatives st ~prob:1.0 in
       assert (n' = phase3_n);
-      let by_order, parts =
-        sorting_stage ~trace ~faults ~sched ~ldb ~hash_pos:st.hash_pos ~hash_pair:st.hash_pair ~reps ~n'
-          ~add_report:(add_report st)
-      in
+      let by_order, parts = sorting_stage ~reps ~n' in
       participations := !participations + parts;
       incr stages;
       (* the k-th smallest survivor is the answer; ship it to the anchor *)
@@ -648,7 +986,8 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
   let diagnostics =
     {
       initial_candidates = m;
-      phase1_iterations = iters1;
+      phase1_iterations = !iters1_run;
+      phase1_skipped = skip_direct || !hint_used;
       phase1_candidates = List.rev !diag_p1;
       phase2_candidates = List.rev !diag_p2;
       phase2_rep_counts = List.rev !diag_reps;
@@ -658,4 +997,4 @@ let select ?(seed = 1) ?(rep_factor = 4.0) ?(delta_factor = 1.0) ?trace ?faults 
       phase3_candidates = phase3_n;
     }
   in
-  { element; report = st.report; diagnostics }
+  { element; report = st.report; diagnostics; phase1_window = !window }

@@ -37,7 +37,11 @@ module Phase = Dpq_aggtree.Phase
 
 type diagnostics = {
   initial_candidates : int;
-  phase1_iterations : int;
+  phase1_iterations : int;  (** full Phase-1 iterations actually run (0 when skipped) *)
+  phase1_skipped : bool;
+      (** Phase 1 was skipped entirely — either the whole batch was small
+          enough to go straight to the exact phase, or a [phase1_hint]
+          window verified against the current candidates *)
   phase1_candidates : int list;  (** N after each Phase-1 iteration *)
   phase2_candidates : int list;  (** N after each Phase-2 iteration *)
   phase2_rep_counts : int list;  (** n' drawn in each Phase-2 iteration *)
@@ -47,16 +51,27 @@ type diagnostics = {
   phase3_candidates : int;  (** candidates sorted exactly at the end *)
 }
 
+type impl = [ `Aggregated | `Pairwise ]
+(** Which sorting-stage wire format to run (see {!select}). *)
+
 type result = {
   element : Element.t;
   report : Phase.report;
   diagnostics : diagnostics;
+  phase1_window : (int * int) option;
+      (** The last concrete [\[P_min, P_max\]] priority window a FULL Phase 1
+          converged to — the k-th smallest element provably lies inside it.
+          [None] when Phase 1 was skipped (hint or small batch): callers
+          caching the window keep it anchored at the last full run, so a
+          drifting candidate set eventually forces a refresh. *)
 }
 
 val select :
   ?seed:int ->
   ?rep_factor:float ->
   ?delta_factor:float ->
+  ?impl:impl ->
+  ?phase1_hint:int * int ->
   ?trace:Dpq_obs.Trace.t ->
   ?faults:Dpq_simrt.Fault_plan.t ->
   ?sched:Dpq_simrt.Sched.t ->
@@ -75,7 +90,25 @@ val select :
     (Lemma 4.6).  Larger n' / smaller δ prune faster per iteration but cost
     more rendezvous traffic — the trade-off quantified by experiment A1.
     Correctness is unaffected either way (the exact-rank guards hold
-    unconditionally). *)
+    unconditionally).
+
+    [impl] selects the sorting-stage wire format.  [`Aggregated] (default)
+    addresses every copy-tree / rendezvous / vote payload directly to its
+    destination's manager through a per-run route table and flushes ONE
+    combined vector message per (src, dst) pair per round; it also skips
+    Phases 1–2 outright for batches no larger than the Phase-2 stopping
+    threshold.  [`Pairwise] is the pre-optimization protocol — every payload
+    its own hop-by-hop wire word — kept executable as the reference the
+    differential test layer compares against; it ignores [phase1_hint].
+    Both return the exact same element for the same seed.
+
+    [phase1_hint] is the [(lo, hi)] priority window of a previous
+    [phase1_window], offered for cross-batch sample reuse.  It is verified
+    against the current candidate multiset with one broadcast + one exact
+    count aggregation before any pruning (a window that no longer covers
+    the k-th candidate is rejected and the full Phase 1 runs), so a stale
+    hint costs two tree traversals and can never change the selected
+    element. *)
 
 val select_seq : Element.t list -> k:int -> Element.t
 (** Sequential oracle: sort and index.  Raises [Invalid_argument] on a bad
@@ -84,3 +117,10 @@ val select_seq : Element.t list -> k:int -> Element.t
 val kth_statistics : Element.t list -> k:int -> Element.t * int * int
 (** Oracle diagnostics: the k-th element plus how many elements are strictly
     below/above it. *)
+
+val unsafe_misaggregate_votes : bool ref
+(** Test-only: when set, flushing an aggregated outbox swaps the
+    smaller/larger counts of the first vote in every multi-item combined
+    message — a planted wrong-aggregation bug.  The differential test layer
+    flips this to prove the oracle comparison actually catches aggregation
+    mistakes.  Never set outside tests. *)

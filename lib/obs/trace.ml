@@ -17,7 +17,7 @@ type event =
   | Anchor_assign of { batch_inserts : int; batch_deletes : int; heap_size : int }
   | Dht_put of { span : span; origin : int; key : int; manager : int }
   | Dht_get of { span : span; origin : int; key : int; manager : int }
-  | Kselect_round of { stage : string; iteration : int; candidates : int }
+  | Kselect_round of { stage : string; iteration : int; candidates : int; messages : int }
   | Churn of { kind : string; n : int; join_messages : int; moved_elements : int }
   | Fault_injected of { span : span; kind : string; src : int; dst : int }
   | Retransmit of { span : span; src : int; dst : int; attempt : int }
@@ -97,10 +97,10 @@ let dht_get topt ~origin ~key ~manager =
   | None -> ()
   | Some t -> push t (Dht_get { span = current_span t; origin; key; manager })
 
-let kselect_round topt ~stage ~iteration ~candidates =
+let kselect_round topt ~stage ~iteration ~candidates ~messages =
   match topt with
   | None -> ()
-  | Some t -> push t (Kselect_round { stage; iteration; candidates })
+  | Some t -> push t (Kselect_round { stage; iteration; candidates; messages })
 
 let churn topt ~kind ~n ~join_messages ~moved_elements =
   match topt with
@@ -425,11 +425,12 @@ let event_to_json ev =
       buf_kv_int b "origin" origin;
       buf_kv_int b "key" key;
       buf_kv_int b "manager" manager
-  | Kselect_round { stage; iteration; candidates } ->
+  | Kselect_round { stage; iteration; candidates; messages } ->
       tag "kselect_round";
       buf_kv_str b "stage" stage;
       buf_kv_int b "iteration" iteration;
-      buf_kv_int b "candidates" candidates
+      buf_kv_int b "candidates" candidates;
+      buf_kv_int b "messages" messages
   | Churn { kind; n; join_messages; moved_elements } ->
       tag "churn";
       buf_kv_str b "kind" kind;
@@ -605,7 +606,13 @@ let event_of_json line =
       | "dht_get" ->
           Dht_get { span = fint "span"; origin = fint "origin"; key = fint "key"; manager = fint "manager" }
       | "kselect_round" ->
-          Kselect_round { stage = fstr "stage"; iteration = fint "iteration"; candidates = fint "candidates" }
+          Kselect_round
+            {
+              stage = fstr "stage";
+              iteration = fint "iteration";
+              candidates = fint "candidates";
+              messages = fint "messages";
+            }
       | "churn" ->
           Churn
             {

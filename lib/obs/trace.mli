@@ -51,7 +51,7 @@ type event =
           occupancy after the assignment. *)
   | Dht_put of { span : span; origin : int; key : int; manager : int }
   | Dht_get of { span : span; origin : int; key : int; manager : int }
-  | Kselect_round of { stage : string; iteration : int; candidates : int }
+  | Kselect_round of { stage : string; iteration : int; candidates : int; messages : int }
       (** KSelect progress: [candidates] still alive after [iteration] of
           ["phase1"] / ["phase2"], or entering ["phase3"]. *)
   | Churn of { kind : string; n : int; join_messages : int; moved_elements : int }
@@ -130,7 +130,11 @@ val msg_delivered_direct : t -> round:int -> src:int -> dst:int -> bits:int -> u
 val anchor_assign : t option -> batch_inserts:int -> batch_deletes:int -> heap_size:int -> unit
 val dht_put : t option -> origin:int -> key:int -> manager:int -> unit
 val dht_get : t option -> origin:int -> key:int -> manager:int -> unit
-val kselect_round : t option -> stage:string -> iteration:int -> candidates:int -> unit
+(* [messages] is the cumulative engine message count the KSelect run has
+   charged to its report when the event fires — the per-stage deltas give
+   the message profile of a single selection. *)
+val kselect_round :
+  t option -> stage:string -> iteration:int -> candidates:int -> messages:int -> unit
 val churn : t option -> kind:string -> n:int -> join_messages:int -> moved_elements:int -> unit
 val fault_injected : t option -> kind:string -> src:int -> dst:int -> unit
 val retransmit : t option -> src:int -> dst:int -> attempt:int -> unit

@@ -163,6 +163,7 @@ let skeap_combo =
     faults = None;
     replication = 1;
     adaptive = Dpq_gossip.Batch_ctl.Off;
+    n_override = None;
   }
 
 let test_planted_bug_caught_by_digest () =
@@ -196,6 +197,7 @@ let test_kills_during_parallel_batches () =
           faults = Some spec;
           replication = 3;
           adaptive = Dpq_gossip.Batch_ctl.Off;
+          n_override = None;
         }
       in
       let run domains =

@@ -72,7 +72,14 @@ let skeap_seap_combos : E.combo list =
         (fun engine ->
           List.map
             (fun faults ->
-              { E.backend; engine; faults; replication = 1; adaptive = Dpq_gossip.Batch_ctl.Off })
+              {
+                E.backend;
+                engine;
+                faults;
+                replication = 1;
+                adaptive = Dpq_gossip.Batch_ctl.Off;
+                n_override = None;
+              })
             [ None; Some "drop=0.2,dup=0.05" ])
         [ E.Sync; E.Async (Dpq_simrt.Async_engine.Exponential 2.0) ])
     [ Types.Skeap { num_prios = 4 }; Types.Seap ]
@@ -226,6 +233,7 @@ let adaptive_combo : E.combo =
     faults = None;
     replication = 1;
     adaptive = Dpq_gossip.Batch_ctl.On Dpq_gossip.Batch_ctl.default_config;
+    n_override = None;
   }
 
 let test_repro_adaptive_roundtrip () =

@@ -171,7 +171,7 @@ let test_disabled_tracer_allocates_nothing () =
     let span = Trace.phase_start trace "up" in
     Trace.msg_delivered trace ~round:i ~src:0 ~dst:1 ~bits:8;
     Trace.dht_put trace ~origin:0 ~key:i ~manager:1;
-    Trace.kselect_round trace ~stage:"phase1" ~iteration:i ~candidates:i;
+    Trace.kselect_round trace ~stage:"phase1" ~iteration:i ~candidates:i ~messages:i;
     Trace.phase_end trace ~span ~name:"up" ~rounds:0 ~messages:0 ~max_congestion:0
       ~max_message_bits:0 ~total_bits:0
   done;

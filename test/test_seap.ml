@@ -335,6 +335,39 @@ let prop_delete_positions_match_sorted_reference =
       && List.for_all2 E.equal expected (List.sort E.compare got)
       && Checker.check_all_seap (S.oplog h) = Ok ())
 
+(* ------------------------------------------------------ large-n stream *)
+
+module W = Dpq_workloads.Workload
+module R = Dpq_workloads.Runner
+
+(* Seap at n = 4096 driven through the streaming runner for 2^18 ops with
+   the online checker on every completion — the scale cell the aggregated
+   KSelect path makes affordable (the pairwise path pushes two orders of
+   magnitude more messages through the same run).  Mirrors the Skeap
+   stream cells: nothing is materialized, so memory stays O(peak_live). *)
+let test_stream_large_n () =
+  let n = 4096 in
+  let spec =
+    W.Gen.
+      {
+        n;
+        rounds = 64;
+        lambda = 1;
+        insert_ratio = 0.5;
+        dist = W.Uniform (1, 1_000_000);
+        seed = 23;
+        arrival = W.Closed;
+      }
+  in
+  let s = R.run_gen ~n Dpq_types.Types.Seap (W.Gen.create spec) in
+  checki "2^18 ops" 262144 s.R.ops;
+  checkb "clean online verdict" true s.R.semantics_ok;
+  checkb "no violation" true (s.R.violation = None);
+  checkb "peak_live positive" true (s.R.peak_live > 0);
+  (* the checker state must stay far below the op count: live elements are
+     bounded by the closed loop's in-flight inserts, not the stream length *)
+  checkb "peak_live bounded" true (s.R.peak_live < 4 * n)
+
 (* qcheck: random interleavings preserve Seap's guarantees. *)
 let prop_seap_semantics =
   let gen =
@@ -377,6 +410,7 @@ let () =
           Alcotest.test_case "kselect diagnostics" `Quick test_kselect_diagnostics_surface;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
           Alcotest.test_case "drain" `Quick test_drain;
+          Alcotest.test_case "stream n=4096, 2^18 ops" `Slow test_stream_large_n;
           QCheck_alcotest.to_alcotest prop_delete_positions_match_sorted_reference;
           QCheck_alcotest.to_alcotest prop_seap_semantics;
         ] );
